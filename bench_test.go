@@ -1,0 +1,349 @@
+package hsumma
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`), plus the ablation benches
+// listed in DESIGN.md §4. Figure benches execute the full paper-scale
+// simulation once per iteration and report the regenerated headline
+// quantities as custom metrics (seconds of simulated time), so the bench
+// output doubles as the reproduction record; EXPERIMENTS.md snapshots it.
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simalg"
+	"repro/internal/topo"
+)
+
+// benchExperiment runs a registered experiment at full fidelity and
+// reports its first series' minimum as a metric.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *exp.Result
+	for i := 0; i < b.N; i++ {
+		res, err = e.Run(exp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res != nil && len(res.Series) > 0 {
+		min := res.Series[0].Y[0]
+		for _, y := range res.Series[0].Y {
+			if y < min {
+				min = y
+			}
+		}
+		b.ReportMetric(min, "best_"+sanitize(res.Series[0].Name)+"_s")
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// BenchmarkTable1 regenerates Table I (binomial-tree cost comparison).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table II (Van de Geijn cost comparison).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig5 regenerates Figure 5 (Grid'5000 G sweep, b=64).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (Grid'5000 G sweep, b=512).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (Grid'5000 scalability).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (BG/P 16384-core G sweep).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (BG/P scalability 2048→16384).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (exascale prediction).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkHeadline regenerates the §VI headline ratios.
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+// BenchmarkRuntimeSUMMA and siblings measure the *real* in-process runtime
+// (goroutine ranks moving real matrix blocks) — wall-clock numbers for the
+// correctness path, n=256 on 16 ranks.
+func benchRuntime(b *testing.B, cfg Config) {
+	b.Helper()
+	n := 256
+	a := RandomMatrix(n, n, 1)
+	bb := RandomMatrix(n, n, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Multiply(a, bb, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeSUMMA measures real SUMMA on the goroutine runtime.
+func BenchmarkRuntimeSUMMA(b *testing.B) {
+	benchRuntime(b, Config{Procs: 16, Algorithm: AlgSUMMA, BlockSize: 32})
+}
+
+// BenchmarkRuntimeHSUMMA measures real HSUMMA (G=4) on the runtime.
+func BenchmarkRuntimeHSUMMA(b *testing.B) {
+	benchRuntime(b, Config{Procs: 16, Algorithm: AlgHSUMMA, Groups: 4, BlockSize: 32})
+}
+
+// BenchmarkRuntimeCannon measures the Cannon baseline on the runtime.
+func BenchmarkRuntimeCannon(b *testing.B) {
+	benchRuntime(b, Config{Procs: 16, Algorithm: AlgCannon})
+}
+
+// BenchmarkRuntimeFox measures the Fox baseline on the runtime.
+func BenchmarkRuntimeFox(b *testing.B) {
+	benchRuntime(b, Config{Procs: 16, Algorithm: AlgFox})
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationBroadcast compares broadcast algorithms inside the
+// simulated BG/P HSUMMA at the paper's configuration.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	g := topo.Grid{S: 128, T: 128}
+	h, _ := topo.FactorGroups(g, 128)
+	for _, alg := range []sched.Algorithm{sched.Binomial, sched.VanDeGeijn, sched.Binary, sched.Chain} {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			var comm float64
+			for i := 0; i < b.N; i++ {
+				res, err := simalg.HSUMMA(simalg.Config{
+					N: 65536, Grid: g, BlockSize: 256, Groups: h,
+					Bcast: alg, Segments: 8, Machine: platform.BlueGenePCalibrated().Model,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.Comm
+			}
+			b.ReportMetric(comm, "sim_comm_s")
+		})
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps the paper's b on the simulated BG/P.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	g := topo.Grid{S: 128, T: 128}
+	h, _ := topo.FactorGroups(g, 128)
+	for _, blk := range []int{64, 128, 256, 512} {
+		blk := blk
+		b.Run(itoa(blk), func(b *testing.B) {
+			var comm float64
+			for i := 0; i < b.N; i++ {
+				res, err := simalg.HSUMMA(simalg.Config{
+					N: 65536, Grid: g, BlockSize: blk, Groups: h,
+					Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.Comm
+			}
+			b.ReportMetric(comm, "sim_comm_s")
+		})
+	}
+}
+
+// BenchmarkAblationGroupShape compares square vs skewed group arrangements
+// at the same G.
+func BenchmarkAblationGroupShape(b *testing.B) {
+	g := topo.Grid{S: 128, T: 128}
+	shapes := map[string][2]int{
+		"square_16x16": {16, 16},
+		"skewed_4x64":  {4, 64},
+		"skewed_64x4":  {64, 4},
+	}
+	for name, ij := range shapes {
+		name, ij := name, ij
+		b.Run(name, func(b *testing.B) {
+			h, err := topo.NewHier(g, ij[0], ij[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			var comm float64
+			for i := 0; i < b.N; i++ {
+				res, err := simalg.HSUMMA(simalg.Config{
+					N: 65536, Grid: g, BlockSize: 256, Groups: h,
+					Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.Comm
+			}
+			b.ReportMetric(comm, "sim_comm_s")
+		})
+	}
+}
+
+// BenchmarkAblationContention toggles the link-sharing model on the BG/P
+// torus (the paper assumes none).
+func BenchmarkAblationContention(b *testing.B) {
+	pf := platform.BlueGeneP()
+	g := topo.Grid{S: 64, T: 64}
+	h, _ := topo.FactorGroups(g, 64)
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := simalg.Config{
+				N: 16384, Grid: g, BlockSize: 256, Groups: h,
+				Bcast: sched.VanDeGeijn, Machine: pf.Model,
+			}
+			if on {
+				cfg.Contention = simnetContention(pf, g.Size())
+			}
+			var comm float64
+			for i := 0; i < b.N; i++ {
+				res, err := simalg.HSUMMA(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.Comm
+			}
+			b.ReportMetric(comm, "sim_comm_s")
+		})
+	}
+}
+
+// BenchmarkAblationInnerOuterBlock compares b=B against b<B (paper §III:
+// "the block size inside a group should be less than or equal to the block
+// size between groups").
+func BenchmarkAblationInnerOuterBlock(b *testing.B) {
+	g := topo.Grid{S: 128, T: 128}
+	h, _ := topo.FactorGroups(g, 128)
+	for _, c := range []struct {
+		name string
+		b, B int
+	}{{"b256_B256", 256, 256}, {"b64_B256", 64, 256}, {"b64_B512", 64, 512}} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var comm float64
+			for i := 0; i < b.N; i++ {
+				res, err := simalg.HSUMMA(simalg.Config{
+					N: 65536, Grid: g, BlockSize: c.b, OuterBlockSize: c.B, Groups: h,
+					Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comm = res.Comm
+			}
+			b.ReportMetric(comm, "sim_comm_s")
+		})
+	}
+}
+
+// BenchmarkAblationMultilevel compares the real-runtime message counts of
+// flat SUMMA, two-level and three-level hierarchies (paper §VI future
+// work) on a 64-rank grid.
+func BenchmarkAblationMultilevel(b *testing.B) {
+	n := 128
+	a := RandomMatrix(n, n, 1)
+	bb := RandomMatrix(n, n, 2)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flat", Config{Procs: 64, Algorithm: AlgMultilevel, BlockSize: 4}},
+		{"two_level", Config{Procs: 64, Algorithm: AlgMultilevel, BlockSize: 4,
+			Levels: []Level{{I: 2, J: 2, BlockSize: 8}}}},
+		{"three_level", Config{Procs: 64, Algorithm: AlgMultilevel, BlockSize: 4,
+			Levels: []Level{{I: 2, J: 2, BlockSize: 16}, {I: 2, J: 2, BlockSize: 8}}}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				_, st, err := Multiply(a, bb, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = st.Messages
+			}
+			b.ReportMetric(float64(msgs), "messages")
+		})
+	}
+}
+
+// BenchmarkAblationOverlap quantifies the paper's §VI overlap opportunity
+// on the simulated BG/P: non-overlapped (the paper's implementation) vs
+// double-buffered communication/computation overlap.
+func BenchmarkAblationOverlap(b *testing.B) {
+	g := topo.Grid{S: 128, T: 128}
+	h, _ := topo.FactorGroups(g, 128)
+	for _, overlap := range []bool{false, true} {
+		overlap := overlap
+		name := "off"
+		if overlap {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := simalg.HSUMMA(simalg.Config{
+					N: 65536, Grid: g, BlockSize: 256, Groups: h,
+					Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
+					Overlap: overlap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.Total
+			}
+			b.ReportMetric(total, "sim_total_s")
+		})
+	}
+}
+
+// BenchmarkModelEvaluation measures the closed-form evaluation itself.
+func BenchmarkModelEvaluation(b *testing.B) {
+	par := model.Params{N: 1 << 22, P: 1 << 20, B: 256,
+		Machine: platform.Exascale().Model, Bcast: model.VanDeGeijn{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = model.HSUMMA(par, 1024).Comm()
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,69 @@
+// Command hsumma-run executes a real distributed multiplication on the
+// in-process message-passing runtime (one goroutine per rank, real matrix
+// blocks on the wire), verifies the result against sequential GEMM and
+// reports wall time plus communication statistics.
+//
+// Usage:
+//
+//	hsumma-run -n 512 -p 16 -alg hsumma -G 4 -b 32
+//	hsumma-run -n 512 -p 16 -alg summa -bcast vandegeijn
+//	hsumma-run -n 256 -p 16 -alg cannon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	hsumma "repro"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 512, "matrix dimension (n×n)")
+		p     = flag.Int("p", 16, "number of ranks (goroutines)")
+		alg   = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox")
+		G     = flag.Int("G", 0, "HSUMMA group count (0 = closest feasible to sqrt(p))")
+		b     = flag.Int("b", 0, "block size b (0 = auto)")
+		outer = flag.Int("B", 0, "outer block size B (0 = b)")
+		bcast = flag.String("bcast", "binomial", "broadcast: binomial, vandegeijn, flat, binary, chain")
+		seed  = flag.Uint64("seed", 42, "input matrix seed")
+	)
+	flag.Parse()
+
+	a := hsumma.RandomMatrix(*n, *n, *seed)
+	bm := hsumma.RandomMatrix(*n, *n, *seed+1)
+	cfg := hsumma.Config{
+		Procs:          *p,
+		Algorithm:      hsumma.Algorithm(*alg),
+		Groups:         *G,
+		BlockSize:      *b,
+		OuterBlockSize: *outer,
+		Broadcast:      hsumma.BroadcastByName(*bcast),
+	}
+
+	start := time.Now()
+	got, stats, err := hsumma.Multiply(a, bm, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", *alg, *p, *n)
+	fmt.Printf("wall time      : %v\n", elapsed)
+	fmt.Printf("messages sent  : %d\n", stats.Messages)
+	fmt.Printf("bytes moved    : %d\n", stats.Bytes)
+	fmt.Printf("max rank comm  : %.3gs\n", stats.MaxRankCommSeconds)
+
+	verify := time.Now()
+	want := hsumma.Reference(a, bm)
+	diff := hsumma.MaxAbsDiff(got, want)
+	fmt.Printf("verification   : max |Δ| = %.3g vs sequential GEMM (%v)\n", diff, time.Since(verify))
+	if diff > 1e-9 {
+		fmt.Fprintln(os.Stderr, "VERIFICATION FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("result         : OK")
+}

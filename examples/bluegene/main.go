@@ -1,0 +1,29 @@
+// BlueGene/P scenario: regenerate the paper's headline results — Figure 8
+// (G sweep on 16384 cores), Figure 9 (scalability) and the §VI improvement
+// ratios — on the discrete-event simulator with the calibrated Shaheen
+// machine model.
+//
+//	go run ./examples/bluegene          # full scale (~1 minute)
+//	go run ./examples/bluegene -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hsumma "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down run")
+	flag.Parse()
+
+	for _, id := range []string{"fig8", "fig9", "headline"} {
+		out, err := hsumma.RunExperiment(id, hsumma.ExperimentOptions{Quick: *quick})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,34 @@
+// Exascale scenario: the paper's Figure 10 prediction (p = 2^20 cores,
+// n = 2^22) evaluated through the closed-form model, plus the
+// interior-minimum condition of equation (10).
+//
+//	go run ./examples/exascale
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	hsumma "repro"
+)
+
+func main() {
+	out, err := hsumma.RunExperiment("fig10", hsumma.ExperimentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+
+	// The same conclusion straight from the model API.
+	pf := hsumma.PlatformExascale()
+	par := hsumma.ModelParams{N: 1 << 22, P: 1 << 20, B: 256, Machine: pf.Model, Bcast: hsumma.VanDeGeijnModel{}}
+	fmt.Printf("condition α/β > 2nb/p holds: %v\n", hsumma.MinimumAtSqrtP(par))
+	bestG, cost := hsumma.PredictOptimalG(par)
+	summa := hsumma.Predict(par, 1)
+	fmt.Printf("predicted optimum G=%d (√p = %d): comm %.3gs vs SUMMA %.3gs (%.2fx)\n",
+		bestG, int(math.Sqrt(float64(par.P))), cost.Comm(), summa.Comm(), summa.Comm()/cost.Comm())
+	fmt.Println("\nPer the paper §V-C: \"whatever stand-alone application-oblivious optimized")
+	fmt.Println("broadcast algorithms are made available for exascale platforms, they cannot")
+	fmt.Println("replace application specific optimizations of communication cost.\"")
+}

@@ -1,0 +1,30 @@
+// Grid'5000 scenario: regenerate the paper's Figures 5–7 (Graphene
+// cluster, n=8192, p=128) on the discrete-event simulator.
+//
+//	go run ./examples/grid5000          # full scale (paper configuration)
+//	go run ./examples/grid5000 -quick   # scaled down, runs in a second
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hsumma "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down run")
+	flag.Parse()
+
+	for _, id := range []string{"fig5", "fig6", "fig7"} {
+		out, err := hsumma.RunExperiment(id, hsumma.ExperimentOptions{Quick: *quick})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	fmt.Println("Compare with the paper: Figure 5 shows a deep U-curve at b=64,")
+	fmt.Println("Figure 6 a shallow one at b=512 (smaller latency share), and")
+	fmt.Println("Figure 7 SUMMA and HSUMMA converging as p shrinks.")
+}

@@ -1,0 +1,272 @@
+// Package hsumma is a Go reproduction of "Hierarchical Parallel Matrix
+// Multiplication on Large-Scale Distributed Memory Platforms" (Quintin,
+// Hasanov, Lastovetsky — ICPP 2013, arXiv:1306.4161).
+//
+// It provides, behind one façade:
+//
+//   - Multiply: distributed dense matrix multiplication (SUMMA, the paper's
+//     hierarchical HSUMMA, its multilevel generalisation, and the Cannon
+//     and Fox baselines) executed on an in-process MPI-like runtime whose
+//     ranks are goroutines;
+//   - Simulate: the same algorithms replayed on a discrete-event Hockney
+//     simulator, reproducing the paper's large-scale timing figures;
+//   - Predict: the paper's closed-form cost model (Tables I–II), optimal
+//     group count analysis and the exascale projection;
+//   - RunExperiment: the registry of reproduction experiments, one per
+//     table/figure of the paper's evaluation.
+//
+// See README.md for a walkthrough and EXPERIMENTS.md for paper-vs-measured
+// results.
+package hsumma
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// Matrix is a dense row-major float64 matrix (see NewMatrix, Random).
+type Matrix = matrix.Dense
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
+
+// RandomMatrix returns a deterministic pseudo-random r×c matrix with
+// entries in [-1,1).
+func RandomMatrix(r, c int, seed uint64) *Matrix { return matrix.Random(r, c, seed) }
+
+// MaxAbsDiff returns the max-norm distance between two equal-shaped
+// matrices — the verification metric used throughout.
+func MaxAbsDiff(a, b *Matrix) float64 { return matrix.MaxAbsDiff(a, b) }
+
+// Level describes one grouping level for AlgMultilevel (re-exported from
+// the core package): the grid is partitioned into I×J groups exchanging
+// panels of width BlockSize.
+type Level = core.Level
+
+// Algorithm selects a distributed multiplication algorithm.
+type Algorithm string
+
+// Available distributed algorithms.
+const (
+	AlgSUMMA      Algorithm = "summa"
+	AlgHSUMMA     Algorithm = "hsumma"
+	AlgMultilevel Algorithm = "multilevel"
+	AlgCannon     Algorithm = "cannon"
+	AlgFox        Algorithm = "fox"
+)
+
+// Broadcast names re-exported from the schedule layer.
+const (
+	BcastBinomial   = sched.Binomial
+	BcastVanDeGeijn = sched.VanDeGeijn
+	BcastFlat       = sched.Flat
+	BcastBinary     = sched.Binary
+	BcastChain      = sched.Chain
+)
+
+// BroadcastByName maps a CLI-friendly name to a broadcast algorithm; the
+// empty string (and unknown names) default to binomial.
+func BroadcastByName(name string) sched.Algorithm {
+	switch name {
+	case string(sched.VanDeGeijn), "vdg", "scatter-allgather":
+		return sched.VanDeGeijn
+	case string(sched.Flat):
+		return sched.Flat
+	case string(sched.Binary):
+		return sched.Binary
+	case string(sched.Chain), "pipeline":
+		return sched.Chain
+	default:
+		return sched.Binomial
+	}
+}
+
+// Config describes a distributed multiplication run on the in-process
+// runtime.
+type Config struct {
+	// Procs is the number of ranks; the process grid is the squarest
+	// factorisation unless Grid is set.
+	Procs int
+	// Grid optionally pins the process grid (S×T with S·T = Procs).
+	Grid *[2]int
+	// Algorithm defaults to AlgHSUMMA.
+	Algorithm Algorithm
+	// Groups is HSUMMA's G (number of processor groups); 0 lets the
+	// library pick the feasible count closest to √p.
+	Groups int
+	// BlockSize is the paper's b; it must divide the per-rank tile.
+	BlockSize int
+	// OuterBlockSize is the paper's B (HSUMMA only); 0 means B = b.
+	OuterBlockSize int
+	// Levels configures AlgMultilevel (outermost first).
+	Levels []core.Level
+	// Broadcast selects the collective algorithm (default binomial).
+	Broadcast sched.Algorithm
+	// Segments is the chain-broadcast pipeline depth.
+	Segments int
+}
+
+// Stats reports aggregate traffic of a run.
+type Stats struct {
+	// Messages and Bytes are totals across all ranks.
+	Messages int64
+	Bytes    int64
+	// MaxRankCommSeconds is the largest per-rank wall time spent in
+	// communication calls.
+	MaxRankCommSeconds float64
+}
+
+// Multiply computes A·B (n×n matrices) with the configured distributed
+// algorithm: it block-distributes the inputs over the process grid, runs
+// one goroutine per rank through the message-passing runtime, and gathers
+// the result.
+func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
+	var st Stats
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, st, fmt.Errorf("hsumma: Multiply needs equal square matrices, got %dx%d and %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := a.Rows
+	if cfg.Procs <= 0 {
+		return nil, st, fmt.Errorf("hsumma: Procs must be positive")
+	}
+	grid, err := resolveGrid(cfg)
+	if err != nil {
+		return nil, st, err
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgHSUMMA
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = defaultBlock(n, grid)
+	}
+
+	bm, err := dist.NewBlockMap(n, n, grid)
+	if err != nil {
+		return nil, st, err
+	}
+	aT, bT := bm.Scatter(a), bm.Scatter(b)
+	cT := make([]*matrix.Dense, grid.Size())
+	for r := range cT {
+		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
+	}
+
+	opts := core.Options{
+		N: n, Grid: grid,
+		BlockSize:      cfg.BlockSize,
+		OuterBlockSize: cfg.OuterBlockSize,
+		Broadcast:      cfg.Broadcast,
+		Segments:       cfg.Segments,
+	}
+	if cfg.Algorithm == AlgHSUMMA {
+		h, err := resolveGroups(grid, cfg.Groups)
+		if err != nil {
+			return nil, st, err
+		}
+		opts.Groups = h
+	}
+
+	var mu sync.Mutex
+	var algErr error
+	ranks, err := mpi.RunStats(grid.Size(), func(c *mpi.Comm) {
+		var e error
+		al, bl, cl := aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]
+		switch cfg.Algorithm {
+		case AlgSUMMA:
+			e = core.SUMMA(c, opts, al, bl, cl)
+		case AlgHSUMMA:
+			e = core.HSUMMA(c, opts, al, bl, cl)
+		case AlgMultilevel:
+			e = core.MultilevelHSUMMA(c, opts, cfg.Levels, cfg.BlockSize, al, bl, cl)
+		case AlgCannon:
+			e = baseline.Cannon(c, grid, n, al, bl, cl)
+		case AlgFox:
+			e = baseline.Fox(c, grid, n, cfg.Broadcast, al, bl, cl)
+		default:
+			e = fmt.Errorf("hsumma: unknown algorithm %q", cfg.Algorithm)
+		}
+		if e != nil {
+			mu.Lock()
+			if algErr == nil {
+				algErr = e
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	if algErr != nil {
+		return nil, st, algErr
+	}
+	for _, r := range ranks {
+		st.Messages += r.SentMessages
+		st.Bytes += r.SentBytes
+		if r.CommSeconds > st.MaxRankCommSeconds {
+			st.MaxRankCommSeconds = r.CommSeconds
+		}
+	}
+	return bm.Gather(cT), st, nil
+}
+
+// Reference computes A·B sequentially — the oracle for verification.
+func Reference(a, b *Matrix) *Matrix {
+	c := matrix.New(a.Rows, b.Cols)
+	core.Reference(c, a, b)
+	return c
+}
+
+func resolveGrid(cfg Config) (topo.Grid, error) {
+	if cfg.Grid != nil {
+		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
+		if err != nil {
+			return topo.Grid{}, err
+		}
+		if g.Size() != cfg.Procs {
+			return topo.Grid{}, fmt.Errorf("hsumma: grid %v does not hold %d procs", g, cfg.Procs)
+		}
+		return g, nil
+	}
+	return topo.SquarestGrid(cfg.Procs)
+}
+
+func resolveGroups(g topo.Grid, G int) (topo.Hier, error) {
+	if G > 0 {
+		return topo.FactorGroups(g, G)
+	}
+	// Default: the feasible group count closest to √p, the paper's
+	// analytic optimum.
+	counts := topo.ValidGroupCounts(g)
+	best := counts[0]
+	for _, c := range counts {
+		if absInt(c*c-g.Size()) < absInt(best*best-g.Size()) {
+			best = c
+		}
+	}
+	return topo.FactorGroups(g, best)
+}
+
+// defaultBlock picks the largest power-of-two block (≤64) dividing both
+// tile dimensions.
+func defaultBlock(n int, g topo.Grid) int {
+	b := 64
+	for b > 1 && ((n/g.S)%b != 0 || (n/g.T)%b != 0) {
+		b /= 2
+	}
+	return b
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+// Package blas provides the dense floating-point kernels that stand in for
+// the vendor BLAS libraries (Intel MKL on Grid'5000, IBM ESSL on BlueGene/P)
+// used by the paper for all sequential computation. The central routine is
+// Gemm, a cache-blocked general matrix-matrix multiply with optional
+// goroutine parallelism; Naive is the O(n³) reference all other kernels are
+// validated against.
+package blas
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// tile sizes for the blocked kernel, chosen so an (mc×kc) panel of A and a
+// (kc×nc) panel of B fit comfortably in L2 on commodity hardware. The exact
+// values only affect speed, never results.
+const (
+	tileM = 64
+	tileN = 64
+	tileK = 64
+)
+
+// checkGemmShapes panics unless C += A·B is well-formed.
+func checkGemmShapes(c, a, b *matrix.Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("blas: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Naive computes C += A·B with three plain loops. It is the correctness
+// oracle for every other kernel and for the distributed algorithms.
+func Naive(c, a, b *matrix.Dense) {
+	checkGemmShapes(c, a, b)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// Gemm computes C += A·B using a cache-blocked kernel. It accepts views
+// (non-tight strides) for all operands.
+func Gemm(c, a, b *matrix.Dense) {
+	checkGemmShapes(c, a, b)
+	gemmRange(c, a, b, 0, a.Rows)
+}
+
+// gemmRange updates rows [i0,i1) of C. Splitting on C rows keeps parallel
+// workers write-disjoint.
+func gemmRange(c, a, b *matrix.Dense, i0, i1 int) {
+	m, n, k := a.Rows, b.Cols, a.Cols
+	_ = m
+	for ii := i0; ii < i1; ii += tileM {
+		iMax := min(ii+tileM, i1)
+		for kk := 0; kk < k; kk += tileK {
+			kMax := min(kk+tileK, k)
+			for jj := 0; jj < n; jj += tileN {
+				jMax := min(jj+tileN, n)
+				microKernel(c, a, b, ii, iMax, kk, kMax, jj, jMax)
+			}
+		}
+	}
+}
+
+// microKernel updates the C tile [i0,i1)×[j0,j1) with the A panel
+// [i0,i1)×[k0,k1) and B panel [k0,k1)×[j0,j1). The inner loop runs along
+// contiguous rows of B and C so the compiler can keep the accumulator in
+// registers and the loads stream.
+func microKernel(c, a, b *matrix.Dense, i0, i1, k0, k1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		crow := c.Data[i*c.Stride+j0 : i*c.Stride+j1]
+		arow := a.Data[i*a.Stride+k0 : i*a.Stride+k1]
+		for ko, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.Data[(k0+ko)*b.Stride+j0 : (k0+ko)*b.Stride+j1]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// ParallelGemm computes C += A·B splitting C's rows across up to workers
+// goroutines (GOMAXPROCS when workers <= 0). Workers own disjoint row bands
+// of C, so no synchronisation beyond the final join is needed.
+func ParallelGemm(c, a, b *matrix.Dense, workers int) {
+	checkGemmShapes(c, a, b)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rows := a.Rows
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows*b.Cols*a.Cols < 32*32*32 {
+		gemmRange(c, a, b, 0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * rows / workers
+		i1 := (w + 1) * rows / workers
+		if i0 == i1 {
+			continue
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			gemmRange(c, a, b, i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// Axpy computes y += alpha*x element-wise over matrices of equal shape.
+func Axpy(alpha float64, x, y *matrix.Dense) {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		panic(matrix.ErrShape)
+	}
+	for i := 0; i < x.Rows; i++ {
+		xr := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		yr := y.Data[i*y.Stride : i*y.Stride+y.Cols]
+		for j := range xr {
+			yr[j] += alpha * xr[j]
+		}
+	}
+}
+
+// Dot returns the Frobenius inner product <a,b> = sum a_ij*b_ij.
+func Dot(a, b *matrix.Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(matrix.ErrShape)
+	}
+	sum := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		br := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range ar {
+			sum += ar[j] * br[j]
+		}
+	}
+	return sum
+}
+
+// FlopsGemm returns the floating-point operation count of an m×k by k×n
+// multiply-accumulate, using the conventional 2mnk (one multiply + one add
+// per term), the same accounting the paper's 2n³/p computation cost uses.
+func FlopsGemm(m, n, k int) float64 {
+	return 2 * float64(m) * float64(n) * float64(k)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+const tol = 1e-12
+
+func TestNaiveIdentity(t *testing.T) {
+	a := matrix.Random(5, 5, 1)
+	c := matrix.New(5, 5)
+	Naive(c, a, matrix.Identity(5))
+	if matrix.MaxAbsDiff(c, a) > tol {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestNaiveKnownProduct(t *testing.T) {
+	a := matrix.FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := matrix.FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := matrix.New(2, 2)
+	Naive(c, a, b)
+	want := matrix.FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if matrix.MaxAbsDiff(c, want) != 0 {
+		t.Fatalf("got %v want %v", c, want)
+	}
+}
+
+func TestNaiveAccumulates(t *testing.T) {
+	a := matrix.Identity(3)
+	c := matrix.Constant(3, 3, 1)
+	Naive(c, a, a)
+	// C = 1 + I
+	if c.At(0, 0) != 2 || c.At(0, 1) != 1 {
+		t.Fatalf("accumulation wrong: %v", c)
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {17, 19, 23}, {64, 64, 64}, {65, 70, 33}, {128, 100, 90}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := matrix.Random(m, k, uint64(m*1000+n))
+		b := matrix.Random(k, n, uint64(n*1000+k))
+		want := matrix.New(m, n)
+		Naive(want, a, b)
+		got := matrix.New(m, n)
+		Gemm(got, a, b)
+		if d := matrix.MaxAbsDiff(got, want); d > tol {
+			t.Fatalf("gemm(%d,%d,%d) differs from naive by %g", m, n, k, d)
+		}
+	}
+}
+
+func TestGemmOnViews(t *testing.T) {
+	// All operands are strided views into larger matrices.
+	bigA := matrix.Random(20, 20, 7)
+	bigB := matrix.Random(20, 20, 8)
+	bigC := matrix.New(20, 20)
+	a := bigA.View(2, 3, 10, 12)
+	b := bigB.View(1, 4, 12, 9)
+	c := bigC.View(5, 5, 10, 9)
+	want := matrix.New(10, 9)
+	Naive(want, a.Clone(), b.Clone())
+	Gemm(c, a, b)
+	if d := matrix.MaxAbsDiff(c.Clone(), want); d > tol {
+		t.Fatalf("gemm on views differs by %g", d)
+	}
+	// Nothing outside the C view may be touched.
+	if bigC.At(0, 0) != 0 || bigC.At(19, 19) != 0 || bigC.At(4, 5) != 0 {
+		t.Fatal("gemm wrote outside the C view")
+	}
+}
+
+func TestParallelGemmMatchesNaive(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		m, n, k := 57, 43, 61
+		a := matrix.Random(m, k, 21)
+		b := matrix.Random(k, n, 22)
+		want := matrix.New(m, n)
+		Naive(want, a, b)
+		got := matrix.New(m, n)
+		ParallelGemm(got, a, b, workers)
+		if d := matrix.MaxAbsDiff(got, want); d > tol {
+			t.Fatalf("parallel gemm (workers=%d) differs by %g", workers, d)
+		}
+	}
+}
+
+func TestParallelGemmMoreWorkersThanRows(t *testing.T) {
+	a := matrix.Random(2, 40, 1)
+	b := matrix.Random(40, 40, 2)
+	want := matrix.New(2, 40)
+	Naive(want, a, b)
+	got := matrix.New(2, 40)
+	ParallelGemm(got, a, b, 64)
+	if matrix.MaxAbsDiff(got, want) > tol {
+		t.Fatal("parallel gemm wrong with workers > rows")
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Gemm(matrix.New(2, 2), matrix.New(2, 3), matrix.New(2, 2))
+}
+
+// Property: (A(B+B2)) == AB + AB2 — distributivity links Gemm and Axpy.
+func TestQuickDistributive(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := int(seed%6) + 1
+		k := int(seed/6%6) + 1
+		n := int(seed/36%6) + 1
+		a := matrix.Random(m, k, seed)
+		b1 := matrix.Random(k, n, seed+1)
+		b2 := matrix.Random(k, n, seed+2)
+		sum := b1.Clone()
+		sum.Add(b2)
+		left := matrix.New(m, n)
+		Gemm(left, a, sum)
+		right := matrix.New(m, n)
+		Gemm(right, a, b1)
+		Gemm(right, a, b2)
+		return matrix.MaxAbsDiff(left, right) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := int(seed%5) + 1
+		k := int(seed/5%5) + 1
+		n := int(seed/25%5) + 1
+		a := matrix.Random(m, k, seed)
+		b := matrix.Random(k, n, seed*3+1)
+		ab := matrix.New(m, n)
+		Gemm(ab, a, b)
+		btat := matrix.New(n, m)
+		Gemm(btat, b.Transpose(), a.Transpose())
+		return matrix.MaxAbsDiff(ab.Transpose(), btat) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: associativity (AB)C == A(BC) within tolerance.
+func TestQuickAssociative(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := int(seed%5) + 1
+		a := matrix.Random(d, d, seed)
+		b := matrix.Random(d, d, seed+10)
+		c := matrix.Random(d, d, seed+20)
+		ab := matrix.New(d, d)
+		Gemm(ab, a, b)
+		abc1 := matrix.New(d, d)
+		Gemm(abc1, ab, c)
+		bc := matrix.New(d, d)
+		Gemm(bc, b, c)
+		abc2 := matrix.New(d, d)
+		Gemm(abc2, a, bc)
+		return matrix.MaxAbsDiff(abc1, abc2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	x := matrix.Constant(2, 2, 2)
+	y := matrix.Constant(2, 2, 1)
+	Axpy(3, x, y)
+	if y.At(0, 0) != 7 {
+		t.Fatalf("axpy got %v want 7", y.At(0, 0))
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := matrix.Constant(2, 3, 2)
+	b := matrix.Constant(2, 3, 3)
+	if got := Dot(a, b); math.Abs(got-36) > tol {
+		t.Fatalf("dot = %v, want 36", got)
+	}
+}
+
+func TestFlopsGemm(t *testing.T) {
+	if FlopsGemm(10, 20, 30) != 12000 {
+		t.Fatalf("flops = %v", FlopsGemm(10, 20, 30))
+	}
+}
+
+func BenchmarkGemm256(b *testing.B) {
+	a := matrix.Random(256, 256, 1)
+	bb := matrix.Random(256, 256, 2)
+	c := matrix.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		Gemm(c, a, bb)
+	}
+}
+
+func BenchmarkParallelGemm256(b *testing.B) {
+	a := matrix.Random(256, 256, 1)
+	bb := matrix.Random(256, 256, 2)
+	c := matrix.New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		ParallelGemm(c, a, bb, 0)
+	}
+}

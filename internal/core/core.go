@@ -1,0 +1,106 @@
+// Package core implements the paper's algorithms on the message-passing
+// runtime: SUMMA (van de Geijn & Watts 1997, Section II-A of the paper) and
+// the paper's contribution HSUMMA (Section III, Algorithm 1) — the two-level
+// hierarchical redesign that splits every pivot broadcast into an
+// inter-group phase and an intra-group phase — plus the multilevel
+// (>2-level) generalisation the paper lists as future work.
+//
+// All algorithms multiply block-checkerboard-distributed square matrices
+// in place: each rank contributes its local tiles of A and B and
+// accumulates into its local tile of C. Correctness is asserted against
+// sequential GEMM in the package tests for every grid shape, group count
+// and block-size combination the paper exercises (scaled down).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// Options configures a distributed multiplication. The zero value is not
+// usable; fill in at least N, Grid and BlockSize.
+type Options struct {
+	// N is the global matrix dimension (matrices are square n×n, as in
+	// the paper's analysis and experiments).
+	N int
+	// Grid is the s×t process grid.
+	Grid topo.Grid
+	// BlockSize is the paper's b: the pivot panel width per SUMMA step
+	// (and per HSUMMA inner step).
+	BlockSize int
+	// OuterBlockSize is the paper's B: the panel width exchanged between
+	// groups per HSUMMA outer step. Zero means B = b, the configuration
+	// used in all the paper's experiments. Must be a multiple of b.
+	OuterBlockSize int
+	// Groups is the hierarchical group arrangement for HSUMMA.
+	Groups topo.Hier
+	// Broadcast selects the broadcast schedule for every collective;
+	// defaults to binomial.
+	Broadcast sched.Algorithm
+	// Segments is the pipeline depth for the chain broadcast (ignored
+	// otherwise).
+	Segments int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Broadcast == "" {
+		out.Broadcast = sched.Binomial
+	}
+	if out.Segments <= 0 {
+		out.Segments = 1
+	}
+	if out.OuterBlockSize == 0 {
+		out.OuterBlockSize = out.BlockSize
+	}
+	return out
+}
+
+// validateSUMMA checks the divisibility constraints the implementation
+// relies on: square tiles per rank and pivot panels that live in exactly
+// one grid row/column (b | n/s and b | n/t), the same constraints the
+// paper's experiments satisfy.
+func (o Options) validateSUMMA() error {
+	if o.N <= 0 || o.BlockSize <= 0 {
+		return fmt.Errorf("core: invalid n=%d b=%d", o.N, o.BlockSize)
+	}
+	s, t := o.Grid.S, o.Grid.T
+	if s <= 0 || t <= 0 {
+		return fmt.Errorf("core: invalid grid %v", o.Grid)
+	}
+	if o.N%s != 0 || o.N%t != 0 {
+		return fmt.Errorf("core: n=%d not divisible by grid %v", o.N, o.Grid)
+	}
+	if (o.N/s)%o.BlockSize != 0 || (o.N/t)%o.BlockSize != 0 {
+		return fmt.Errorf("core: block size %d does not divide local tile %dx%d",
+			o.BlockSize, o.N/s, o.N/t)
+	}
+	return nil
+}
+
+// validateHSUMMA adds the hierarchical constraints: the group arrangement
+// must match the grid, B must be a multiple of b, and outer panels must
+// live in one grid row/column (B | n/s, B | n/t).
+func (o Options) validateHSUMMA() error {
+	if err := o.validateSUMMA(); err != nil {
+		return err
+	}
+	h := o.Groups
+	if h.Grid != o.Grid {
+		return fmt.Errorf("core: group hierarchy %v does not match grid %v", h.Grid, o.Grid)
+	}
+	if h.I <= 0 || h.J <= 0 || o.Grid.S%h.I != 0 || o.Grid.T%h.J != 0 {
+		return fmt.Errorf("core: invalid group arrangement %dx%d for grid %v", h.I, h.J, o.Grid)
+	}
+	B := o.OuterBlockSize
+	if B%o.BlockSize != 0 {
+		return fmt.Errorf("core: outer block %d not a multiple of inner block %d", B, o.BlockSize)
+	}
+	if (o.N/o.Grid.S)%B != 0 || (o.N/o.Grid.T)%B != 0 {
+		return fmt.Errorf("core: outer block %d does not divide local tile %dx%d",
+			B, o.N/o.Grid.S, o.N/o.Grid.T)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+)
+
+// HSUMMA performs C += A·B with the paper's hierarchical SUMMA
+// (Section III, Algorithm 1). The s×t grid is arranged as I×J groups; each
+// of the n/B outer steps first broadcasts the outer pivot panels *between*
+// groups (over the group-row/group-column communicators), then runs B/b
+// inner steps that broadcast b-wide sub-panels *inside* each group and
+// update C locally.
+//
+// With Groups = 1×1 or Groups = s×t (and B = b) the hierarchy degenerates
+// and HSUMMA performs exactly SUMMA's communication, which the paper notes
+// ("SUMMA is a special case of HSUMMA") and the tests assert.
+func HSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
+	o := opts.withDefaults()
+	if err := o.validateHSUMMA(); err != nil {
+		return err
+	}
+	g := o.Grid
+	if comm.Size() != g.Size() {
+		return fmt.Errorf("core: communicator size %d does not match grid %v", comm.Size(), g)
+	}
+	h := o.Groups
+	x, y, ii, jj := h.Decompose(comm.Rank())
+
+	// The four communicators of Algorithm 1.
+	groupRowComm := comm.Split(h.GroupRowColor(comm.Rank()), y)          // P(x,*)(ii,jj), rank = y, size J
+	groupColComm := comm.Split(g.Size()+h.GroupColColor(comm.Rank()), x) // P(*,y)(ii,jj), rank = x, size I
+	rowComm := comm.Split(2*g.Size()+h.InnerRowColor(comm.Rank()), jj)   // P(x,y)(ii,*), rank = jj, size t/J
+	colComm := comm.Split(3*g.Size()+h.InnerColColor(comm.Rank()), ii)   // P(x,y)(*,jj), rank = ii, size s/I
+
+	n, b, B := o.N, o.BlockSize, o.OuterBlockSize
+	localRows, localCols := n/g.S, n/g.T
+	checkTile("A", aLoc, localRows, localCols)
+	checkTile("B", bLoc, localRows, localCols)
+	checkTile("C", cLoc, localRows, localCols)
+
+	innerT := h.InnerT()
+	innerS := h.InnerS()
+
+	// Outer panels (the paper's Blockgroup_A / Blockgroup_B): my row's
+	// slice of the B-wide pivot column of A, and my column's slice of the
+	// B-high pivot row of B. Only ranks on the owning inner column/row
+	// ever hold them, but allocating unconditionally keeps the code
+	// simple; the memory is B·n/s + B·n/t per rank, the paper's footprint.
+	aOuter := matrix.New(localRows, B)
+	bOuter := matrix.New(B, localCols)
+	aOuterBuf := make([]float64, localRows*B)
+	bOuterBuf := make([]float64, B*localCols)
+
+	aPanel := matrix.New(localRows, b)
+	bPanel := matrix.New(b, localCols)
+	aBuf := make([]float64, localRows*b)
+	bBuf := make([]float64, b*localCols)
+
+	for ko := 0; ko < n/B; ko++ {
+		lo := ko * B // first global index of the outer pivot panel
+		// Owning grid column of A's outer panel, in hierarchical
+		// coordinates (group column yo, inner column jjo); similarly
+		// the owning grid row for B.
+		ownerGridCol := lo / localCols
+		ownerGridRow := lo / localRows
+		yo, jjo := ownerGridCol/innerT, ownerGridCol%innerT
+		xo, iio := ownerGridRow/innerS, ownerGridRow%innerS
+
+		// Phase 1 (horizontal, between groups): ranks on the owning
+		// inner column jjo exchange A's outer panel across group
+		// columns, so every group gets a copy distributed over its
+		// inner column jjo.
+		if jj == jjo {
+			if y == yo {
+				aLoc.View(0, lo%localCols, localRows, B).Pack(aOuterBuf[:0])
+			}
+			groupRowComm.Bcast(o.Broadcast, yo, aOuterBuf, o.Segments)
+			aOuter.Unpack(aOuterBuf)
+		}
+		// Phase 1 (vertical, between groups) for B's outer panel.
+		if ii == iio {
+			if x == xo {
+				bLoc.View(lo%localRows, 0, B, localCols).Pack(bOuterBuf[:0])
+			}
+			groupColComm.Bcast(o.Broadcast, xo, bOuterBuf, o.Segments)
+			bOuter.Unpack(bOuterBuf)
+		}
+
+		// Phase 2 (inside each group): B/b inner steps; the roots are
+		// fixed at (iio, jjo) for the whole outer step because the
+		// entire outer panel lives on that inner column/row.
+		for ki := 0; ki < B/b; ki++ {
+			if jj == jjo {
+				aOuter.View(0, ki*b, localRows, b).Pack(aBuf[:0])
+			}
+			rowComm.Bcast(o.Broadcast, jjo, aBuf, o.Segments)
+			aPanel.Unpack(aBuf)
+			if ii == iio {
+				bOuter.View(ki*b, 0, b, localCols).Pack(bBuf[:0])
+			}
+			colComm.Bcast(o.Broadcast, iio, bBuf, o.Segments)
+			bPanel.Unpack(bBuf)
+			blas.Gemm(cLoc, aPanel, bPanel)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+)
+
+// SUMMA performs C += A·B over the communicator with the scalable universal
+// matrix multiplication algorithm (paper Section II-A): n/b steps, each
+// broadcasting the pivot column panel of A along process rows and the pivot
+// row panel of B along process columns, followed by a local rank-b update.
+//
+// comm must span exactly Grid.Size() ranks; aLoc, bLoc and cLoc are this
+// rank's block-checkerboard tiles of size (n/s)×(n/t). aLoc and bLoc are
+// not modified.
+func SUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
+	o := opts.withDefaults()
+	if err := o.validateSUMMA(); err != nil {
+		return err
+	}
+	g := o.Grid
+	if comm.Size() != g.Size() {
+		return fmt.Errorf("core: communicator size %d does not match grid %v", comm.Size(), g)
+	}
+	i, j := g.Coords(comm.Rank())
+	// Row and column communicators, as in the paper's Figure 1 pattern.
+	rowComm := comm.Split(i, j)     // my grid row; my rank within it is j
+	colComm := comm.Split(g.S+j, i) // my grid column; my rank within it is i
+
+	n, b := o.N, o.BlockSize
+	localRows, localCols := n/g.S, n/g.T
+	checkTile("A", aLoc, localRows, localCols)
+	checkTile("B", bLoc, localRows, localCols)
+	checkTile("C", cLoc, localRows, localCols)
+
+	aPanel := matrix.New(localRows, b)
+	bPanel := matrix.New(b, localCols)
+	aBuf := make([]float64, localRows*b)
+	bBuf := make([]float64, b*localCols)
+	for k := 0; k < n/b; k++ {
+		lo := k * b // first global index of the pivot panel
+		ownerCol := lo / localCols
+		ownerRow := lo / localRows
+		// Horizontal broadcast of A's pivot column panel along my row.
+		if j == ownerCol {
+			aLoc.View(0, lo%localCols, localRows, b).Pack(aBuf[:0])
+		}
+		rowComm.Bcast(o.Broadcast, ownerCol, aBuf, o.Segments)
+		aPanel.Unpack(aBuf)
+		// Vertical broadcast of B's pivot row panel along my column.
+		if i == ownerRow {
+			bLoc.View(lo%localRows, 0, b, localCols).Pack(bBuf[:0])
+		}
+		colComm.Bcast(o.Broadcast, ownerRow, bBuf, o.Segments)
+		bPanel.Unpack(bBuf)
+		// Local rank-b update.
+		blas.Gemm(cLoc, aPanel, bPanel)
+	}
+	return nil
+}
+
+// checkTile panics when a local tile has the wrong shape — a programming
+// error in the caller's distribution setup, not a runtime condition.
+func checkTile(name string, m *matrix.Dense, rows, cols int) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("core: local %s tile is %dx%d, want %dx%d", name, m.Rows, m.Cols, rows, cols))
+	}
+}
+
+// Reference computes C += A·B sequentially — the oracle the distributed
+// algorithms are validated against in tests and examples.
+func Reference(c, a, b *matrix.Dense) {
+	blas.Gemm(c, a, b)
+}

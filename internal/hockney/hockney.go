@@ -1,0 +1,64 @@
+// Package hockney implements the Hockney point-to-point communication model
+// used throughout the paper (Section IV): the time to move a message of m
+// bytes between two processors is T(m) = α + m·β, where α is the latency and
+// β the reciprocal bandwidth. The same Model value parameterises the
+// closed-form analysis (internal/model) and the discrete-event simulator
+// (internal/simnet), so the two timing paths are always comparing like with
+// like.
+package hockney
+
+import "fmt"
+
+// BytesPerElement is the wire size of one matrix element (float64).
+const BytesPerElement = 8
+
+// Model is a homogeneous Hockney machine model. Gamma extends the pure
+// communication model with the combined floating-point multiply-add time the
+// paper calls γ, so one Model describes a full platform.
+type Model struct {
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the reciprocal bandwidth in seconds per message unit.
+	// This repository follows the paper's arithmetic and counts matrix
+	// elements as the unit (see internal/platform); PointToPoint simply
+	// applies Beta to whatever unit the caller passes.
+	Beta float64
+	// Gamma is the time of one floating-point operation in seconds
+	// (the paper charges 2·n³/p flops of computation at this rate).
+	Gamma float64
+}
+
+// PointToPoint returns the time to send a message of the given size (in
+// Beta's units) between two processors.
+func (m Model) PointToPoint(size float64) float64 {
+	if size < 0 {
+		panic(fmt.Sprintf("hockney: negative message size %g", size))
+	}
+	return m.Alpha + size*m.Beta
+}
+
+// ElemBytes converts an element count to wire bytes.
+func ElemBytes(elems float64) float64 { return elems * BytesPerElement }
+
+// Compute returns the time to execute the given number of floating-point
+// operations on one processor.
+func (m Model) Compute(flops float64) float64 {
+	if flops < 0 {
+		panic(fmt.Sprintf("hockney: negative flop count %g", flops))
+	}
+	return flops * m.Gamma
+}
+
+// LatencyBandwidthRatio returns α/β in bytes: the message size at which the
+// latency and bandwidth terms are equal. The paper's minimum/maximum
+// condition (eq. 10–11) compares this ratio against 2nb/p.
+func (m Model) LatencyBandwidthRatio() float64 {
+	if m.Beta == 0 {
+		return 0
+	}
+	return m.Alpha / m.Beta
+}
+
+func (m Model) String() string {
+	return fmt.Sprintf("hockney{α=%.3gs, β=%.3gs/elem, γ=%.3gs/flop}", m.Alpha, m.Beta, m.Gamma)
+}

@@ -1,0 +1,90 @@
+package hockney
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointToPoint(t *testing.T) {
+	m := Model{Alpha: 1e-4, Beta: 1e-9}
+	got := m.PointToPoint(1e6)
+	want := 1e-4 + 1e6*1e-9
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("T(1MB) = %g, want %g", got, want)
+	}
+}
+
+func TestZeroMessagePaysLatencyOnly(t *testing.T) {
+	m := Model{Alpha: 5e-6, Beta: 1e-9}
+	if m.PointToPoint(0) != 5e-6 {
+		t.Fatal("zero-byte message should cost exactly α")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	Model{}.PointToPoint(-1)
+}
+
+func TestCompute(t *testing.T) {
+	m := Model{Gamma: 1e-9}
+	if m.Compute(2e9) != 2.0 {
+		t.Fatalf("compute = %v", m.Compute(2e9))
+	}
+}
+
+func TestElemBytes(t *testing.T) {
+	if ElemBytes(100) != 800 {
+		t.Fatalf("ElemBytes(100) = %v", ElemBytes(100))
+	}
+}
+
+func TestLatencyBandwidthRatio(t *testing.T) {
+	m := Model{Alpha: 1e-4, Beta: 1e-9}
+	if r := m.LatencyBandwidthRatio(); math.Abs(r-1e5) > 1e-6 {
+		t.Fatalf("α/β = %v, want 1e5", r)
+	}
+	if (Model{Alpha: 1}).LatencyBandwidthRatio() != 0 {
+		t.Fatal("zero β should yield ratio 0, not a division by zero")
+	}
+}
+
+// Property: T is affine — T(a+b) = T(a)+T(b)-α.
+func TestQuickAffine(t *testing.T) {
+	m := Model{Alpha: 3e-6, Beta: 2e-9}
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		lhs := m.PointToPoint(x + y)
+		rhs := m.PointToPoint(x) + m.PointToPoint(y) - m.Alpha
+		return math.Abs(lhs-rhs) <= 1e-12*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonic in message size.
+func TestQuickMonotone(t *testing.T) {
+	m := Model{Alpha: 1e-5, Beta: 1e-9}
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.PointToPoint(x) <= m.PointToPoint(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Model{Alpha: 1, Beta: 2, Gamma: 3}).String(); len(s) == 0 {
+		t.Fatal("empty String")
+	}
+}

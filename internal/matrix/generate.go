@@ -1,0 +1,61 @@
+package matrix
+
+// Deterministic matrix generators. Experiments and tests need reproducible
+// inputs without importing math/rand everywhere; a small SplitMix64 PRNG
+// keeps generation fast, seedable and identical across platforms.
+
+// rngState implements SplitMix64, a tiny high-quality 64-bit PRNG.
+type rngState uint64
+
+func (s *rngState) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 in [0,1).
+func (s *rngState) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Random returns an r×c matrix with deterministic pseudo-random entries in
+// [-1,1), derived from seed.
+func Random(r, c int, seed uint64) *Dense {
+	m := New(r, c)
+	st := rngState(seed)
+	for i := range m.Data {
+		m.Data[i] = 2*st.float64() - 1
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Stride+i] = 1
+	}
+	return m
+}
+
+// Indexed returns an r×c matrix with element (i,j) = base + i*c + j. Useful
+// for asserting exact data movement: every element value encodes its global
+// position, so any misrouted block is immediately visible.
+func Indexed(r, c int, base float64) *Dense {
+	m := New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Data[i*m.Stride+j] = base + float64(i*c+j)
+		}
+	}
+	return m
+}
+
+// Constant returns an r×c matrix filled with v.
+func Constant(r, c int, v float64) *Dense {
+	m := New(r, c)
+	m.Fill(v)
+	return m
+}

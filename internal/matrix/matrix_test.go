@@ -1,0 +1,300 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Fatalf("bad shape %dx%d stride %d", m.Rows, m.Cols, m.Stride)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Set(1, 0, -2)
+	if m.At(0, 1) != 3.5 || m.At(1, 0) != -2 || m.At(0, 0) != 0 {
+		t.Fatalf("set/at mismatch: %v", m)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, data)
+	m.Set(1, 2, 42)
+	if data[5] != 42 {
+		t.Fatal("FromSlice must alias, not copy")
+	}
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := Indexed(4, 4, 0)
+	v := m.View(1, 1, 2, 2)
+	if !v.IsView() {
+		t.Fatal("expected a strided view")
+	}
+	if v.At(0, 0) != 5 || v.At(1, 1) != 10 {
+		t.Fatalf("view content wrong: %v", v)
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 1) != -1 {
+		t.Fatal("write through view not visible in parent")
+	}
+}
+
+func TestViewOfView(t *testing.T) {
+	m := Indexed(6, 6, 0)
+	v := m.View(1, 1, 4, 4).View(1, 1, 2, 2)
+	if v.At(0, 0) != m.At(2, 2) || v.At(1, 1) != m.At(3, 3) {
+		t.Fatalf("nested view wrong: got %v want %v", v.At(0, 0), m.At(2, 2))
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range view did not panic")
+		}
+	}()
+	m.View(1, 1, 3, 3)
+}
+
+func TestEmptyView(t *testing.T) {
+	m := New(3, 3)
+	v := m.View(1, 1, 0, 0)
+	if v.Rows != 0 || v.Cols != 0 {
+		t.Fatal("empty view should have zero dims")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Indexed(3, 3, 0)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("clone must not alias")
+	}
+	if c.IsView() {
+		t.Fatal("clone must be tightly packed")
+	}
+}
+
+func TestCloneOfViewIsTight(t *testing.T) {
+	m := Indexed(4, 4, 0)
+	c := m.View(1, 1, 2, 2).Clone()
+	if c.Stride != 2 {
+		t.Fatalf("clone stride = %d, want 2", c.Stride)
+	}
+	if c.At(0, 0) != 5 {
+		t.Fatalf("clone content wrong: %v", c)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := Indexed(5, 7, 0)
+	v := m.View(1, 2, 3, 4)
+	buf := v.Pack(nil)
+	if len(buf) != 12 {
+		t.Fatalf("pack length %d, want 12", len(buf))
+	}
+	dst := New(3, 4)
+	n := dst.Unpack(buf)
+	if n != 12 {
+		t.Fatalf("unpack consumed %d, want 12", n)
+	}
+	if MaxAbsDiff(dst, v.Clone()) != 0 {
+		t.Fatal("pack/unpack round trip lost data")
+	}
+}
+
+func TestUnpackIntoView(t *testing.T) {
+	m := New(4, 4)
+	v := m.View(1, 1, 2, 2)
+	v.Unpack([]float64{1, 2, 3, 4})
+	if m.At(1, 1) != 1 || m.At(1, 2) != 2 || m.At(2, 1) != 3 || m.At(2, 2) != 4 {
+		t.Fatalf("unpack into view misplaced data: %v", m)
+	}
+	if m.At(0, 0) != 0 || m.At(3, 3) != 0 {
+		t.Fatal("unpack into view leaked outside the view")
+	}
+}
+
+func TestZeroRespectsViews(t *testing.T) {
+	m := Constant(4, 4, 7)
+	m.View(1, 1, 2, 2).Zero()
+	if m.At(1, 1) != 0 || m.At(2, 2) != 0 {
+		t.Fatal("view not zeroed")
+	}
+	if m.At(0, 0) != 7 || m.At(3, 3) != 7 || m.At(1, 3) != 7 {
+		t.Fatal("zero leaked outside view")
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := Constant(2, 3, 1)
+	b := Indexed(2, 3, 0)
+	a.Add(b)
+	if a.At(1, 2) != 1+5 {
+		t.Fatalf("add wrong: %v", a)
+	}
+	a.Scale(2)
+	if a.At(1, 2) != 12 {
+		t.Fatalf("scale wrong: %v", a)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := Indexed(2, 3, 0)
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := int(seed%7) + 1
+		c := int(seed/7%7) + 1
+		m := Random(r, c, seed)
+		return Equal(m, m.Transpose().Transpose())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := Indexed(3, 3, 0)
+	b := a.Clone()
+	if !Equal(a, b) {
+		t.Fatal("identical matrices not Equal")
+	}
+	b.Set(2, 2, b.At(2, 2)+0.5)
+	if Equal(a, b) {
+		t.Fatal("different matrices Equal")
+	}
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	if Equal(a, New(3, 4)) {
+		t.Fatal("shape mismatch reported Equal")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 4)
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("fro = %v, want 5", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("identity(%d,%d) = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(8, 8, 42)
+	b := Random(8, 8, 42)
+	c := Random(8, 8, 43)
+	if !Equal(a, b) {
+		t.Fatal("same seed must give same matrix")
+	}
+	if Equal(a, c) {
+		t.Fatal("different seeds gave identical matrices")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("random value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestIndexedEncodesPosition(t *testing.T) {
+	m := Indexed(3, 5, 100)
+	if m.At(0, 0) != 100 || m.At(2, 4) != 100+14 {
+		t.Fatalf("indexed values wrong: %v %v", m.At(0, 0), m.At(2, 4))
+	}
+}
+
+// Property: packing a view then unpacking into a fresh matrix preserves all
+// elements for arbitrary geometry.
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(seed uint64) bool {
+		rows := int(seed%5) + 2
+		cols := int(seed/5%5) + 2
+		m := Random(rows+2, cols+2, seed)
+		v := m.View(1, 1, rows, cols)
+		dst := New(rows, cols)
+		dst.Unpack(v.Pack(nil))
+		return MaxAbsDiff(dst, v.Clone()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyFromStrideMismatch(t *testing.T) {
+	src := Indexed(4, 4, 0).View(0, 0, 2, 2)
+	dst := New(2, 2)
+	dst.CopyFrom(src)
+	if dst.At(1, 1) != src.At(1, 1) {
+		t.Fatal("copy with differing strides wrong")
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	small := Indexed(2, 2, 0)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	big := New(100, 100)
+	if s := big.String(); len(s) == 0 || len(s) > 200 {
+		t.Fatalf("big matrix String should be a summary, got %d bytes", len(s))
+	}
+}

@@ -1,0 +1,227 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// Bcast broadcasts root's data to every rank of the communicator in place,
+// executing the given algorithm's schedule from internal/sched transfer by
+// transfer — the same schedule the discrete-event simulator times. data must
+// have identical length on all ranks; on non-roots its contents are
+// overwritten.
+//
+// segments is the pipeline depth for sched.Chain and is ignored by the
+// other algorithms (pass 1).
+func (c *Comm) Bcast(alg sched.Algorithm, root int, data []float64, segments int) {
+	start := time.Now()
+	defer c.trackComm(start)
+	p := c.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpi: bcast root %d outside communicator of %d", root, p))
+	}
+	if p == 1 {
+		return
+	}
+	s, err := sched.NewBroadcast(alg, p, root, segments)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: bcast: %v", err))
+	}
+	tag := c.nextOpTag()
+	c.executeSchedule(s, tag, data)
+}
+
+// executeSchedule replays the transfers that involve this rank, in round
+// order. Both endpoints walk the same schedule, so matching is structural;
+// per-sender FIFO delivery keeps repeated (src,dst) pairs (ring rounds)
+// correctly ordered under a single tag.
+func (c *Comm) executeSchedule(s *sched.Schedule, tag int, data []float64) {
+	me := c.rank
+	for _, round := range s.Rounds {
+		// Sends before receives within a round: sends are eager, so
+		// this cannot deadlock and it lets full-duplex rounds (ring
+		// allgather) proceed without stalling on the receive side.
+		for _, t := range round.Transfers {
+			if t.Src == me {
+				lo, hi := segmentRange(len(data), s.Segments, t.SegLo, t.SegHi)
+				c.send(t.Dst, tag, data[lo:hi])
+			}
+		}
+		for _, t := range round.Transfers {
+			if t.Dst == me {
+				lo, hi := segmentRange(len(data), s.Segments, t.SegLo, t.SegHi)
+				c.recv(t.Src, tag, data[lo:hi])
+			}
+		}
+	}
+}
+
+// segmentRange maps the segment interval [segLo,segHi) of a payload of n
+// elements cut into `segments` parts onto element indices. Segments are
+// near-equal: the first n%segments segments get one extra element, matching
+// how MPI implementations split non-divisible buffers.
+func segmentRange(n, segments, segLo, segHi int) (lo, hi int) {
+	segStart := func(s int) int {
+		base := n / segments
+		extra := n % segments
+		if s <= extra {
+			return s * (base + 1)
+		}
+		return extra*(base+1) + (s-extra)*base
+	}
+	return segStart(segLo), segStart(segHi)
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+// Implemented as a zero-byte binomial gather to rank 0 followed by a
+// binomial broadcast of a zero-byte token.
+func (c *Comm) Barrier() {
+	start := time.Now()
+	defer c.trackComm(start)
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	tag := c.nextOpTag()
+	empty := []float64{}
+	// Arrival phase: binomial tree towards rank 0. A rank signals its
+	// parent only after all its subtree has signalled it.
+	vr := c.rank
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			c.send(vr-mask, tag, empty)
+			break
+		}
+		if vr+mask < p {
+			c.recv(vr+mask, tag, empty)
+		}
+		mask <<= 1
+	}
+	// Release phase: rank 0 broadcasts a token down the binomial tree.
+	tag2 := c.nextOpTag()
+	s, err := sched.NewBroadcast(sched.Binomial, p, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	token := []float64{1}
+	c.executeSchedule(s, tag2, token)
+}
+
+// Gather collects equal-length contributions on root: the returned slice
+// holds, at index r, rank r's data. Non-roots return nil. Contributions
+// flow directly to the root (the gather happens outside the timed inner
+// loops of the algorithms, so a flat pattern keeps it simple and correct).
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	start := time.Now()
+	defer c.trackComm(start)
+	tag := c.nextOpTag()
+	if c.rank != root {
+		c.send(root, tag, data)
+		return nil
+	}
+	out := make([][]float64, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			out[r] = cp
+			continue
+		}
+		buf := make([]float64, len(data))
+		c.recv(r, tag, buf)
+		out[r] = buf
+	}
+	return out
+}
+
+// Scatter distributes root's per-rank slices: rank r receives parts[r].
+// Every slice must have length n. Non-roots pass parts=nil.
+func (c *Comm) Scatter(root int, parts [][]float64, n int) []float64 {
+	start := time.Now()
+	defer c.trackComm(start)
+	tag := c.nextOpTag()
+	buf := make([]float64, n)
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("mpi: scatter needs %d parts, got %d", c.Size(), len(parts)))
+		}
+		for r, part := range parts {
+			if len(part) != n {
+				panic(fmt.Sprintf("mpi: scatter part %d has %d elements, want %d", r, len(part), n))
+			}
+			if r == root {
+				copy(buf, part)
+				continue
+			}
+			c.send(r, tag, part)
+		}
+		return buf
+	}
+	c.recv(root, tag, buf)
+	return buf
+}
+
+// ReduceSum computes the element-wise sum of data across ranks on root via
+// a binomial reduction tree; the result is returned on root, nil elsewhere.
+func (c *Comm) ReduceSum(root int, data []float64) []float64 {
+	start := time.Now()
+	defer c.trackComm(start)
+	p := c.Size()
+	tag := c.nextOpTag()
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	vr := rel(c.rank, root, p)
+	buf := make([]float64, len(data))
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			dst := absRank(vr-mask, root, p)
+			c.send(dst, tag, acc)
+			return nil
+		}
+		if vr+mask < p {
+			src := absRank(vr+mask, root, p)
+			c.recv(src, tag, buf)
+			for i := range acc {
+				acc[i] += buf[i]
+			}
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// AllreduceSum is ReduceSum to rank 0 followed by a binomial broadcast, so
+// every rank returns the sum.
+func (c *Comm) AllreduceSum(data []float64) []float64 {
+	res := c.ReduceSum(0, data)
+	if res == nil {
+		res = make([]float64, len(data))
+	}
+	c.Bcast(sched.Binomial, 0, res, 1)
+	return res
+}
+
+// Allgather concatenates equal-length contributions from all ranks in rank
+// order and returns the result on every rank.
+func (c *Comm) Allgather(data []float64) []float64 {
+	n := len(data)
+	parts := c.Gather(0, data)
+	flat := make([]float64, n*c.Size())
+	if c.rank == 0 {
+		for r, part := range parts {
+			copy(flat[r*n:(r+1)*n], part)
+		}
+	}
+	c.Bcast(sched.Binomial, 0, flat, 1)
+	return flat
+}
+
+func rel(rank, root, p int) int   { return ((rank-root)%p + p) % p }
+func absRank(vr, root, p int) int { return (vr + root) % p }

@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Comm is a communicator: an ordered group of ranks with an isolated message
+// namespace. The zero-cost world communicator is passed to every rank by
+// Run; sub-communicators come from Split.
+type Comm struct {
+	world *World
+	cid   int64
+	rank  int   // my rank within this communicator
+	ranks []int // comm rank -> world rank (shared, read-only)
+
+	opSeq    int64 // collective sequence number (local; advances identically on all members)
+	splitSeq int64 // split sequence number (ditto)
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// WorldRank returns the caller's rank in the original world communicator.
+func (c *Comm) WorldRank() int { return c.ranks[c.rank] }
+
+// trackComm accumulates wall-clock time spent inside communication calls
+// into the caller's stats slot — the runtime analogue of the paper's
+// separately reported "communication time".
+func (c *Comm) trackComm(start time.Time) {
+	c.world.stats[c.WorldRank()].CommSeconds += time.Since(start).Seconds()
+}
+
+// Send delivers a copy of data to dst (comm rank) under tag. It is eager:
+// it never blocks, and data may be reused immediately after it returns.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	start := time.Now()
+	defer c.trackComm(start)
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: send to rank %d outside communicator of %d", dst, len(c.ranks)))
+	}
+	if dst == c.rank {
+		panic("mpi: self-send is not supported (use local copies)")
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	st := &c.world.stats[c.WorldRank()]
+	st.SentMessages++
+	st.SentBytes += int64(8 * len(data))
+	c.world.mailboxes[c.ranks[dst]].put(message{cid: c.cid, src: c.rank, tag: tag, data: cp})
+}
+
+// Recv blocks until a message from src (comm rank) with the given tag
+// arrives and copies it into buf, whose length must equal the message
+// length exactly — SUMMA-family code always knows its block sizes, so a
+// size mismatch is a bug, not a runtime condition.
+func (c *Comm) Recv(src, tag int, buf []float64) {
+	start := time.Now()
+	defer c.trackComm(start)
+	c.recv(src, tag, buf)
+}
+
+func (c *Comm) recv(src, tag int, buf []float64) {
+	if src < 0 || src >= len(c.ranks) {
+		panic(fmt.Sprintf("mpi: recv from rank %d outside communicator of %d", src, len(c.ranks)))
+	}
+	m := c.world.mailboxes[c.ranks[c.rank]].take(c.world, c.cid, src, tag)
+	if len(m.data) != len(buf) {
+		panic(fmt.Sprintf("mpi: recv buffer %d elements but message has %d (src=%d tag=%d)",
+			len(buf), len(m.data), src, tag))
+	}
+	copy(buf, m.data)
+}
+
+// SendRecv performs a send and a receive concurrently — the classic shift
+// primitive Cannon's algorithm needs. With this runtime's eager sends it is
+// equivalent to Send followed by Recv, but it documents intent and stays
+// correct even if sends ever become synchronous.
+func (c *Comm) SendRecv(dst, sendTag int, sendData []float64, src, recvTag int, recvBuf []float64) {
+	start := time.Now()
+	defer c.trackComm(start)
+	c.send(dst, sendTag, sendData)
+	c.recv(src, recvTag, recvBuf)
+}
+
+// splitGather coordinates one Split call across the members of a
+// communicator.
+type splitGather struct {
+	cond    *sync.Cond
+	arrived int
+	colors  map[int]int // comm rank -> color
+	keys    map[int]int // comm rank -> key
+	done    bool
+	result  map[int]*Comm // comm rank -> new communicator (nil for undefined color)
+}
+
+// Split partitions the communicator: ranks passing the same colour form a
+// new communicator, ordered by (key, old rank) exactly like MPI_Comm_split.
+// Every member must call Split (it is collective). A negative colour
+// returns nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) *Comm {
+	start := time.Now()
+	defer c.trackComm(start)
+	w := c.world
+	seq := c.splitSeq
+	c.splitSeq++
+	k := splitKey{cid: c.cid, seq: seq}
+
+	w.mu.Lock()
+	sg := w.splits[k]
+	if sg == nil {
+		sg = &splitGather{
+			colors: make(map[int]int),
+			keys:   make(map[int]int),
+		}
+		sg.cond = sync.NewCond(&w.mu)
+		w.splits[k] = sg
+	}
+	sg.colors[c.rank] = color
+	sg.keys[c.rank] = key
+	sg.arrived++
+	if sg.arrived == len(c.ranks) {
+		sg.result = c.computeSplit(sg)
+		sg.done = true
+		sg.cond.Broadcast()
+		delete(w.splits, k) // record no longer needed once computed; waiters hold the pointer
+	}
+	for !sg.done {
+		if w.aborted.Load() {
+			w.mu.Unlock()
+			panic(worldAborted{})
+		}
+		sg.cond.Wait()
+	}
+	res := sg.result[c.rank]
+	w.mu.Unlock()
+	return res
+}
+
+// computeSplit builds the new communicators once all members have arrived.
+// Called with the world mutex held by the last arriver.
+func (c *Comm) computeSplit(sg *splitGather) map[int]*Comm {
+	// Group members by colour.
+	byColor := map[int][]int{}
+	for r, col := range sg.colors {
+		if col < 0 {
+			continue
+		}
+		byColor[col] = append(byColor[col], r)
+	}
+	result := make(map[int]*Comm, len(sg.colors))
+	// Deterministic colour order keeps cid assignment reproducible.
+	colors := make([]int, 0, len(byColor))
+	for col := range byColor {
+		colors = append(colors, col)
+	}
+	sort.Ints(colors)
+	for _, col := range colors {
+		members := byColor[col]
+		sort.Slice(members, func(i, j int) bool {
+			ki, kj := sg.keys[members[i]], sg.keys[members[j]]
+			if ki != kj {
+				return ki < kj
+			}
+			return members[i] < members[j]
+		})
+		cid := c.world.nextCID.Add(1)
+		worldRanks := make([]int, len(members))
+		for i, m := range members {
+			worldRanks[i] = c.ranks[m]
+		}
+		for i, m := range members {
+			result[m] = &Comm{world: c.world, cid: cid, rank: i, ranks: worldRanks}
+		}
+	}
+	// Undefined-colour ranks get nil.
+	for r, col := range sg.colors {
+		if col < 0 {
+			result[r] = nil
+		}
+	}
+	return result
+}
+
+// nextOpTag reserves a fresh negative tag namespace for one collective
+// operation. All members call collectives in the same order (an MPI
+// requirement this runtime shares), so their sequence numbers agree.
+func (c *Comm) nextOpTag() int {
+	c.opSeq++
+	return int(-c.opSeq)
+}

@@ -1,0 +1,183 @@
+// Package mpi is an in-process message-passing runtime with MPI semantics:
+// ranks execute as goroutines in SPMD style, exchange tagged messages
+// matched on (communicator, source, tag) with per-sender FIFO ordering, and
+// form sub-communicators by colour/key splits exactly like MPI_Comm_split.
+//
+// It is the substrate that replaces MPICH-2 / BlueGene MPI in this
+// reproduction: the SUMMA-family algorithms in internal/core are written
+// against *Comm just as the paper's Algorithm 1 is written against MPI, and
+// collectives execute the schedules from internal/sched, so the runtime and
+// the discrete-event simulator agree on every transfer.
+//
+// Sends are eager (buffered, never block) and copy their payload, so
+// algorithms may reuse buffers immediately; receives block until a matching
+// message arrives. A panic on any rank aborts the whole world and is
+// returned as an error from Run, so a bug cannot deadlock the test suite.
+package mpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topo"
+)
+
+// World owns the mailboxes and shared coordination state for p ranks.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+	nextCID   atomic.Int64
+	stats     []RankStats // indexed by world rank; each rank writes only its own entry
+
+	mu       sync.Mutex
+	splits   map[splitKey]*splitGather
+	aborted  atomic.Bool
+	abortMsg string
+}
+
+// RankStats counts the traffic one rank generated. Each rank updates only
+// its own entry from its own goroutine, so no locking is needed; read the
+// aggregate only after Run returns.
+type RankStats struct {
+	SentMessages int64
+	SentBytes    int64 // payload bytes (8 per float64)
+	CommSeconds  float64
+}
+
+type splitKey struct {
+	cid int64
+	seq int64
+}
+
+// message is one in-flight payload. src is the sender's rank in the
+// communicator identified by cid.
+type message struct {
+	cid  int64
+	src  int
+	tag  int
+	data []float64
+}
+
+// mailbox is an unbounded matched queue with condition-variable wakeups.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (cid, src, tag),
+// blocking until one arrives or the world aborts.
+func (mb *mailbox) take(w *World, cid int64, src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.cid == cid && m.src == src && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		if w.aborted.Load() {
+			panic(worldAborted{})
+		}
+		mb.cond.Wait()
+	}
+}
+
+// worldAborted is the sentinel panic used to unwind ranks blocked in Recv
+// when another rank has already failed.
+type worldAborted struct{}
+
+// abort wakes every blocked rank; they unwind with worldAborted panics that
+// Run suppresses in favour of the original failure.
+func (w *World) abort(msg string) {
+	if w.aborted.CompareAndSwap(false, true) {
+		w.mu.Lock()
+		w.abortMsg = msg
+		// Wake split waiters too.
+		for _, sg := range w.splits {
+			sg.cond.Broadcast()
+		}
+		w.mu.Unlock()
+		for _, mb := range w.mailboxes {
+			mb.cond.Broadcast()
+		}
+	}
+}
+
+// Run executes fn on p ranks, each in its own goroutine, passing every rank
+// its communicator for the full world. It returns after all ranks finish.
+// If any rank panics, the world aborts and the first panic is returned as
+// an error annotated with the failing rank.
+func Run(p int, fn func(c *Comm)) error {
+	_, err := RunStats(p, fn)
+	return err
+}
+
+// RunStats is Run plus the per-rank traffic statistics.
+func RunStats(p int, fn func(c *Comm)) ([]RankStats, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mpi: invalid world size %d", p)
+	}
+	w := &World{
+		size:      p,
+		mailboxes: make([]*mailbox, p),
+		stats:     make([]RankStats, p),
+		splits:    make(map[splitKey]*splitGather),
+	}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	w.nextCID.Store(1) // cid 0 is the world communicator
+
+	ranks := make([]int, p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for r := 0; r < p; r++ {
+		comm := &Comm{world: w, cid: 0, rank: r, ranks: ranks}
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(worldAborted); ok {
+						return // collateral unwind, not the root cause
+					}
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("mpi: rank %d panicked: %v\n%s", c.rank, rec, debug.Stack())
+					})
+					c.world.abort(fmt.Sprint(rec))
+				}
+			}()
+			fn(c)
+		}(comm)
+	}
+	wg.Wait()
+	return w.stats, firstErr
+}
+
+// RunGrid is Run over a topo.Grid's process count — a convenience for the
+// 2D algorithms, which derive coordinates from the rank themselves.
+func RunGrid(g topo.Grid, fn func(c *Comm)) error {
+	return Run(g.Size(), fn)
+}

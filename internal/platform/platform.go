@@ -1,0 +1,143 @@
+// Package platform defines the machine presets the paper evaluates on:
+// the Graphene cluster of Grid'5000 (Section V-A), the Shaheen BlueGene/P
+// (Section V-B) and the projected exascale platform (Section V-C). Each
+// preset carries the Hockney parameters published in the paper plus a
+// calibrated compute rate, and a contention description used by the
+// simulator's optional congested mode.
+//
+// The α and β values are the ones printed in the paper's validation
+// subsections. Following the paper's own arithmetic (its BG/P check
+// α/β = 3e-6/1e-9 = 3000 > 2nb/p = 2048 applies β directly to element
+// counts), β is interpreted as seconds per matrix ELEMENT throughout the
+// timing paths; the simulator and the closed-form model both count message
+// sizes in elements. γ is not printed for all platforms; where missing it
+// is derived from the hardware description (BG/P: 4-way 850 MHz PowerPC
+// 450, de-rated to measured ESSL DGEMM efficiency) and recorded here so
+// every experiment is reproducible from constants in one file.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/hockney"
+)
+
+// Contention names the link-sharing behaviour the simulator should assume.
+type Contention int
+
+const (
+	// ContentionNone models the paper's analytic assumption: all
+	// transfers proceed at full link speed regardless of concurrency.
+	ContentionNone Contention = iota
+	// ContentionShared models a single shared network segment (commodity
+	// Ethernet): concurrent transfers in one simulation phase divide the
+	// bandwidth.
+	ContentionShared
+	// ContentionTorus models a 3D-torus-like fabric: bandwidth divides
+	// among concurrent transfers up to the bisection cap, after which it
+	// saturates.
+	ContentionTorus
+)
+
+func (c Contention) String() string {
+	switch c {
+	case ContentionNone:
+		return "none"
+	case ContentionShared:
+		return "shared-segment"
+	case ContentionTorus:
+		return "torus"
+	}
+	return fmt.Sprintf("contention(%d)", int(c))
+}
+
+// Platform bundles a Hockney model with the experiment-relevant machine
+// description.
+type Platform struct {
+	Name  string
+	Model hockney.Model
+	// MaxCores is the largest core count the paper exercised on this
+	// platform; experiment sweeps stop here.
+	MaxCores int
+	// Contention selects the congested-mode link model for the
+	// simulator's ablation runs (figures default to ContentionNone, the
+	// paper's model assumption).
+	Contention Contention
+	// TorusDegree is the saturation cap for ContentionTorus (number of
+	// independent links per node; 6 on the BG/P 3D torus).
+	TorusDegree int
+}
+
+// Grid5000 is the Graphene/Nancy cluster preset (Section V-A-1):
+// α = 1e-4 s, β = 1e-9 s/element. The Graphene nodes are 4-core 2.53 GHz
+// Xeon X3440; with MKL DGEMM near 80% of the 4 flops/cycle/core peak the
+// per-core flop time is ≈ 1.2e-10 s.
+func Grid5000() Platform {
+	return Platform{
+		Name: "Grid5000/Graphene",
+		Model: hockney.Model{
+			Alpha: 1e-4,
+			Beta:  1e-9,
+			Gamma: 1.2e-10,
+		},
+		MaxCores:   128,
+		Contention: ContentionShared,
+	}
+}
+
+// BlueGeneP is the Shaheen BG/P preset (Section V-B-1): α = 3e-6 s,
+// β = 1e-9 s/element. γ is calibrated to the paper's own measurement: SUMMA on
+// 16384 cores spends 50.2−36.46 ≈ 13.7 s computing 2·65536³/16384 flops,
+// giving γ ≈ 4.0e-10 s/flop (≈ 73% of the 3.4 Gflop/s PowerPC 450 peak,
+// a typical ESSL DGEMM efficiency).
+func BlueGeneP() Platform {
+	return Platform{
+		Name: "BlueGene/P (Shaheen)",
+		Model: hockney.Model{
+			Alpha: 3e-6,
+			Beta:  1e-9,
+			Gamma: 4.0e-10,
+		},
+		MaxCores:    16384,
+		Contention:  ContentionTorus,
+		TorusDegree: 6,
+	}
+}
+
+// Exascale is the projected platform of Section V-C: total rate 1e18 flop/s
+// over p = 2^20 cores (γ = p/1e18 per core), α = 500 ns,
+// β = 1/(100 GB/s) = 1e-11 s/byte = 8e-11 s/element (the one preset whose
+// bandwidth the paper quotes physically, so the byte→element conversion is
+// applied here).
+func Exascale() Platform {
+	p := float64(1 << 20)
+	return Platform{
+		Name: "Exascale (projected)",
+		Model: hockney.Model{
+			Alpha: 500e-9,
+			Beta:  8e-11,
+			Gamma: p / 1e18,
+		},
+		MaxCores:   1 << 20,
+		Contention: ContentionNone,
+	}
+}
+
+// All returns every preset, for table-driven tests and CLI listings.
+func All() []Platform {
+	return []Platform{Grid5000(), BlueGeneP(), Exascale()}
+}
+
+// ByName returns the preset with the given short name: "grid5000", "bgp" or
+// "exascale".
+func ByName(name string) (Platform, error) {
+	switch name {
+	case "grid5000", "graphene":
+		return Grid5000(), nil
+	case "bgp", "bluegene", "bluegenep":
+		return BlueGeneP(), nil
+	case "exascale":
+		return Exascale(), nil
+	}
+	return Platform{}, fmt.Errorf("platform: unknown preset %q (want grid5000, bgp or exascale)", name)
+}

@@ -1,0 +1,114 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPresetsHavePositiveParameters(t *testing.T) {
+	for _, pf := range All() {
+		if pf.Model.Alpha <= 0 || pf.Model.Beta <= 0 || pf.Model.Gamma <= 0 {
+			t.Fatalf("%s has non-positive parameters: %v", pf.Name, pf.Model)
+		}
+		if pf.MaxCores <= 0 {
+			t.Fatalf("%s has no max cores", pf.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		want string
+	}{
+		{"grid5000", "Grid5000/Graphene"},
+		{"bgp", "BlueGene/P (Shaheen)"},
+		{"bluegene", "BlueGene/P (Shaheen)"},
+		{"exascale", "Exascale (projected)"},
+	} {
+		pf, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf.Name != c.want {
+			t.Fatalf("ByName(%q) = %q", c.name, pf.Name)
+		}
+	}
+	if _, err := ByName("cray"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+// The paper's condition arithmetic must hold with the preset parameters:
+// α/β > 2nb/p on all three platforms with their experiment configurations.
+func TestPaperConditionArithmetic(t *testing.T) {
+	cases := []struct {
+		pf      Platform
+		n, b, p float64
+	}{
+		{Grid5000(), 8192, 64, 128},
+		{BlueGeneP(), 65536, 256, 16384},
+		{Exascale(), 1 << 22, 256, 1 << 20},
+	}
+	for _, c := range cases {
+		ratio := c.pf.Model.Alpha / c.pf.Model.Beta
+		threshold := 2 * c.n * c.b / c.p
+		if ratio <= threshold {
+			t.Fatalf("%s: α/β = %g must exceed 2nb/p = %g (paper §V)", c.pf.Name, ratio, threshold)
+		}
+	}
+}
+
+// The BG/P γ calibration: SUMMA's measured compute time (50.2 − 36.46 s)
+// on 16384 cores must be reproduced within 5%.
+func TestBGPGammaCalibration(t *testing.T) {
+	pf := BlueGeneP()
+	n := 65536.0
+	flops := 2 * n * n * n / 16384
+	got := pf.Model.Compute(flops)
+	want := 50.2 - 36.46
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("BG/P compute time %g, paper implies %g", got, want)
+	}
+}
+
+// The calibrated BG/P α must reproduce the measured SUMMA communication
+// time through the Van de Geijn closed form (the fit recorded in
+// calibrated.go).
+func TestBGPCalibrationAnchor(t *testing.T) {
+	pf := BlueGenePCalibrated()
+	n, b, p := 65536.0, 256.0, 16384.0
+	sq := math.Sqrt(p)
+	latFactor := 2 * (n / b) * (math.Log2(sq) + sq - 1)
+	bwFactor := 2 * (n * n / sq) * 2 * (sq - 1) / sq
+	got := latFactor*pf.Model.Alpha + bwFactor*pf.Model.Beta
+	if math.Abs(got-36.46) > 0.05*36.46 {
+		t.Fatalf("calibrated BG/P predicts SUMMA comm %g, measured 36.46", got)
+	}
+}
+
+// The calibrated Grid'5000 parameters must reproduce both measured anchors
+// (b=64 → ~24 s, b=512 → ~4.53 s) within 10%.
+func TestGrid5000CalibrationAnchors(t *testing.T) {
+	pf := Grid5000Calibrated()
+	n, p := 8192.0, 128.0
+	sq := math.Sqrt(p)
+	for _, c := range []struct{ b, want float64 }{{64, 24}, {512, 4.53}} {
+		latFactor := 2 * (n / c.b) * (math.Log2(sq) + sq - 1)
+		bwFactor := 2 * (n * n / sq) * 2 * (sq - 1) / sq
+		got := latFactor*pf.Model.Alpha + bwFactor*pf.Model.Beta
+		if math.Abs(got-c.want) > 0.10*c.want {
+			t.Fatalf("calibrated Grid5000 b=%g predicts %g, measured %g", c.b, got, c.want)
+		}
+	}
+}
+
+func TestContentionString(t *testing.T) {
+	if ContentionNone.String() != "none" || ContentionShared.String() != "shared-segment" ||
+		ContentionTorus.String() != "torus" {
+		t.Fatal("contention names wrong")
+	}
+	if Contention(99).String() == "" {
+		t.Fatal("unknown contention empty string")
+	}
+}

@@ -1,0 +1,405 @@
+// Package sched generates collective-communication schedules: explicit,
+// data-dependency-respecting lists of point-to-point transfers that realise a
+// broadcast over p ranks. A schedule is pure data, produced once per
+// (algorithm, p, root) and then executed by two independent engines:
+//
+//   - internal/mpi replays it on real channels, moving real matrix blocks
+//     (the correctness path);
+//   - internal/simnet replays it on per-rank virtual clocks under the
+//     Hockney model (the timing path for the paper's large-scale figures).
+//
+// Because both engines execute the *same* transfers, the simulated times in
+// EXPERIMENTS.md measure exactly the communication pattern the runnable code
+// performs — the property the paper's Section IV analysis relies on.
+//
+// The algorithms provided are the ones the paper names (Section II-B and IV):
+// binomial tree, Van de Geijn scatter-allgather, plus the flat tree, binary
+// tree and segmented chain (pipelined linear) variants found in MPICH/Open
+// MPI broadcast implementations.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/hockney"
+)
+
+// Transfer is one point-to-point message: Src sends segments [SegLo,SegHi)
+// of the broadcast payload to Dst. Ranks are communicator-local.
+type Transfer struct {
+	Src, Dst     int
+	SegLo, SegHi int
+}
+
+// Round groups transfers that may proceed concurrently. Within a round each
+// rank appears at most once as a sender and at most once as a receiver
+// (one-port, full-duplex model — the standard assumption behind the
+// log₂(p)-style costs in the paper's Table I/II).
+type Round struct {
+	Transfers []Transfer
+}
+
+// Schedule is an ordered sequence of rounds realising one collective over
+// NumRanks ranks rooted at Root, with the payload cut into Segments equal
+// parts.
+type Schedule struct {
+	Algorithm Algorithm
+	NumRanks  int
+	Root      int
+	Segments  int
+	Rounds    []Round
+
+	// RingStart/RingRounds describe a ring-allgather suffix: starting at
+	// round index RingStart, RingRounds consecutive rounds each carry
+	// exactly one single-segment transfer from every rank to its ring
+	// successor. The Van de Geijn generator sets them (RingStart < 0
+	// otherwise); the simulator uses them to advance clocks through the
+	// O(p²) ring with an exact O(p) recurrence (see simnet), which is
+	// property-tested equivalent to transfer-by-transfer execution.
+	RingStart  int
+	RingRounds int
+}
+
+// Algorithm names a broadcast algorithm.
+type Algorithm string
+
+// Broadcast algorithm identifiers.
+const (
+	// Flat is the star topology: the root sends the whole message to
+	// every other rank in sequence. Cost (p-1)(α+mβ).
+	Flat Algorithm = "flat"
+	// Binomial is the binomial tree: log₂(p) rounds, every informed rank
+	// forwards. Cost ⌈log₂ p⌉(α+mβ) — the first row of the paper's
+	// Table I.
+	Binomial Algorithm = "binomial"
+	// Binary is a (non-pipelined) complete binary tree; parents forward
+	// to their two children in consecutive rounds.
+	Binary Algorithm = "binary"
+	// Chain is the segmented linear pipeline: ranks form a line and S
+	// message segments stream down it. Cost (S+p-2)(α+(m/S)β).
+	Chain Algorithm = "chain"
+	// VanDeGeijn is the scatter-allgather broadcast (Barnett et al.,
+	// InterCom): binomial scatter of p segments followed by a ring
+	// allgather. Cost (log₂ p + p − 1)α + 2((p−1)/p)mβ — the second row
+	// of the paper's Table II.
+	VanDeGeijn Algorithm = "vandegeijn"
+)
+
+// Algorithms lists every broadcast generator, for sweeps and tests.
+func Algorithms() []Algorithm {
+	return []Algorithm{Flat, Binomial, Binary, Chain, VanDeGeijn}
+}
+
+// NewBroadcast builds the schedule for the given algorithm over p ranks
+// rooted at root. segments is honoured only by Chain (pipeline depth);
+// VanDeGeijn always uses p segments, the others 1. segments <= 0 defaults
+// to 1.
+func NewBroadcast(alg Algorithm, p, root, segments int) (*Schedule, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("sched: invalid rank count %d", p)
+	}
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("sched: root %d outside [0,%d)", root, p)
+	}
+	if segments <= 0 {
+		segments = 1
+	}
+	var s *Schedule
+	switch alg {
+	case Flat:
+		s = flatBroadcast(p, root)
+	case Binomial:
+		s = treeBroadcast(Binomial, p, root, binomialParents(p))
+	case Binary:
+		s = treeBroadcast(Binary, p, root, binaryParents(p))
+	case Chain:
+		s = chainBroadcast(p, root, segments)
+	case VanDeGeijn:
+		s = vanDeGeijnBroadcast(p, root)
+	default:
+		return nil, fmt.Errorf("sched: unknown broadcast algorithm %q", alg)
+	}
+	return s, nil
+}
+
+// rel converts an absolute rank to a root-relative virtual rank and back.
+func rel(rank, root, p int) int  { return ((rank-root)%p + p) % p }
+func abs(vrank, root, p int) int { return (vrank + root) % p }
+
+// flatBroadcast: the root sends the full payload to each rank in turn. The
+// one-port model forces one transfer per round.
+func flatBroadcast(p, root int) *Schedule {
+	s := &Schedule{Algorithm: Flat, NumRanks: p, Root: root, Segments: 1, RingStart: -1}
+	for vr := 1; vr < p; vr++ {
+		s.Rounds = append(s.Rounds, Round{Transfers: []Transfer{
+			{Src: root, Dst: abs(vr, root, p), SegLo: 0, SegHi: 1},
+		}})
+	}
+	return s
+}
+
+// binomialParents returns, in virtual-rank space, the parent of each rank in
+// the binomial broadcast tree rooted at 0: the parent of vr clears its
+// highest set bit.
+func binomialParents(p int) []int {
+	parent := make([]int, p)
+	parent[0] = -1
+	for vr := 1; vr < p; vr++ {
+		hb := 1
+		for hb<<1 <= vr {
+			hb <<= 1
+		}
+		parent[vr] = vr - hb
+	}
+	return parent
+}
+
+// binaryParents returns the complete-binary-tree parents in virtual-rank
+// space: children of vr are 2vr+1 and 2vr+2.
+func binaryParents(p int) []int {
+	parent := make([]int, p)
+	parent[0] = -1
+	for vr := 1; vr < p; vr++ {
+		parent[vr] = (vr - 1) / 2
+	}
+	return parent
+}
+
+// treeBroadcast turns any broadcast tree (given as a parent array over
+// virtual ranks) into a one-port round schedule with a greedy earliest-
+// round assignment: an edge parent→child is scheduled in the first round
+// where the parent already holds the data and neither endpoint is busy.
+// For the binomial tree this reproduces the classic ⌈log₂ p⌉-round
+// schedule exactly (asserted in tests).
+func treeBroadcast(alg Algorithm, p, root int, parent []int) *Schedule {
+	s := &Schedule{Algorithm: alg, NumRanks: p, Root: root, Segments: 1, RingStart: -1}
+	if p == 1 {
+		return s
+	}
+	// children lists per virtual rank in increasing order. For the
+	// binomial parent array the child with the smallest virtual rank
+	// roots the largest subtree (clearing the highest bit of vr), so
+	// ascending order sends to the largest subtree first — the classic
+	// recursive-doubling order that completes in ⌈log₂ p⌉ rounds
+	// (asserted by TestBinomialRoundCount).
+	children := make([][]int, p)
+	for vr := 1; vr < p; vr++ {
+		children[parent[vr]] = append(children[parent[vr]], vr)
+	}
+	avail := make([]int, p)     // first round in which the rank holds data
+	busyUntil := make([]int, p) // first round in which the rank is free
+	for vr := range avail {
+		avail[vr] = -1
+	}
+	avail[0] = 0
+	// BFS order guarantees parents are placed before children.
+	queue := []int{0}
+	var edges []struct{ round, src, dst int }
+	maxRound := 0
+	for len(queue) > 0 {
+		vr := queue[0]
+		queue = queue[1:]
+		for _, child := range children[vr] {
+			r := avail[vr]
+			if busyUntil[vr] > r {
+				r = busyUntil[vr]
+			}
+			busyUntil[vr] = r + 1
+			avail[child] = r + 1
+			busyUntil[child] = r + 1
+			edges = append(edges, struct{ round, src, dst int }{r, vr, child})
+			if r+1 > maxRound {
+				maxRound = r + 1
+			}
+			queue = append(queue, child)
+		}
+	}
+	s.Rounds = make([]Round, maxRound)
+	for _, e := range edges {
+		s.Rounds[e.round].Transfers = append(s.Rounds[e.round].Transfers, Transfer{
+			Src: abs(e.src, root, p), Dst: abs(e.dst, root, p), SegLo: 0, SegHi: 1,
+		})
+	}
+	return s
+}
+
+// chainBroadcast streams `segments` pieces down the line
+// root → root+1 → … : round t carries segment t−i over edge (i,i+1) in
+// virtual-rank space whenever 0 ≤ t−i < segments.
+func chainBroadcast(p, root, segments int) *Schedule {
+	s := &Schedule{Algorithm: Chain, NumRanks: p, Root: root, Segments: segments, RingStart: -1}
+	if p == 1 {
+		return s
+	}
+	totalRounds := segments + p - 2
+	s.Rounds = make([]Round, totalRounds)
+	for t := 0; t < totalRounds; t++ {
+		for vr := 0; vr < p-1; vr++ {
+			seg := t - vr
+			if seg < 0 || seg >= segments {
+				continue
+			}
+			s.Rounds[t].Transfers = append(s.Rounds[t].Transfers, Transfer{
+				Src: abs(vr, root, p), Dst: abs(vr+1, root, p), SegLo: seg, SegHi: seg + 1,
+			})
+		}
+	}
+	return s
+}
+
+// vanDeGeijnBroadcast: binomial scatter of p segments (segment i destined to
+// virtual rank i) followed by a ring allgather. Works for any p, not only
+// powers of two: the scatter splits the destination range at the largest
+// power of two below its size, exactly like the MPICH implementation.
+func vanDeGeijnBroadcast(p, root int) *Schedule {
+	s := &Schedule{Algorithm: VanDeGeijn, NumRanks: p, Root: root, Segments: p, RingStart: -1}
+	if p == 1 {
+		return s
+	}
+	// Scatter phase. Each informed rank owns a contiguous virtual-rank
+	// interval [lo,hi) whose segments it still holds; it repeatedly sends
+	// the upper half to the first rank of that half.
+	type span struct{ lo, hi int }
+	owner := map[int]span{0: {0, p}}
+	round := 0
+	for {
+		var transfers []Transfer
+		next := map[int]span{}
+		for vr, sp := range owner {
+			size := sp.hi - sp.lo
+			if size <= 1 {
+				next[vr] = sp
+				continue
+			}
+			half := 1
+			for half<<1 < size {
+				half <<= 1
+			}
+			mid := sp.lo + half
+			transfers = append(transfers, Transfer{
+				Src: abs(vr, root, p), Dst: abs(mid, root, p), SegLo: mid, SegHi: sp.hi,
+			})
+			next[vr] = span{sp.lo, mid}
+			next[mid] = span{mid, sp.hi}
+		}
+		if len(transfers) == 0 {
+			break
+		}
+		s.Rounds = append(s.Rounds, Round{Transfers: sortTransfers(transfers)})
+		owner = next
+		round++
+		if round > 64 {
+			panic("sched: scatter did not converge")
+		}
+	}
+	// Ring allgather: p−1 rounds; in round r, virtual rank vr sends
+	// segment (vr−r mod p) to vr+1.
+	s.RingStart = len(s.Rounds)
+	s.RingRounds = p - 1
+	for r := 0; r < p-1; r++ {
+		var transfers []Transfer
+		for vr := 0; vr < p; vr++ {
+			seg := ((vr-r)%p + p) % p
+			transfers = append(transfers, Transfer{
+				Src: abs(vr, root, p), Dst: abs((vr+1)%p, root, p), SegLo: seg, SegHi: seg + 1,
+			})
+		}
+		s.Rounds = append(s.Rounds, Round{Transfers: transfers})
+	}
+	return s
+}
+
+// sortTransfers orders transfers deterministically by (Src,Dst) so schedule
+// generation is reproducible regardless of map iteration order.
+func sortTransfers(ts []Transfer) []Transfer {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ts[j-1], ts[j]
+			if a.Src < b.Src || (a.Src == b.Src && a.Dst <= b.Dst) {
+				break
+			}
+			ts[j-1], ts[j] = b, a
+		}
+	}
+	return ts
+}
+
+// SegBytes returns the wire size of a transfer carrying seg segments of a
+// payload of m total bytes cut into `segments` parts.
+func (s *Schedule) SegBytes(t Transfer, payloadBytes float64) float64 {
+	return payloadBytes * float64(t.SegHi-t.SegLo) / float64(s.Segments)
+}
+
+// Cost replays the schedule on per-rank virtual clocks under the Hockney
+// model and returns the time at which the last rank completes — the
+// congestion-free broadcast time. Both endpoints of a transfer are occupied
+// for its whole duration (rendezvous semantics).
+func (s *Schedule) Cost(payloadBytes float64, m hockney.Model) float64 {
+	clocks := make([]float64, s.NumRanks)
+	s.CostOnClocks(clocks, payloadBytes, m)
+	max := 0.0
+	for _, c := range clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// CostOnClocks advances the provided per-rank clocks through the schedule.
+// It is the composition primitive the simulator uses to chain many
+// collectives and compute phases into one timeline.
+//
+// Rounds use full-duplex one-port semantics: within a round every transfer
+// starts from the pre-round clocks of its endpoints, so a rank may send one
+// message and receive another simultaneously (the ring allgather and the
+// chain pipeline rely on this, and it is the assumption behind their
+// (p−1)(α+(m/p)β)-style closed forms). Transfers in different rounds
+// serialise through the updated clocks.
+func (s *Schedule) CostOnClocks(clocks []float64, payloadBytes float64, m hockney.Model) {
+	if len(clocks) != s.NumRanks {
+		panic(fmt.Sprintf("sched: %d clocks for %d ranks", len(clocks), s.NumRanks))
+	}
+	type update struct {
+		rank int
+		end  float64
+	}
+	var updates []update
+	for _, round := range s.Rounds {
+		updates = updates[:0]
+		for _, t := range round.Transfers {
+			start := clocks[t.Src]
+			if clocks[t.Dst] > start {
+				start = clocks[t.Dst]
+			}
+			end := start + m.PointToPoint(s.SegBytes(t, payloadBytes))
+			updates = append(updates, update{t.Src, end}, update{t.Dst, end})
+		}
+		for _, u := range updates {
+			if u.end > clocks[u.rank] {
+				clocks[u.rank] = u.end
+			}
+		}
+	}
+}
+
+// TotalBytes returns the total traffic of the schedule for a payload of m
+// bytes — the bandwidth-term numerator in the paper's cost tables.
+func (s *Schedule) TotalBytes(payloadBytes float64) float64 {
+	sum := 0.0
+	for _, round := range s.Rounds {
+		for _, t := range round.Transfers {
+			sum += s.SegBytes(t, payloadBytes)
+		}
+	}
+	return sum
+}
+
+// NumTransfers returns the number of point-to-point messages.
+func (s *Schedule) NumTransfers() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += len(r.Transfers)
+	}
+	return n
+}

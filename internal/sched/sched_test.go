@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hockney"
+)
+
+var testModel = hockney.Model{Alpha: 1e-5, Beta: 1e-9}
+
+func mustBcast(t *testing.T, alg Algorithm, p, root, segments int) *Schedule {
+	t.Helper()
+	s, err := NewBroadcast(alg, p, root, segments)
+	if err != nil {
+		t.Fatalf("NewBroadcast(%s,%d,%d,%d): %v", alg, p, root, segments, err)
+	}
+	return s
+}
+
+func TestAllAlgorithmsValidate(t *testing.T) {
+	for _, alg := range Algorithms() {
+		for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 32, 33, 64, 100, 128} {
+			for _, root := range []int{0, p / 2, p - 1} {
+				s := mustBcast(t, alg, p, root, 4)
+				if err := Validate(s); err != nil {
+					t.Fatalf("%s p=%d root=%d invalid: %v", alg, p, root, err)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeAlgorithmsNonRedundant(t *testing.T) {
+	for _, alg := range []Algorithm{Flat, Binomial, Binary, Chain} {
+		for _, p := range []int{1, 2, 5, 8, 16, 31} {
+			s := mustBcast(t, alg, p, 0, 3)
+			if err := ValidateNoRedundancy(s); err != nil {
+				t.Fatalf("%s p=%d redundant: %v", alg, p, err)
+			}
+		}
+	}
+}
+
+func TestSingleRankEmptySchedule(t *testing.T) {
+	for _, alg := range Algorithms() {
+		s := mustBcast(t, alg, 1, 0, 4)
+		if s.NumTransfers() != 0 {
+			t.Fatalf("%s p=1 has %d transfers", alg, s.NumTransfers())
+		}
+		if s.Cost(1e6, testModel) != 0 {
+			t.Fatalf("%s p=1 non-zero cost", alg)
+		}
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	if _, err := NewBroadcast(Binomial, 0, 0, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewBroadcast(Binomial, 4, 4, 1); err == nil {
+		t.Fatal("root=p accepted")
+	}
+	if _, err := NewBroadcast(Algorithm("nope"), 4, 0, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// The binomial tree must complete in exactly ⌈log₂ p⌉ rounds — the paper's
+// Table I latency factor.
+func TestBinomialRoundCount(t *testing.T) {
+	for _, c := range []struct{ p, rounds int }{
+		{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {128, 7}, {1024, 10},
+	} {
+		s := mustBcast(t, Binomial, c.p, 0, 1)
+		if len(s.Rounds) != c.rounds {
+			t.Fatalf("binomial p=%d: %d rounds, want %d", c.p, len(s.Rounds), c.rounds)
+		}
+	}
+}
+
+// Binomial cost must equal log₂(p)(α+mβ) for power-of-two p (paper §IV).
+func TestBinomialCostMatchesFormula(t *testing.T) {
+	m := 1e6 // bytes
+	for _, p := range []int{2, 4, 8, 16, 64, 256} {
+		s := mustBcast(t, Binomial, p, 0, 1)
+		got := s.Cost(m, testModel)
+		want := math.Log2(float64(p)) * (testModel.Alpha + m*testModel.Beta)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("binomial p=%d cost %g, want %g", p, got, want)
+		}
+	}
+}
+
+// Flat tree cost is (p−1)(α+mβ): the root serialises all sends.
+func TestFlatCostMatchesFormula(t *testing.T) {
+	m := 1e5
+	for _, p := range []int{2, 3, 9, 17} {
+		s := mustBcast(t, Flat, p, 0, 1)
+		got := s.Cost(m, testModel)
+		want := float64(p-1) * (testModel.Alpha + m*testModel.Beta)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("flat p=%d cost %g, want %g", p, got, want)
+		}
+	}
+}
+
+// Van de Geijn cost must match (log₂p + p − 1)α + 2((p−1)/p)mβ for
+// power-of-two p (paper Table II). The clock-based replay should agree with
+// the closed form to within rounding: the scatter's bandwidth term is
+// (p−1)/p·m serialised down the tree and the ring adds (p−1)/p·m more.
+func TestVanDeGeijnCostMatchesFormula(t *testing.T) {
+	m := 8e6
+	for _, p := range []int{2, 4, 8, 16, 64, 128} {
+		s := mustBcast(t, VanDeGeijn, p, 0, 1)
+		got := s.Cost(m, testModel)
+		pf := float64(p)
+		want := (math.Log2(pf)+pf-1)*testModel.Alpha + 2*(pf-1)/pf*m*testModel.Beta
+		if math.Abs(got-want) > 0.02*want {
+			t.Fatalf("vandegeijn p=%d cost %g, want %g (%.1f%% off)",
+				p, got, want, 100*math.Abs(got-want)/want)
+		}
+	}
+}
+
+// Chain pipeline cost is (S+p−2)(α + (m/S)β).
+func TestChainCostMatchesFormula(t *testing.T) {
+	m := 1e6
+	for _, c := range []struct{ p, segs int }{{2, 1}, {4, 4}, {8, 16}, {16, 8}} {
+		s := mustBcast(t, Chain, c.p, 0, c.segs)
+		got := s.Cost(m, testModel)
+		want := float64(c.segs+c.p-2) * (testModel.Alpha + m/float64(c.segs)*testModel.Beta)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("chain p=%d S=%d cost %g, want %g", c.p, c.segs, got, want)
+		}
+	}
+}
+
+// Tree algorithms move exactly (p−1)·m bytes aggregate. Van de Geijn moves
+// more in aggregate — the binomial scatter ships m/2 per round over
+// log₂(p) rounds (segments traverse several hops) and the ring adds
+// (p−1)·p·(m/p) — even though its *per-rank* (critical-path) bytes are
+// lower, which is what the paper's bandwidth factor counts.
+func TestTotalBytes(t *testing.T) {
+	m := 1000.0
+	for _, alg := range []Algorithm{Flat, Binomial, Binary} {
+		s := mustBcast(t, alg, 16, 0, 1)
+		if got := s.TotalBytes(m); got != 15*m {
+			t.Fatalf("%s total bytes %g, want %g", alg, got, 15*m)
+		}
+	}
+	s := mustBcast(t, Chain, 16, 0, 4)
+	if got := s.TotalBytes(m); math.Abs(got-15*m) > 1e-9 {
+		t.Fatalf("chain total bytes %g, want %g", got, 15*m)
+	}
+	// p=16: scatter log₂(16)·m/2 = 2m; ring 15 rounds × 16 ranks × m/16.
+	sv := mustBcast(t, VanDeGeijn, 16, 0, 1)
+	want := 2*m + 15*m
+	if got := sv.TotalBytes(m); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("vandegeijn total bytes %g, want %g", got, want)
+	}
+}
+
+// For large messages Van de Geijn must beat binomial (2(p−1)/p·mβ versus
+// log₂(p)·mβ); for tiny messages binomial must win on latency.
+func TestAlgorithmCrossover(t *testing.T) {
+	p := 64
+	bin := mustBcast(t, Binomial, p, 0, 1)
+	vdg := mustBcast(t, VanDeGeijn, p, 0, 1)
+	big := 1e8
+	if bin.Cost(big, testModel) <= vdg.Cost(big, testModel) {
+		t.Fatal("binomial should lose to van de Geijn on large messages")
+	}
+	small := 8.0
+	if bin.Cost(small, testModel) >= vdg.Cost(small, testModel) {
+		t.Fatal("binomial should beat van de Geijn on small messages")
+	}
+}
+
+func TestRootRelativity(t *testing.T) {
+	// A schedule rooted at r must be the root-0 schedule with ranks
+	// rotated: costs identical, validation passes, and the root is the
+	// only rank never receiving.
+	for _, alg := range Algorithms() {
+		p := 16
+		s0 := mustBcast(t, alg, p, 0, 2)
+		s5 := mustBcast(t, alg, p, 5, 2)
+		if math.Abs(s0.Cost(1e6, testModel)-s5.Cost(1e6, testModel)) > 1e-12 {
+			t.Fatalf("%s: cost depends on root", alg)
+		}
+		for _, round := range s5.Rounds {
+			for _, tr := range round.Transfers {
+				if tr.Dst == 5 && alg != VanDeGeijn {
+					t.Fatalf("%s: root received a transfer", alg)
+				}
+			}
+		}
+	}
+}
+
+func TestCostOnClocksComposition(t *testing.T) {
+	// Two broadcasts back to back cost the sum of their costs when the
+	// clocks are shared (no overlap possible on identical rank sets).
+	p := 8
+	s := mustBcast(t, Binomial, p, 0, 1)
+	single := s.Cost(1e6, testModel)
+	clocks := make([]float64, p)
+	s.CostOnClocks(clocks, 1e6, testModel)
+	s.CostOnClocks(clocks, 1e6, testModel)
+	max := 0.0
+	for _, c := range clocks {
+		if c > max {
+			max = c
+		}
+	}
+	if math.Abs(max-2*single) > 1e-12 {
+		t.Fatalf("composed cost %g, want %g", max, 2*single)
+	}
+}
+
+func TestCostOnClocksWrongLengthPanics(t *testing.T) {
+	s := mustBcast(t, Binomial, 8, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong clock slice length did not panic")
+		}
+	}()
+	s.CostOnClocks(make([]float64, 4), 1, testModel)
+}
+
+// Property: every generated schedule for random (alg, p, root) validates.
+func TestQuickAllValid(t *testing.T) {
+	algs := Algorithms()
+	f := func(pp, rr, aa uint16) bool {
+		p := int(pp%200) + 1
+		root := int(rr) % p
+		alg := algs[int(aa)%len(algs)]
+		s, err := NewBroadcast(alg, p, root, int(aa%7)+1)
+		if err != nil {
+			return false
+		}
+		return Validate(s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: binomial latency (rounds) never exceeds flat and never exceeds
+// p−1; cost is monotone in message size.
+func TestQuickCostMonotoneInSize(t *testing.T) {
+	s := mustBcast(t, VanDeGeijn, 24, 0, 1)
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s.Cost(x, testModel) <= s.Cost(y, testModel)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegBytes(t *testing.T) {
+	s := mustBcast(t, VanDeGeijn, 4, 0, 1)
+	tr := Transfer{Src: 0, Dst: 2, SegLo: 2, SegHi: 4}
+	if got := s.SegBytes(tr, 1000); got != 500 {
+		t.Fatalf("SegBytes = %g, want 500", got)
+	}
+}
+
+func TestBinaryDeeperButParallel(t *testing.T) {
+	// Binary tree rounds grow like 2·log₂ p; must still validate and be
+	// cheaper than flat for large p.
+	p := 64
+	bin := mustBcast(t, Binary, p, 0, 1)
+	flat := mustBcast(t, Flat, p, 0, 1)
+	if bin.Cost(1e6, testModel) >= flat.Cost(1e6, testModel) {
+		t.Fatal("binary tree should beat flat tree at p=64")
+	}
+}

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestExecTransfersBasic(t *testing.T) {
+	sim := New(4, testModel)
+	sim.ExecTransfers([]PairTransfer{
+		{Src: 0, Dst: 1, Bytes: 1e6},
+		{Src: 2, Dst: 3, Bytes: 2e6},
+	})
+	want01 := testModel.PointToPoint(1e6)
+	want23 := testModel.PointToPoint(2e6)
+	if math.Abs(sim.Clock(0)-want01) > 1e-15 || math.Abs(sim.Clock(1)-want01) > 1e-15 {
+		t.Fatalf("pair 0-1 clocks %g/%g, want %g", sim.Clock(0), sim.Clock(1), want01)
+	}
+	if math.Abs(sim.Clock(3)-want23) > 1e-15 {
+		t.Fatalf("pair 2-3 clock %g, want %g", sim.Clock(3), want23)
+	}
+	// Comm time equals clock advance here.
+	if math.Abs(sim.CommTime(0)-want01) > 1e-15 {
+		t.Fatal("comm accounting wrong for transfers")
+	}
+}
+
+func TestExecTransfersSnapshotSemantics(t *testing.T) {
+	// A ring of simultaneous shifts: everyone sends and receives in the
+	// same round; all clocks must advance by exactly one hop, not
+	// cascade.
+	p := 6
+	sim := New(p, testModel)
+	var ts []PairTransfer
+	for i := 0; i < p; i++ {
+		ts = append(ts, PairTransfer{Src: i, Dst: (i + 1) % p, Bytes: 1000})
+	}
+	sim.ExecTransfers(ts)
+	want := testModel.PointToPoint(1000)
+	for r := 0; r < p; r++ {
+		if math.Abs(sim.Clock(r)-want) > 1e-15 {
+			t.Fatalf("rank %d clock %g, want one hop %g", r, sim.Clock(r), want)
+		}
+	}
+}
+
+func TestLinkCostScalesBandwidthOnly(t *testing.T) {
+	sc, _ := sched.NewBroadcast(sched.Binomial, 2, 0, 1)
+	free := New(2, testModel)
+	free.ExecOne(Collective{Sched: sc, Members: []int{0, 1}, PayloadBytes: 1e6})
+	far := New(2, testModel)
+	far.SetLinkCost(func(a, b int) float64 { return 5 })
+	far.ExecOne(Collective{Sched: sc, Members: []int{0, 1}, PayloadBytes: 1e6})
+	wantDelta := 4 * 1e6 * testModel.Beta
+	if got := far.MaxClock() - free.MaxClock(); math.Abs(got-wantDelta) > 1e-12 {
+		t.Fatalf("link-cost delta %g, want %g", got, wantDelta)
+	}
+}
+
+func TestLinkCostDisablesRingFastPath(t *testing.T) {
+	// With non-uniform links the vdg ring must run event-level; verify
+	// the result reacts to a link-cost function that only affects one
+	// edge (the fast path would apply a uniform value).
+	p := 8
+	sc, _ := sched.NewBroadcast(sched.VanDeGeijn, p, 0, 1)
+	uniform := New(p, testModel)
+	uniform.SetLinkCost(func(a, b int) float64 { return 1 })
+	uniform.ExecOne(Collective{Sched: sc, Members: identity(p), PayloadBytes: 8e5})
+	skewed := New(p, testModel)
+	skewed.SetLinkCost(func(a, b int) float64 {
+		if a == 3 || b == 3 {
+			return 10
+		}
+		return 1
+	})
+	skewed.ExecOne(Collective{Sched: sc, Members: identity(p), PayloadBytes: 8e5})
+	if skewed.MaxClock() <= uniform.MaxClock() {
+		t.Fatal("slow edge did not slow the broadcast")
+	}
+}
+
+func TestSetLinkCostNilRestoresUniform(t *testing.T) {
+	sim := New(2, testModel)
+	sim.SetLinkCost(func(a, b int) float64 { return 100 })
+	sim.SetLinkCost(nil)
+	sc, _ := sched.NewBroadcast(sched.Binomial, 2, 0, 1)
+	sim.ExecOne(Collective{Sched: sc, Members: []int{0, 1}, PayloadBytes: 1e6})
+	want := testModel.PointToPoint(1e6)
+	if math.Abs(sim.MaxClock()-want) > 1e-15 {
+		t.Fatal("nil link cost should restore uniform links")
+	}
+}
+
+func TestEmptyPhaseNoOp(t *testing.T) {
+	sim := New(4, testModel)
+	sim.ExecPhase(nil)
+	if sim.MaxClock() != 0 {
+		t.Fatal("empty phase advanced clocks")
+	}
+}
+
+func TestComputeRanksSelective(t *testing.T) {
+	sim := New(4, testModel)
+	sim.ComputeRanks([]int{1, 3}, 1e9)
+	if sim.Clock(0) != 0 || sim.Clock(2) != 0 {
+		t.Fatal("compute leaked to unselected ranks")
+	}
+	if sim.Clock(1) != sim.Clock(3) || sim.Clock(1) <= 0 {
+		t.Fatal("selected ranks did not advance")
+	}
+}

@@ -1,0 +1,372 @@
+// Package simnet is the discrete-event network simulator that stands in for
+// the paper's physical testbeds (Grid'5000, BlueGene/P). It maintains one
+// virtual clock per rank and advances them by replaying the *same*
+// communication schedules (internal/sched) the real runtime executes, under
+// the Hockney model — so a simulated figure measures exactly the
+// communication pattern of the runnable algorithm, at scales (16384 ranks)
+// no single-machine run could host.
+//
+// Semantics match sched.CostOnClocks: rounds are full-duplex one-port, a
+// transfer starts when both endpoints are past their previous work, and
+// both endpoints are occupied until it completes. Two extensions beyond
+// CostOnClocks:
+//
+//   - phases: disjoint collectives that proceed concurrently (e.g. the √p
+//     simultaneous row broadcasts of one SUMMA step) execute round-aligned,
+//     with an optional contention model scaling β by the number of
+//     concurrent flows;
+//
+//   - per-rank communication-time accounting, mirroring how the paper
+//     reports "communication time" separately from execution time.
+//
+// The O(p²)-transfer ring suffix of the Van de Geijn broadcast is advanced
+// with an exact O(p) recurrence (see execRingTail) instead of transfer by
+// transfer; TestRingFastPathEquivalence proves the equivalence against the
+// event-level executor.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/hockney"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// ContentionFunc maps the number of concurrent transfers in a simulation
+// round to a multiplier applied to β (the reciprocal bandwidth). It models
+// link sharing: 1 means contention-free (the paper's model assumption).
+type ContentionFunc func(flows int) float64
+
+// NoContention is the paper's analytic assumption: full bandwidth per flow.
+func NoContention(int) float64 { return 1 }
+
+// SharedSegment models a single shared medium (commodity Ethernet):
+// concurrent flows divide the bandwidth evenly.
+func SharedSegment(flows int) float64 {
+	if flows < 1 {
+		return 1
+	}
+	return float64(flows)
+}
+
+// TorusContention returns a coarse 3D-torus bisection model: flows share
+// roughly degree·p^(2/3) independent links; below that capacity there is no
+// slowdown, above it bandwidth divides.
+func TorusContention(degree, p int) ContentionFunc {
+	if degree < 1 {
+		degree = 1
+	}
+	cap3d := float64(degree) * pow23(float64(p))
+	return func(flows int) float64 {
+		f := float64(flows)
+		if f <= cap3d {
+			return 1
+		}
+		return f / cap3d
+	}
+}
+
+// pow23 computes x^(2/3) without importing math for a single call site
+// would be silly — use the obvious route.
+func pow23(x float64) float64 {
+	// cube root via Newton iterations (x > 0 in all uses), then square.
+	if x <= 0 {
+		return 0
+	}
+	c := x
+	for i := 0; i < 64; i++ {
+		c = (2*c + x/(c*c)) / 3
+	}
+	return c * c
+}
+
+// ContentionFor translates a platform preset's contention description into
+// a ContentionFunc over p ranks. enabled=false always yields NoContention —
+// the default for figure reproduction, matching the paper's model.
+func ContentionFor(pf platform.Platform, p int, enabled bool) ContentionFunc {
+	if !enabled {
+		return NoContention
+	}
+	switch pf.Contention {
+	case platform.ContentionShared:
+		return SharedSegment
+	case platform.ContentionTorus:
+		return TorusContention(pf.TorusDegree, p)
+	default:
+		return NoContention
+	}
+}
+
+// LinkCostFunc scales the bandwidth term of a specific src→dst transfer —
+// e.g. by torus hop distance (internal/torus), modelling wormhole routing
+// where a d-hop message occupies d links. Nil means uniform links (the
+// paper's assumption).
+type LinkCostFunc func(src, dst int) float64
+
+// Sim is a virtual-time machine over p ranks.
+type Sim struct {
+	model      hockney.Model
+	contention ContentionFunc
+	linkCost   LinkCostFunc
+	clocks     []float64
+	comm       []float64
+}
+
+// New returns a simulator for p ranks under the given model, with no
+// contention.
+func New(p int, m hockney.Model) *Sim {
+	if p <= 0 {
+		panic(fmt.Sprintf("simnet: invalid rank count %d", p))
+	}
+	return &Sim{
+		model:      m,
+		contention: NoContention,
+		clocks:     make([]float64, p),
+		comm:       make([]float64, p),
+	}
+}
+
+// SetContention installs a link-sharing model; nil restores NoContention.
+func (s *Sim) SetContention(f ContentionFunc) {
+	if f == nil {
+		f = NoContention
+	}
+	s.contention = f
+}
+
+// SetLinkCost installs a per-transfer bandwidth multiplier (nil = uniform
+// links).
+func (s *Sim) SetLinkCost(f LinkCostFunc) { s.linkCost = f }
+
+// linkFactor returns the bandwidth multiplier for one transfer.
+func (s *Sim) linkFactor(src, dst int) float64 {
+	if s.linkCost == nil {
+		return 1
+	}
+	return s.linkCost(src, dst)
+}
+
+// Size returns the number of simulated ranks.
+func (s *Sim) Size() int { return len(s.clocks) }
+
+// Clock returns a rank's current virtual time.
+func (s *Sim) Clock(rank int) float64 { return s.clocks[rank] }
+
+// CommTime returns the accumulated time a rank has spent inside
+// communication (transfers plus waiting for peers), the quantity the paper
+// plots as "communication time".
+func (s *Sim) CommTime(rank int) float64 { return s.comm[rank] }
+
+// MaxClock returns the virtual time at which the last rank finishes — the
+// simulated execution time.
+func (s *Sim) MaxClock() float64 {
+	max := 0.0
+	for _, c := range s.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MaxCommTime returns the largest per-rank communication time.
+func (s *Sim) MaxCommTime() float64 {
+	max := 0.0
+	for _, c := range s.comm {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ComputeRanks advances the given ranks by the time of `flops` floating-
+// point operations (local DGEMM updates between communication phases).
+func (s *Sim) ComputeRanks(ranks []int, flops float64) {
+	dt := s.model.Compute(flops)
+	for _, r := range ranks {
+		s.clocks[r] += dt
+	}
+}
+
+// ComputeAll advances every rank by the time of `flops` operations.
+func (s *Sim) ComputeAll(flops float64) {
+	dt := s.model.Compute(flops)
+	for r := range s.clocks {
+		s.clocks[r] += dt
+	}
+}
+
+// Collective is one schedule instance bound to a member list: Members[i] is
+// the simulator rank acting as schedule rank i. PayloadBytes is the full
+// broadcast payload.
+type Collective struct {
+	Sched        *sched.Schedule
+	Members      []int
+	PayloadBytes float64
+}
+
+// ExecPhase advances the clocks through a set of *disjoint* concurrent
+// collectives (e.g. all row broadcasts of one SUMMA step), round-aligned:
+// round k of every collective shares the network, and the contention model
+// sees their combined flow count. Collectives in one phase must not share
+// ranks; Validate enforces this in tests, here it is assumed.
+func (s *Sim) ExecPhase(cols []Collective) {
+	if len(cols) == 0 {
+		return
+	}
+	maxRounds := 0
+	for _, c := range cols {
+		if len(c.Members) != c.Sched.NumRanks {
+			panic(fmt.Sprintf("simnet: %d members for %d-rank schedule", len(c.Members), c.Sched.NumRanks))
+		}
+		if n := len(c.Sched.Rounds); n > maxRounds {
+			maxRounds = n
+		}
+	}
+	// Ring fast path: if every collective is in its ring suffix from the
+	// same round index with the same length, the O(p) recurrence applies.
+	// The recurrence assumes uniform per-hop times, so a non-uniform link
+	// model falls back to exact transfer-by-transfer execution.
+	ringFrom := -1
+	if rs, ok := commonRingStart(cols); ok && s.linkCost == nil {
+		ringFrom = rs
+	}
+	type update struct {
+		rank int
+		end  float64
+	}
+	var updates []update
+	for round := 0; round < maxRounds; round++ {
+		if ringFrom >= 0 && round == ringFrom {
+			s.execRingTails(cols)
+			return
+		}
+		flows := 0
+		for _, c := range cols {
+			if round < len(c.Sched.Rounds) {
+				flows += len(c.Sched.Rounds[round].Transfers)
+			}
+		}
+		factor := s.contention(flows)
+		updates = updates[:0]
+		for _, c := range cols {
+			if round >= len(c.Sched.Rounds) {
+				continue
+			}
+			for _, t := range c.Sched.Rounds[round].Transfers {
+				src, dst := c.Members[t.Src], c.Members[t.Dst]
+				eff := s.model
+				eff.Beta *= factor * s.linkFactor(src, dst)
+				start := s.clocks[src]
+				if s.clocks[dst] > start {
+					start = s.clocks[dst]
+				}
+				end := start + eff.PointToPoint(c.Sched.SegBytes(t, c.PayloadBytes))
+				updates = append(updates, update{src, end}, update{dst, end})
+			}
+		}
+		for _, u := range updates {
+			if u.end > s.clocks[u.rank] {
+				s.comm[u.rank] += u.end - s.clocks[u.rank]
+				s.clocks[u.rank] = u.end
+			}
+		}
+	}
+}
+
+// commonRingStart reports the shared ring-suffix start round if every
+// collective has one at the same index with the same round count and
+// uniform segment width — the precondition for the O(p) ring recurrence.
+func commonRingStart(cols []Collective) (int, bool) {
+	rs, rr := -1, -1
+	for i, c := range cols {
+		if c.Sched.RingStart < 0 {
+			return -1, false
+		}
+		if i == 0 {
+			rs, rr = c.Sched.RingStart, c.Sched.RingRounds
+			continue
+		}
+		if c.Sched.RingStart != rs || c.Sched.RingRounds != rr {
+			return -1, false
+		}
+	}
+	return rs, true
+}
+
+// execRingTails advances every collective through its ring-allgather suffix
+// in closed form. Derivation: with full-duplex rounds of uniform per-hop
+// time T, a rank's clock obeys c_i(r) = max(c_{i−1}, c_i, c_{i+1})(r−1) + T
+// (it finishes its receive from i−1 and its send to i+1), which unrolls to
+// c_i(r) = max_{|k|≤r} c_{i+k}(0) + r·T. After RingRounds = p−1 rounds the
+// window covers the whole ring, so every member ends at
+// max(initial clocks) + (p−1)·T exactly.
+func (s *Sim) execRingTails(cols []Collective) {
+	flows := 0
+	for _, c := range cols {
+		flows += len(c.Members)
+	}
+	factor := s.contention(flows)
+	eff := s.model
+	eff.Beta *= factor
+	for _, c := range cols {
+		p := len(c.Members)
+		if p == 1 {
+			continue
+		}
+		segBytes := c.PayloadBytes / float64(c.Sched.Segments)
+		perHop := eff.PointToPoint(segBytes)
+		maxClock := 0.0
+		for _, m := range c.Members {
+			if s.clocks[m] > maxClock {
+				maxClock = s.clocks[m]
+			}
+		}
+		final := maxClock + float64(c.Sched.RingRounds)*perHop
+		for _, m := range c.Members {
+			s.comm[m] += final - s.clocks[m]
+			s.clocks[m] = final
+		}
+	}
+}
+
+// ExecOne is ExecPhase for a single collective.
+func (s *Sim) ExecOne(c Collective) { s.ExecPhase([]Collective{c}) }
+
+// PairTransfer is one point-to-point message for ExecTransfers.
+type PairTransfer struct {
+	Src, Dst int
+	Bytes    float64
+}
+
+// ExecTransfers advances the clocks through one round of concurrent
+// point-to-point messages (the shift/roll pattern of Cannon's and Fox's
+// algorithms), with the same full-duplex snapshot semantics and contention
+// accounting as a schedule round: every transfer starts from the pre-round
+// clocks of its endpoints.
+func (s *Sim) ExecTransfers(transfers []PairTransfer) {
+	factor := s.contention(len(transfers))
+	type update struct {
+		rank int
+		end  float64
+	}
+	updates := make([]update, 0, 2*len(transfers))
+	for _, t := range transfers {
+		eff := s.model
+		eff.Beta *= factor * s.linkFactor(t.Src, t.Dst)
+		start := s.clocks[t.Src]
+		if s.clocks[t.Dst] > start {
+			start = s.clocks[t.Dst]
+		}
+		end := start + eff.PointToPoint(t.Bytes)
+		updates = append(updates, update{t.Src, end}, update{t.Dst, end})
+	}
+	for _, u := range updates {
+		if u.end > s.clocks[u.rank] {
+			s.comm[u.rank] += u.end - s.clocks[u.rank]
+			s.clocks[u.rank] = u.end
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package topo provides the process-topology arithmetic for the SUMMA family:
+// two-dimensional s×t process grids, and the two-level hierarchical I×J
+// arrangement of groups that defines HSUMMA (paper Section III, Figure 2).
+// All communicator colourings (row, column, inter-group row/column) are
+// derived here so that the algorithm code and the simulator agree on exactly
+// which ranks form each collective.
+package topo
+
+import "fmt"
+
+// Grid is a two-dimensional arrangement of p = S×T processes in row-major
+// order: rank r sits at row r/T, column r%T.
+type Grid struct {
+	S int // number of process rows (the paper's s)
+	T int // number of process columns (the paper's t)
+}
+
+// NewGrid validates and returns an s×t grid.
+func NewGrid(s, t int) (Grid, error) {
+	if s <= 0 || t <= 0 {
+		return Grid{}, fmt.Errorf("topo: invalid grid %dx%d", s, t)
+	}
+	return Grid{S: s, T: t}, nil
+}
+
+// Size returns the number of processes in the grid.
+func (g Grid) Size() int { return g.S * g.T }
+
+// Coords maps a rank to its (row, col) position.
+func (g Grid) Coords(rank int) (row, col int) {
+	g.checkRank(rank)
+	return rank / g.T, rank % g.T
+}
+
+// Rank maps a (row, col) position to its rank.
+func (g Grid) Rank(row, col int) int {
+	if row < 0 || row >= g.S || col < 0 || col >= g.T {
+		panic(fmt.Sprintf("topo: coords (%d,%d) outside %dx%d grid", row, col, g.S, g.T))
+	}
+	return row*g.T + col
+}
+
+func (g Grid) checkRank(rank int) {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("topo: rank %d outside grid of %d", rank, g.Size()))
+	}
+}
+
+// RowRanks returns the ranks of grid row i, left to right.
+func (g Grid) RowRanks(i int) []int {
+	out := make([]int, g.T)
+	for j := 0; j < g.T; j++ {
+		out[j] = g.Rank(i, j)
+	}
+	return out
+}
+
+// ColRanks returns the ranks of grid column j, top to bottom.
+func (g Grid) ColRanks(j int) []int {
+	out := make([]int, g.S)
+	for i := 0; i < g.S; i++ {
+		out[i] = g.Rank(i, j)
+	}
+	return out
+}
+
+func (g Grid) String() string { return fmt.Sprintf("%dx%d", g.S, g.T) }
+
+// SquarestGrid factors p into s×t with s ≤ t and s as close to √p as its
+// divisors allow — the conventional choice for SUMMA process grids (and the
+// one matching the paper's 8×16 grid for p=128 and 128×128 for p=16384).
+func SquarestGrid(p int) (Grid, error) {
+	if p <= 0 {
+		return Grid{}, fmt.Errorf("topo: invalid process count %d", p)
+	}
+	best := 1
+	for s := 1; s*s <= p; s++ {
+		if p%s == 0 {
+			best = s
+		}
+	}
+	return Grid{S: best, T: p / best}, nil
+}

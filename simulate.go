@@ -1,0 +1,175 @@
+package hsumma
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/hockney"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simalg"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// Machine is the Hockney platform model (α latency, β reciprocal bandwidth
+// per element — the paper's convention — and γ seconds per flop).
+type Machine = hockney.Model
+
+// Platform bundles a machine model with its contention description.
+type Platform = platform.Platform
+
+// Platform presets from the paper's evaluation (Section V).
+var (
+	PlatformGrid5000           = platform.Grid5000
+	PlatformBlueGeneP          = platform.BlueGeneP
+	PlatformExascale           = platform.Exascale
+	PlatformGrid5000Calibrated = platform.Grid5000Calibrated
+	PlatformBGPCalibrated      = platform.BlueGenePCalibrated
+)
+
+// SimConfig describes one simulated run at arbitrary scale.
+type SimConfig struct {
+	N         int
+	Procs     int
+	Grid      *[2]int // optional explicit grid
+	Algorithm Algorithm
+	Groups    int // HSUMMA group count (0 = closest feasible to √p)
+	BlockSize int
+	// OuterBlockSize is HSUMMA's B (0 = b).
+	OuterBlockSize int
+	Broadcast      sched.Algorithm
+	Segments       int
+	Machine        Machine
+	// Contention enables the platform's link-sharing model (needs
+	// Platform set) — an ablation beyond the paper's congestion-free
+	// assumption.
+	Contention bool
+	Platform   *Platform
+	// Overlap enables communication/computation overlap (double
+	// buffering), the paper's §VI opportunity; off reproduces the
+	// paper's non-overlapped implementation.
+	Overlap bool
+}
+
+// SimResult reports simulated execution and communication times in
+// seconds, as the paper's figures do.
+type SimResult struct {
+	Total   float64
+	Comm    float64
+	Compute float64
+	// Groups is the group count actually used (relevant when it was
+	// auto-selected).
+	Groups int
+}
+
+// Simulate replays the configured algorithm's communication schedules and
+// compute phases on the discrete-event simulator and returns its times.
+// Supported algorithms: AlgSUMMA, AlgHSUMMA, AlgCannon.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	var grid topo.Grid
+	var err error
+	if cfg.Grid != nil {
+		grid, err = topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
+		if err == nil && grid.Size() != cfg.Procs && cfg.Procs != 0 {
+			err = fmt.Errorf("hsumma: grid %v does not hold %d procs", grid, cfg.Procs)
+		}
+	} else {
+		grid, err = topo.SquarestGrid(cfg.Procs)
+	}
+	if err != nil {
+		return SimResult{}, err
+	}
+	sc := simalg.Config{
+		N: cfg.N, Grid: grid,
+		BlockSize:      cfg.BlockSize,
+		OuterBlockSize: cfg.OuterBlockSize,
+		Bcast:          cfg.Broadcast,
+		Segments:       cfg.Segments,
+		Machine:        cfg.Machine,
+		Overlap:        cfg.Overlap,
+	}
+	if cfg.Contention {
+		if cfg.Platform == nil {
+			return SimResult{}, fmt.Errorf("hsumma: Contention requires Platform")
+		}
+		sc.Contention = simnet.ContentionFor(*cfg.Platform, grid.Size(), true)
+	}
+	usedG := cfg.Groups
+	var res simalg.Result
+	switch cfg.Algorithm {
+	case AlgSUMMA, "":
+		res, err = simalg.SUMMA(sc)
+	case AlgHSUMMA:
+		h, herr := resolveGroups(grid, cfg.Groups)
+		if herr != nil {
+			return SimResult{}, herr
+		}
+		usedG = h.Groups()
+		sc.Groups = h
+		res, err = simalg.HSUMMA(sc)
+	case AlgCannon:
+		res, err = simalg.Cannon(sc)
+	default:
+		return SimResult{}, fmt.Errorf("hsumma: Simulate does not support algorithm %q", cfg.Algorithm)
+	}
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{Total: res.Total, Comm: res.Comm, Compute: res.Compute, Groups: usedG}, nil
+}
+
+// ModelParams re-exports the closed-form model inputs.
+type ModelParams = model.Params
+
+// ModelCost re-exports the closed-form cost decomposition.
+type ModelCost = model.Cost
+
+// Broadcast models for ModelParams.Bcast (equation 1 of the paper).
+type (
+	// BinomialModel is the Table I broadcast model; note that under it
+	// HSUMMA's cost is independent of G (log₂G + log₂(p/G) = log₂p).
+	BinomialModel = model.BinomialTree
+	// VanDeGeijnModel is the Table II broadcast model, under which the
+	// interior optimum at G = √p exists.
+	VanDeGeijnModel = model.VanDeGeijn
+)
+
+// Predict evaluates the paper's closed-form HSUMMA cost for G groups
+// (G = 1 reproduces SUMMA). See internal/model for the Table I/II formulas.
+func Predict(par ModelParams, G float64) ModelCost { return model.HSUMMA(par, G) }
+
+// PredictOptimalG returns the communication-minimising group count and its
+// predicted cost.
+func PredictOptimalG(par ModelParams) (int, ModelCost) { return model.OptimalG(par, nil) }
+
+// MinimumAtSqrtP reports the paper's interior-minimum condition
+// α/β > 2nb/p (equation 10).
+func MinimumAtSqrtP(par ModelParams) bool { return model.MinimumAtSqrtP(par) }
+
+// simnetContention adapts a platform's contention description for direct
+// simalg use (benches).
+func simnetContention(pf Platform, p int) simnet.ContentionFunc {
+	return simnet.ContentionFor(pf, p, true)
+}
+
+// ExperimentOptions re-exports the experiment harness options.
+type ExperimentOptions = exp.Options
+
+// RunExperiment runs a registered reproduction experiment (table1, table2,
+// fig5…fig10, valgrid, valbgp, headline) and returns its formatted report.
+func RunExperiment(id string, opts ExperimentOptions) (string, error) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return "", err
+	}
+	return exp.Format(res), nil
+}
+
+// ExperimentIDs lists the registered experiments in order.
+func ExperimentIDs() []string { return exp.IDs() }
