@@ -1,19 +1,27 @@
-// Command hsumma-run executes a real distributed multiplication on the
-// in-process message-passing runtime (one goroutine per rank, real matrix
-// blocks on the wire), verifies the result against sequential GEMM and
-// reports wall time plus communication statistics.
+// Command hsumma-run executes a distributed multiplication through the
+// unified engine, in either execution mode:
+//
+//   - -mode=live (default): the in-process message-passing runtime — one
+//     goroutine per rank, real matrix blocks on the wire — verified against
+//     sequential GEMM, with wall time and communication statistics;
+//
+//   - -mode=sim: the same algorithm implementation on the simnet virtual
+//     communicator, which advances Hockney virtual time instead of
+//     wall-clock, so grids far beyond one machine (BlueGene/P's 16384
+//     cores, and larger) run in seconds with no matrix memory at all.
 //
 // Usage:
 //
 //	hsumma-run -n 512 -p 16 -alg hsumma -G 4 -b 32
 //	hsumma-run -n 512 -p 16 -alg summa -bcast vandegeijn
-//	hsumma-run -n 256 -p 16 -alg cannon
+//	hsumma-run -mode=sim -platform bgp -n 65536 -p 16384 -alg hsumma -G 512 -b 256 -bcast vandegeijn
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	hsumma "repro"
@@ -21,49 +29,144 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 512, "matrix dimension (n×n)")
-		p     = flag.Int("p", 16, "number of ranks (goroutines)")
-		alg   = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox")
-		G     = flag.Int("G", 0, "HSUMMA group count (0 = closest feasible to sqrt(p))")
-		b     = flag.Int("b", 0, "block size b (0 = auto)")
-		outer = flag.Int("B", 0, "outer block size B (0 = b)")
-		bcast = flag.String("bcast", "binomial", "broadcast: binomial, vandegeijn, flat, binary, chain")
-		seed  = flag.Uint64("seed", 42, "input matrix seed")
+		mode   = flag.String("mode", "live", "execution mode: live (goroutine runtime, real data) or sim (virtual time, no data)")
+		n      = flag.Int("n", 512, "matrix dimension (n×n)")
+		p      = flag.Int("p", 16, "number of ranks")
+		alg    = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox")
+		G      = flag.Int("G", 0, "HSUMMA group count (0 = closest feasible to sqrt(p))")
+		b      = flag.Int("b", 0, "block size b (0 = auto in live mode)")
+		outer  = flag.Int("B", 0, "outer block size B (0 = b)")
+		bcast  = flag.String("bcast", "binomial", "broadcast: binomial, vandegeijn, flat, binary, chain")
+		levels = flag.String("levels", "", "multilevel hierarchy, outermost first, e.g. 2x2:64,2x2:32 (IxJ:blocksize); empty degenerates to SUMMA")
+		pf     = flag.String("platform", "grid5000", "sim machine preset: grid5000, bgp, exascale")
+		seed   = flag.Uint64("seed", 42, "input matrix seed (live mode)")
 	)
 	flag.Parse()
 
-	a := hsumma.RandomMatrix(*n, *n, *seed)
-	bm := hsumma.RandomMatrix(*n, *n, *seed+1)
-	cfg := hsumma.Config{
-		Procs:          *p,
-		Algorithm:      hsumma.Algorithm(*alg),
-		Groups:         *G,
-		BlockSize:      *b,
-		OuterBlockSize: *outer,
-		Broadcast:      hsumma.BroadcastByName(*bcast),
-	}
-
-	start := time.Now()
-	got, stats, err := hsumma.Multiply(a, bm, cfg)
-	elapsed := time.Since(start)
+	bcastAlg, err := hsumma.BroadcastByName(*bcast)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "run failed:", err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	levelList, err := parseLevels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if hsumma.Algorithm(*alg) == hsumma.AlgMultilevel && len(levelList) == 0 {
+		fmt.Fprintln(os.Stderr, "note: -alg multilevel without -levels degenerates to flat SUMMA")
 	}
 
-	fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", *alg, *p, *n)
-	fmt.Printf("wall time      : %v\n", elapsed)
-	fmt.Printf("messages sent  : %d\n", stats.Messages)
-	fmt.Printf("bytes moved    : %d\n", stats.Bytes)
-	fmt.Printf("max rank comm  : %.3gs\n", stats.MaxRankCommSeconds)
+	switch *mode {
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want live or sim)\n", *mode)
+		os.Exit(2)
+	case "live":
+		a := hsumma.RandomMatrix(*n, *n, *seed)
+		bm := hsumma.RandomMatrix(*n, *n, *seed+1)
+		cfg := hsumma.Config{
+			Procs:          *p,
+			Algorithm:      hsumma.Algorithm(*alg),
+			Groups:         *G,
+			BlockSize:      *b,
+			OuterBlockSize: *outer,
+			Levels:         levelList,
+			Broadcast:      bcastAlg,
+		}
+		start := time.Now()
+		got, stats, err := hsumma.Multiply(a, bm, cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mode           : live (goroutine runtime)\n")
+		fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", *alg, *p, *n)
+		fmt.Printf("wall time      : %v\n", elapsed)
+		fmt.Printf("messages sent  : %d\n", stats.Messages)
+		fmt.Printf("bytes moved    : %d\n", stats.Bytes)
+		fmt.Printf("max rank comm  : %.3gs\n", stats.MaxRankCommSeconds)
 
-	verify := time.Now()
-	want := hsumma.Reference(a, bm)
-	diff := hsumma.MaxAbsDiff(got, want)
-	fmt.Printf("verification   : max |Δ| = %.3g vs sequential GEMM (%v)\n", diff, time.Since(verify))
-	if diff > 1e-9 {
-		fmt.Fprintln(os.Stderr, "VERIFICATION FAILED")
-		os.Exit(1)
+		verify := time.Now()
+		want := hsumma.Reference(a, bm)
+		diff := hsumma.MaxAbsDiff(got, want)
+		fmt.Printf("verification   : max |Δ| = %.3g vs sequential GEMM (%v)\n", diff, time.Since(verify))
+		if diff > 1e-9 {
+			fmt.Fprintln(os.Stderr, "VERIFICATION FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("result         : OK")
+
+	case "sim":
+		var machine hsumma.Platform
+		switch *pf {
+		case "grid5000":
+			machine = hsumma.PlatformGrid5000()
+		case "bgp", "bluegene":
+			machine = hsumma.PlatformBlueGeneP()
+		case "exascale":
+			machine = hsumma.PlatformExascale()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -platform %q (want grid5000, bgp, exascale)\n", *pf)
+			os.Exit(2)
+		}
+		// Cannon and Fox work on whole tiles and take no block size; the
+		// SUMMA family needs an explicit b (live mode auto-derives it, but
+		// a simulation should not guess the paper's key parameter).
+		simAlg := hsumma.Algorithm(*alg)
+		if *b <= 0 && simAlg != hsumma.AlgCannon && simAlg != hsumma.AlgFox {
+			fmt.Fprintln(os.Stderr, "sim mode needs an explicit -b block size for "+*alg)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := hsumma.Simulate(hsumma.SimConfig{
+			N:              *n,
+			Procs:          *p,
+			Algorithm:      simAlg,
+			Groups:         *G,
+			BlockSize:      *b,
+			OuterBlockSize: *outer,
+			Levels:         levelList,
+			Broadcast:      bcastAlg,
+			Machine:        machine.Model,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulation failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mode           : sim (virtual communicator, %s)\n", machine.Name)
+		fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", *alg, *p, *n)
+		if simAlg == hsumma.AlgHSUMMA {
+			fmt.Printf("groups         : G=%d\n", res.Groups)
+		}
+		fmt.Printf("simulated total: %.4gs\n", res.Total)
+		fmt.Printf("simulated comm : %.4gs\n", res.Comm)
+		fmt.Printf("computation    : %.4gs\n", res.Compute)
+		fmt.Printf("messages sent  : %d\n", res.Messages)
+		fmt.Printf("bytes moved    : %d (identical to a live run of this config)\n", res.Bytes)
+		fmt.Printf("host wall time : %v\n", time.Since(start))
 	}
-	fmt.Println("result         : OK")
+}
+
+// parseLevels parses the -levels syntax "IxJ:blocksize[,IxJ:blocksize...]"
+// (outermost first) into the multilevel hierarchy description.
+func parseLevels(spec string) ([]hsumma.Level, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []hsumma.Level
+	for _, part := range strings.Split(spec, ",") {
+		var lv hsumma.Level
+		// Sscanf ignores trailing garbage, so demand an exact round-trip:
+		// "2x2:64abc" or a semicolon-joined list must not parse silently.
+		if _, err := fmt.Sscanf(part, "%dx%d:%d", &lv.I, &lv.J, &lv.BlockSize); err != nil ||
+			fmt.Sprintf("%dx%d:%d", lv.I, lv.J, lv.BlockSize) != part {
+			return nil, fmt.Errorf("bad -levels entry %q (want IxJ:blocksize, e.g. 2x2:64)", part)
+		}
+		if lv.I <= 0 || lv.J <= 0 || lv.BlockSize <= 0 {
+			return nil, fmt.Errorf("bad -levels entry %q: all values must be positive", part)
+		}
+		out = append(out, lv)
+	}
+	return out, nil
 }

@@ -8,24 +8,28 @@
 //     hierarchical HSUMMA, its multilevel generalisation, and the Cannon
 //     and Fox baselines) executed on an in-process MPI-like runtime whose
 //     ranks are goroutines;
-//   - Simulate: the same algorithms replayed on a discrete-event Hockney
-//     simulator, reproducing the paper's large-scale timing figures;
+//   - Simulate: the *same* algorithm implementations executed on a
+//     simnet-backed virtual communicator that advances Hockney virtual
+//     time instead of wall-clock, reproducing the paper's large-scale
+//     timing figures at rank counts no single machine could host;
 //   - Predict: the paper's closed-form cost model (Tables I–II), optimal
 //     group count analysis and the exascale projection;
 //   - RunExperiment: the registry of reproduction experiments, one per
 //     table/figure of the paper's evaluation.
 //
-// See README.md for a walkthrough and EXPERIMENTS.md for paper-vs-measured
-// results.
+// Every algorithm is written once against the transport-agnostic
+// comm.Comm interface; Multiply and Simulate differ only in the transport
+// they hand the algorithm. See README.md for a walkthrough and
+// EXPERIMENTS.md for paper-vs-measured results.
 package hsumma
 
 import (
 	"fmt"
 	"sync"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
 	"repro/internal/sched"
@@ -51,16 +55,17 @@ func MaxAbsDiff(a, b *Matrix) float64 { return matrix.MaxAbsDiff(a, b) }
 // panels of width BlockSize.
 type Level = core.Level
 
-// Algorithm selects a distributed multiplication algorithm.
-type Algorithm string
+// Algorithm selects a distributed multiplication algorithm (re-exported
+// from the engine dispatch shared by the live and simulated paths).
+type Algorithm = engine.Algorithm
 
 // Available distributed algorithms.
 const (
-	AlgSUMMA      Algorithm = "summa"
-	AlgHSUMMA     Algorithm = "hsumma"
-	AlgMultilevel Algorithm = "multilevel"
-	AlgCannon     Algorithm = "cannon"
-	AlgFox        Algorithm = "fox"
+	AlgSUMMA      = engine.SUMMA
+	AlgHSUMMA     = engine.HSUMMA
+	AlgMultilevel = engine.Multilevel
+	AlgCannon     = engine.Cannon
+	AlgFox        = engine.Fox
 )
 
 // Broadcast names re-exported from the schedule layer.
@@ -72,20 +77,23 @@ const (
 	BcastChain      = sched.Chain
 )
 
-// BroadcastByName maps a CLI-friendly name to a broadcast algorithm; the
-// empty string (and unknown names) default to binomial.
-func BroadcastByName(name string) sched.Algorithm {
+// BroadcastByName maps a CLI-friendly name to a broadcast algorithm. The
+// empty string defaults to binomial; an unknown name is an error (it used
+// to silently fall back to binomial, which hid typos in sweep scripts).
+func BroadcastByName(name string) (sched.Algorithm, error) {
 	switch name {
+	case "", string(sched.Binomial):
+		return sched.Binomial, nil
 	case string(sched.VanDeGeijn), "vdg", "scatter-allgather":
-		return sched.VanDeGeijn
+		return sched.VanDeGeijn, nil
 	case string(sched.Flat):
-		return sched.Flat
+		return sched.Flat, nil
 	case string(sched.Binary):
-		return sched.Binary
+		return sched.Binary, nil
 	case string(sched.Chain), "pipeline":
-		return sched.Chain
+		return sched.Chain, nil
 	default:
-		return sched.Binomial
+		return "", fmt.Errorf("hsumma: unknown broadcast algorithm %q (have binomial, vandegeijn, flat, binary, chain)", name)
 	}
 }
 
@@ -124,10 +132,48 @@ type Stats struct {
 	MaxRankCommSeconds float64
 }
 
+// resolveSpec turns a user Config into the engine's transport-independent
+// Spec (shared by Multiply and Simulate).
+func resolveSpec(n int, cfg Config) (engine.Spec, topo.Grid, error) {
+	if cfg.Procs <= 0 {
+		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: Procs must be positive")
+	}
+	grid, err := resolveGrid(cfg)
+	if err != nil {
+		return engine.Spec{}, topo.Grid{}, err
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = AlgHSUMMA
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = defaultBlock(n, grid)
+	}
+	spec := engine.Spec{
+		Algorithm: cfg.Algorithm,
+		Opts: core.Options{
+			N: n, Grid: grid,
+			BlockSize:      cfg.BlockSize,
+			OuterBlockSize: cfg.OuterBlockSize,
+			Broadcast:      cfg.Broadcast,
+			Segments:       cfg.Segments,
+		},
+		Levels: cfg.Levels,
+	}
+	if cfg.Algorithm == AlgHSUMMA {
+		h, err := resolveGroups(grid, cfg.Groups)
+		if err != nil {
+			return engine.Spec{}, topo.Grid{}, err
+		}
+		spec.Opts.Groups = h
+	}
+	return spec, grid, nil
+}
+
 // Multiply computes A·B (n×n matrices) with the configured distributed
-// algorithm: it block-distributes the inputs over the process grid, runs
-// one goroutine per rank through the message-passing runtime, and gathers
-// the result.
+// algorithm: it block-distributes the inputs over the process grid through
+// the dist layer, runs one goroutine per rank through the message-passing
+// runtime (each rank executing the shared algorithm code against the live
+// transport), and gathers the result.
 func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 	var st Stats
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
@@ -135,18 +181,9 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 			a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	n := a.Rows
-	if cfg.Procs <= 0 {
-		return nil, st, fmt.Errorf("hsumma: Procs must be positive")
-	}
-	grid, err := resolveGrid(cfg)
+	spec, grid, err := resolveSpec(n, cfg)
 	if err != nil {
 		return nil, st, err
-	}
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = AlgHSUMMA
-	}
-	if cfg.BlockSize <= 0 {
-		cfg.BlockSize = defaultBlock(n, grid)
 	}
 
 	bm, err := dist.NewBlockMap(n, n, grid)
@@ -159,41 +196,11 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 	}
 
-	opts := core.Options{
-		N: n, Grid: grid,
-		BlockSize:      cfg.BlockSize,
-		OuterBlockSize: cfg.OuterBlockSize,
-		Broadcast:      cfg.Broadcast,
-		Segments:       cfg.Segments,
-	}
-	if cfg.Algorithm == AlgHSUMMA {
-		h, err := resolveGroups(grid, cfg.Groups)
-		if err != nil {
-			return nil, st, err
-		}
-		opts.Groups = h
-	}
-
 	var mu sync.Mutex
 	var algErr error
 	ranks, err := mpi.RunStats(grid.Size(), func(c *mpi.Comm) {
-		var e error
-		al, bl, cl := aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]
-		switch cfg.Algorithm {
-		case AlgSUMMA:
-			e = core.SUMMA(c, opts, al, bl, cl)
-		case AlgHSUMMA:
-			e = core.HSUMMA(c, opts, al, bl, cl)
-		case AlgMultilevel:
-			e = core.MultilevelHSUMMA(c, opts, cfg.Levels, cfg.BlockSize, al, bl, cl)
-		case AlgCannon:
-			e = baseline.Cannon(c, grid, n, al, bl, cl)
-		case AlgFox:
-			e = baseline.Fox(c, grid, n, cfg.Broadcast, al, bl, cl)
-		default:
-			e = fmt.Errorf("hsumma: unknown algorithm %q", cfg.Algorithm)
-		}
-		if e != nil {
+		r := c.Rank()
+		if e := engine.Run(mpi.AsComm(c), spec, aT[r], bT[r], cT[r]); e != nil {
 			mu.Lock()
 			if algErr == nil {
 				algErr = e
@@ -245,6 +252,11 @@ func resolveGroups(g topo.Grid, G int) (topo.Hier, error) {
 	// Default: the feasible group count closest to √p, the paper's
 	// analytic optimum.
 	counts := topo.ValidGroupCounts(g)
+	if len(counts) == 0 {
+		// Unreachable for any valid grid (G=1 always factorises), but a
+		// guard beats an index panic if ValidGroupCounts ever changes.
+		return topo.Hier{}, fmt.Errorf("hsumma: no feasible group count for grid %v", g)
+	}
 	best := counts[0]
 	for _, c := range counts {
 		if absInt(c*c-g.Size()) < absInt(best*best-g.Size()) {

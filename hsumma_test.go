@@ -196,3 +196,66 @@ func TestSimulateMatchesPredictOnSquareGrid(t *testing.T) {
 		t.Fatalf("sim %g vs closed form %g (rel %g)", sim.Comm, pred.Comm(), rel)
 	}
 }
+
+func TestBroadcastByName(t *testing.T) {
+	cases := map[string]interface{}{
+		"":                  BcastBinomial,
+		"binomial":          BcastBinomial,
+		"vandegeijn":        BcastVanDeGeijn,
+		"vdg":               BcastVanDeGeijn,
+		"scatter-allgather": BcastVanDeGeijn,
+		"flat":              BcastFlat,
+		"binary":            BcastBinary,
+		"chain":             BcastChain,
+		"pipeline":          BcastChain,
+	}
+	for name, want := range cases {
+		got, err := BroadcastByName(name)
+		if err != nil {
+			t.Fatalf("BroadcastByName(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("BroadcastByName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	// Unknown names used to silently fall back to binomial; they must now
+	// be rejected.
+	if _, err := BroadcastByName("binomal"); err == nil {
+		t.Fatal("typo'd broadcast name accepted")
+	}
+}
+
+// Every algorithm Multiply runs must also run on the virtual communicator —
+// the acceptance invariant of the unified engine.
+func TestSimulateAllAlgorithms(t *testing.T) {
+	m := Machine{Alpha: 1e-5, Beta: 1e-9, Gamma: 1e-10}
+	for _, cfg := range []SimConfig{
+		{N: 64, Procs: 16, BlockSize: 4, Algorithm: AlgSUMMA, Machine: m},
+		{N: 64, Procs: 16, BlockSize: 4, Algorithm: AlgHSUMMA, Groups: 4, Machine: m},
+		{N: 64, Procs: 16, BlockSize: 4, Algorithm: AlgMultilevel,
+			Levels: []Level{{I: 2, J: 2, BlockSize: 8}}, Machine: m},
+		{N: 64, Procs: 16, Algorithm: AlgCannon, Machine: m},
+		{N: 64, Procs: 16, Algorithm: AlgFox, Machine: m},
+	} {
+		cfg := cfg
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Algorithm, err)
+		}
+		if res.Comm <= 0 || res.Total < res.Comm {
+			t.Fatalf("%s: degenerate simulated times %+v", cfg.Algorithm, res)
+		}
+	}
+}
+
+// A simulation must not silently guess b — it defines the communication
+// pattern being measured. Cannon and Fox take no block size and are exempt.
+func TestSimulateRequiresBlockSize(t *testing.T) {
+	m := Machine{Alpha: 1e-5, Beta: 1e-9}
+	if _, err := Simulate(SimConfig{N: 64, Procs: 16, Algorithm: AlgSUMMA, Machine: m}); err == nil {
+		t.Fatal("SUMMA simulation without BlockSize accepted")
+	}
+	if _, err := Simulate(SimConfig{N: 64, Procs: 16, Algorithm: AlgCannon, Machine: m}); err != nil {
+		t.Fatalf("Cannon simulation without BlockSize rejected: %v", err)
+	}
+}

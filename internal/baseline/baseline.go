@@ -5,25 +5,28 @@
 // restriction the paper cites as the reason SUMMA-style algorithms won in
 // practice — and both are validated against sequential GEMM so the
 // comparison benches measure correct implementations.
+//
+// Like the core algorithms, both are written once against the
+// transport-agnostic comm.Comm interface and run unchanged on the live
+// goroutine runtime and the simnet virtual communicator.
 package baseline
 
 import (
 	"fmt"
 
-	"repro/internal/blas"
+	"repro/internal/comm"
 	"repro/internal/matrix"
-	"repro/internal/mpi"
 	"repro/internal/sched"
 	"repro/internal/topo"
 )
 
 // squareGridOf validates the square-grid requirement and the tile shapes.
-func squareGridOf(comm *mpi.Comm, g topo.Grid, n int) (q int, err error) {
+func squareGridOf(c comm.Comm, g topo.Grid, n int) (q int, err error) {
 	if g.S != g.T {
 		return 0, fmt.Errorf("baseline: %v is not square (Cannon/Fox require q×q)", g)
 	}
-	if comm.Size() != g.Size() {
-		return 0, fmt.Errorf("baseline: communicator size %d does not match grid %v", comm.Size(), g)
+	if c.Size() != g.Size() {
+		return 0, fmt.Errorf("baseline: communicator size %d does not match grid %v", c.Size(), g)
 	}
 	if n%g.S != 0 {
 		return 0, fmt.Errorf("baseline: n=%d not divisible by q=%d", n, g.S)
@@ -36,29 +39,29 @@ func squareGridOf(comm *mpi.Comm, g topo.Grid, n int) (q int, err error) {
 // by j), q iterations of local multiply followed by a single-step rotation
 // of A leftwards and B upwards. Local tiles are (n/q)×(n/q); aLoc and bLoc
 // are not modified (the rotations work on copies).
-func Cannon(comm *mpi.Comm, g topo.Grid, n int, aLoc, bLoc, cLoc *matrix.Dense) error {
-	q, err := squareGridOf(comm, g, n)
+func Cannon(c comm.Comm, g topo.Grid, n int, aLoc, bLoc, cLoc *matrix.Dense) error {
+	q, err := squareGridOf(c, g, n)
 	if err != nil {
 		return err
 	}
-	i, j := g.Coords(comm.Rank())
+	i, j := g.Coords(c.Rank())
 	tile := n / q
 	if aLoc.Rows != tile || aLoc.Cols != tile {
 		return fmt.Errorf("baseline: tile %dx%d, want %dx%d", aLoc.Rows, aLoc.Cols, tile, tile)
 	}
-	a := aLoc.Clone()
-	b := bLoc.Clone()
+	a := c.CloneTile(aLoc)
+	b := c.CloneTile(bLoc)
 	if q == 1 {
-		blas.Gemm(cLoc, a, b)
+		c.Gemm(cLoc, a, b)
 		return nil
 	}
-	aw := make([]float64, tile*tile)
-	bw := make([]float64, tile*tile)
+	aw := c.NewBuf(tile * tile)
+	bw := c.NewBuf(tile * tile)
 
-	rot := func(buf *matrix.Dense, wire []float64, dst, src, tag int) {
-		buf.Pack(wire[:0])
-		comm.SendRecv(dst, tag, wire, src, tag, wire)
-		buf.Unpack(wire)
+	rot := func(buf *matrix.Dense, wire comm.Buf, dst, src, tag int) {
+		c.Pack(wire, buf)
+		c.SendRecv(dst, tag, wire, src, tag, wire)
+		c.Unpack(buf, wire)
 	}
 	// Initial alignment: A_{i,j} moves to (i, j-i); B_{i,j} to (i-j, j).
 	if i > 0 {
@@ -72,7 +75,7 @@ func Cannon(comm *mpi.Comm, g topo.Grid, n int, aLoc, bLoc, cLoc *matrix.Dense) 
 		rot(b, bw, dst, src, 1)
 	}
 	for step := 0; step < q; step++ {
-		blas.Gemm(cLoc, a, b)
+		c.Gemm(cLoc, a, b)
 		if step == q-1 {
 			break
 		}
@@ -88,43 +91,43 @@ func Cannon(comm *mpi.Comm, g topo.Grid, n int, aLoc, bLoc, cLoc *matrix.Dense) 
 // multiplied with the local B, and B rolls upwards one step. bcastAlg
 // selects the broadcast schedule (the original paper assumed a hypercube
 // broadcast; any algorithm from internal/sched works).
-func Fox(comm *mpi.Comm, g topo.Grid, n int, bcastAlg sched.Algorithm, aLoc, bLoc, cLoc *matrix.Dense) error {
-	q, err := squareGridOf(comm, g, n)
+func Fox(c comm.Comm, g topo.Grid, n int, bcastAlg sched.Algorithm, aLoc, bLoc, cLoc *matrix.Dense) error {
+	q, err := squareGridOf(c, g, n)
 	if err != nil {
 		return err
 	}
 	if bcastAlg == "" {
 		bcastAlg = sched.Binomial
 	}
-	i, j := g.Coords(comm.Rank())
+	i, j := g.Coords(c.Rank())
 	tile := n / q
 	if aLoc.Rows != tile || aLoc.Cols != tile {
 		return fmt.Errorf("baseline: tile %dx%d, want %dx%d", aLoc.Rows, aLoc.Cols, tile, tile)
 	}
-	rowComm := comm.Split(i, j)
-	b := bLoc.Clone()
+	rowComm := c.Split(i, j)
+	b := c.CloneTile(bLoc)
 	if q == 1 {
-		blas.Gemm(cLoc, aLoc, b)
+		c.Gemm(cLoc, aLoc, b)
 		return nil
 	}
-	aPanel := matrix.New(tile, tile)
-	aw := make([]float64, tile*tile)
-	bw := make([]float64, tile*tile)
+	aPanel := c.NewTile(tile, tile)
+	aw := c.NewBuf(tile * tile)
+	bw := c.NewBuf(tile * tile)
 	for k := 0; k < q; k++ {
 		root := (i + k) % q
 		if j == root {
-			aLoc.Pack(aw[:0])
+			c.Pack(aw, aLoc)
 		}
 		rowComm.Bcast(bcastAlg, root, aw, 1)
-		aPanel.Unpack(aw)
-		blas.Gemm(cLoc, aPanel, b)
+		c.Unpack(aPanel, aw)
+		c.Gemm(cLoc, aPanel, b)
 		if k == q-1 {
 			break
 		}
 		// Roll B upwards: send my B to (i-1, j), receive from (i+1, j).
-		b.Pack(bw[:0])
-		comm.SendRecv(g.Rank(mod(i-1, q), j), 4, bw, g.Rank(mod(i+1, q), j), 4, bw)
-		b.Unpack(bw)
+		c.Pack(bw, b)
+		c.SendRecv(g.Rank(mod(i-1, q), j), 4, bw, g.Rank(mod(i+1, q), j), 4, bw)
+		c.Unpack(b, bw)
 	}
 	return nil
 }

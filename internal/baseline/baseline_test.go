@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/blas"
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
@@ -14,7 +15,7 @@ import (
 
 const tol = 1e-10
 
-func runSquare(t *testing.T, q, n int, algo func(*mpi.Comm, topo.Grid, int, *matrix.Dense, *matrix.Dense, *matrix.Dense) error) {
+func runSquare(t *testing.T, q, n int, algo func(comm.Comm, topo.Grid, int, *matrix.Dense, *matrix.Dense, *matrix.Dense) error) {
 	t.Helper()
 	g := topo.Grid{S: q, T: q}
 	bm, err := dist.NewBlockMap(n, n, g)
@@ -29,7 +30,7 @@ func runSquare(t *testing.T, q, n int, algo func(*mpi.Comm, topo.Grid, int, *mat
 		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 	}
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := algo(c, g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := algo(mpi.AsComm(c), g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -56,8 +57,8 @@ func TestCannonSizes(t *testing.T) {
 }
 
 func TestFoxSizes(t *testing.T) {
-	fox := func(comm *mpi.Comm, g topo.Grid, n int, a, b, c *matrix.Dense) error {
-		return Fox(comm, g, n, sched.Binomial, a, b, c)
+	fox := func(cm comm.Comm, g topo.Grid, n int, a, b, c *matrix.Dense) error {
+		return Fox(cm, g, n, sched.Binomial, a, b, c)
 	}
 	for _, c := range []struct{ q, n int }{{1, 4}, {2, 8}, {3, 9}, {4, 16}} {
 		c := c
@@ -68,8 +69,8 @@ func TestFoxSizes(t *testing.T) {
 }
 
 func TestFoxVanDeGeijnBroadcast(t *testing.T) {
-	fox := func(comm *mpi.Comm, g topo.Grid, n int, a, b, c *matrix.Dense) error {
-		return Fox(comm, g, n, sched.VanDeGeijn, a, b, c)
+	fox := func(cm comm.Comm, g topo.Grid, n int, a, b, c *matrix.Dense) error {
+		return Fox(cm, g, n, sched.VanDeGeijn, a, b, c)
 	}
 	runSquare(t, 4, 16, fox)
 }
@@ -83,7 +84,7 @@ func TestCannonAccumulates(t *testing.T) {
 	c0 := matrix.Random(n, n, 3)
 	aT, bT, cT := bm.Scatter(a), bm.Scatter(b), bm.Scatter(c0)
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := Cannon(c, g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := Cannon(mpi.AsComm(c), g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -100,10 +101,10 @@ func TestNonSquareGridRejected(t *testing.T) {
 	g := topo.Grid{S: 2, T: 4}
 	err := mpi.Run(8, func(c *mpi.Comm) {
 		tile := matrix.New(4, 2)
-		if e := Cannon(c, g, 8, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Cannon(mpi.AsComm(c), g, 8, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("non-square grid accepted by Cannon")
 		}
-		if e := Fox(c, g, 8, sched.Binomial, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Fox(mpi.AsComm(c), g, 8, sched.Binomial, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("non-square grid accepted by Fox")
 		}
 	})
@@ -116,7 +117,7 @@ func TestIndivisibleNRejected(t *testing.T) {
 	g := topo.Grid{S: 2, T: 2}
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		tile := matrix.New(3, 3)
-		if e := Cannon(c, g, 7, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Cannon(mpi.AsComm(c), g, 7, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("n=7 over q=2 accepted")
 		}
 	})
@@ -134,10 +135,10 @@ func TestCannonFoxAgree(t *testing.T) {
 	a := matrix.Random(n, n, 77)
 	b := matrix.Random(n, n, 78)
 	results := make([]*matrix.Dense, 2)
-	for idx, algo := range []func(*mpi.Comm, topo.Grid, int, *matrix.Dense, *matrix.Dense, *matrix.Dense) error{
+	for idx, algo := range []func(comm.Comm, topo.Grid, int, *matrix.Dense, *matrix.Dense, *matrix.Dense) error{
 		Cannon,
-		func(comm *mpi.Comm, g topo.Grid, n int, x, y, z *matrix.Dense) error {
-			return Fox(comm, g, n, sched.Binomial, x, y, z)
+		func(cm comm.Comm, g topo.Grid, n int, x, y, z *matrix.Dense) error {
+			return Fox(cm, g, n, sched.Binomial, x, y, z)
 		},
 	} {
 		aT, bT := bm.Scatter(a), bm.Scatter(b)
@@ -146,7 +147,7 @@ func TestCannonFoxAgree(t *testing.T) {
 			cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 		}
 		if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-			if e := algo(c, g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+			if e := algo(mpi.AsComm(c), g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 				panic(e)
 			}
 		}); err != nil {

@@ -1,0 +1,100 @@
+// Package comm defines the transport-agnostic communicator interface the
+// SUMMA-family algorithms are written against. Every algorithm in
+// internal/core and internal/baseline is implemented exactly once, in terms
+// of this interface, and runs unchanged on two transports:
+//
+//   - the live transport (internal/mpi): ranks are goroutines, wire buffers
+//     carry real matrix elements, Gemm executes real floating-point work,
+//     and communication time is wall-clock — the correctness path;
+//
+//   - the virtual transport (internal/simnet): ranks are goroutines but
+//     wire buffers carry only element counts, Gemm advances a per-rank
+//     Hockney compute clock, and every transfer advances virtual time — the
+//     timing path that reproduces the paper's BlueGene/P and exascale
+//     figures at ranks counts no single machine could host with real data.
+//
+// Both transports execute the same broadcast schedules (internal/sched) and
+// count the same per-rank messages and bytes, so a simulated run is
+// traffic-identical to a live run of the same configuration — the invariant
+// the parity tests in internal/simalg assert.
+//
+// The interface has two halves. The communication half (Rank/Size/Split/
+// Send/Recv/SendRecv/Bcast) mirrors the MPI subset the paper's Algorithm 1
+// uses. The data half (NewBuf/NewTile/CloneTile/Pack/Unpack/Gemm) routes
+// every touch of matrix element storage through the transport, which is
+// what lets the virtual transport elide storage entirely: a simulated
+// 16384-rank run allocates shape headers, not gigabytes of tiles.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// Buf is a wire buffer of matrix elements. Under the live transport Data
+// holds the elements (len(Data) == N); under a virtual transport Data is
+// nil and only the element count N travels — the Hockney cost and the
+// traffic accounting depend only on N.
+type Buf struct {
+	Data []float64
+	N    int
+}
+
+// Comm is a communicator: an ordered group of ranks with an isolated
+// message namespace, plus the data-plane hooks that let a transport decide
+// whether matrix elements physically exist.
+//
+// Collective calls (Split, Bcast) must be made by every member of the
+// communicator in the same order — the standard MPI requirement both
+// transports rely on to match operations without central coordination.
+type Comm interface {
+	// Rank returns the caller's rank within the communicator.
+	Rank() int
+	// Size returns the number of ranks in the communicator.
+	Size() int
+	// Split partitions the communicator exactly like MPI_Comm_split:
+	// ranks passing the same colour form a new communicator ordered by
+	// (key, old rank). A negative colour returns nil (MPI_UNDEFINED).
+	Split(color, key int) Comm
+
+	// Send delivers data to dst (comm rank) under tag. Sends are eager:
+	// they never block and the buffer may be reused on return.
+	Send(dst, tag int, data Buf)
+	// Recv blocks until a message from src with the given tag arrives.
+	// The buffer's element count must equal the message's exactly.
+	Recv(src, tag int, buf Buf)
+	// SendRecv performs the send and the receive concurrently — the
+	// full-duplex shift primitive of Cannon's and Fox's algorithms.
+	SendRecv(dst, sendTag int, send Buf, src, recvTag int, recv Buf)
+	// Bcast broadcasts root's buffer to every rank in place, executing
+	// the named algorithm's schedule from internal/sched transfer by
+	// transfer. segments is the chain pipeline depth (pass 1 otherwise).
+	Bcast(alg sched.Algorithm, root int, data Buf, segments int)
+
+	// NewBuf allocates a wire buffer of elems elements.
+	NewBuf(elems int) Buf
+	// NewTile allocates a zeroed rows×cols local matrix.
+	NewTile(rows, cols int) *matrix.Dense
+	// CloneTile returns a private copy of a tile (Cannon and Fox rotate
+	// copies so the caller's inputs stay untouched).
+	CloneTile(src *matrix.Dense) *matrix.Dense
+	// Pack marshals a tile (or view) into a wire buffer; the element
+	// counts must match exactly.
+	Pack(dst Buf, src *matrix.Dense)
+	// Unpack fills a tile from a wire buffer produced by Pack.
+	Unpack(dst *matrix.Dense, src Buf)
+	// Gemm performs the local update C += A·B: real arithmetic on the
+	// live transport, a compute-clock advance of 2·m·k·n flops on the
+	// virtual one.
+	Gemm(c, a, b *matrix.Dense)
+}
+
+// CheckPack panics unless src's shape fills dst exactly — shared by the
+// transports so both enforce the same contract.
+func CheckPack(dst Buf, src *matrix.Dense) {
+	if src.Rows*src.Cols != dst.N {
+		panic(fmt.Sprintf("comm: pack %dx%d tile into %d-element buffer", src.Rows, src.Cols, dst.N))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
@@ -17,7 +18,7 @@ const tol = 1e-10
 // runAlgorithm distributes random n×n matrices over the grid, runs the
 // given distributed multiply on the mpi runtime, gathers C and compares it
 // element-wise against the sequential reference.
-func runAlgorithm(t *testing.T, o Options, algo func(*mpi.Comm, Options, *matrix.Dense, *matrix.Dense, *matrix.Dense) error) {
+func runAlgorithm(t *testing.T, o Options, algo func(comm.Comm, Options, *matrix.Dense, *matrix.Dense, *matrix.Dense) error) {
 	t.Helper()
 	g := o.Grid
 	bm, err := dist.NewBlockMap(o.N, o.N, g)
@@ -35,7 +36,7 @@ func runAlgorithm(t *testing.T, o Options, algo func(*mpi.Comm, Options, *matrix
 	var mu sync.Mutex
 	var algErr error
 	err = mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := algo(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := algo(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			mu.Lock()
 			if algErr == nil {
 				algErr = e
@@ -153,14 +154,14 @@ func TestHSUMMADegeneratesToSUMMA(t *testing.T) {
 	bm, _ := dist.NewBlockMap(n, n, g)
 	a := matrix.Random(n, n, 7)
 	bb := matrix.Random(n, n, 8)
-	run := func(algo func(*mpi.Comm, Options, *matrix.Dense, *matrix.Dense, *matrix.Dense) error, o Options) *matrix.Dense {
+	run := func(algo func(comm.Comm, Options, *matrix.Dense, *matrix.Dense, *matrix.Dense) error, o Options) *matrix.Dense {
 		aT, bT := bm.Scatter(a), bm.Scatter(bb)
 		cT := make([]*matrix.Dense, g.Size())
 		for r := range cT {
 			cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 		}
 		if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-			if e := algo(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+			if e := algo(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 				panic(e)
 			}
 		}); err != nil {
@@ -221,7 +222,7 @@ func TestCommSizeMismatch(t *testing.T) {
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		o := Options{N: 16, Grid: topo.Grid{S: 2, T: 4}, BlockSize: 2}
 		tile := matrix.New(8, 4)
-		if e := SUMMA(c, o, tile, tile.Clone(), tile.Clone()); e != nil {
+		if e := SUMMA(mpi.AsComm(c), o, tile, tile.Clone(), tile.Clone()); e != nil {
 			mu.Lock()
 			errs++
 			mu.Unlock()
@@ -246,7 +247,7 @@ func TestSUMMAAccumulatesIntoC(t *testing.T) {
 	c0 := matrix.Random(n, n, 3)
 	aT, bT, cT := bm.Scatter(a), bm.Scatter(b), bm.Scatter(c0)
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := SUMMA(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := SUMMA(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -272,7 +273,7 @@ func TestInputsUnmodified(t *testing.T) {
 		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 	}
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := SUMMA(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := SUMMA(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -300,7 +301,7 @@ func TestHSUMMAStatsShowTwoLevelTraffic(t *testing.T) {
 		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 	}
 	stats, err := mpi.RunStats(g.Size(), func(c *mpi.Comm) {
-		if e := HSUMMA(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := HSUMMA(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	})

@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/blas"
+	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/matrix"
-	"repro/internal/mpi"
 )
 
 // CyclicSUMMA performs C += A·B over matrices in the 2D block-cyclic
@@ -22,14 +21,14 @@ import (
 // and enables the overlap the paper anticipates.
 //
 // Tiles must come from dist.CyclicMap with Br = Bc = opts.BlockSize.
-func CyclicSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
+func CyclicSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	o := opts.withDefaults()
 	if err := o.validateSUMMA(); err != nil {
 		return err
 	}
 	g := o.Grid
-	if comm.Size() != g.Size() {
-		return fmt.Errorf("core: communicator size %d does not match grid %v", comm.Size(), g)
+	if c.Size() != g.Size() {
+		return fmt.Errorf("core: communicator size %d does not match grid %v", c.Size(), g)
 	}
 	n, b := o.N, o.BlockSize
 	if (n/b)%g.S != 0 || (n/b)%g.T != 0 {
@@ -44,36 +43,36 @@ func CyclicSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) e
 	checkTile("B", bLoc, localRows, localCols)
 	checkTile("C", cLoc, localRows, localCols)
 
-	i, j := g.Coords(comm.Rank())
-	rowComm := comm.Split(i, j)
-	colComm := comm.Split(g.S+j, i)
+	i, j := g.Coords(c.Rank())
+	rowComm := c.Split(i, j)
+	colComm := c.Split(g.S+j, i)
 
-	aPanel := matrix.New(localRows, b)
-	bPanel := matrix.New(b, localCols)
-	aBuf := make([]float64, localRows*b)
-	bBuf := make([]float64, b*localCols)
+	aPanel := c.NewTile(localRows, b)
+	bPanel := c.NewTile(b, localCols)
+	aBuf := c.NewBuf(localRows * b)
+	bBuf := c.NewBuf(b * localCols)
 	for k := 0; k < n/b; k++ {
 		// Owner grid column of A's pivot block-column k, and the local
 		// block column it is stored at on the owner.
 		ownerCol := k % g.T
 		if j == ownerCol {
-			aLoc.View(0, (k/g.T)*b, localRows, b).Pack(aBuf[:0])
+			c.Pack(aBuf, aLoc.View(0, (k/g.T)*b, localRows, b))
 		}
 		rowComm.Bcast(o.Broadcast, ownerCol, aBuf, o.Segments)
-		aPanel.Unpack(aBuf)
+		c.Unpack(aPanel, aBuf)
 
 		ownerRow := k % g.S
 		if i == ownerRow {
-			bLoc.View((k/g.S)*b, 0, b, localCols).Pack(bBuf[:0])
+			c.Pack(bBuf, bLoc.View((k/g.S)*b, 0, b, localCols))
 		}
 		colComm.Bcast(o.Broadcast, ownerRow, bBuf, o.Segments)
-		bPanel.Unpack(bBuf)
+		c.Unpack(bPanel, bBuf)
 
 		// The panel's local row set equals C's local row set (both are
 		// the block rows congruent to i mod s, in the same local
 		// order), and likewise for columns, so the update is a plain
 		// local GEMM exactly as in the checkerboard layout.
-		blas.Gemm(cLoc, aPanel, bPanel)
+		c.Gemm(cLoc, aPanel, bPanel)
 	}
 	return nil
 }

@@ -26,7 +26,7 @@ func runCyclic(t *testing.T, g topo.Grid, n, b int, bcast sched.Algorithm) {
 	}
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
 		o := Options{N: n, Grid: g, BlockSize: b, Broadcast: bcast}
-		if e := CyclicSUMMA(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := CyclicSUMMA(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -80,7 +80,7 @@ func TestCyclicSUMMARootsRotate(t *testing.T) {
 	}
 	stats, err := mpi.RunStats(g.Size(), func(c *mpi.Comm) {
 		o := Options{N: n, Grid: g, BlockSize: b}
-		if e := CyclicSUMMA(c, o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := CyclicSUMMA(mpi.AsComm(c), o, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	})
@@ -101,7 +101,7 @@ func TestCyclicSUMMAValidation(t *testing.T) {
 		// t=4: blocks divisible; use an invalid one: n/b=3 blocks.
 		tile := matrix.New(2, 2)
 		o := Options{N: 12, Grid: g, BlockSize: 4} // 3 block rows over 4 grid rows
-		if e := CyclicSUMMA(c, o, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := CyclicSUMMA(mpi.AsComm(c), o, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("indivisible cyclic layout accepted")
 		}
 	})

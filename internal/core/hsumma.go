@@ -3,9 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/blas"
+	"repro/internal/comm"
 	"repro/internal/matrix"
-	"repro/internal/mpi"
 )
 
 // HSUMMA performs C += A·B with the paper's hierarchical SUMMA
@@ -18,23 +17,23 @@ import (
 // With Groups = 1×1 or Groups = s×t (and B = b) the hierarchy degenerates
 // and HSUMMA performs exactly SUMMA's communication, which the paper notes
 // ("SUMMA is a special case of HSUMMA") and the tests assert.
-func HSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
+func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	o := opts.withDefaults()
 	if err := o.validateHSUMMA(); err != nil {
 		return err
 	}
 	g := o.Grid
-	if comm.Size() != g.Size() {
-		return fmt.Errorf("core: communicator size %d does not match grid %v", comm.Size(), g)
+	if c.Size() != g.Size() {
+		return fmt.Errorf("core: communicator size %d does not match grid %v", c.Size(), g)
 	}
 	h := o.Groups
-	x, y, ii, jj := h.Decompose(comm.Rank())
+	x, y, ii, jj := h.Decompose(c.Rank())
 
 	// The four communicators of Algorithm 1.
-	groupRowComm := comm.Split(h.GroupRowColor(comm.Rank()), y)          // P(x,*)(ii,jj), rank = y, size J
-	groupColComm := comm.Split(g.Size()+h.GroupColColor(comm.Rank()), x) // P(*,y)(ii,jj), rank = x, size I
-	rowComm := comm.Split(2*g.Size()+h.InnerRowColor(comm.Rank()), jj)   // P(x,y)(ii,*), rank = jj, size t/J
-	colComm := comm.Split(3*g.Size()+h.InnerColColor(comm.Rank()), ii)   // P(x,y)(*,jj), rank = ii, size s/I
+	groupRowComm := c.Split(h.GroupRowColor(c.Rank()), y)          // P(x,*)(ii,jj), rank = y, size J
+	groupColComm := c.Split(g.Size()+h.GroupColColor(c.Rank()), x) // P(*,y)(ii,jj), rank = x, size I
+	rowComm := c.Split(2*g.Size()+h.InnerRowColor(c.Rank()), jj)   // P(x,y)(ii,*), rank = jj, size t/J
+	colComm := c.Split(3*g.Size()+h.InnerColColor(c.Rank()), ii)   // P(x,y)(*,jj), rank = ii, size s/I
 
 	n, b, B := o.N, o.BlockSize, o.OuterBlockSize
 	localRows, localCols := n/g.S, n/g.T
@@ -50,15 +49,15 @@ func HSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error 
 	// B-high pivot row of B. Only ranks on the owning inner column/row
 	// ever hold them, but allocating unconditionally keeps the code
 	// simple; the memory is B·n/s + B·n/t per rank, the paper's footprint.
-	aOuter := matrix.New(localRows, B)
-	bOuter := matrix.New(B, localCols)
-	aOuterBuf := make([]float64, localRows*B)
-	bOuterBuf := make([]float64, B*localCols)
+	aOuter := c.NewTile(localRows, B)
+	bOuter := c.NewTile(B, localCols)
+	aOuterBuf := c.NewBuf(localRows * B)
+	bOuterBuf := c.NewBuf(B * localCols)
 
-	aPanel := matrix.New(localRows, b)
-	bPanel := matrix.New(b, localCols)
-	aBuf := make([]float64, localRows*b)
-	bBuf := make([]float64, b*localCols)
+	aPanel := c.NewTile(localRows, b)
+	bPanel := c.NewTile(b, localCols)
+	aBuf := c.NewBuf(localRows * b)
+	bBuf := c.NewBuf(b * localCols)
 
 	for ko := 0; ko < n/B; ko++ {
 		lo := ko * B // first global index of the outer pivot panel
@@ -76,18 +75,18 @@ func HSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error 
 		// inner column jjo.
 		if jj == jjo {
 			if y == yo {
-				aLoc.View(0, lo%localCols, localRows, B).Pack(aOuterBuf[:0])
+				c.Pack(aOuterBuf, aLoc.View(0, lo%localCols, localRows, B))
 			}
 			groupRowComm.Bcast(o.Broadcast, yo, aOuterBuf, o.Segments)
-			aOuter.Unpack(aOuterBuf)
+			c.Unpack(aOuter, aOuterBuf)
 		}
 		// Phase 1 (vertical, between groups) for B's outer panel.
 		if ii == iio {
 			if x == xo {
-				bLoc.View(lo%localRows, 0, B, localCols).Pack(bOuterBuf[:0])
+				c.Pack(bOuterBuf, bLoc.View(lo%localRows, 0, B, localCols))
 			}
 			groupColComm.Bcast(o.Broadcast, xo, bOuterBuf, o.Segments)
-			bOuter.Unpack(bOuterBuf)
+			c.Unpack(bOuter, bOuterBuf)
 		}
 
 		// Phase 2 (inside each group): B/b inner steps; the roots are
@@ -95,16 +94,16 @@ func HSUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error 
 		// entire outer panel lives on that inner column/row.
 		for ki := 0; ki < B/b; ki++ {
 			if jj == jjo {
-				aOuter.View(0, ki*b, localRows, b).Pack(aBuf[:0])
+				c.Pack(aBuf, aOuter.View(0, ki*b, localRows, b))
 			}
 			rowComm.Bcast(o.Broadcast, jjo, aBuf, o.Segments)
-			aPanel.Unpack(aBuf)
+			c.Unpack(aPanel, aBuf)
 			if ii == iio {
-				bOuter.View(ki*b, 0, b, localCols).Pack(bBuf[:0])
+				c.Pack(bBuf, bOuter.View(ki*b, 0, b, localCols))
 			}
 			colComm.Bcast(o.Broadcast, iio, bBuf, o.Segments)
-			bPanel.Unpack(bBuf)
-			blas.Gemm(cLoc, aPanel, bPanel)
+			c.Unpack(bPanel, bBuf)
+			c.Gemm(cLoc, aPanel, bPanel)
 		}
 	}
 	return nil

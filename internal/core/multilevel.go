@@ -3,9 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/blas"
+	"repro/internal/comm"
 	"repro/internal/matrix"
-	"repro/internal/mpi"
 )
 
 // Level describes one grouping level of the multilevel hierarchy: the
@@ -28,15 +27,15 @@ type Level struct {
 //
 // A single level reproduces HSUMMA exactly (asserted in tests); zero levels
 // reproduce SUMMA.
-func MultilevelHSUMMA(comm *mpi.Comm, opts Options, levels []Level, innerBlock int, aLoc, bLoc, cLoc *matrix.Dense) error {
+func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int, aLoc, bLoc, cLoc *matrix.Dense) error {
 	o := opts.withDefaults()
 	o.BlockSize = innerBlock
 	if err := o.validateSUMMA(); err != nil {
 		return err
 	}
 	g := o.Grid
-	if comm.Size() != g.Size() {
-		return fmt.Errorf("core: communicator size %d does not match grid %v", comm.Size(), g)
+	if c.Size() != g.Size() {
+		return fmt.Errorf("core: communicator size %d does not match grid %v", c.Size(), g)
 	}
 
 	// Column and row dimension factorisations: the rank's grid column j
@@ -78,7 +77,7 @@ func MultilevelHSUMMA(comm *mpi.Comm, opts Options, levels []Level, innerBlock i
 		return fmt.Errorf("core: top width %d does not divide local tile %dx%d", widths[0], localRows, localCols)
 	}
 
-	i, j := g.Coords(comm.Rank())
+	i, j := g.Coords(c.Rank())
 	colDigits := digits(j, colRadix)
 	rowDigits := digits(i, rowRadix)
 
@@ -86,23 +85,23 @@ func MultilevelHSUMMA(comm *mpi.Comm, opts Options, levels []Level, innerBlock i
 	// ranks differing only in column digit k (same row, same other
 	// digits); its internal rank is the digit itself. Likewise for rows.
 	nLevels := len(widths)
-	aComms := make([]*mpi.Comm, nLevels)
-	bComms := make([]*mpi.Comm, nLevels)
+	aComms := make([]comm.Comm, nLevels)
+	bComms := make([]comm.Comm, nLevels)
 	for k := 0; k < nLevels; k++ {
-		aComms[k] = comm.Split(colorWithout(i, colDigits, colRadix, k), colDigits[k])
-		bComms[k] = comm.Split(g.Size()*(1+k)+colorWithout(j, rowDigits, rowRadix, k), rowDigits[k])
+		aComms[k] = c.Split(colorWithout(i, colDigits, colRadix, k), colDigits[k])
+		bComms[k] = c.Split(g.Size()*(1+k)+colorWithout(j, rowDigits, rowRadix, k), rowDigits[k])
 	}
 
 	// Panel buffers per level.
 	aBufs := make([]*matrix.Dense, nLevels)
 	bBufs := make([]*matrix.Dense, nLevels)
-	aWire := make([][]float64, nLevels)
-	bWire := make([][]float64, nLevels)
+	aWire := make([]comm.Buf, nLevels)
+	bWire := make([]comm.Buf, nLevels)
 	for k, w := range widths {
-		aBufs[k] = matrix.New(localRows, w)
-		bBufs[k] = matrix.New(w, localCols)
-		aWire[k] = make([]float64, localRows*w)
-		bWire[k] = make([]float64, w*localCols)
+		aBufs[k] = c.NewTile(localRows, w)
+		bBufs[k] = c.NewTile(w, localCols)
+		aWire[k] = c.NewBuf(localRows * w)
+		bWire[k] = c.NewBuf(w * localCols)
 	}
 
 	// descend recursively broadcasts the panel starting at global pivot
@@ -121,29 +120,29 @@ func MultilevelHSUMMA(comm *mpi.Comm, opts Options, levels []Level, innerBlock i
 			if colDigits[k] == ownerColDigits[k] {
 				// I hold the parent panel (or the tile at k=0).
 				if k == 0 {
-					aLoc.View(0, lo%localCols, localRows, w).Pack(aWire[k][:0])
+					c.Pack(aWire[k], aLoc.View(0, lo%localCols, localRows, w))
 				} else {
 					parentOff := lo % widths[k-1]
-					aBufs[k-1].View(0, parentOff, localRows, w).Pack(aWire[k][:0])
+					c.Pack(aWire[k], aBufs[k-1].View(0, parentOff, localRows, w))
 				}
 			}
 			aComms[k].Bcast(o.Broadcast, ownerColDigits[k], aWire[k], o.Segments)
-			aBufs[k].Unpack(aWire[k])
+			c.Unpack(aBufs[k], aWire[k])
 		}
 		if digitsMatchBelow(rowDigits, ownerRowDigits, k) {
 			if rowDigits[k] == ownerRowDigits[k] {
 				if k == 0 {
-					bLoc.View(lo%localRows, 0, w, localCols).Pack(bWire[k][:0])
+					c.Pack(bWire[k], bLoc.View(lo%localRows, 0, w, localCols))
 				} else {
 					parentOff := lo % widths[k-1]
-					bBufs[k-1].View(parentOff, 0, w, localCols).Pack(bWire[k][:0])
+					c.Pack(bWire[k], bBufs[k-1].View(parentOff, 0, w, localCols))
 				}
 			}
 			bComms[k].Bcast(o.Broadcast, ownerRowDigits[k], bWire[k], o.Segments)
-			bBufs[k].Unpack(bWire[k])
+			c.Unpack(bBufs[k], bWire[k])
 		}
 		if k == nLevels-1 {
-			blas.Gemm(cLoc, aBufs[k], bBufs[k])
+			c.Gemm(cLoc, aBufs[k], bBufs[k])
 			return
 		}
 		for sub := 0; sub < w/widths[k+1]; sub++ {

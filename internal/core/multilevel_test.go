@@ -24,7 +24,7 @@ func runMultilevel(t *testing.T, g topo.Grid, n int, levels []Level, b int) *mat
 	}
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
 		o := Options{N: n, Grid: g}
-		if e := MultilevelHSUMMA(c, o, levels, b, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := MultilevelHSUMMA(mpi.AsComm(c), o, levels, b, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -87,10 +87,10 @@ func TestMultilevelOneLevelMatchesHSUMMAExactly(t *testing.T) {
 		if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
 			var e error
 			if two {
-				e = HSUMMA(c, Options{N: n, Grid: g, BlockSize: b, OuterBlockSize: B, Groups: h},
+				e = HSUMMA(mpi.AsComm(c), Options{N: n, Grid: g, BlockSize: b, OuterBlockSize: B, Groups: h},
 					aT[c.Rank()], bT[c.Rank()], cT[c.Rank()])
 			} else {
-				e = MultilevelHSUMMA(c, Options{N: n, Grid: g}, []Level{{I: 2, J: 2, BlockSize: B}}, b,
+				e = MultilevelHSUMMA(mpi.AsComm(c), Options{N: n, Grid: g}, []Level{{I: 2, J: 2, BlockSize: B}}, b,
 					aT[c.Rank()], bT[c.Rank()], cT[c.Rank()])
 			}
 			if e != nil {
@@ -112,7 +112,7 @@ func TestMultilevelValidation(t *testing.T) {
 		var got error
 		err := mpi.Run(g.Size(), func(c *mpi.Comm) {
 			tile := matrix.New(4, 4)
-			e := MultilevelHSUMMA(c, Options{N: 16, Grid: g}, levels, b, tile, tile.Clone(), tile.Clone())
+			e := MultilevelHSUMMA(mpi.AsComm(c), Options{N: 16, Grid: g}, levels, b, tile, tile.Clone(), tile.Clone())
 			if c.Rank() == 0 {
 				got = e
 			}
@@ -161,7 +161,7 @@ func TestMultilevelLatencyReduction(t *testing.T) {
 			cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 		}
 		stats, err := mpi.RunStats(g.Size(), func(c *mpi.Comm) {
-			if e := MultilevelHSUMMA(c, Options{N: n, Grid: g}, levels, b, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+			if e := MultilevelHSUMMA(mpi.AsComm(c), Options{N: n, Grid: g}, levels, b, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 				panic(e)
 			}
 		})

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/blas"
+	"repro/internal/comm"
 	"repro/internal/matrix"
-	"repro/internal/mpi"
 )
 
 // SUMMA performs C += A·B over the communicator with the scalable universal
@@ -13,22 +13,24 @@ import (
 // broadcasting the pivot column panel of A along process rows and the pivot
 // row panel of B along process columns, followed by a local rank-b update.
 //
-// comm must span exactly Grid.Size() ranks; aLoc, bLoc and cLoc are this
-// rank's block-checkerboard tiles of size (n/s)×(n/t). aLoc and bLoc are
-// not modified.
-func SUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
+// c must span exactly Grid.Size() ranks; aLoc, bLoc and cLoc are this
+// rank's block-checkerboard tiles of size (n/s)×(n/t) (see dist.BlockMap).
+// aLoc and bLoc are not modified. The algorithm is written against the
+// transport-agnostic comm.Comm interface, so the identical code executes on
+// the live goroutine runtime and on the simnet virtual communicator.
+func SUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	o := opts.withDefaults()
 	if err := o.validateSUMMA(); err != nil {
 		return err
 	}
 	g := o.Grid
-	if comm.Size() != g.Size() {
-		return fmt.Errorf("core: communicator size %d does not match grid %v", comm.Size(), g)
+	if c.Size() != g.Size() {
+		return fmt.Errorf("core: communicator size %d does not match grid %v", c.Size(), g)
 	}
-	i, j := g.Coords(comm.Rank())
+	i, j := g.Coords(c.Rank())
 	// Row and column communicators, as in the paper's Figure 1 pattern.
-	rowComm := comm.Split(i, j)     // my grid row; my rank within it is j
-	colComm := comm.Split(g.S+j, i) // my grid column; my rank within it is i
+	rowComm := c.Split(i, j)     // my grid row; my rank within it is j
+	colComm := c.Split(g.S+j, i) // my grid column; my rank within it is i
 
 	n, b := o.N, o.BlockSize
 	localRows, localCols := n/g.S, n/g.T
@@ -36,28 +38,28 @@ func SUMMA(comm *mpi.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	checkTile("B", bLoc, localRows, localCols)
 	checkTile("C", cLoc, localRows, localCols)
 
-	aPanel := matrix.New(localRows, b)
-	bPanel := matrix.New(b, localCols)
-	aBuf := make([]float64, localRows*b)
-	bBuf := make([]float64, b*localCols)
+	aPanel := c.NewTile(localRows, b)
+	bPanel := c.NewTile(b, localCols)
+	aBuf := c.NewBuf(localRows * b)
+	bBuf := c.NewBuf(b * localCols)
 	for k := 0; k < n/b; k++ {
 		lo := k * b // first global index of the pivot panel
 		ownerCol := lo / localCols
 		ownerRow := lo / localRows
 		// Horizontal broadcast of A's pivot column panel along my row.
 		if j == ownerCol {
-			aLoc.View(0, lo%localCols, localRows, b).Pack(aBuf[:0])
+			c.Pack(aBuf, aLoc.View(0, lo%localCols, localRows, b))
 		}
 		rowComm.Bcast(o.Broadcast, ownerCol, aBuf, o.Segments)
-		aPanel.Unpack(aBuf)
+		c.Unpack(aPanel, aBuf)
 		// Vertical broadcast of B's pivot row panel along my column.
 		if i == ownerRow {
-			bLoc.View(lo%localRows, 0, b, localCols).Pack(bBuf[:0])
+			c.Pack(bBuf, bLoc.View(lo%localRows, 0, b, localCols))
 		}
 		colComm.Bcast(o.Broadcast, ownerRow, bBuf, o.Segments)
-		bPanel.Unpack(bBuf)
+		c.Unpack(bPanel, bBuf)
 		// Local rank-b update.
-		blas.Gemm(cLoc, aPanel, bPanel)
+		c.Gemm(cLoc, aPanel, bPanel)
 	}
 	return nil
 }

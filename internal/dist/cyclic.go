@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// CyclicMap describes the two-dimensional block-cyclic distribution of a
+// rows×cols matrix over a process grid with br×bc distribution blocks:
+// global block (bi,bj) lives on rank (bi mod S, bj mod T) at local block
+// (bi div S, bj div T). For uniform local tiles — the restriction
+// core.CyclicSUMMA relies on — the block-row and block-column counts must
+// divide evenly over the grid.
+type CyclicMap struct {
+	rows, cols int
+	br, bc     int
+	grid       topo.Grid
+	localR     int // local rows per rank
+	localC     int // local cols per rank
+}
+
+// NewCyclicMap validates the layout (br | rows, bc | cols, and the block
+// grid divisible by the process grid so every rank owns the same tile
+// shape) and returns the distribution map.
+func NewCyclicMap(rows, cols, br, bc int, g topo.Grid) (*CyclicMap, error) {
+	if rows <= 0 || cols <= 0 || br <= 0 || bc <= 0 {
+		return nil, fmt.Errorf("dist: invalid cyclic layout %dx%d blocks %dx%d", rows, cols, br, bc)
+	}
+	if g.S <= 0 || g.T <= 0 {
+		return nil, fmt.Errorf("dist: invalid grid %v", g)
+	}
+	if rows%br != 0 || cols%bc != 0 {
+		return nil, fmt.Errorf("dist: %dx%d matrix not divisible into %dx%d blocks", rows, cols, br, bc)
+	}
+	if (rows/br)%g.S != 0 || (cols/bc)%g.T != 0 {
+		return nil, fmt.Errorf("dist: %dx%d block grid not divisible by process grid %v", rows/br, cols/bc, g)
+	}
+	return &CyclicMap{
+		rows: rows, cols: cols, br: br, bc: bc, grid: g,
+		localR: rows / g.S, localC: cols / g.T,
+	}, nil
+}
+
+// Grid returns the process grid the map distributes over.
+func (m *CyclicMap) Grid() topo.Grid { return m.grid }
+
+// BlockRows and BlockCols return the distribution block shape.
+func (m *CyclicMap) BlockRows() int { return m.br }
+
+// BlockCols returns the distribution block width.
+func (m *CyclicMap) BlockCols() int { return m.bc }
+
+// LocalRows returns the number of rows each rank owns.
+func (m *CyclicMap) LocalRows() int { return m.localR }
+
+// LocalCols returns the number of columns each rank owns.
+func (m *CyclicMap) LocalCols() int { return m.localC }
+
+// Locate maps a global element (gi,gj) to its owning rank and local
+// position under the block-cyclic layout.
+func (m *CyclicMap) Locate(gi, gj int) (rank, li, lj int) {
+	if gi < 0 || gi >= m.rows || gj < 0 || gj >= m.cols {
+		panic(fmt.Sprintf("dist: element (%d,%d) outside %dx%d matrix", gi, gj, m.rows, m.cols))
+	}
+	bi, bj := gi/m.br, gj/m.bc
+	rank = m.grid.Rank(bi%m.grid.S, bj%m.grid.T)
+	li = (bi/m.grid.S)*m.br + gi%m.br
+	lj = (bj/m.grid.T)*m.bc + gj%m.bc
+	return rank, li, lj
+}
+
+// Scatter cuts a global matrix into per-rank block-cyclic tiles.
+func (m *CyclicMap) Scatter(a *matrix.Dense) []*matrix.Dense {
+	if a.Rows != m.rows || a.Cols != m.cols {
+		panic(fmt.Sprintf("dist: matrix %dx%d does not match map %dx%d", a.Rows, a.Cols, m.rows, m.cols))
+	}
+	tiles := make([]*matrix.Dense, m.grid.Size())
+	for r := range tiles {
+		tiles[r] = matrix.New(m.localR, m.localC)
+	}
+	m.forEachBlock(func(rank, gi, gj, li, lj int) {
+		tiles[rank].View(li, lj, m.br, m.bc).CopyFrom(a.View(gi, gj, m.br, m.bc))
+	})
+	return tiles
+}
+
+// Gather reassembles the global matrix from per-rank tiles.
+func (m *CyclicMap) Gather(tiles []*matrix.Dense) *matrix.Dense {
+	if len(tiles) != m.grid.Size() {
+		panic(fmt.Sprintf("dist: %d tiles for grid %v", len(tiles), m.grid))
+	}
+	out := matrix.New(m.rows, m.cols)
+	m.forEachBlock(func(rank, gi, gj, li, lj int) {
+		t := tiles[rank]
+		if t.Rows != m.localR || t.Cols != m.localC {
+			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", rank, t.Rows, t.Cols, m.localR, m.localC))
+		}
+		out.View(gi, gj, m.br, m.bc).CopyFrom(t.View(li, lj, m.br, m.bc))
+	})
+	return out
+}
+
+// forEachBlock visits every distribution block with its owner and both
+// coordinate systems.
+func (m *CyclicMap) forEachBlock(fn func(rank, gi, gj, li, lj int)) {
+	for bi := 0; bi < m.rows/m.br; bi++ {
+		for bj := 0; bj < m.cols/m.bc; bj++ {
+			rank := m.grid.Rank(bi%m.grid.S, bj%m.grid.T)
+			fn(rank, bi*m.br, bj*m.bc, (bi/m.grid.S)*m.br, (bj/m.grid.T)*m.bc)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package dist is the data-distribution layer: it maps global matrices onto
+// the tiles each rank of a process grid owns, and moves data between the
+// two representations. Two layouts are provided, matching the paper and its
+// first future-work item:
+//
+//   - BlockMap: the block-checkerboard distribution all of the paper's
+//     experiments use — rank (i,j) of an s×t grid owns the contiguous
+//     (rows/s)×(cols/t) tile at offset (i·rows/s, j·cols/t);
+//
+//   - CyclicMap: the two-dimensional block-cyclic (ScaLAPACK) distribution
+//     (§VI: "by using block-cyclic distribution the communication can be
+//     better overlapped and parallelized") — global block (bi,bj) lives on
+//     rank (bi mod s, bj mod t) at local block (bi div s, bj div t).
+//
+// Scatter/Gather run on the host, outside the ranked execution, so the
+// distribution cost never pollutes the runtime's traffic statistics — the
+// same separation the paper makes by reporting multiplication time only.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// BlockMap describes the block-checkerboard distribution of a rows×cols
+// matrix over a process grid.
+type BlockMap struct {
+	rows, cols int
+	grid       topo.Grid
+	tileR      int // rows per rank
+	tileC      int // cols per rank
+}
+
+// NewBlockMap validates divisibility (S | rows, T | cols) and returns the
+// distribution map.
+func NewBlockMap(rows, cols int, g topo.Grid) (*BlockMap, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("dist: invalid matrix %dx%d", rows, cols)
+	}
+	if g.S <= 0 || g.T <= 0 {
+		return nil, fmt.Errorf("dist: invalid grid %v", g)
+	}
+	if rows%g.S != 0 || cols%g.T != 0 {
+		return nil, fmt.Errorf("dist: %dx%d matrix not divisible by grid %v", rows, cols, g)
+	}
+	return &BlockMap{rows: rows, cols: cols, grid: g, tileR: rows / g.S, tileC: cols / g.T}, nil
+}
+
+// Grid returns the process grid the map distributes over.
+func (m *BlockMap) Grid() topo.Grid { return m.grid }
+
+// Rows and Cols return the global matrix shape.
+func (m *BlockMap) Rows() int { return m.rows }
+
+// Cols returns the global column count.
+func (m *BlockMap) Cols() int { return m.cols }
+
+// LocalRows returns the number of rows each rank owns.
+func (m *BlockMap) LocalRows() int { return m.tileR }
+
+// LocalCols returns the number of columns each rank owns.
+func (m *BlockMap) LocalCols() int { return m.tileC }
+
+// Locate maps a global element (gi,gj) to its owning rank and the element's
+// local position on that rank.
+func (m *BlockMap) Locate(gi, gj int) (rank, li, lj int) {
+	m.checkGlobal(gi, gj)
+	return m.grid.Rank(gi/m.tileR, gj/m.tileC), gi % m.tileR, gj % m.tileC
+}
+
+// Owner returns the rank owning global element (gi,gj).
+func (m *BlockMap) Owner(gi, gj int) int {
+	r, _, _ := m.Locate(gi, gj)
+	return r
+}
+
+func (m *BlockMap) checkGlobal(gi, gj int) {
+	if gi < 0 || gi >= m.rows || gj < 0 || gj >= m.cols {
+		panic(fmt.Sprintf("dist: element (%d,%d) outside %dx%d matrix", gi, gj, m.rows, m.cols))
+	}
+}
+
+func (m *BlockMap) checkShape(a *matrix.Dense) {
+	if a.Rows != m.rows || a.Cols != m.cols {
+		panic(fmt.Sprintf("dist: matrix %dx%d does not match map %dx%d", a.Rows, a.Cols, m.rows, m.cols))
+	}
+}
+
+// Scatter cuts a global matrix into per-rank tiles: the returned slice
+// holds, at index r, a private copy of rank r's tile.
+func (m *BlockMap) Scatter(a *matrix.Dense) []*matrix.Dense {
+	m.checkShape(a)
+	tiles := make([]*matrix.Dense, m.grid.Size())
+	for r := range tiles {
+		i, j := m.grid.Coords(r)
+		tiles[r] = a.View(i*m.tileR, j*m.tileC, m.tileR, m.tileC).Clone()
+	}
+	return tiles
+}
+
+// Gather reassembles the global matrix from per-rank tiles (the inverse of
+// Scatter).
+func (m *BlockMap) Gather(tiles []*matrix.Dense) *matrix.Dense {
+	if len(tiles) != m.grid.Size() {
+		panic(fmt.Sprintf("dist: %d tiles for grid %v", len(tiles), m.grid))
+	}
+	out := matrix.New(m.rows, m.cols)
+	for r, t := range tiles {
+		if t.Rows != m.tileR || t.Cols != m.tileC {
+			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", r, t.Rows, t.Cols, m.tileR, m.tileC))
+		}
+		i, j := m.grid.Coords(r)
+		out.View(i*m.tileR, j*m.tileC, m.tileR, m.tileC).CopyFrom(t)
+	}
+	return out
+}

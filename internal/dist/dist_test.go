@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+func TestBlockMapRoundTrip(t *testing.T) {
+	for _, c := range []struct{ rows, cols, s, tt int }{
+		{8, 8, 2, 2}, {8, 12, 2, 4}, {16, 8, 4, 2}, {6, 6, 1, 1}, {6, 6, 6, 6},
+	} {
+		g := topo.Grid{S: c.s, T: c.tt}
+		m, err := NewBlockMap(c.rows, c.cols, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := matrix.Random(c.rows, c.cols, 42)
+		tiles := m.Scatter(a)
+		if len(tiles) != g.Size() {
+			t.Fatalf("%d tiles for %v", len(tiles), g)
+		}
+		for _, tile := range tiles {
+			if tile.Rows != m.LocalRows() || tile.Cols != m.LocalCols() {
+				t.Fatalf("tile %dx%d, want %dx%d", tile.Rows, tile.Cols, m.LocalRows(), m.LocalCols())
+			}
+		}
+		if !matrix.Equal(m.Gather(tiles), a) {
+			t.Fatalf("gather(scatter) != identity for %dx%d over %v", c.rows, c.cols, g)
+		}
+	}
+}
+
+func TestBlockMapScatterCopies(t *testing.T) {
+	g := topo.Grid{S: 2, T: 2}
+	m, _ := NewBlockMap(4, 4, g)
+	a := matrix.Random(4, 4, 1)
+	tiles := m.Scatter(a)
+	tiles[0].Set(0, 0, 999)
+	if a.At(0, 0) == 999 {
+		t.Fatal("scatter aliases the source matrix")
+	}
+}
+
+func TestBlockMapLocate(t *testing.T) {
+	g := topo.Grid{S: 2, T: 4}
+	m, _ := NewBlockMap(8, 16, g) // 4x4 tiles
+	a := matrix.Indexed(8, 16, 0)
+	tiles := m.Scatter(a)
+	for gi := 0; gi < 8; gi++ {
+		for gj := 0; gj < 16; gj++ {
+			rank, li, lj := m.Locate(gi, gj)
+			if got, want := tiles[rank].At(li, lj), a.At(gi, gj); got != want {
+				t.Fatalf("Locate(%d,%d) -> rank %d (%d,%d): %g, want %g", gi, gj, rank, li, lj, got, want)
+			}
+			if m.Owner(gi, gj) != rank {
+				t.Fatal("Owner disagrees with Locate")
+			}
+		}
+	}
+}
+
+func TestBlockMapValidation(t *testing.T) {
+	g := topo.Grid{S: 2, T: 2}
+	if _, err := NewBlockMap(0, 4, g); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewBlockMap(5, 4, g); err == nil {
+		t.Fatal("indivisible rows accepted")
+	}
+	if _, err := NewBlockMap(4, 4, topo.Grid{}); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+}
+
+func TestCyclicMapRoundTrip(t *testing.T) {
+	for _, c := range []struct{ rows, cols, br, bc, s, tt int }{
+		{8, 8, 2, 2, 2, 2}, {16, 16, 2, 2, 2, 4}, {16, 8, 2, 2, 4, 2}, {12, 12, 2, 3, 2, 2}, {8, 8, 2, 2, 1, 1},
+	} {
+		g := topo.Grid{S: c.s, T: c.tt}
+		m, err := NewCyclicMap(c.rows, c.cols, c.br, c.bc, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := matrix.Random(c.rows, c.cols, 7)
+		if !matrix.Equal(m.Gather(m.Scatter(a)), a) {
+			t.Fatalf("cyclic gather(scatter) != identity for %+v", c)
+		}
+	}
+}
+
+func TestCyclicMapLocate(t *testing.T) {
+	g := topo.Grid{S: 2, T: 2}
+	m, _ := NewCyclicMap(8, 8, 2, 2, g)
+	a := matrix.Indexed(8, 8, 0)
+	tiles := m.Scatter(a)
+	for gi := 0; gi < 8; gi++ {
+		for gj := 0; gj < 8; gj++ {
+			rank, li, lj := m.Locate(gi, gj)
+			if got, want := tiles[rank].At(li, lj), a.At(gi, gj); got != want {
+				t.Fatalf("cyclic Locate(%d,%d): %g, want %g", gi, gj, got, want)
+			}
+		}
+	}
+	// The defining property: consecutive block rows round-robin over grid
+	// rows, so rank (0,0) owns global rows {0,1,4,5}, not {0,1,2,3}.
+	rank, _, _ := m.Locate(4, 0)
+	if rank != 0 {
+		t.Fatalf("block-cyclic row 4 on rank %d, want 0", rank)
+	}
+	rank, _, _ = m.Locate(2, 0)
+	if rank != m.Grid().Rank(1, 0) {
+		t.Fatalf("block-cyclic row 2 on rank %d, want %d", rank, m.Grid().Rank(1, 0))
+	}
+}
+
+func TestCyclicMapValidation(t *testing.T) {
+	g := topo.Grid{S: 4, T: 4}
+	if _, err := NewCyclicMap(12, 12, 4, 4, g); err == nil {
+		t.Fatal("3 block rows over 4 grid rows accepted")
+	}
+	if _, err := NewCyclicMap(10, 10, 3, 3, g); err == nil {
+		t.Fatal("indivisible block size accepted")
+	}
+	if _, err := NewCyclicMap(8, 8, 0, 2, g); err == nil {
+		t.Fatal("zero block accepted")
+	}
+}

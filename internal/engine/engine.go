@@ -1,0 +1,66 @@
+// Package engine is the unified algorithm dispatch shared by the two
+// execution paths: the live goroutine runtime (hsumma.Multiply) and the
+// simnet virtual communicator (hsumma.Simulate, internal/simalg). Both
+// paths build a Spec and call Run with their transport's comm.Comm, so
+// adding an algorithm here makes it available in every execution mode at
+// once — the "write once, run at every scale" property the repository is
+// organised around.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Algorithm names a distributed multiplication algorithm.
+type Algorithm string
+
+// The five distributed algorithms.
+const (
+	SUMMA      Algorithm = "summa"
+	HSUMMA     Algorithm = "hsumma"
+	Multilevel Algorithm = "multilevel"
+	Cannon     Algorithm = "cannon"
+	Fox        Algorithm = "fox"
+)
+
+// Algorithms lists every dispatchable algorithm, for sweeps and tests.
+func Algorithms() []Algorithm {
+	return []Algorithm{SUMMA, HSUMMA, Multilevel, Cannon, Fox}
+}
+
+// Spec fully describes one distributed multiplication, independent of the
+// transport it runs on.
+type Spec struct {
+	Algorithm Algorithm
+	// Opts carries N, Grid, BlockSize, OuterBlockSize, Groups, Broadcast
+	// and Segments (see core.Options).
+	Opts core.Options
+	// Levels configures Multilevel (outermost first); the inner block is
+	// Opts.BlockSize.
+	Levels []core.Level
+}
+
+// Run executes the specified algorithm on this rank's communicator and
+// tiles. It is called SPMD-style: every rank of the communicator calls Run
+// with the same Spec and its own tiles.
+func Run(c comm.Comm, s Spec, aLoc, bLoc, cLoc *matrix.Dense) error {
+	switch s.Algorithm {
+	case SUMMA:
+		return core.SUMMA(c, s.Opts, aLoc, bLoc, cLoc)
+	case HSUMMA:
+		return core.HSUMMA(c, s.Opts, aLoc, bLoc, cLoc)
+	case Multilevel:
+		return core.MultilevelHSUMMA(c, s.Opts, s.Levels, s.Opts.BlockSize, aLoc, bLoc, cLoc)
+	case Cannon:
+		return baseline.Cannon(c, s.Opts.Grid, s.Opts.N, aLoc, bLoc, cLoc)
+	case Fox:
+		return baseline.Fox(c, s.Opts.Grid, s.Opts.N, s.Opts.Broadcast, aLoc, bLoc, cLoc)
+	default:
+		return fmt.Errorf("engine: unknown algorithm %q", s.Algorithm)
+	}
+}

@@ -68,12 +68,14 @@ func (m *Dense) checkIndex(i, j int) {
 func (m *Dense) IsView() bool { return m.Stride != m.Cols }
 
 // View returns an r×c sub-matrix view rooted at (i,j). The view shares
-// storage with m: writes through the view are visible in m.
+// storage with m: writes through the view are visible in m. A view of a
+// shape-only matrix (nil Data, as produced by virtual transports that elide
+// element storage) is itself shape-only.
 func (m *Dense) View(i, j, r, c int) *Dense {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
 		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.Rows, m.Cols))
 	}
-	if r == 0 || c == 0 {
+	if r == 0 || c == 0 || m.Data == nil {
 		return &Dense{Rows: r, Cols: c, Stride: m.Stride, Data: nil}
 	}
 	off := i*m.Stride + j

@@ -45,33 +45,17 @@ func (c *Comm) executeSchedule(s *sched.Schedule, tag int, data []float64) {
 		// allgather) proceed without stalling on the receive side.
 		for _, t := range round.Transfers {
 			if t.Src == me {
-				lo, hi := segmentRange(len(data), s.Segments, t.SegLo, t.SegHi)
+				lo, hi := sched.SegmentRange(len(data), s.Segments, t.SegLo, t.SegHi)
 				c.send(t.Dst, tag, data[lo:hi])
 			}
 		}
 		for _, t := range round.Transfers {
 			if t.Dst == me {
-				lo, hi := segmentRange(len(data), s.Segments, t.SegLo, t.SegHi)
+				lo, hi := sched.SegmentRange(len(data), s.Segments, t.SegLo, t.SegHi)
 				c.recv(t.Src, tag, data[lo:hi])
 			}
 		}
 	}
-}
-
-// segmentRange maps the segment interval [segLo,segHi) of a payload of n
-// elements cut into `segments` parts onto element indices. Segments are
-// near-equal: the first n%segments segments get one extra element, matching
-// how MPI implementations split non-divisible buffers.
-func segmentRange(n, segments, segLo, segHi int) (lo, hi int) {
-	segStart := func(s int) int {
-		base := n / segments
-		extra := n % segments
-		if s <= extra {
-			return s * (base + 1)
-		}
-		return extra*(base+1) + (s-extra)*base
-	}
-	return segStart(segLo), segStart(segHi)
 }
 
 // Barrier blocks until every rank of the communicator has entered it.

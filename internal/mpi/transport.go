@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"repro/internal/blas"
+	"repro/internal/comm"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// Transport adapts a *Comm to the transport-agnostic comm.Comm interface:
+// the live execution path, where wire buffers carry real matrix elements
+// and Gemm performs real floating-point work. The algorithm layer
+// (internal/core, internal/baseline) sees only comm.Comm, so the same code
+// also runs on the virtual transport in internal/simnet.
+type Transport struct {
+	c *Comm
+}
+
+// AsComm wraps an mpi communicator as a transport-agnostic one.
+func AsComm(c *Comm) comm.Comm { return Transport{c} }
+
+// Rank returns the caller's rank within the communicator.
+func (t Transport) Rank() int { return t.c.Rank() }
+
+// Size returns the number of ranks in the communicator.
+func (t Transport) Size() int { return t.c.Size() }
+
+// Split partitions the communicator; a negative colour returns nil.
+func (t Transport) Split(color, key int) comm.Comm {
+	nc := t.c.Split(color, key)
+	if nc == nil {
+		return nil
+	}
+	return Transport{nc}
+}
+
+// Send delivers the buffer's elements to dst under tag.
+func (t Transport) Send(dst, tag int, data comm.Buf) { t.c.Send(dst, tag, data.Data) }
+
+// Recv blocks for a matching message and fills the buffer.
+func (t Transport) Recv(src, tag int, buf comm.Buf) { t.c.Recv(src, tag, buf.Data) }
+
+// SendRecv performs the full-duplex shift primitive.
+func (t Transport) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv comm.Buf) {
+	t.c.SendRecv(dst, sendTag, send.Data, src, recvTag, recv.Data)
+}
+
+// Bcast executes the named broadcast schedule over real element buffers.
+func (t Transport) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int) {
+	t.c.Bcast(alg, root, data.Data, segments)
+}
+
+// NewBuf allocates a real wire buffer.
+func (t Transport) NewBuf(elems int) comm.Buf {
+	return comm.Buf{Data: make([]float64, elems), N: elems}
+}
+
+// NewTile allocates a zeroed local matrix with real storage.
+func (t Transport) NewTile(rows, cols int) *matrix.Dense { return matrix.New(rows, cols) }
+
+// CloneTile deep-copies a tile.
+func (t Transport) CloneTile(src *matrix.Dense) *matrix.Dense { return src.Clone() }
+
+// Pack marshals the tile's elements into the buffer.
+func (t Transport) Pack(dst comm.Buf, src *matrix.Dense) {
+	comm.CheckPack(dst, src)
+	src.Pack(dst.Data[:0])
+}
+
+// Unpack fills the tile from the buffer.
+func (t Transport) Unpack(dst *matrix.Dense, src comm.Buf) {
+	comm.CheckPack(src, dst)
+	dst.Unpack(src.Data)
+}
+
+// Gemm performs the real local update C += A·B.
+func (t Transport) Gemm(c, a, b *matrix.Dense) { blas.Gemm(c, a, b) }

@@ -114,8 +114,13 @@ func (w *World) abort(msg string) {
 			sg.cond.Broadcast()
 		}
 		w.mu.Unlock()
+		// Broadcast under each mailbox's lock: a receiver that has checked
+		// the aborted flag but not yet parked in Wait would otherwise miss
+		// the wakeup and sleep forever.
 		for _, mb := range w.mailboxes {
+			mb.mu.Lock()
 			mb.cond.Broadcast()
+			mb.mu.Unlock()
 		}
 	}
 }

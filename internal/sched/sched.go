@@ -330,6 +330,25 @@ func (s *Schedule) SegBytes(t Transfer, payloadBytes float64) float64 {
 	return payloadBytes * float64(t.SegHi-t.SegLo) / float64(s.Segments)
 }
 
+// SegmentRange maps the segment interval [segLo,segHi) of a payload of n
+// elements cut into `segments` parts onto element indices. Segments are
+// near-equal: the first n%segments segments get one extra element, matching
+// how MPI implementations split non-divisible buffers. Both schedule
+// executors — the live runtime (internal/mpi) and the virtual communicator
+// (internal/simnet) — use this same integer split, so their per-transfer
+// byte counts agree exactly.
+func SegmentRange(n, segments, segLo, segHi int) (lo, hi int) {
+	segStart := func(s int) int {
+		base := n / segments
+		extra := n % segments
+		if s <= extra {
+			return s * (base + 1)
+		}
+		return extra*(base+1) + (s-extra)*base
+	}
+	return segStart(segLo), segStart(segHi)
+}
+
 // Cost replays the schedule on per-rank virtual clocks under the Hockney
 // model and returns the time at which the last rank completes — the
 // congestion-free broadcast time. Both endpoints of a transfer are occupied

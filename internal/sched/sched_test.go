@@ -281,3 +281,21 @@ func TestBinaryDeeperButParallel(t *testing.T) {
 		t.Fatal("binary tree should beat flat tree at p=64")
 	}
 }
+
+func TestSegmentRange(t *testing.T) {
+	// 10 elements in 4 segments: sizes 3,3,2,2.
+	cases := []struct{ lo, hi, wantLo, wantHi int }{
+		{0, 1, 0, 3}, {1, 2, 3, 6}, {2, 3, 6, 8}, {3, 4, 8, 10}, {0, 4, 0, 10}, {1, 3, 3, 8},
+	}
+	for _, c := range cases {
+		lo, hi := SegmentRange(10, 4, c.lo, c.hi)
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Fatalf("SegmentRange(10,4,%d,%d) = %d,%d want %d,%d", c.lo, c.hi, lo, hi, c.wantLo, c.wantHi)
+		}
+	}
+	// Payload smaller than segment count: empty middle segments are fine.
+	lo, hi := SegmentRange(2, 4, 2, 3)
+	if lo != 2 || hi != 2 {
+		t.Fatalf("SegmentRange(2,4,2,3) = %d,%d", lo, hi)
+	}
+}

@@ -1,0 +1,152 @@
+package simalg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/hockney"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// The refactor's key invariant: because the live runtime and the virtual
+// communicator execute the *same* algorithm implementations over the same
+// broadcast schedules, a simulated run must report per-rank message and
+// byte counts identical to a live run of the same configuration. This is
+// what makes the simulated figures trustworthy: they time exactly the
+// communication pattern the runnable, correctness-verified code performs.
+
+// liveStats executes the algorithm on the goroutine runtime with real data
+// and returns the per-rank traffic counters.
+func liveStats(t *testing.T, cfg Config, alg engine.Algorithm) []mpi.RankStats {
+	t.Helper()
+	g := cfg.Grid
+	bm, err := dist.NewBlockMap(cfg.N, cfg.N, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.Random(cfg.N, cfg.N, 401)
+	b := matrix.Random(cfg.N, cfg.N, 402)
+	aT, bT := bm.Scatter(a), bm.Scatter(b)
+	cT := make([]*matrix.Dense, g.Size())
+	for r := range cT {
+		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
+	}
+	spec := engine.Spec{
+		Algorithm: alg,
+		Opts: core.Options{
+			N: cfg.N, Grid: g,
+			BlockSize:      cfg.BlockSize,
+			OuterBlockSize: cfg.OuterBlockSize,
+			Groups:         cfg.Groups,
+			Broadcast:      cfg.Bcast,
+			Segments:       cfg.Segments,
+		},
+		Levels: cfg.Levels,
+	}
+	stats, err := mpi.RunStats(g.Size(), func(c *mpi.Comm) {
+		if e := engine.Run(mpi.AsComm(c), spec, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+			panic(e)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While we have real data in hand, make sure the run was also correct:
+	// parity of traffic on a wrong answer would prove nothing.
+	want := matrix.New(cfg.N, cfg.N)
+	core.Reference(want, a, b)
+	if d := matrix.MaxAbsDiff(bm.Gather(cT), want); d > 1e-10 {
+		t.Fatalf("live %s run off by %g", alg, d)
+	}
+	return stats
+}
+
+func TestLiveSimTrafficParity(t *testing.T) {
+	g := topo.Grid{S: 4, T: 4}
+	machine := hockney.Model{Alpha: 1e-5, Beta: 1e-9, Gamma: 1e-10}
+	h22, err := topo.NewHier(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h41, err := topo.NewHier(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		alg  engine.Algorithm
+		cfg  Config
+	}{
+		{"summa_binomial", engine.SUMMA, Config{N: 16, Grid: g, BlockSize: 2, Machine: machine}},
+		{"summa_vandegeijn", engine.SUMMA, Config{N: 16, Grid: g, BlockSize: 4, Bcast: sched.VanDeGeijn, Machine: machine}},
+		// Chain with a segment count that does not divide the payload
+		// exercises the shared integer segment split end to end.
+		{"summa_chain_segments", engine.SUMMA, Config{N: 16, Grid: g, BlockSize: 2, Bcast: sched.Chain, Segments: 3, Machine: machine}},
+		{"hsumma_g4", engine.HSUMMA, Config{N: 16, Grid: g, BlockSize: 2, OuterBlockSize: 4, Groups: h22, Machine: machine}},
+		{"hsumma_skewed_vdg", engine.HSUMMA, Config{N: 16, Grid: g, BlockSize: 2, Groups: h41, Bcast: sched.VanDeGeijn, Machine: machine}},
+		{"multilevel", engine.Multilevel, Config{N: 16, Grid: g, BlockSize: 2,
+			Levels: []core.Level{{I: 2, J: 2, BlockSize: 4}}, Machine: machine}},
+		{"cannon", engine.Cannon, Config{N: 16, Grid: g, Machine: machine}},
+		{"fox", engine.Fox, Config{N: 16, Grid: g, Machine: machine}},
+		{"fox_vandegeijn", engine.Fox, Config{N: 16, Grid: g, Bcast: sched.VanDeGeijn, Machine: machine}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			live := liveStats(t, c.cfg, c.alg)
+			_, sim, err := RunStats(c.cfg, c.alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(live) != len(sim) {
+				t.Fatalf("rank counts differ: live %d, sim %d", len(live), len(sim))
+			}
+			for r := range live {
+				if live[r].SentMessages != sim[r].SentMessages {
+					t.Errorf("rank %d: live sent %d messages, sim %d", r, live[r].SentMessages, sim[r].SentMessages)
+				}
+				if live[r].SentBytes != sim[r].SentBytes {
+					t.Errorf("rank %d: live sent %d bytes, sim %d", r, live[r].SentBytes, sim[r].SentBytes)
+				}
+			}
+			if t.Failed() {
+				t.Logf("live: %+v", live)
+				t.Logf("sim : %+v", sim)
+			}
+		})
+	}
+}
+
+// The aggregate invariant the paper states ("the amount of data sent is the
+// same as in SUMMA") must hold identically in both execution modes.
+func TestParityAcrossGroupCounts(t *testing.T) {
+	g := topo.Grid{S: 4, T: 4}
+	machine := hockney.Model{Alpha: 1e-5, Beta: 1e-9}
+	for _, G := range topo.ValidGroupCounts(g) {
+		G := G
+		t.Run(fmt.Sprintf("G%d", G), func(t *testing.T) {
+			h, err := topo.FactorGroups(g, G)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{N: 16, Grid: g, BlockSize: 2, Groups: h, Machine: machine}
+			live := liveStats(t, cfg, engine.HSUMMA)
+			_, sim, err := RunStats(cfg, engine.HSUMMA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range live {
+				if live[r].SentMessages != sim[r].SentMessages || live[r].SentBytes != sim[r].SentBytes {
+					t.Fatalf("G=%d rank %d: live (%d msgs, %d B) != sim (%d msgs, %d B)", G, r,
+						live[r].SentMessages, live[r].SentBytes, sim[r].SentMessages, sim[r].SentBytes)
+				}
+			}
+		})
+	}
+}

@@ -1,15 +1,21 @@
-// Package simalg replays the step structure of the distributed algorithms
-// (SUMMA, HSUMMA, Cannon) on the discrete-event simulator — the timing path
-// that regenerates the paper's figures at BlueGene/P scale. The phase
-// decomposition mirrors internal/core exactly: the same pivot owners, the
-// same communicators (as member lists), the same broadcast schedules, the
-// same per-step DGEMM volume; only the matrix payloads are replaced by
-// their sizes.
+// Package simalg runs the distributed algorithms on the discrete-event
+// simulator — the timing path that regenerates the paper's figures at
+// BlueGene/P scale. Since the Comm-interface refactor it contains no
+// algorithm logic of its own: it is a thin adapter that executes the
+// *same* implementations from internal/core and internal/baseline (via
+// internal/engine) on the simnet virtual communicator, where wire buffers
+// carry only element counts and local updates advance a Hockney compute
+// clock. A simulated run therefore performs — by construction, not by
+// mirroring — exactly the communication pattern of a live run, with
+// identical per-rank message and byte counts (asserted by parity_test.go).
 package simalg
 
 import (
-	"fmt"
+	"sync"
 
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/hockney"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -23,11 +29,15 @@ type Config struct {
 	BlockSize      int       // b
 	OuterBlockSize int       // B; 0 means B = b
 	Groups         topo.Hier // HSUMMA group arrangement
-	Bcast          sched.Algorithm
-	Segments       int
-	Machine        hockney.Model
+	// Levels configures Multilevel (outermost first); BlockSize is the
+	// innermost panel width.
+	Levels   []core.Level
+	Bcast    sched.Algorithm
+	Segments int
+	Machine  hockney.Model
 	// Contention is the optional link-sharing model (nil = none, the
-	// paper's assumption).
+	// paper's assumption). It is applied per collective round and per
+	// point-to-point transfer.
 	Contention simnet.ContentionFunc
 	// LinkCost optionally scales each transfer's bandwidth term by the
 	// physical route length (e.g. torus hop distance) — the mapping-
@@ -42,43 +52,6 @@ type Config struct {
 	Overlap bool
 }
 
-func (c Config) withDefaults() Config {
-	if c.Bcast == "" {
-		c.Bcast = sched.Binomial
-	}
-	if c.Segments <= 0 {
-		c.Segments = 1
-	}
-	if c.OuterBlockSize == 0 {
-		c.OuterBlockSize = c.BlockSize
-	}
-	return c
-}
-
-func (c Config) validate(hier bool) error {
-	g := c.Grid
-	if c.N <= 0 || c.BlockSize <= 0 || g.S <= 0 || g.T <= 0 {
-		return fmt.Errorf("simalg: invalid config n=%d b=%d grid=%v", c.N, c.BlockSize, c.Grid)
-	}
-	if c.N%g.S != 0 || c.N%g.T != 0 {
-		return fmt.Errorf("simalg: n=%d not divisible by grid %v", c.N, g)
-	}
-	if (c.N/g.S)%c.BlockSize != 0 || (c.N/g.T)%c.BlockSize != 0 {
-		return fmt.Errorf("simalg: block %d does not divide tile", c.BlockSize)
-	}
-	if hier {
-		B := c.OuterBlockSize
-		if B%c.BlockSize != 0 || (c.N/g.S)%B != 0 || (c.N/g.T)%B != 0 {
-			return fmt.Errorf("simalg: outer block %d invalid for tile %dx%d (b=%d)",
-				B, c.N/g.S, c.N/g.T, c.BlockSize)
-		}
-		if c.Groups.Grid != g || g.S%c.Groups.I != 0 || g.T%c.Groups.J != 0 {
-			return fmt.Errorf("simalg: group arrangement %+v invalid for grid %v", c.Groups, g)
-		}
-	}
-	return nil
-}
-
 // Result reports simulated times the way the paper does.
 type Result struct {
 	Total   float64 // execution time: communication + computation (s)
@@ -86,250 +59,99 @@ type Result struct {
 	Compute float64 // per-rank computation time 2n³/p·γ (s)
 }
 
-// schedCache avoids regenerating identical broadcast schedules across the
-// thousands of steps of one simulation.
-type schedCache map[schedKey]*sched.Schedule
-
-type schedKey struct {
-	alg      sched.Algorithm
-	p, root  int
-	segments int
-}
-
-func (sc schedCache) get(alg sched.Algorithm, p, root, segments int) *sched.Schedule {
-	k := schedKey{alg, p, root, segments}
-	if s, ok := sc[k]; ok {
-		return s
-	}
-	s, err := sched.NewBroadcast(alg, p, root, segments)
-	if err != nil {
-		panic(fmt.Sprintf("simalg: %v", err))
-	}
-	sc[k] = s
-	return s
-}
-
-// SUMMA simulates the flat algorithm: n/b steps of (row broadcasts ‖ …),
-// (column broadcasts ‖ …), local update.
+// SUMMA simulates the flat algorithm.
 func SUMMA(cfg Config) (Result, error) {
-	c := cfg.withDefaults()
-	if err := c.validate(false); err != nil {
-		return Result{}, err
-	}
-	g := c.Grid
-	n, b := c.N, c.BlockSize
-	localRows, localCols := n/g.S, n/g.T
-	sim := simnet.New(g.Size(), c.Machine)
-	sim.SetContention(c.Contention)
-	sim.SetLinkCost(c.LinkCost)
-	cache := schedCache{}
-
-	aBytes := float64(localRows * b) // payloads in elements: the paper's β convention
-	bBytes := float64(b * localCols)
-	flopsPerStep := 2 * float64(localRows) * float64(localCols) * float64(b)
-
-	rowMembers := make([][]int, g.S)
-	for i := range rowMembers {
-		rowMembers[i] = g.RowRanks(i)
-	}
-	colMembers := make([][]int, g.T)
-	for j := range colMembers {
-		colMembers[j] = g.ColRanks(j)
-	}
-
-	aPhase := make([]simnet.Collective, g.S)
-	bPhase := make([]simnet.Collective, g.T)
-	oc := newOverlapClock(c, sim)
-	for k := 0; k < n/b; k++ {
-		lo := k * b
-		ownerCol := lo / localCols
-		ownerRow := lo / localRows
-		rowSched := cache.get(c.Bcast, g.T, ownerCol, c.Segments)
-		colSched := cache.get(c.Bcast, g.S, ownerRow, c.Segments)
-		for i := 0; i < g.S; i++ {
-			aPhase[i] = simnet.Collective{Sched: rowSched, Members: rowMembers[i], PayloadBytes: aBytes}
-		}
-		sim.ExecPhase(aPhase)
-		for j := 0; j < g.T; j++ {
-			bPhase[j] = simnet.Collective{Sched: colSched, Members: colMembers[j], PayloadBytes: bBytes}
-		}
-		sim.ExecPhase(bPhase)
-		oc.compute(flopsPerStep)
-	}
-	return oc.result(), nil
+	res, _, err := RunStats(cfg, engine.SUMMA)
+	return res, err
 }
 
-// HSUMMA simulates the hierarchical algorithm: n/B outer steps, each with
-// inter-group broadcasts of the outer panels followed by B/b inner steps of
-// intra-group broadcasts and local updates — the same phase structure as
-// core.HSUMMA.
+// HSUMMA simulates the paper's hierarchical algorithm with cfg.Groups.
 func HSUMMA(cfg Config) (Result, error) {
-	c := cfg.withDefaults()
-	if err := c.validate(true); err != nil {
-		return Result{}, err
-	}
-	g := c.Grid
-	h := c.Groups
-	n, b, B := c.N, c.BlockSize, c.OuterBlockSize
-	localRows, localCols := n/g.S, n/g.T
-	innerS, innerT := h.InnerS(), h.InnerT()
-	sim := simnet.New(g.Size(), c.Machine)
-	sim.SetContention(c.Contention)
-	sim.SetLinkCost(c.LinkCost)
-	cache := schedCache{}
-
-	aOuterBytes := float64(localRows * B) // payloads in elements, as in SUMMA above
-	bOuterBytes := float64(B * localCols)
-	aBytes := float64(localRows * b)
-	bBytes := float64(b * localCols)
-	flopsPerInner := 2 * float64(localRows) * float64(localCols) * float64(b)
-
-	oc := newOverlapClock(c, sim)
-	for ko := 0; ko < n/B; ko++ {
-		lo := ko * B
-		ownerGridCol := lo / localCols
-		ownerGridRow := lo / localRows
-		yo, jjo := ownerGridCol/innerT, ownerGridCol%innerT
-		xo, iio := ownerGridRow/innerS, ownerGridRow%innerS
-
-		// Inter-group horizontal broadcast of A's outer panel: one
-		// collective per global grid row, across the J group columns,
-		// members pinned to inner column jjo.
-		if h.J > 1 {
-			aOuter := make([]simnet.Collective, 0, g.S)
-			s := cache.get(c.Bcast, h.J, yo, c.Segments)
-			for x := 0; x < h.I; x++ {
-				for ii := 0; ii < innerS; ii++ {
-					members := make([]int, h.J)
-					for z := 0; z < h.J; z++ {
-						members[z] = h.Compose(x, z, ii, jjo)
-					}
-					aOuter = append(aOuter, simnet.Collective{Sched: s, Members: members, PayloadBytes: aOuterBytes})
-				}
-			}
-			sim.ExecPhase(aOuter)
-		}
-		// Inter-group vertical broadcast of B's outer panel.
-		if h.I > 1 {
-			bOuter := make([]simnet.Collective, 0, g.T)
-			s := cache.get(c.Bcast, h.I, xo, c.Segments)
-			for y := 0; y < h.J; y++ {
-				for jj := 0; jj < innerT; jj++ {
-					members := make([]int, h.I)
-					for z := 0; z < h.I; z++ {
-						members[z] = h.Compose(z, y, iio, jj)
-					}
-					bOuter = append(bOuter, simnet.Collective{Sched: s, Members: members, PayloadBytes: bOuterBytes})
-				}
-			}
-			sim.ExecPhase(bOuter)
-		}
-
-		for ki := 0; ki < B/b; ki++ {
-			if innerT > 1 {
-				inner := make([]simnet.Collective, 0, g.Size()/innerT)
-				s := cache.get(c.Bcast, innerT, jjo, c.Segments)
-				for x := 0; x < h.I; x++ {
-					for y := 0; y < h.J; y++ {
-						for ii := 0; ii < innerS; ii++ {
-							members := make([]int, innerT)
-							for jj := 0; jj < innerT; jj++ {
-								members[jj] = h.Compose(x, y, ii, jj)
-							}
-							inner = append(inner, simnet.Collective{Sched: s, Members: members, PayloadBytes: aBytes})
-						}
-					}
-				}
-				sim.ExecPhase(inner)
-			}
-			if innerS > 1 {
-				inner := make([]simnet.Collective, 0, g.Size()/innerS)
-				s := cache.get(c.Bcast, innerS, iio, c.Segments)
-				for x := 0; x < h.I; x++ {
-					for y := 0; y < h.J; y++ {
-						for jj := 0; jj < innerT; jj++ {
-							members := make([]int, innerS)
-							for ii := 0; ii < innerS; ii++ {
-								members[ii] = h.Compose(x, y, ii, jj)
-							}
-							inner = append(inner, simnet.Collective{Sched: s, Members: members, PayloadBytes: bBytes})
-						}
-					}
-				}
-				sim.ExecPhase(inner)
-			}
-			oc.compute(flopsPerInner)
-		}
-	}
-	return oc.result(), nil
+	res, _, err := RunStats(cfg, engine.HSUMMA)
+	return res, err
 }
 
-// Cannon simulates Cannon's algorithm on a square q×q grid: the initial
-// alignment shifts followed by q steps of (update, rotate A left, rotate B
-// up). Used as an extra baseline in the comparison benches.
+// Multilevel simulates the multilevel generalisation with cfg.Levels.
+func Multilevel(cfg Config) (Result, error) {
+	res, _, err := RunStats(cfg, engine.Multilevel)
+	return res, err
+}
+
+// Cannon simulates Cannon's algorithm on a square q×q grid.
 func Cannon(cfg Config) (Result, error) {
-	c := cfg.withDefaults()
-	g := c.Grid
-	if g.S != g.T {
-		return Result{}, fmt.Errorf("simalg: Cannon needs a square grid, got %v", g)
-	}
-	if c.N%g.S != 0 {
-		return Result{}, fmt.Errorf("simalg: n=%d not divisible by q=%d", c.N, g.S)
-	}
-	q := g.S
-	tile := c.N / q
-	tileBytes := float64(tile * tile) // elements
-	flopsPerStep := 2 * float64(tile) * float64(tile) * float64(tile)
-	sim := simnet.New(g.Size(), c.Machine)
-	sim.SetContention(c.Contention)
-	sim.SetLinkCost(c.LinkCost)
-	mod := func(v int) int { return ((v % q) + q) % q }
-
-	// Initial alignment: row i of A shifts left by i, column j of B up by j.
-	var align []simnet.PairTransfer
-	for i := 0; i < q; i++ {
-		for j := 0; j < q; j++ {
-			if i > 0 {
-				align = append(align, simnet.PairTransfer{Src: g.Rank(i, j), Dst: g.Rank(i, mod(j-i)), Bytes: tileBytes})
-			}
-		}
-	}
-	sim.ExecTransfers(align)
-	align = align[:0]
-	for i := 0; i < q; i++ {
-		for j := 0; j < q; j++ {
-			if j > 0 {
-				align = append(align, simnet.PairTransfer{Src: g.Rank(i, j), Dst: g.Rank(mod(i-j), j), Bytes: tileBytes})
-			}
-		}
-	}
-	sim.ExecTransfers(align)
-
-	shiftA := make([]simnet.PairTransfer, 0, g.Size())
-	shiftB := make([]simnet.PairTransfer, 0, g.Size())
-	for i := 0; i < q; i++ {
-		for j := 0; j < q; j++ {
-			shiftA = append(shiftA, simnet.PairTransfer{Src: g.Rank(i, j), Dst: g.Rank(i, mod(j-1)), Bytes: tileBytes})
-			shiftB = append(shiftB, simnet.PairTransfer{Src: g.Rank(i, j), Dst: g.Rank(mod(i-1), j), Bytes: tileBytes})
-		}
-	}
-	for step := 0; step < q; step++ {
-		sim.ComputeAll(flopsPerStep)
-		if step == q-1 {
-			break
-		}
-		sim.ExecTransfers(shiftA)
-		sim.ExecTransfers(shiftB)
-	}
-	return result(sim, c), nil
+	res, _, err := RunStats(cfg, engine.Cannon)
+	return res, err
 }
 
-func result(sim *simnet.Sim, c Config) Result {
-	n := float64(c.N)
-	p := float64(c.Grid.Size())
-	return Result{
-		Total:   sim.MaxClock(),
-		Comm:    sim.MaxCommTime(),
-		Compute: c.Machine.Compute(2 * n * n * n / p),
+// Fox simulates Fox's broadcast-multiply-roll algorithm.
+func Fox(cfg Config) (Result, error) {
+	res, _, err := RunStats(cfg, engine.Fox)
+	return res, err
+}
+
+// RunStats executes the given algorithm on the virtual communicator and
+// returns the simulated times plus the per-rank traffic counters — the
+// quantities the live runtime reports through mpi.RunStats, enabling
+// live-vs-simulated parity checks.
+func RunStats(cfg Config, alg engine.Algorithm) (Result, []simnet.VRankStats, error) {
+	spec := engine.Spec{
+		Algorithm: alg,
+		Opts: core.Options{
+			N: cfg.N, Grid: cfg.Grid,
+			BlockSize:      cfg.BlockSize,
+			OuterBlockSize: cfg.OuterBlockSize,
+			Groups:         cfg.Groups,
+			Broadcast:      cfg.Bcast,
+			Segments:       cfg.Segments,
+		},
+		Levels: cfg.Levels,
 	}
+	return RunSpec(spec, simnet.VConfig{
+		Model:      cfg.Machine,
+		Contention: cfg.Contention,
+		LinkCost:   cfg.LinkCost,
+		Overlap:    cfg.Overlap,
+	})
+}
+
+// RunSpec executes a fully resolved engine spec — the same value the live
+// path hands to engine.Run — on the virtual communicator under the given
+// virtual-world configuration.
+func RunSpec(spec engine.Spec, vcfg simnet.VConfig) (Result, []simnet.VRankStats, error) {
+	g := spec.Opts.Grid
+	bm, err := dist.NewBlockMap(spec.Opts.N, spec.Opts.N, g)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	w := simnet.NewVWorld(g.Size(), vcfg)
+	var mu sync.Mutex
+	var algErr error
+	err = w.Run(func(c *simnet.VComm) {
+		// Shape-only tiles: the virtual transport never touches element
+		// storage, so a 16384-rank simulation allocates only headers.
+		aLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		bLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		cLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		if e := engine.Run(c, spec, aLoc, bLoc, cLoc); e != nil {
+			mu.Lock()
+			if algErr == nil {
+				algErr = e
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if algErr != nil {
+		return Result{}, nil, algErr
+	}
+	n := float64(spec.Opts.N)
+	p := float64(g.Size())
+	res := Result{
+		Total:   w.Total(),
+		Comm:    w.MaxCommTime(),
+		Compute: vcfg.Model.Compute(2 * n * n * n / p),
+	}
+	return res, w.Stats(), nil
 }

@@ -7,45 +7,6 @@ import (
 	"repro/internal/sched"
 )
 
-func TestExecTransfersBasic(t *testing.T) {
-	sim := New(4, testModel)
-	sim.ExecTransfers([]PairTransfer{
-		{Src: 0, Dst: 1, Bytes: 1e6},
-		{Src: 2, Dst: 3, Bytes: 2e6},
-	})
-	want01 := testModel.PointToPoint(1e6)
-	want23 := testModel.PointToPoint(2e6)
-	if math.Abs(sim.Clock(0)-want01) > 1e-15 || math.Abs(sim.Clock(1)-want01) > 1e-15 {
-		t.Fatalf("pair 0-1 clocks %g/%g, want %g", sim.Clock(0), sim.Clock(1), want01)
-	}
-	if math.Abs(sim.Clock(3)-want23) > 1e-15 {
-		t.Fatalf("pair 2-3 clock %g, want %g", sim.Clock(3), want23)
-	}
-	// Comm time equals clock advance here.
-	if math.Abs(sim.CommTime(0)-want01) > 1e-15 {
-		t.Fatal("comm accounting wrong for transfers")
-	}
-}
-
-func TestExecTransfersSnapshotSemantics(t *testing.T) {
-	// A ring of simultaneous shifts: everyone sends and receives in the
-	// same round; all clocks must advance by exactly one hop, not
-	// cascade.
-	p := 6
-	sim := New(p, testModel)
-	var ts []PairTransfer
-	for i := 0; i < p; i++ {
-		ts = append(ts, PairTransfer{Src: i, Dst: (i + 1) % p, Bytes: 1000})
-	}
-	sim.ExecTransfers(ts)
-	want := testModel.PointToPoint(1000)
-	for r := 0; r < p; r++ {
-		if math.Abs(sim.Clock(r)-want) > 1e-15 {
-			t.Fatalf("rank %d clock %g, want one hop %g", r, sim.Clock(r), want)
-		}
-	}
-}
-
 func TestLinkCostScalesBandwidthOnly(t *testing.T) {
 	sc, _ := sched.NewBroadcast(sched.Binomial, 2, 0, 1)
 	free := New(2, testModel)

@@ -182,18 +182,11 @@ func (s *Sim) MaxCommTime() float64 {
 }
 
 // ComputeRanks advances the given ranks by the time of `flops` floating-
-// point operations (local DGEMM updates between communication phases).
+// point operations — the virtual communicator's Gemm uses it for the local
+// DGEMM updates between communication phases.
 func (s *Sim) ComputeRanks(ranks []int, flops float64) {
 	dt := s.model.Compute(flops)
 	for _, r := range ranks {
-		s.clocks[r] += dt
-	}
-}
-
-// ComputeAll advances every rank by the time of `flops` operations.
-func (s *Sim) ComputeAll(flops float64) {
-	dt := s.model.Compute(flops)
-	for r := range s.clocks {
 		s.clocks[r] += dt
 	}
 }
@@ -332,41 +325,8 @@ func (s *Sim) execRingTails(cols []Collective) {
 	}
 }
 
-// ExecOne is ExecPhase for a single collective.
+// ExecOne is ExecPhase for a single collective — the entry point the
+// virtual communicator's Bcast uses. (The retired phase-replay engine's
+// ExecTransfers/ComputeAll executors are gone; point-to-point shifts now
+// live in VComm.SendRecv, the single canonical semantics.)
 func (s *Sim) ExecOne(c Collective) { s.ExecPhase([]Collective{c}) }
-
-// PairTransfer is one point-to-point message for ExecTransfers.
-type PairTransfer struct {
-	Src, Dst int
-	Bytes    float64
-}
-
-// ExecTransfers advances the clocks through one round of concurrent
-// point-to-point messages (the shift/roll pattern of Cannon's and Fox's
-// algorithms), with the same full-duplex snapshot semantics and contention
-// accounting as a schedule round: every transfer starts from the pre-round
-// clocks of its endpoints.
-func (s *Sim) ExecTransfers(transfers []PairTransfer) {
-	factor := s.contention(len(transfers))
-	type update struct {
-		rank int
-		end  float64
-	}
-	updates := make([]update, 0, 2*len(transfers))
-	for _, t := range transfers {
-		eff := s.model
-		eff.Beta *= factor * s.linkFactor(t.Src, t.Dst)
-		start := s.clocks[t.Src]
-		if s.clocks[t.Dst] > start {
-			start = s.clocks[t.Dst]
-		}
-		end := start + eff.PointToPoint(t.Bytes)
-		updates = append(updates, update{t.Src, end}, update{t.Dst, end})
-	}
-	for _, u := range updates {
-		if u.end > s.clocks[u.rank] {
-			s.comm[u.rank] += u.end - s.clocks[u.rank]
-			s.clocks[u.rank] = u.end
-		}
-	}
-}

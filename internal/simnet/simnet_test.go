@@ -102,7 +102,7 @@ func TestComputeSeparatedFromComm(t *testing.T) {
 	sim := New(p, testModel)
 	sim.ExecOne(Collective{Sched: sc, Members: identity(p), PayloadBytes: 8e5})
 	commOnly := sim.MaxCommTime()
-	sim.ComputeAll(1e9) // 0.1s at γ=1e-10
+	sim.ComputeRanks(identity(p), 1e9) // 0.1s at γ=1e-10
 	if math.Abs(sim.MaxCommTime()-commOnly) > 1e-15 {
 		t.Fatal("compute leaked into comm time")
 	}

@@ -1,0 +1,647 @@
+package simnet
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/comm"
+	"repro/internal/hockney"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// This file implements the virtual transport: a full SPMD runtime whose
+// ranks are goroutines — exactly like internal/mpi — but whose communicator
+// advances Hockney virtual time on a shared Sim instead of moving matrix
+// elements. The algorithm layer (internal/core, internal/baseline) runs
+// unchanged on it through the comm.Comm interface; wire buffers carry only
+// element counts and Gemm advances a compute clock, so a 16384-rank
+// BlueGene/P simulation allocates shape headers, not gigabytes of tiles.
+//
+// Timing semantics:
+//
+//   - Collectives execute their internal/sched schedule through Sim.ExecOne
+//     at the moment the last member arrives, with full-duplex rendezvous
+//     round semantics — bit-identical to the retired phase-replay engine
+//     (internal/simalg's old hand-written schedules) under uniform links
+//     and no contention, because disjoint collectives never couple there.
+//     With contention enabled, the flow count each round sees is the
+//     collective's own (concurrent collectives on disjoint ranks are not
+//     round-aligned against each other) — a mild, documented deviation.
+//
+//   - SendRecv is full-duplex from the caller's clock snapshot: the call
+//     completes at max(t₀+T_send, max(t₀, t_src)+T_recv), which reproduces
+//     the shift-phase rendezvous of Cannon and Fox exactly.
+//
+//   - A bare Send occupies the sender for the transfer (t₀ → t₀+T) and the
+//     matching Recv completes at max(t_recv, t₀)+T.
+//
+// Virtual times are deterministic regardless of goroutine interleaving:
+// each rank's clock is advanced only by its own program order, messages
+// carry their sender's clock, and a collective computes from the clocks of
+// members that are all blocked in the same call.
+//
+// Traffic accounting mirrors internal/mpi exactly — one message per
+// schedule transfer, bytes from the same integer sched.SegmentRange split —
+// so a virtual run reports per-rank message and byte counts identical to a
+// live run of the same configuration (asserted by the parity tests in
+// internal/simalg).
+
+// VConfig configures a virtual world.
+type VConfig struct {
+	// Model is the Hockney machine (α, β per element, γ per flop).
+	Model hockney.Model
+	// Contention is the optional link-sharing model (nil = none, the
+	// paper's assumption).
+	Contention ContentionFunc
+	// LinkCost optionally scales each transfer's bandwidth term by the
+	// physical route (e.g. torus hop distance).
+	LinkCost LinkCostFunc
+	// Overlap enables communication/computation overlap (double
+	// buffering): Gemm advances a dedicated per-rank compute timeline
+	// instead of the communication clock, and Total reports the later of
+	// the two. The paper's implementation is non-overlapped (§VI).
+	Overlap bool
+}
+
+// VRankStats counts the traffic one virtual rank generated, mirroring
+// mpi.RankStats.
+type VRankStats struct {
+	SentMessages int64
+	SentBytes    int64 // payload bytes (8 per float64), as on the live wire
+}
+
+// VWorld owns the shared virtual clocks and coordination state for p ranks.
+type VWorld struct {
+	sim *Sim
+	cfg VConfig
+
+	mu           sync.Mutex
+	splits       map[vKey]*vSplitGather
+	colls        map[vKey]*vCollGather
+	nextCID      int64
+	stats        []VRankStats
+	computeDone  []float64 // overlap mode: per-rank compute timeline
+	schedCache   map[vSchedKey]*sched.Schedule
+	trafficCache map[vTrafficKey][]VRankStats
+
+	mailboxes []*vMailbox
+	aborted   atomic.Bool
+}
+
+type vKey struct {
+	cid int64
+	seq int64
+}
+
+type vSchedKey struct {
+	alg      sched.Algorithm
+	p, root  int
+	segments int
+}
+
+// vTrafficKey caches per-rank traffic deltas by (schedule identity,
+// payload size). Schedules are themselves cached per world, so pointer
+// identity is a valid key.
+type vTrafficKey struct {
+	sched *sched.Schedule
+	elems int
+}
+
+// NewVWorld returns a virtual world of p ranks under the given
+// configuration.
+func NewVWorld(p int, cfg VConfig) *VWorld {
+	sim := New(p, cfg.Model)
+	sim.SetContention(cfg.Contention)
+	sim.SetLinkCost(cfg.LinkCost)
+	w := &VWorld{
+		sim:          sim,
+		cfg:          cfg,
+		splits:       make(map[vKey]*vSplitGather),
+		colls:        make(map[vKey]*vCollGather),
+		nextCID:      1, // cid 0 is the world communicator
+		stats:        make([]VRankStats, p),
+		schedCache:   make(map[vSchedKey]*sched.Schedule),
+		trafficCache: make(map[vTrafficKey][]VRankStats),
+		mailboxes:    make([]*vMailbox, p),
+	}
+	if cfg.Overlap {
+		w.computeDone = make([]float64, p)
+	}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newVMailbox()
+	}
+	return w
+}
+
+// Run executes fn on every rank, each in its own goroutine, passing each
+// rank its world communicator. It returns after all ranks finish; the first
+// panic aborts the world and is returned as an error.
+func (w *VWorld) Run(fn func(c *VComm)) error {
+	p := w.sim.Size()
+	ranks := make([]int, p)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for r := 0; r < p; r++ {
+		vc := &VComm{w: w, cid: 0, rank: r, ranks: ranks}
+		wg.Add(1)
+		go func(c *VComm) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(vAborted); ok {
+						return // collateral unwind, not the root cause
+					}
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("simnet: virtual rank %d panicked: %v\n%s", c.rank, rec, debug.Stack())
+					})
+					w.abort()
+				}
+			}()
+			fn(c)
+		}(vc)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// vAborted is the sentinel panic used to unwind ranks blocked in a receive
+// or collective when another rank has already failed.
+type vAborted struct{}
+
+func (w *VWorld) abort() {
+	if w.aborted.CompareAndSwap(false, true) {
+		w.mu.Lock()
+		for _, sg := range w.splits {
+			sg.cond.Broadcast()
+		}
+		for _, cg := range w.colls {
+			cg.cond.Broadcast()
+		}
+		w.mu.Unlock()
+		// Broadcast under each mailbox's lock: a taker that has checked
+		// the aborted flag but not yet parked in Wait would otherwise
+		// miss the wakeup and sleep forever.
+		for _, mb := range w.mailboxes {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		}
+	}
+}
+
+// Sim exposes the underlying simulator (clocks, per-rank comm times).
+func (w *VWorld) Sim() *Sim { return w.sim }
+
+// Stats returns a copy of the per-rank traffic counters. Read it only
+// after Run returns.
+func (w *VWorld) Stats() []VRankStats {
+	out := make([]VRankStats, len(w.stats))
+	copy(out, w.stats)
+	return out
+}
+
+// Total returns the simulated execution time: the last communication clock,
+// or in overlap mode the later of the communication and compute timelines.
+func (w *VWorld) Total() float64 {
+	total := w.sim.MaxClock()
+	for _, cd := range w.computeDone {
+		if cd > total {
+			total = cd
+		}
+	}
+	return total
+}
+
+// MaxCommTime returns the largest per-rank time spent inside communication,
+// the quantity the paper plots as "communication time".
+func (w *VWorld) MaxCommTime() float64 { return w.sim.MaxCommTime() }
+
+func (w *VWorld) schedule(alg sched.Algorithm, p, root, segments int) *sched.Schedule {
+	k := vSchedKey{alg, p, root, segments}
+	if s, ok := w.schedCache[k]; ok {
+		return s
+	}
+	s, err := sched.NewBroadcast(alg, p, root, segments)
+	if err != nil {
+		panic(fmt.Sprintf("simnet: bcast: %v", err))
+	}
+	w.schedCache[k] = s
+	return s
+}
+
+// traffic returns the per-schedule-rank (messages, bytes) a collective of
+// the given payload generates, cached: a Van de Geijn broadcast has O(p²)
+// transfers, and walking them per collective under the world mutex would
+// dominate large simulations where the timing side takes the O(p) ring
+// fast path. Byte counts use the same integer sched.SegmentRange split the
+// live runtime puts on the wire, so parity is preserved.
+func (w *VWorld) traffic(s *sched.Schedule, elems int) []VRankStats {
+	k := vTrafficKey{sched: s, elems: elems}
+	if d, ok := w.trafficCache[k]; ok {
+		return d
+	}
+	delta := make([]VRankStats, s.NumRanks)
+	for _, round := range s.Rounds {
+		for _, t := range round.Transfers {
+			lo, hi := sched.SegmentRange(elems, s.Segments, t.SegLo, t.SegHi)
+			delta[t.Src].SentMessages++
+			delta[t.Src].SentBytes += int64(hockney.BytesPerElement * (hi - lo))
+		}
+	}
+	w.trafficCache[k] = delta
+	return delta
+}
+
+// vMessage is one in-flight virtual payload: no data, only its size and the
+// sender's clock at the moment of the send.
+type vMessage struct {
+	cid   int64
+	src   int // sender's rank in the communicator identified by cid
+	tag   int
+	elems int
+	clock float64
+}
+
+type vMailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []vMessage
+}
+
+func newVMailbox() *vMailbox {
+	mb := &vMailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *vMailbox) put(m vMessage) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *vMailbox) take(w *VWorld, cid int64, src, tag int) vMessage {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.cid == cid && m.src == src && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		if w.aborted.Load() {
+			panic(vAborted{})
+		}
+		mb.cond.Wait()
+	}
+}
+
+// VComm is a communicator over the virtual world, implementing comm.Comm.
+type VComm struct {
+	w     *VWorld
+	cid   int64
+	rank  int
+	ranks []int // comm rank -> world rank (shared, read-only)
+
+	opSeq    int64
+	splitSeq int64
+}
+
+var _ comm.Comm = (*VComm)(nil)
+
+// Rank returns the caller's rank within the communicator.
+func (c *VComm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *VComm) Size() int { return len(c.ranks) }
+
+// WorldRank returns the caller's rank in the original world communicator.
+func (c *VComm) WorldRank() int { return c.ranks[c.rank] }
+
+// transferTime returns the virtual duration of one point-to-point transfer
+// among `flows` concurrent ones, applying the contention and link models.
+// A bare Send/Recv is a single flow; SendRecv — used only for the global
+// shift phases of Cannon and Fox, where every rank of the communicator
+// shifts simultaneously — charges the communicator's full flow count, as
+// the retired phase executor did for a shift round.
+func (w *VWorld) transferTime(srcW, dstW, elems, flows int) float64 {
+	eff := w.cfg.Model
+	eff.Beta *= w.sim.contention(flows) * w.sim.linkFactor(srcW, dstW)
+	return eff.PointToPoint(float64(elems))
+}
+
+// Send delivers a virtual message of data.N elements to dst under tag. The
+// sender is occupied for the transfer (its clock advances by α+Nβ).
+func (c *VComm) Send(dst, tag int, data comm.Buf) {
+	c.checkPeer("send to", dst)
+	w := c.w
+	me := c.WorldRank()
+	dstW := c.ranks[dst]
+	w.mu.Lock()
+	t0 := w.sim.clocks[me]
+	dt := w.transferTime(me, dstW, data.N, 1)
+	w.sim.clocks[me] = t0 + dt
+	w.sim.comm[me] += dt
+	w.stats[me].SentMessages++
+	w.stats[me].SentBytes += int64(hockney.BytesPerElement * data.N)
+	w.mu.Unlock()
+	w.mailboxes[dstW].put(vMessage{cid: c.cid, src: c.rank, tag: tag, elems: data.N, clock: t0})
+}
+
+// Recv blocks until a matching message arrives and advances the receiver to
+// max(own clock, sender's send-time) plus the transfer time.
+func (c *VComm) Recv(src, tag int, buf comm.Buf) {
+	c.checkPeer("recv from", src)
+	w := c.w
+	me := c.WorldRank()
+	m := w.mailboxes[me].take(w, c.cid, src, tag)
+	if m.elems != buf.N {
+		panic(fmt.Sprintf("simnet: recv buffer %d elements but message has %d (src=%d tag=%d)",
+			buf.N, m.elems, src, tag))
+	}
+	w.mu.Lock()
+	dt := w.transferTime(c.ranks[src], me, m.elems, 1)
+	end := w.sim.clocks[me]
+	if m.clock > end {
+		end = m.clock
+	}
+	end += dt
+	w.advanceComm(me, end)
+	w.mu.Unlock()
+}
+
+// SendRecv performs the full-duplex shift primitive: both directions
+// proceed concurrently from the caller's clock snapshot, and the call
+// completes when the slower of the two finishes.
+func (c *VComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv comm.Buf) {
+	c.checkPeer("send to", dst)
+	c.checkPeer("recv from", src)
+	w := c.w
+	me := c.WorldRank()
+	dstW := c.ranks[dst]
+	w.mu.Lock()
+	t0 := w.sim.clocks[me]
+	sendEnd := t0 + w.transferTime(me, dstW, send.N, len(c.ranks))
+	w.stats[me].SentMessages++
+	w.stats[me].SentBytes += int64(hockney.BytesPerElement * send.N)
+	w.mu.Unlock()
+	w.mailboxes[dstW].put(vMessage{cid: c.cid, src: c.rank, tag: sendTag, elems: send.N, clock: t0})
+
+	m := w.mailboxes[me].take(w, c.cid, src, recvTag)
+	if m.elems != recv.N {
+		panic(fmt.Sprintf("simnet: sendrecv buffer %d elements but message has %d (src=%d tag=%d)",
+			recv.N, m.elems, src, recvTag))
+	}
+	w.mu.Lock()
+	recvEnd := t0
+	if m.clock > recvEnd {
+		recvEnd = m.clock
+	}
+	recvEnd += w.transferTime(c.ranks[src], me, m.elems, len(c.ranks))
+	end := sendEnd
+	if recvEnd > end {
+		end = recvEnd
+	}
+	w.advanceComm(me, end)
+	w.mu.Unlock()
+}
+
+// advanceComm moves a world rank's clock forward to end, accounting the
+// advance (transfer plus waiting) as communication time. Callers hold w.mu.
+func (w *VWorld) advanceComm(worldRank int, end float64) {
+	if end > w.sim.clocks[worldRank] {
+		w.sim.comm[worldRank] += end - w.sim.clocks[worldRank]
+		w.sim.clocks[worldRank] = end
+	}
+}
+
+func (c *VComm) checkPeer(verb string, peer int) {
+	if peer < 0 || peer >= len(c.ranks) {
+		panic(fmt.Sprintf("simnet: %s rank %d outside communicator of %d", verb, peer, len(c.ranks)))
+	}
+	if peer == c.rank {
+		panic("simnet: self-send is not supported (use local copies)")
+	}
+}
+
+// vCollGather coordinates one collective call across the members of a
+// communicator: everyone blocks until the last member arrives, which
+// executes the schedule on the shared clocks and releases the rest. The
+// first arriver's call signature is recorded so a mismatched member — the
+// bug class the live transport catches with a receive-size panic — aborts
+// loudly instead of silently skewing the figures.
+type vCollGather struct {
+	cond    *sync.Cond
+	arrived int
+	done    bool
+
+	alg      sched.Algorithm
+	root     int
+	segments int
+	elems    int
+}
+
+// Bcast broadcasts root's virtual payload over the communicator: the
+// schedule's transfers advance the members' clocks through Sim.ExecOne with
+// exact round rendezvous semantics, and the traffic counters record one
+// message per transfer with the same integer segment split the live runtime
+// puts on the wire.
+func (c *VComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int) {
+	p := c.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("simnet: bcast root %d outside communicator of %d", root, p))
+	}
+	if p == 1 {
+		return
+	}
+	w := c.w
+	seq := c.opSeq
+	c.opSeq++
+	k := vKey{cid: c.cid, seq: seq}
+
+	// Deferred unlock so a panic inside the critical section (an unknown
+	// broadcast algorithm, a schedule/member mismatch) releases the world
+	// mutex before Run's recover handler calls abort — which needs it.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cg := w.colls[k]
+	if cg == nil {
+		cg = &vCollGather{alg: alg, root: root, segments: segments, elems: data.N}
+		cg.cond = sync.NewCond(&w.mu)
+		w.colls[k] = cg
+	} else if cg.alg != alg || cg.root != root || cg.segments != segments || cg.elems != data.N {
+		panic(fmt.Sprintf("simnet: bcast mismatch on rank %d: (%s root=%d seg=%d n=%d) vs first caller's (%s root=%d seg=%d n=%d)",
+			c.rank, alg, root, segments, data.N, cg.alg, cg.root, cg.segments, cg.elems))
+	}
+	cg.arrived++
+	if cg.arrived == p {
+		s := w.schedule(alg, p, root, segments)
+		w.sim.ExecOne(Collective{Sched: s, Members: c.ranks, PayloadBytes: float64(data.N)})
+		for i, d := range w.traffic(s, data.N) {
+			st := &w.stats[c.ranks[i]]
+			st.SentMessages += d.SentMessages
+			st.SentBytes += d.SentBytes
+		}
+		cg.done = true
+		cg.cond.Broadcast()
+		delete(w.colls, k) // waiters hold the pointer
+	}
+	for !cg.done {
+		if w.aborted.Load() {
+			panic(vAborted{})
+		}
+		cg.cond.Wait()
+	}
+}
+
+// vSplitGather coordinates one Split call, mirroring the live runtime.
+type vSplitGather struct {
+	cond    *sync.Cond
+	arrived int
+	colors  map[int]int
+	keys    map[int]int
+	done    bool
+	result  map[int]*VComm
+}
+
+// Split partitions the communicator exactly like MPI_Comm_split (and like
+// the live transport): ranks passing the same colour form a new
+// communicator ordered by (key, old rank); a negative colour returns nil.
+func (c *VComm) Split(color, key int) comm.Comm {
+	w := c.w
+	seq := c.splitSeq
+	c.splitSeq++
+	k := vKey{cid: c.cid, seq: seq}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sg := w.splits[k]
+	if sg == nil {
+		sg = &vSplitGather{
+			colors: make(map[int]int),
+			keys:   make(map[int]int),
+		}
+		sg.cond = sync.NewCond(&w.mu)
+		w.splits[k] = sg
+	}
+	sg.colors[c.rank] = color
+	sg.keys[c.rank] = key
+	sg.arrived++
+	if sg.arrived == len(c.ranks) {
+		sg.result = c.computeSplit(sg)
+		sg.done = true
+		sg.cond.Broadcast()
+		delete(w.splits, k)
+	}
+	for !sg.done {
+		if w.aborted.Load() {
+			panic(vAborted{})
+		}
+		sg.cond.Wait()
+	}
+	res := sg.result[c.rank]
+	if res == nil {
+		return nil
+	}
+	return res
+}
+
+// computeSplit builds the new communicators once all members have arrived.
+// Called with the world mutex held by the last arriver.
+func (c *VComm) computeSplit(sg *vSplitGather) map[int]*VComm {
+	byColor := map[int][]int{}
+	for r, col := range sg.colors {
+		if col < 0 {
+			continue
+		}
+		byColor[col] = append(byColor[col], r)
+	}
+	result := make(map[int]*VComm, len(sg.colors))
+	colors := make([]int, 0, len(byColor))
+	for col := range byColor {
+		colors = append(colors, col)
+	}
+	sort.Ints(colors)
+	for _, col := range colors {
+		members := byColor[col]
+		sort.Slice(members, func(i, j int) bool {
+			ki, kj := sg.keys[members[i]], sg.keys[members[j]]
+			if ki != kj {
+				return ki < kj
+			}
+			return members[i] < members[j]
+		})
+		c.w.nextCID++
+		cid := c.w.nextCID
+		worldRanks := make([]int, len(members))
+		for i, m := range members {
+			worldRanks[i] = c.ranks[m]
+		}
+		for i, m := range members {
+			result[m] = &VComm{w: c.w, cid: cid, rank: i, ranks: worldRanks}
+		}
+	}
+	for r, col := range sg.colors {
+		if col < 0 {
+			result[r] = nil
+		}
+	}
+	return result
+}
+
+// --- Data plane: storage is elided, only shapes and clocks advance. ---
+
+// NewBuf returns a length-only wire buffer.
+func (c *VComm) NewBuf(elems int) comm.Buf { return comm.Buf{N: elems} }
+
+// NewTile returns a shape-only matrix header (nil Data).
+func (c *VComm) NewTile(rows, cols int) *matrix.Dense {
+	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols}
+}
+
+// CloneTile returns a shape-only copy.
+func (c *VComm) CloneTile(src *matrix.Dense) *matrix.Dense {
+	return &matrix.Dense{Rows: src.Rows, Cols: src.Cols, Stride: src.Cols}
+}
+
+// Pack checks shapes; no elements move.
+func (c *VComm) Pack(dst comm.Buf, src *matrix.Dense) { comm.CheckPack(dst, src) }
+
+// Unpack checks shapes; no elements move.
+func (c *VComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, dst) }
+
+// Gemm advances the rank's compute state by the 2·m·k·n flops of the local
+// update C += A·B: on the communication clock normally, or on the dedicated
+// compute timeline in overlap mode (double buffering with a communication
+// engine, the paper's §VI opportunity).
+func (c *VComm) Gemm(cm, a, b *matrix.Dense) {
+	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
+		panic(fmt.Sprintf("simnet: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
+			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
+	dt := c.w.cfg.Model.Compute(flops)
+	w := c.w
+	me := c.WorldRank()
+	w.mu.Lock()
+	if w.cfg.Overlap {
+		start := w.computeDone[me]
+		if clk := w.sim.clocks[me]; clk > start {
+			start = clk
+		}
+		w.computeDone[me] = start + dt
+	} else {
+		w.sim.ComputeRanks([]int{me}, flops)
+	}
+	w.mu.Unlock()
+}

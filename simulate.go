@@ -10,7 +10,6 @@ import (
 	"repro/internal/sched"
 	"repro/internal/simalg"
 	"repro/internal/simnet"
-	"repro/internal/topo"
 )
 
 // Machine is the Hockney platform model (α latency, β reciprocal bandwidth
@@ -39,9 +38,11 @@ type SimConfig struct {
 	BlockSize int
 	// OuterBlockSize is HSUMMA's B (0 = b).
 	OuterBlockSize int
-	Broadcast      sched.Algorithm
-	Segments       int
-	Machine        Machine
+	// Levels configures AlgMultilevel (outermost first).
+	Levels    []Level
+	Broadcast sched.Algorithm
+	Segments  int
+	Machine   Machine
 	// Contention enables the platform's link-sharing model (needs
 	// Platform set) — an ablation beyond the paper's congestion-free
 	// assumption.
@@ -54,70 +55,73 @@ type SimConfig struct {
 }
 
 // SimResult reports simulated execution and communication times in
-// seconds, as the paper's figures do.
+// seconds, as the paper's figures do, plus the virtual traffic counters —
+// which are identical, per rank, to what a live run of the same
+// configuration measures (the engine's parity invariant).
 type SimResult struct {
 	Total   float64
 	Comm    float64
 	Compute float64
+	// Messages and Bytes are totals across all ranks, counted exactly as
+	// the live runtime counts them.
+	Messages int64
+	Bytes    int64
 	// Groups is the group count actually used (relevant when it was
 	// auto-selected).
 	Groups int
 }
 
-// Simulate replays the configured algorithm's communication schedules and
-// compute phases on the discrete-event simulator and returns its times.
-// Supported algorithms: AlgSUMMA, AlgHSUMMA, AlgCannon.
+// Simulate executes the configured algorithm — the same implementation,
+// resolved through the same spec, that Multiply runs — on the simnet
+// virtual communicator and returns its Hockney-model times. All five
+// algorithms are supported; a simulated run moves no matrix elements, so
+// it scales to the paper's 16384-rank BlueGene/P and beyond.
 func Simulate(cfg SimConfig) (SimResult, error) {
-	var grid topo.Grid
-	var err error
-	if cfg.Grid != nil {
-		grid, err = topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
-		if err == nil && grid.Size() != cfg.Procs && cfg.Procs != 0 {
-			err = fmt.Errorf("hsumma: grid %v does not hold %d procs", grid, cfg.Procs)
-		}
-	} else {
-		grid, err = topo.SquarestGrid(cfg.Procs)
+	alg := cfg.Algorithm
+	if alg == "" {
+		// Simulate's default is SUMMA — the baseline every figure sweeps
+		// against — where Multiply defaults to the paper's HSUMMA.
+		alg = AlgSUMMA
 	}
+	// Unlike Multiply, which auto-derives a block size for convenience, a
+	// simulation must not guess the paper's key parameter: b changes the
+	// communication pattern being measured.
+	if cfg.BlockSize <= 0 && alg != AlgCannon && alg != AlgFox {
+		return SimResult{}, fmt.Errorf("hsumma: Simulate requires an explicit BlockSize for %s", alg)
+	}
+	procs := cfg.Procs
+	if procs == 0 && cfg.Grid != nil {
+		procs = cfg.Grid[0] * cfg.Grid[1]
+	}
+	spec, grid, err := resolveSpec(cfg.N, Config{
+		Procs: procs, Grid: cfg.Grid, Algorithm: alg,
+		Groups: cfg.Groups, BlockSize: cfg.BlockSize, OuterBlockSize: cfg.OuterBlockSize,
+		Levels: cfg.Levels, Broadcast: cfg.Broadcast, Segments: cfg.Segments,
+	})
 	if err != nil {
 		return SimResult{}, err
 	}
-	sc := simalg.Config{
-		N: cfg.N, Grid: grid,
-		BlockSize:      cfg.BlockSize,
-		OuterBlockSize: cfg.OuterBlockSize,
-		Bcast:          cfg.Broadcast,
-		Segments:       cfg.Segments,
-		Machine:        cfg.Machine,
-		Overlap:        cfg.Overlap,
-	}
+	vcfg := simnet.VConfig{Model: cfg.Machine, Overlap: cfg.Overlap}
 	if cfg.Contention {
 		if cfg.Platform == nil {
 			return SimResult{}, fmt.Errorf("hsumma: Contention requires Platform")
 		}
-		sc.Contention = simnet.ContentionFor(*cfg.Platform, grid.Size(), true)
+		vcfg.Contention = simnet.ContentionFor(*cfg.Platform, grid.Size(), true)
 	}
-	usedG := cfg.Groups
-	var res simalg.Result
-	switch cfg.Algorithm {
-	case AlgSUMMA, "":
-		res, err = simalg.SUMMA(sc)
-	case AlgHSUMMA:
-		h, herr := resolveGroups(grid, cfg.Groups)
-		if herr != nil {
-			return SimResult{}, herr
-		}
-		usedG = h.Groups()
-		sc.Groups = h
-		res, err = simalg.HSUMMA(sc)
-	case AlgCannon:
-		res, err = simalg.Cannon(sc)
-	default:
-		return SimResult{}, fmt.Errorf("hsumma: Simulate does not support algorithm %q", cfg.Algorithm)
-	}
+	res, stats, err := simalg.RunSpec(spec, vcfg)
 	if err != nil {
 		return SimResult{}, err
 	}
-	return SimResult{Total: res.Total, Comm: res.Comm, Compute: res.Compute, Groups: usedG}, nil
+	usedG := cfg.Groups
+	if spec.Algorithm == AlgHSUMMA {
+		usedG = spec.Opts.Groups.Groups()
+	}
+	out := SimResult{Total: res.Total, Comm: res.Comm, Compute: res.Compute, Groups: usedG}
+	for _, s := range stats {
+		out.Messages += s.SentMessages
+		out.Bytes += s.SentBytes
+	}
+	return out, nil
 }
 
 // ModelParams re-exports the closed-form model inputs.
