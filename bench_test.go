@@ -324,6 +324,61 @@ func BenchmarkAblationOverlap(b *testing.B) {
 	}
 }
 
+// BenchmarkFullScaleBGPSim measures the host wall time of one full
+// paper-scale BG/P virtual run (p=16384 goroutine ranks, n=65536, the
+// paper's Figure 8 configuration) — the quantity the per-communicator
+// synchronisation shards recover. The pre-shard baseline on a single core
+// was ~17 s per run, all collectives serialised on one world mutex; the
+// sharded design pools collective gathers (≈18% less single-core wall
+// time) and lets disjoint collectives rendezvous concurrently on
+// multicore hosts.
+func BenchmarkFullScaleBGPSim(b *testing.B) {
+	g := topo.Grid{S: 128, T: 128}
+	h, err := topo.FactorGroups(g, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := simalg.HSUMMA(simalg.Config{
+			N: 65536, Grid: g, BlockSize: 256, Groups: h,
+			Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanColdVsCached quantifies what the plan cache buys: a cold
+// plan pays the analytic scan plus TopK virtual runs, a cached one a map
+// lookup — the serving-workload property the planner is memoised for.
+func BenchmarkPlanColdVsCached(b *testing.B) {
+	cfg := PlanConfig{Platform: PlatformGrid5000(), N: 512, Procs: 16, Quick: true}
+	b.Run("cold", func(b *testing.B) {
+		cfg := cfg
+		cfg.NoCache = true
+		for i := 0; i < b.N; i++ {
+			if _, err := Plan(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := Plan(cfg); err != nil {
+			b.Fatal(err) // warm the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl, err := Plan(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !pl.FromCache {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+}
+
 // BenchmarkModelEvaluation measures the closed-form evaluation itself.
 func BenchmarkModelEvaluation(b *testing.B) {
 	par := model.Params{N: 1 << 22, P: 1 << 20, B: 256,

@@ -10,35 +10,53 @@
 //     wall-clock, so grids far beyond one machine (BlueGene/P's 16384
 //     cores, and larger) run in seconds with no matrix memory at all.
 //
+// Pass -auto (or -alg auto) to let the autotuning planner pick the
+// algorithm, grid shape, group count, block sizes and broadcast for the
+// target platform; explicit -b pins the block size as a constraint.
+//
+// The plan subcommand runs the planner standalone and prints the ranked
+// candidate table (or JSON with -json):
+//
+//	hsumma-run plan -platform bgp
+//	hsumma-run plan -platform all -quick -json > BENCH_plan.json
+//
 // Usage:
 //
 //	hsumma-run -n 512 -p 16 -alg hsumma -G 4 -b 32
-//	hsumma-run -n 512 -p 16 -alg summa -bcast vandegeijn
+//	hsumma-run -n 512 -p 16 -auto
 //	hsumma-run -mode=sim -platform bgp -n 65536 -p 16384 -alg hsumma -G 512 -b 256 -bcast vandegeijn
+//	hsumma-run -mode=sim -platform bgp -n 4096 -p 256 -auto
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	hsumma "repro"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "plan" {
+		runPlanCmd(os.Args[2:])
+		return
+	}
 	var (
 		mode   = flag.String("mode", "live", "execution mode: live (goroutine runtime, real data) or sim (virtual time, no data)")
 		n      = flag.Int("n", 512, "matrix dimension (n×n)")
 		p      = flag.Int("p", 16, "number of ranks")
-		alg    = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox")
+		alg    = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox, auto")
+		auto   = flag.Bool("auto", false, "let the planner pick the configuration (same as -alg auto)")
 		G      = flag.Int("G", 0, "HSUMMA group count (0 = closest feasible to sqrt(p))")
-		b      = flag.Int("b", 0, "block size b (0 = auto in live mode)")
+		b      = flag.Int("b", 0, "block size b (0 = auto via the shared default rule)")
 		outer  = flag.Int("B", 0, "outer block size B (0 = b)")
 		bcast  = flag.String("bcast", "binomial", "broadcast: binomial, vandegeijn, flat, binary, chain")
 		levels = flag.String("levels", "", "multilevel hierarchy, outermost first, e.g. 2x2:64,2x2:32 (IxJ:blocksize); empty degenerates to SUMMA")
-		pf     = flag.String("platform", "grid5000", "sim machine preset: grid5000, bgp, exascale")
+		pf     = flag.String("platform", "grid5000", "machine preset: grid5000, bgp, exascale (sim timing; auto-planning target in both modes)")
 		seed   = flag.Uint64("seed", 42, "input matrix seed (live mode)")
 	)
 	flag.Parse()
@@ -53,8 +71,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *auto {
+		*alg = string(hsumma.AlgAuto)
+	}
 	if hsumma.Algorithm(*alg) == hsumma.AlgMultilevel && len(levelList) == 0 {
 		fmt.Fprintln(os.Stderr, "note: -alg multilevel without -levels degenerates to flat SUMMA")
+	}
+	machine, err := platformByName(*pf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	switch *mode {
@@ -72,6 +98,7 @@ func main() {
 			OuterBlockSize: *outer,
 			Levels:         levelList,
 			Broadcast:      bcastAlg,
+			Platform:       &machine,
 		}
 		start := time.Now()
 		got, stats, err := hsumma.Multiply(a, bm, cfg)
@@ -98,46 +125,30 @@ func main() {
 		fmt.Println("result         : OK")
 
 	case "sim":
-		var machine hsumma.Platform
-		switch *pf {
-		case "grid5000":
-			machine = hsumma.PlatformGrid5000()
-		case "bgp", "bluegene":
-			machine = hsumma.PlatformBlueGeneP()
-		case "exascale":
-			machine = hsumma.PlatformExascale()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown -platform %q (want grid5000, bgp, exascale)\n", *pf)
-			os.Exit(2)
-		}
-		// Cannon and Fox work on whole tiles and take no block size; the
-		// SUMMA family needs an explicit b (live mode auto-derives it, but
-		// a simulation should not guess the paper's key parameter).
-		simAlg := hsumma.Algorithm(*alg)
-		if *b <= 0 && simAlg != hsumma.AlgCannon && simAlg != hsumma.AlgFox {
-			fmt.Fprintln(os.Stderr, "sim mode needs an explicit -b block size for "+*alg)
-			os.Exit(2)
-		}
 		start := time.Now()
 		res, err := hsumma.Simulate(hsumma.SimConfig{
 			N:              *n,
 			Procs:          *p,
-			Algorithm:      simAlg,
+			Algorithm:      hsumma.Algorithm(*alg),
 			Groups:         *G,
 			BlockSize:      *b,
 			OuterBlockSize: *outer,
 			Levels:         levelList,
 			Broadcast:      bcastAlg,
 			Machine:        machine.Model,
+			Platform:       &machine,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simulation failed:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("mode           : sim (virtual communicator, %s)\n", machine.Name)
-		fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", *alg, *p, *n)
-		if simAlg == hsumma.AlgHSUMMA {
+		fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", res.Algorithm, *p, *n)
+		if res.Algorithm == hsumma.AlgHSUMMA {
 			fmt.Printf("groups         : G=%d\n", res.Groups)
+		}
+		if res.BlockSize > 0 {
+			fmt.Printf("block size     : b=%d\n", res.BlockSize)
 		}
 		fmt.Printf("simulated total: %.4gs\n", res.Total)
 		fmt.Printf("simulated comm : %.4gs\n", res.Comm)
@@ -146,6 +157,168 @@ func main() {
 		fmt.Printf("bytes moved    : %d (identical to a live run of this config)\n", res.Bytes)
 		fmt.Printf("host wall time : %v\n", time.Since(start))
 	}
+}
+
+func platformByName(name string) (hsumma.Platform, error) {
+	switch name {
+	case "grid5000":
+		return hsumma.PlatformGrid5000(), nil
+	case "grid5000-cal", "grid5000cal":
+		return hsumma.PlatformGrid5000Calibrated(), nil
+	case "bgp", "bluegene":
+		return hsumma.PlatformBlueGeneP(), nil
+	case "bgp-cal", "bgpcal":
+		return hsumma.PlatformBGPCalibrated(), nil
+	case "exascale":
+		return hsumma.PlatformExascale(), nil
+	}
+	return hsumma.Platform{}, fmt.Errorf("unknown -platform %q (want grid5000[-cal], bgp[-cal], exascale)", name)
+}
+
+// planProblem is the per-platform default problem scale for the plan
+// subcommand: the paper's full configuration, or a scaled-down one with
+// -quick.
+func planProblem(platform string, quick bool) (n, p int) {
+	switch platform {
+	case "bgp", "bgp-cal", "bluegene", "bgpcal":
+		if quick {
+			return 4096, 256
+		}
+		return 65536, 16384
+	case "exascale":
+		if quick {
+			return 1 << 14, 1 << 12
+		}
+		return 1 << 22, 1 << 20
+	default: // grid5000 variants
+		if quick {
+			return 1024, 32
+		}
+		return 8192, 128
+	}
+}
+
+// runPlanCmd implements the plan subcommand: run the autotuning planner
+// for one platform (or all three paper platforms) and print the ranked
+// candidate table, or JSON for machine consumption (the CI bench-smoke
+// job archives it as BENCH_plan.json).
+func runPlanCmd(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	var (
+		pf         = fs.String("platform", "grid5000", "grid5000[-cal], bgp[-cal], exascale, or all (the three calibrated paper platforms)")
+		n          = fs.Int("n", 0, "matrix dimension (0 = the platform's paper-scale default)")
+		p          = fs.Int("p", 0, "rank count (0 = the platform's paper-scale default)")
+		b          = fs.Int("b", 0, "pin the block size b (0 = search)")
+		topk       = fs.Int("topk", 8, "stage-2 refinement width")
+		objective  = fs.String("objective", "total", "ranking objective: total or comm")
+		quick      = fs.Bool("quick", false, "trim the candidate space (and the default problem scale) for a sub-second sweep")
+		analytic   = fs.Bool("analytic", false, "closed-form ranking only, skip the stage-2 virtual runs")
+		contention = fs.Bool("contention", false, "enable the platform's link-sharing model in stage 2")
+		jsonOut    = fs.Bool("json", false, "emit the plans as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	names := []string{*pf}
+	if *pf == "all" {
+		names = []string{"grid5000-cal", "bgp-cal", "exascale"}
+	}
+	var obj hsumma.PlanObjective
+	switch *objective {
+	case "total":
+		obj = hsumma.PlanMinTotal
+	case "comm":
+		obj = hsumma.PlanMinComm
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -objective %q (want total or comm)\n", *objective)
+		os.Exit(2)
+	}
+
+	var plans []*hsumma.PlanResult
+	for _, name := range names {
+		machine, err := platformByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pn, pp := *n, *p
+		if pn == 0 || pp == 0 {
+			dn, dp := planProblem(name, *quick)
+			if pn == 0 {
+				pn = dn
+			}
+			if pp == 0 {
+				pp = dp
+			}
+		}
+		// A stage-2 virtual run at the paper's 16384 ranks costs ~10 s of
+		// host time each; beyond 2048 ranks default to the analytic
+		// ranking unless the caller passed -analytic explicitly (so
+		// -analytic=false forces full-scale simulated refinement).
+		analyticSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "analytic" {
+				analyticSet = true
+			}
+		})
+		analyticOnly := *analytic
+		if !analyticSet && pp > 2048 {
+			analyticOnly = true
+		}
+		start := time.Now()
+		pl, err := hsumma.Plan(hsumma.PlanConfig{
+			Platform: machine, N: pn, Procs: pp,
+			BlockSize:    *b,
+			TopK:         *topk,
+			Objective:    obj,
+			Quick:        *quick,
+			AnalyticOnly: analyticOnly,
+			Contention:   *contention,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plan failed:", err)
+			os.Exit(1)
+		}
+		plans = append(plans, pl)
+		if !*jsonOut {
+			printPlan(pl, time.Since(start), analyticOnly)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plans); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printPlan(pl *hsumma.PlanResult, elapsed time.Duration, analyticOnly bool) {
+	fmt.Printf("== plan: %s — n=%d, p=%d (objective: min %s) ==\n", pl.Platform, pl.N, pl.P, pl.Objective)
+	fmt.Printf("   scanned %d candidates, simulated %d, cached=%t, %v\n",
+		pl.Scanned, pl.Simulated, pl.FromCache, elapsed.Round(time.Millisecond))
+	if analyticOnly {
+		fmt.Println("   (analytic ranking only; pass -analytic=false to force simulated refinement)")
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "   rank\talgorithm\tgrid\tG\tb\tB\tbcast\tmodel comm (s)\tsim comm (s)\tsim total (s)")
+	for i, s := range pl.Ranked {
+		simComm, simTotal := "-", "-"
+		if s.Refined {
+			simComm, simTotal = fmt.Sprintf("%.4g", s.SimComm), fmt.Sprintf("%.4g", s.SimTotal)
+		}
+		marker := ""
+		if i == 0 {
+			marker = " <- best"
+		}
+		fmt.Fprintf(w, "   #%d\t%s\t%s\t%d\t%d\t%d\t%s\t%.4g\t%s\t%s%s\n",
+			i+1, s.Algorithm, s.Grid, s.Groups, s.BlockSize, s.OuterBlockSize,
+			s.Broadcast, s.ModelComm, simComm, simTotal, marker)
+	}
+	w.Flush()
+	fmt.Println()
 }
 
 // parseLevels parses the -levels syntax "IxJ:blocksize[,IxJ:blocksize...]"

@@ -1,9 +1,13 @@
 // Autotune: the paper (§VI) notes that "the optimal number of groups …
 // can be easily automated and incorporated into the implementation by
-// using few iterations of HSUMMA". This example does exactly that: it
-// samples candidate group counts on the discrete-event simulator (a few
-// model iterations per G), picks the winner, and then runs the real
-// multiplication with it on the in-process runtime.
+// using few iterations of HSUMMA". The internal/tune planner is that
+// automation, generalised to every knob: it ranks algorithm × grid ×
+// groups × block sizes × broadcast analytically, refines the top
+// candidates on the discrete-event simulator, and caches the plan. This
+// example prints the ranked plan for a latency-bound cluster, then runs
+// the real multiplication two ways: with the plan's best candidate applied
+// explicitly, and with Algorithm: AlgAuto letting the library resolve the
+// same plan implicitly.
 //
 //	go run ./examples/autotune
 package main
@@ -20,37 +24,53 @@ func main() {
 		n     = 512
 		procs = 64
 	)
-	machine := hsumma.Machine{Alpha: 1e-4, Beta: 1e-9, Gamma: 1e-10} // a latency-bound cluster
-
-	fmt.Printf("sampling group counts for n=%d on p=%d (α=%.0e):\n", n, procs, machine.Alpha)
-	bestG, bestComm := 1, -1.0
-	for g := 1; g <= procs; g *= 2 {
-		res, err := hsumma.Simulate(hsumma.SimConfig{
-			N: n, Procs: procs, BlockSize: 32, Groups: g,
-			Algorithm: hsumma.AlgHSUMMA, Broadcast: hsumma.BcastVanDeGeijn,
-			Machine: machine,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		marker := ""
-		if bestComm < 0 || res.Comm < bestComm {
-			bestG, bestComm = g, res.Comm
-			marker = "  <- best so far"
-		}
-		fmt.Printf("  G=%-4d simulated comm %.4gs%s\n", g, res.Comm, marker)
+	pf := hsumma.Platform{
+		Name:  "latency-bound cluster",
+		Model: hsumma.Machine{Alpha: 1e-4, Beta: 1e-9, Gamma: 1e-10},
 	}
-	fmt.Printf("selected G=%d; running the real multiplication...\n", bestG)
+
+	// Quick mode matches the search AlgAuto performs below, so the second
+	// multiplication's implicit plan is served from the cache.
+	pl, err := hsumma.Plan(hsumma.PlanConfig{Platform: pf, N: n, Procs: procs, Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned n=%d on p=%d for %s (%d candidates scanned, %d simulated):\n",
+		n, procs, pf.Name, pl.Scanned, pl.Simulated)
+	for i, s := range pl.Ranked {
+		marker := ""
+		if i == 0 {
+			marker = "  <- best"
+		}
+		fmt.Printf("  #%d %-40s sim total %.4gs%s\n", i+1, s.Candidate, s.SimTotal, marker)
+	}
 
 	a := hsumma.RandomMatrix(n, n, 7)
 	b := hsumma.RandomMatrix(n, n, 8)
+
+	// Run the winner explicitly...
+	best := pl.Best.Candidate
 	c, stats, err := hsumma.Multiply(a, b, hsumma.Config{
-		Procs: procs, Algorithm: hsumma.AlgHSUMMA, Groups: bestG,
-		BlockSize: 32, Broadcast: hsumma.BcastVanDeGeijn,
+		Procs:          procs,
+		Grid:           &[2]int{best.Grid.S, best.Grid.T},
+		Algorithm:      best.Algorithm,
+		Groups:         best.Groups,
+		BlockSize:      best.BlockSize,
+		OuterBlockSize: best.OuterBlockSize,
+		Broadcast:      best.Broadcast,
+		Levels:         best.Levels,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("verified: max |Δ| = %.3g; %d messages moved\n",
-		hsumma.MaxAbsDiff(c, hsumma.Reference(a, b)), stats.Messages)
+	fmt.Printf("explicit %s: max |Δ| = %.3g, %d messages\n",
+		best.Algorithm, hsumma.MaxAbsDiff(c, hsumma.Reference(a, b)), stats.Messages)
+
+	// ...or let AlgAuto resolve the same plan (served from the cache now).
+	c2, _, err := hsumma.Multiply(a, b, hsumma.Config{Procs: procs, Algorithm: hsumma.AlgAuto, Platform: &pf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AlgAuto:  max |Δ| = %.3g (plan cache: %+v)\n",
+		hsumma.MaxAbsDiff(c2, hsumma.Reference(a, b)), hsumma.PlannerCounters())
 }

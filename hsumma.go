@@ -34,6 +34,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sched"
 	"repro/internal/topo"
+	"repro/internal/tune"
 )
 
 // Matrix is a dense row-major float64 matrix (see NewMatrix, Random).
@@ -66,6 +67,14 @@ const (
 	AlgMultilevel = engine.Multilevel
 	AlgCannon     = engine.Cannon
 	AlgFox        = engine.Fox
+	// AlgAuto delegates the choice — algorithm, grid shape, group count,
+	// block sizes and broadcast — to the autotuning planner (see Plan).
+	// Any knob explicitly set in the config (Grid, BlockSize) is honoured
+	// as a constraint; the rest are searched. Implicit resolution uses
+	// the planner's Quick search space (and, above 2048 ranks, analytic
+	// ranking only); for a full search call Plan yourself and apply its
+	// Best candidate explicitly.
+	AlgAuto = engine.Auto
 )
 
 // Broadcast names re-exported from the schedule layer.
@@ -120,6 +129,10 @@ type Config struct {
 	Broadcast sched.Algorithm
 	// Segments is the chain-broadcast pipeline depth.
 	Segments int
+	// Platform optionally names the machine the planner tunes for when
+	// Algorithm is AlgAuto (default: the Grid'5000 preset, the closest
+	// analogue of a commodity host). Ignored otherwise.
+	Platform *Platform
 }
 
 // Stats reports aggregate traffic of a run.
@@ -138,6 +151,13 @@ func resolveSpec(n int, cfg Config) (engine.Spec, topo.Grid, error) {
 	if cfg.Procs <= 0 {
 		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: Procs must be positive")
 	}
+	if cfg.Algorithm == AlgAuto {
+		planned, err := resolveAuto(n, cfg)
+		if err != nil {
+			return engine.Spec{}, topo.Grid{}, err
+		}
+		cfg = planned
+	}
 	grid, err := resolveGrid(cfg)
 	if err != nil {
 		return engine.Spec{}, topo.Grid{}, err
@@ -146,7 +166,9 @@ func resolveSpec(n int, cfg Config) (engine.Spec, topo.Grid, error) {
 		cfg.Algorithm = AlgHSUMMA
 	}
 	if cfg.BlockSize <= 0 {
-		cfg.BlockSize = defaultBlock(n, grid)
+		// The shared "0 means auto" rule, hoisted next to the planner's
+		// b/B search so Multiply and Simulate default identically.
+		cfg.BlockSize = tune.DefaultBlockSize(n, grid)
 	}
 	spec := engine.Spec{
 		Algorithm: cfg.Algorithm,
@@ -264,16 +286,6 @@ func resolveGroups(g topo.Grid, G int) (topo.Hier, error) {
 		}
 	}
 	return topo.FactorGroups(g, best)
-}
-
-// defaultBlock picks the largest power-of-two block (≤64) dividing both
-// tile dimensions.
-func defaultBlock(n int, g topo.Grid) int {
-	b := 64
-	for b > 1 && ((n/g.S)%b != 0 || (n/g.T)%b != 0) {
-		b /= 2
-	}
-	return b
 }
 
 func absInt(v int) int {

@@ -248,12 +248,27 @@ func TestSimulateAllAlgorithms(t *testing.T) {
 	}
 }
 
-// A simulation must not silently guess b — it defines the communication
-// pattern being measured. Cannon and Fox take no block size and are exempt.
-func TestSimulateRequiresBlockSize(t *testing.T) {
+// BlockSize: 0 means "auto" in Simulate exactly as in Multiply: both paths
+// share one default rule (tune.DefaultBlockSize), so a zero-b simulation
+// measures the same configuration a zero-b live run executes.
+func TestSimulateDefaultsBlockSize(t *testing.T) {
 	m := Machine{Alpha: 1e-5, Beta: 1e-9}
-	if _, err := Simulate(SimConfig{N: 64, Procs: 16, Algorithm: AlgSUMMA, Machine: m}); err == nil {
-		t.Fatal("SUMMA simulation without BlockSize accepted")
+	res, err := Simulate(SimConfig{N: 256, Procs: 16, Algorithm: AlgSUMMA, Machine: m})
+	if err != nil {
+		t.Fatalf("SUMMA simulation without BlockSize rejected: %v", err)
+	}
+	// 256/4 = 64 per tile: the shared rule picks the largest power of two
+	// ≤ 64 dividing the tile, i.e. 64.
+	if res.BlockSize != 64 {
+		t.Fatalf("defaulted block size %d, want 64", res.BlockSize)
+	}
+	explicit, err := Simulate(SimConfig{N: 256, Procs: 16, Algorithm: AlgSUMMA, BlockSize: 64, Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm != explicit.Comm || res.Bytes != explicit.Bytes {
+		t.Fatalf("auto-b simulation (%g s, %d B) differs from explicit b=64 (%g s, %d B)",
+			res.Comm, res.Bytes, explicit.Comm, explicit.Bytes)
 	}
 	if _, err := Simulate(SimConfig{N: 64, Procs: 16, Algorithm: AlgCannon, Machine: m}); err != nil {
 		t.Fatalf("Cannon simulation without BlockSize rejected: %v", err)

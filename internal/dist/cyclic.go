@@ -10,20 +10,19 @@ import (
 // CyclicMap describes the two-dimensional block-cyclic distribution of a
 // rows×cols matrix over a process grid with br×bc distribution blocks:
 // global block (bi,bj) lives on rank (bi mod S, bj mod T) at local block
-// (bi div S, bj div T). For uniform local tiles — the restriction
-// core.CyclicSUMMA relies on — the block-row and block-column counts must
-// divide evenly over the grid.
+// (bi div S, bj div T). Any positive shape is accepted — when the block
+// size does not divide the matrix the trailing block row/column is ragged,
+// and when the block grid does not divide the process grid ranks own
+// different numbers of blocks, exactly as in ScaLAPACK. The uniform-tile
+// restriction core.CyclicSUMMA relies on is validated there, not here.
 type CyclicMap struct {
 	rows, cols int
 	br, bc     int
 	grid       topo.Grid
-	localR     int // local rows per rank
-	localC     int // local cols per rank
+	nbr, nbc   int // global block rows/cols (ceil division)
 }
 
-// NewCyclicMap validates the layout (br | rows, bc | cols, and the block
-// grid divisible by the process grid so every rank owns the same tile
-// shape) and returns the distribution map.
+// NewCyclicMap validates positivity and returns the distribution map.
 func NewCyclicMap(rows, cols, br, bc int, g topo.Grid) (*CyclicMap, error) {
 	if rows <= 0 || cols <= 0 || br <= 0 || bc <= 0 {
 		return nil, fmt.Errorf("dist: invalid cyclic layout %dx%d blocks %dx%d", rows, cols, br, bc)
@@ -31,15 +30,9 @@ func NewCyclicMap(rows, cols, br, bc int, g topo.Grid) (*CyclicMap, error) {
 	if g.S <= 0 || g.T <= 0 {
 		return nil, fmt.Errorf("dist: invalid grid %v", g)
 	}
-	if rows%br != 0 || cols%bc != 0 {
-		return nil, fmt.Errorf("dist: %dx%d matrix not divisible into %dx%d blocks", rows, cols, br, bc)
-	}
-	if (rows/br)%g.S != 0 || (cols/bc)%g.T != 0 {
-		return nil, fmt.Errorf("dist: %dx%d block grid not divisible by process grid %v", rows/br, cols/bc, g)
-	}
 	return &CyclicMap{
 		rows: rows, cols: cols, br: br, bc: bc, grid: g,
-		localR: rows / g.S, localC: cols / g.T,
+		nbr: (rows + br - 1) / br, nbc: (cols + bc - 1) / bc,
 	}, nil
 }
 
@@ -52,11 +45,80 @@ func (m *CyclicMap) BlockRows() int { return m.br }
 // BlockCols returns the distribution block width.
 func (m *CyclicMap) BlockCols() int { return m.bc }
 
-// LocalRows returns the number of rows each rank owns.
-func (m *CyclicMap) LocalRows() int { return m.localR }
+// blockHeight returns the height of global block row bi (ragged at the
+// trailing edge).
+func (m *CyclicMap) blockHeight(bi int) int {
+	if h := m.rows - bi*m.br; h < m.br {
+		return h
+	}
+	return m.br
+}
 
-// LocalCols returns the number of columns each rank owns.
-func (m *CyclicMap) LocalCols() int { return m.localC }
+// blockWidth returns the width of global block column bj.
+func (m *CyclicMap) blockWidth(bj int) int {
+	if w := m.cols - bj*m.bc; w < m.bc {
+		return w
+	}
+	return m.bc
+}
+
+// localRowsOf returns the number of matrix rows grid row i owns: its full
+// blocks, minus the trailing-block trim when it owns the ragged one.
+func (m *CyclicMap) localRowsOf(i int) int {
+	if i >= m.nbr {
+		return 0
+	}
+	owned := (m.nbr-1-i)/m.grid.S + 1
+	rows := owned * m.br
+	if (m.nbr-1)%m.grid.S == i {
+		rows -= m.br - m.blockHeight(m.nbr-1)
+	}
+	return rows
+}
+
+// localColsOf returns the number of matrix columns grid column j owns.
+func (m *CyclicMap) localColsOf(j int) int {
+	if j >= m.nbc {
+		return 0
+	}
+	owned := (m.nbc-1-j)/m.grid.T + 1
+	cols := owned * m.bc
+	if (m.nbc-1)%m.grid.T == j {
+		cols -= m.bc - m.blockWidth(m.nbc-1)
+	}
+	return cols
+}
+
+// TileShape returns the exact local tile shape rank r owns.
+func (m *CyclicMap) TileShape(r int) (rows, cols int) {
+	i, j := m.grid.Coords(r)
+	return m.localRowsOf(i), m.localColsOf(j)
+}
+
+// LocalRows returns the largest per-rank row count (the uniform height
+// when the block grid divides the process grid evenly — the layout the
+// cyclic SUMMA algorithm requires; TileShape gives each rank's exact
+// shape).
+func (m *CyclicMap) LocalRows() int {
+	max := 0
+	for i := 0; i < m.grid.S; i++ {
+		if lr := m.localRowsOf(i); lr > max {
+			max = lr
+		}
+	}
+	return max
+}
+
+// LocalCols returns the largest per-rank column count.
+func (m *CyclicMap) LocalCols() int {
+	max := 0
+	for j := 0; j < m.grid.T; j++ {
+		if lc := m.localColsOf(j); lc > max {
+			max = lc
+		}
+	}
+	return max
+}
 
 // Locate maps a global element (gi,gj) to its owning rank and local
 // position under the block-cyclic layout.
@@ -78,10 +140,11 @@ func (m *CyclicMap) Scatter(a *matrix.Dense) []*matrix.Dense {
 	}
 	tiles := make([]*matrix.Dense, m.grid.Size())
 	for r := range tiles {
-		tiles[r] = matrix.New(m.localR, m.localC)
+		tr, tc := m.TileShape(r)
+		tiles[r] = matrix.New(tr, tc)
 	}
-	m.forEachBlock(func(rank, gi, gj, li, lj int) {
-		tiles[rank].View(li, lj, m.br, m.bc).CopyFrom(a.View(gi, gj, m.br, m.bc))
+	m.forEachBlock(func(rank, gi, gj, li, lj, h, w int) {
+		tiles[rank].View(li, lj, h, w).CopyFrom(a.View(gi, gj, h, w))
 	})
 	return tiles
 }
@@ -91,24 +154,27 @@ func (m *CyclicMap) Gather(tiles []*matrix.Dense) *matrix.Dense {
 	if len(tiles) != m.grid.Size() {
 		panic(fmt.Sprintf("dist: %d tiles for grid %v", len(tiles), m.grid))
 	}
-	out := matrix.New(m.rows, m.cols)
-	m.forEachBlock(func(rank, gi, gj, li, lj int) {
-		t := tiles[rank]
-		if t.Rows != m.localR || t.Cols != m.localC {
-			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", rank, t.Rows, t.Cols, m.localR, m.localC))
+	for r, t := range tiles {
+		tr, tc := m.TileShape(r)
+		if t.Rows != tr || t.Cols != tc {
+			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", r, t.Rows, t.Cols, tr, tc))
 		}
-		out.View(gi, gj, m.br, m.bc).CopyFrom(t.View(li, lj, m.br, m.bc))
+	}
+	out := matrix.New(m.rows, m.cols)
+	m.forEachBlock(func(rank, gi, gj, li, lj, h, w int) {
+		out.View(gi, gj, h, w).CopyFrom(tiles[rank].View(li, lj, h, w))
 	})
 	return out
 }
 
-// forEachBlock visits every distribution block with its owner and both
-// coordinate systems.
-func (m *CyclicMap) forEachBlock(fn func(rank, gi, gj, li, lj int)) {
-	for bi := 0; bi < m.rows/m.br; bi++ {
-		for bj := 0; bj < m.cols/m.bc; bj++ {
+// forEachBlock visits every distribution block with its owner, both
+// coordinate systems and its (possibly ragged) shape.
+func (m *CyclicMap) forEachBlock(fn func(rank, gi, gj, li, lj, h, w int)) {
+	for bi := 0; bi < m.nbr; bi++ {
+		h := m.blockHeight(bi)
+		for bj := 0; bj < m.nbc; bj++ {
 			rank := m.grid.Rank(bi%m.grid.S, bj%m.grid.T)
-			fn(rank, bi*m.br, bj*m.bc, (bi/m.grid.S)*m.br, (bj/m.grid.T)*m.bc)
+			fn(rank, bi*m.br, bj*m.bc, (bi/m.grid.S)*m.br, (bj/m.grid.T)*m.bc, h, m.blockWidth(bj))
 		}
 	}
 }

@@ -4,13 +4,22 @@
 // first future-work item:
 //
 //   - BlockMap: the block-checkerboard distribution all of the paper's
-//     experiments use — rank (i,j) of an s×t grid owns the contiguous
-//     (rows/s)×(cols/t) tile at offset (i·rows/s, j·cols/t);
+//     experiments use — rank (i,j) of an s×t grid owns a contiguous tile,
+//     rows and columns split as evenly as possible (equal tiles when the
+//     shape divides the grid, the paper's configuration; otherwise the
+//     first rows%s block rows are one row taller, ScaLAPACK's balanced
+//     convention);
 //
 //   - CyclicMap: the two-dimensional block-cyclic (ScaLAPACK) distribution
 //     (§VI: "by using block-cyclic distribution the communication can be
 //     better overlapped and parallelized") — global block (bi,bj) lives on
-//     rank (bi mod s, bj mod t) at local block (bi div s, bj div t).
+//     rank (bi mod s, bj mod t) at local block (bi div s, bj div t), with a
+//     ragged trailing block when the block size does not divide the shape.
+//
+// Non-divisible shapes round-trip Scatter→Locate→Gather exactly like
+// divisible ones; the *algorithms* that require uniform tiles (the SUMMA
+// family) validate their stricter divisibility constraints themselves in
+// internal/core.
 //
 // Scatter/Gather run on the host, outside the ranked execution, so the
 // distribution cost never pollutes the runtime's traffic statistics — the
@@ -29,12 +38,16 @@ import (
 type BlockMap struct {
 	rows, cols int
 	grid       topo.Grid
-	tileR      int // rows per rank
-	tileC      int // cols per rank
+	// Balanced split: the first remR of the S block rows have qR+1 rows,
+	// the rest qR (and likewise for columns).
+	qR, remR int
+	qC, remC int
 }
 
-// NewBlockMap validates divisibility (S | rows, T | cols) and returns the
-// distribution map.
+// NewBlockMap returns the balanced block-checkerboard map. Any positive
+// shape is accepted; tiles are equal exactly when the grid divides the
+// shape (ranks beyond the matrix own empty tiles when rows < S or
+// cols < T).
 func NewBlockMap(rows, cols int, g topo.Grid) (*BlockMap, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("dist: invalid matrix %dx%d", rows, cols)
@@ -42,10 +55,11 @@ func NewBlockMap(rows, cols int, g topo.Grid) (*BlockMap, error) {
 	if g.S <= 0 || g.T <= 0 {
 		return nil, fmt.Errorf("dist: invalid grid %v", g)
 	}
-	if rows%g.S != 0 || cols%g.T != 0 {
-		return nil, fmt.Errorf("dist: %dx%d matrix not divisible by grid %v", rows, cols, g)
-	}
-	return &BlockMap{rows: rows, cols: cols, grid: g, tileR: rows / g.S, tileC: cols / g.T}, nil
+	return &BlockMap{
+		rows: rows, cols: cols, grid: g,
+		qR: rows / g.S, remR: rows % g.S,
+		qC: cols / g.T, remC: cols % g.T,
+	}, nil
 }
 
 // Grid returns the process grid the map distributes over.
@@ -57,17 +71,75 @@ func (m *BlockMap) Rows() int { return m.rows }
 // Cols returns the global column count.
 func (m *BlockMap) Cols() int { return m.cols }
 
-// LocalRows returns the number of rows each rank owns.
-func (m *BlockMap) LocalRows() int { return m.tileR }
+// Uniform reports whether every rank owns the same tile shape — the
+// precondition of the SUMMA-family algorithms (their stricter block
+// constraints are validated in internal/core).
+func (m *BlockMap) Uniform() bool { return m.remR == 0 && m.remC == 0 }
 
-// LocalCols returns the number of columns each rank owns.
-func (m *BlockMap) LocalCols() int { return m.tileC }
+// LocalRows returns the largest per-rank row count (the uniform tile
+// height when the shape divides the grid; TileShape gives each rank's
+// exact tile).
+func (m *BlockMap) LocalRows() int {
+	if m.remR > 0 {
+		return m.qR + 1
+	}
+	return m.qR
+}
+
+// LocalCols returns the largest per-rank column count.
+func (m *BlockMap) LocalCols() int {
+	if m.remC > 0 {
+		return m.qC + 1
+	}
+	return m.qC
+}
+
+// rowStart returns the first global row owned by grid row i.
+func (m *BlockMap) rowStart(i int) int {
+	if i < m.remR {
+		return i * (m.qR + 1)
+	}
+	return i*m.qR + m.remR
+}
+
+// colStart returns the first global column owned by grid column j.
+func (m *BlockMap) colStart(j int) int {
+	if j < m.remC {
+		return j * (m.qC + 1)
+	}
+	return j*m.qC + m.remC
+}
+
+// TileShape returns the exact tile shape rank r owns (possibly with zero
+// rows or columns when the matrix is smaller than the grid).
+func (m *BlockMap) TileShape(r int) (rows, cols int) {
+	i, j := m.grid.Coords(r)
+	rows, cols = m.qR, m.qC
+	if i < m.remR {
+		rows++
+	}
+	if j < m.remC {
+		cols++
+	}
+	return rows, cols
+}
 
 // Locate maps a global element (gi,gj) to its owning rank and the element's
 // local position on that rank.
 func (m *BlockMap) Locate(gi, gj int) (rank, li, lj int) {
 	m.checkGlobal(gi, gj)
-	return m.grid.Rank(gi/m.tileR, gj/m.tileC), gi % m.tileR, gj % m.tileC
+	var i, j int
+	if split := m.remR * (m.qR + 1); gi < split {
+		i, li = gi/(m.qR+1), gi%(m.qR+1)
+	} else {
+		i, li = m.remR+(gi-split)/m.qR, (gi-split)%m.qR
+	}
+	if split := m.remC * (m.qC + 1); gj < split {
+		j, lj = gj/(m.qC+1), gj%(m.qC+1)
+	} else {
+		j, lj = m.remC+(gj-split)/m.qC, (gj-split)%m.qC
+	}
+	return m.grid.Rank(i, j), li, lj
 }
 
 // Owner returns the rank owning global element (gi,gj).
@@ -95,7 +167,8 @@ func (m *BlockMap) Scatter(a *matrix.Dense) []*matrix.Dense {
 	tiles := make([]*matrix.Dense, m.grid.Size())
 	for r := range tiles {
 		i, j := m.grid.Coords(r)
-		tiles[r] = a.View(i*m.tileR, j*m.tileC, m.tileR, m.tileC).Clone()
+		tr, tc := m.TileShape(r)
+		tiles[r] = a.View(m.rowStart(i), m.colStart(j), tr, tc).Clone()
 	}
 	return tiles
 }
@@ -108,11 +181,15 @@ func (m *BlockMap) Gather(tiles []*matrix.Dense) *matrix.Dense {
 	}
 	out := matrix.New(m.rows, m.cols)
 	for r, t := range tiles {
-		if t.Rows != m.tileR || t.Cols != m.tileC {
-			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", r, t.Rows, t.Cols, m.tileR, m.tileC))
+		tr, tc := m.TileShape(r)
+		if t.Rows != tr || t.Cols != tc {
+			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", r, t.Rows, t.Cols, tr, tc))
+		}
+		if tr == 0 || tc == 0 {
+			continue
 		}
 		i, j := m.grid.Coords(r)
-		out.View(i*m.tileR, j*m.tileC, m.tileR, m.tileC).CopyFrom(t)
+		out.View(m.rowStart(i), m.colStart(j), tr, tc).CopyFrom(t)
 	}
 	return out
 }

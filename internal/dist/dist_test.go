@@ -66,11 +66,20 @@ func TestBlockMapValidation(t *testing.T) {
 	if _, err := NewBlockMap(0, 4, g); err == nil {
 		t.Fatal("zero rows accepted")
 	}
-	if _, err := NewBlockMap(5, 4, g); err == nil {
-		t.Fatal("indivisible rows accepted")
-	}
 	if _, err := NewBlockMap(4, 4, topo.Grid{}); err == nil {
 		t.Fatal("zero grid accepted")
+	}
+	// Non-divisible shapes are supported (balanced tiles), just not
+	// uniform — the property the SUMMA-family algorithms check for.
+	m, err := NewBlockMap(5, 4, g)
+	if err != nil {
+		t.Fatalf("balanced 5x4 over 2x2 rejected: %v", err)
+	}
+	if m.Uniform() {
+		t.Fatal("5x4 over 2x2 reported uniform")
+	}
+	if u, _ := NewBlockMap(4, 4, g); !u.Uniform() {
+		t.Fatal("4x4 over 2x2 reported non-uniform")
 	}
 }
 
@@ -117,13 +126,19 @@ func TestCyclicMapLocate(t *testing.T) {
 
 func TestCyclicMapValidation(t *testing.T) {
 	g := topo.Grid{S: 4, T: 4}
-	if _, err := NewCyclicMap(12, 12, 4, 4, g); err == nil {
-		t.Fatal("3 block rows over 4 grid rows accepted")
-	}
-	if _, err := NewCyclicMap(10, 10, 3, 3, g); err == nil {
-		t.Fatal("indivisible block size accepted")
-	}
 	if _, err := NewCyclicMap(8, 8, 0, 2, g); err == nil {
 		t.Fatal("zero block accepted")
+	}
+	if _, err := NewCyclicMap(0, 8, 2, 2, g); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	// Uneven block counts and ragged trailing blocks are supported now;
+	// ragged_test.go round-trips them. core.CyclicSUMMA still validates
+	// the uniform layout it needs on its own.
+	if _, err := NewCyclicMap(12, 12, 4, 4, g); err != nil {
+		t.Fatalf("3 block rows over 4 grid rows rejected: %v", err)
+	}
+	if _, err := NewCyclicMap(10, 10, 3, 3, g); err != nil {
+		t.Fatalf("ragged trailing block rejected: %v", err)
 	}
 }

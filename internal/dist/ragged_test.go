@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// Non-divisible shapes: every element must land on exactly one rank, at
+// the position Locate reports, and Gather(Scatter(a)) must reproduce a —
+// for both layouts, including matrices smaller than the grid and ragged
+// trailing blocks.
+
+func TestBlockMapRaggedRoundTrip(t *testing.T) {
+	cases := []struct{ rows, cols, s, tt int }{
+		{7, 7, 2, 2},  // both dimensions ragged
+		{5, 4, 2, 2},  // rows ragged only
+		{8, 10, 2, 4}, // cols ragged only
+		{9, 13, 3, 5}, // coprime everything
+		{3, 3, 4, 4},  // matrix smaller than the grid (empty tiles)
+		{1, 17, 2, 3}, // single row
+		{100, 100, 7, 9},
+	}
+	for _, c := range cases {
+		g := topo.Grid{S: c.s, T: c.tt}
+		m, err := NewBlockMap(c.rows, c.cols, g)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		a := matrix.Indexed(c.rows, c.cols, 0)
+		tiles := m.Scatter(a)
+
+		// Tile shapes must partition the matrix.
+		rowSum := 0
+		for i := 0; i < c.s; i++ {
+			tr, _ := m.TileShape(g.Rank(i, 0))
+			rowSum += tr
+		}
+		colSum := 0
+		for j := 0; j < c.tt; j++ {
+			_, tc := m.TileShape(g.Rank(0, j))
+			colSum += tc
+		}
+		if rowSum != c.rows || colSum != c.cols {
+			t.Fatalf("%+v: tiles cover %dx%d of %dx%d", c, rowSum, colSum, c.rows, c.cols)
+		}
+
+		// Locate agrees with Scatter for every element.
+		for gi := 0; gi < c.rows; gi++ {
+			for gj := 0; gj < c.cols; gj++ {
+				rank, li, lj := m.Locate(gi, gj)
+				if got, want := tiles[rank].At(li, lj), a.At(gi, gj); got != want {
+					t.Fatalf("%+v: Locate(%d,%d) -> rank %d (%d,%d): %g, want %g",
+						c, gi, gj, rank, li, lj, got, want)
+				}
+			}
+		}
+		if !matrix.Equal(m.Gather(tiles), a) {
+			t.Fatalf("%+v: gather(scatter) != identity", c)
+		}
+	}
+}
+
+func TestCyclicMapRaggedRoundTrip(t *testing.T) {
+	cases := []struct{ rows, cols, br, bc, s, tt int }{
+		{10, 10, 3, 3, 4, 4}, // ragged trailing block, uneven block counts
+		{12, 12, 4, 4, 4, 4}, // 3 block rows over 4 grid rows
+		{7, 11, 2, 3, 2, 2},  // both dimensions ragged
+		{5, 5, 8, 8, 2, 2},   // single block smaller than the block size
+		{9, 9, 2, 2, 3, 5},   // more grid cols than block cols
+	}
+	for _, c := range cases {
+		g := topo.Grid{S: c.s, T: c.tt}
+		m, err := NewCyclicMap(c.rows, c.cols, c.br, c.bc, g)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		a := matrix.Indexed(c.rows, c.cols, 0)
+		tiles := m.Scatter(a)
+
+		// Tile shapes must account for every element exactly once.
+		total := 0
+		for r, tile := range tiles {
+			tr, tc := m.TileShape(r)
+			if tile.Rows != tr || tile.Cols != tc {
+				t.Fatalf("%+v: tile %d is %dx%d, TileShape says %dx%d", c, r, tile.Rows, tile.Cols, tr, tc)
+			}
+			total += tr * tc
+		}
+		if total != c.rows*c.cols {
+			t.Fatalf("%+v: tiles hold %d elements, want %d", c, total, c.rows*c.cols)
+		}
+
+		for gi := 0; gi < c.rows; gi++ {
+			for gj := 0; gj < c.cols; gj++ {
+				rank, li, lj := m.Locate(gi, gj)
+				if got, want := tiles[rank].At(li, lj), a.At(gi, gj); got != want {
+					t.Fatalf("%+v: Locate(%d,%d) -> rank %d (%d,%d): %g, want %g",
+						c, gi, gj, rank, li, lj, got, want)
+				}
+			}
+		}
+		if !matrix.Equal(m.Gather(tiles), a) {
+			t.Fatalf("%+v: cyclic gather(scatter) != identity", c)
+		}
+	}
+}

@@ -28,6 +28,13 @@ const (
 	Fox        Algorithm = "fox"
 )
 
+// Auto is the planner-resolved pseudo-algorithm: a Spec never reaches Run
+// with it. Both execution paths (hsumma.Multiply and hsumma.Simulate)
+// resolve Auto through the internal/tune planner — which picks the
+// algorithm, grid shape, group hierarchy, block sizes and broadcast for
+// the target platform — before dispatching here.
+const Auto Algorithm = "auto"
+
 // Algorithms lists every dispatchable algorithm, for sweeps and tests.
 func Algorithms() []Algorithm {
 	return []Algorithm{SUMMA, HSUMMA, Multilevel, Cannon, Fox}
@@ -60,6 +67,8 @@ func Run(c comm.Comm, s Spec, aLoc, bLoc, cLoc *matrix.Dense) error {
 		return baseline.Cannon(c, s.Opts.Grid, s.Opts.N, aLoc, bLoc, cLoc)
 	case Fox:
 		return baseline.Fox(c, s.Opts.Grid, s.Opts.N, s.Opts.Broadcast, aLoc, bLoc, cLoc)
+	case Auto:
+		return fmt.Errorf("engine: algorithm %q must be resolved by the tune planner before Run", s.Algorithm)
 	default:
 		return fmt.Errorf("engine: unknown algorithm %q", s.Algorithm)
 	}

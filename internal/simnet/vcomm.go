@@ -44,6 +44,18 @@ import (
 // carry their sender's clock, and a collective computes from the clocks of
 // members that are all blocked in the same call.
 //
+// Synchronisation is sharded per communicator, not per world. A rank's
+// clock, communication-time and traffic entries are owned by its goroutine
+// (point-to-point calls and Gemm touch them with no lock at all); the one
+// place another goroutine writes them — the last arriver of a collective
+// executing the schedule for every member — holds that communicator's
+// shard lock while the members are parked on the same lock's condition
+// variable, which both guarantees exclusive access and publishes the
+// writes. Disjoint collectives (e.g. the √p simultaneous row broadcasts of
+// one SUMMA step, or the per-group broadcasts of HSUMMA) therefore advance
+// concurrently instead of serialising on a world mutex — the property that
+// lets a 16384-rank virtual run use the host's cores.
+//
 // Traffic accounting mirrors internal/mpi exactly — one message per
 // schedule transfer, bytes from the same integer sched.SegmentRange split —
 // so a virtual run reports per-rank message and byte counts identical to a
@@ -79,22 +91,55 @@ type VWorld struct {
 	sim *Sim
 	cfg VConfig
 
-	mu           sync.Mutex
-	splits       map[vKey]*vSplitGather
-	colls        map[vKey]*vCollGather
-	nextCID      int64
-	stats        []VRankStats
-	computeDone  []float64 // overlap mode: per-rank compute timeline
+	// cacheMu guards the schedule and traffic caches — the only state
+	// shared across communicator shards on the hot path, touched with a
+	// read lock except on first construction.
+	cacheMu      sync.RWMutex
 	schedCache   map[vSchedKey]*sched.Schedule
 	trafficCache map[vTrafficKey][]VRankStats
 
-	mailboxes []*vMailbox
-	aborted   atomic.Bool
+	// shardsMu guards the shard registry (needed only by abort).
+	shardsMu sync.Mutex
+	shards   []*vShard
+
+	nextCID     atomic.Int64
+	stats       []VRankStats // per world rank, goroutine-owned (see file comment)
+	computeDone []float64    // overlap mode: per-rank compute timeline
+	mailboxes   []*vMailbox
+	aborted     atomic.Bool
 }
 
-type vKey struct {
-	cid int64
-	seq int64
+// vShard is the coordination domain of one communicator: every VComm
+// sharing a cid (i.e. all ranks of one communicator) shares one shard, and
+// all collective/split rendezvous for that communicator run under its
+// mutex. Distinct communicators — HSUMMA's per-group broadcasts, SUMMA's
+// per-row broadcasts — have distinct shards and never contend.
+type vShard struct {
+	mu sync.Mutex
+	// cond is shared by every rendezvous on the communicator: at most two
+	// gathers are ever live at once (SPMD members run the same op
+	// sequence, so a member can be at most one collective ahead of the
+	// slowest waiter), so the spurious-wakeup cost of sharing is bounded
+	// while the per-collective allocation disappears.
+	cond   *sync.Cond
+	colls  map[int64]*vCollGather  // keyed by the communicator's op sequence
+	splits map[int64]*vSplitGather // keyed by the communicator's split sequence
+	// free pools retired vCollGathers: a p=16384 run executes millions of
+	// collectives, and on a single-core host their allocation is a
+	// measurable slice of total wall time.
+	free []*vCollGather
+}
+
+func (w *VWorld) newShard() *vShard {
+	s := &vShard{
+		colls:  make(map[int64]*vCollGather),
+		splits: make(map[int64]*vSplitGather),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	w.shardsMu.Lock()
+	w.shards = append(w.shards, s)
+	w.shardsMu.Unlock()
+	return s
 }
 
 type vSchedKey struct {
@@ -120,12 +165,9 @@ func NewVWorld(p int, cfg VConfig) *VWorld {
 	w := &VWorld{
 		sim:          sim,
 		cfg:          cfg,
-		splits:       make(map[vKey]*vSplitGather),
-		colls:        make(map[vKey]*vCollGather),
-		nextCID:      1, // cid 0 is the world communicator
-		stats:        make([]VRankStats, p),
 		schedCache:   make(map[vSchedKey]*sched.Schedule),
 		trafficCache: make(map[vTrafficKey][]VRankStats),
+		stats:        make([]VRankStats, p),
 		mailboxes:    make([]*vMailbox, p),
 	}
 	if cfg.Overlap {
@@ -146,11 +188,12 @@ func (w *VWorld) Run(fn func(c *VComm)) error {
 	for i := range ranks {
 		ranks[i] = i
 	}
+	world := w.newShard() // cid 0, shared by every rank's world communicator
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
 	for r := 0; r < p; r++ {
-		vc := &VComm{w: w, cid: 0, rank: r, ranks: ranks}
+		vc := &VComm{w: w, shard: world, cid: 0, rank: r, ranks: ranks}
 		wg.Add(1)
 		go func(c *VComm) {
 			defer wg.Done()
@@ -177,23 +220,30 @@ func (w *VWorld) Run(fn func(c *VComm)) error {
 type vAborted struct{}
 
 func (w *VWorld) abort() {
-	if w.aborted.CompareAndSwap(false, true) {
-		w.mu.Lock()
-		for _, sg := range w.splits {
-			sg.cond.Broadcast()
-		}
-		for _, cg := range w.colls {
-			cg.cond.Broadcast()
-		}
-		w.mu.Unlock()
-		// Broadcast under each mailbox's lock: a taker that has checked
-		// the aborted flag but not yet parked in Wait would otherwise
-		// miss the wakeup and sleep forever.
-		for _, mb := range w.mailboxes {
-			mb.mu.Lock()
-			mb.cond.Broadcast()
-			mb.mu.Unlock()
-		}
+	if !w.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	// Snapshot the registry, then wake each shard's waiters under its own
+	// lock (never holding shardsMu across a shard lock: shard creation
+	// runs under a parent shard's mutex and takes shardsMu, so the
+	// opposite order here would deadlock). A shard created after the flag
+	// flipped needs no wakeup: its waiters check the flag, under the
+	// shard mutex, before every Wait.
+	w.shardsMu.Lock()
+	shards := append([]*vShard(nil), w.shards...)
+	w.shardsMu.Unlock()
+	for _, s := range shards {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	// Broadcast under each mailbox's lock: a taker that has checked
+	// the aborted flag but not yet parked in Wait would otherwise
+	// miss the wakeup and sleep forever.
+	for _, mb := range w.mailboxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
 	}
 }
 
@@ -226,26 +276,38 @@ func (w *VWorld) MaxCommTime() float64 { return w.sim.MaxCommTime() }
 
 func (w *VWorld) schedule(alg sched.Algorithm, p, root, segments int) *sched.Schedule {
 	k := vSchedKey{alg, p, root, segments}
-	if s, ok := w.schedCache[k]; ok {
+	w.cacheMu.RLock()
+	s, ok := w.schedCache[k]
+	w.cacheMu.RUnlock()
+	if ok {
 		return s
 	}
 	s, err := sched.NewBroadcast(alg, p, root, segments)
 	if err != nil {
 		panic(fmt.Sprintf("simnet: bcast: %v", err))
 	}
-	w.schedCache[k] = s
+	w.cacheMu.Lock()
+	if exist, ok := w.schedCache[k]; ok {
+		s = exist // another shard built it first; keep pointer identity
+	} else {
+		w.schedCache[k] = s
+	}
+	w.cacheMu.Unlock()
 	return s
 }
 
 // traffic returns the per-schedule-rank (messages, bytes) a collective of
 // the given payload generates, cached: a Van de Geijn broadcast has O(p²)
-// transfers, and walking them per collective under the world mutex would
-// dominate large simulations where the timing side takes the O(p) ring
-// fast path. Byte counts use the same integer sched.SegmentRange split the
-// live runtime puts on the wire, so parity is preserved.
+// transfers, and walking them per collective would dominate large
+// simulations where the timing side takes the O(p) ring fast path. Byte
+// counts use the same integer sched.SegmentRange split the live runtime
+// puts on the wire, so parity is preserved.
 func (w *VWorld) traffic(s *sched.Schedule, elems int) []VRankStats {
 	k := vTrafficKey{sched: s, elems: elems}
-	if d, ok := w.trafficCache[k]; ok {
+	w.cacheMu.RLock()
+	d, ok := w.trafficCache[k]
+	w.cacheMu.RUnlock()
+	if ok {
 		return d
 	}
 	delta := make([]VRankStats, s.NumRanks)
@@ -256,7 +318,13 @@ func (w *VWorld) traffic(s *sched.Schedule, elems int) []VRankStats {
 			delta[t.Src].SentBytes += int64(hockney.BytesPerElement * (hi - lo))
 		}
 	}
-	w.trafficCache[k] = delta
+	w.cacheMu.Lock()
+	if exist, ok := w.trafficCache[k]; ok {
+		delta = exist
+	} else {
+		w.trafficCache[k] = delta
+	}
+	w.cacheMu.Unlock()
 	return delta
 }
 
@@ -309,6 +377,7 @@ func (mb *vMailbox) take(w *VWorld, cid int64, src, tag int) vMessage {
 // VComm is a communicator over the virtual world, implementing comm.Comm.
 type VComm struct {
 	w     *VWorld
+	shard *vShard
 	cid   int64
 	rank  int
 	ranks []int // comm rank -> world rank (shared, read-only)
@@ -341,20 +410,20 @@ func (w *VWorld) transferTime(srcW, dstW, elems, flows int) float64 {
 }
 
 // Send delivers a virtual message of data.N elements to dst under tag. The
-// sender is occupied for the transfer (its clock advances by α+Nβ).
+// sender is occupied for the transfer (its clock advances by α+Nβ). Only
+// the caller's own clock/stats entries are touched — no lock needed (see
+// the ownership argument in the file comment).
 func (c *VComm) Send(dst, tag int, data comm.Buf) {
 	c.checkPeer("send to", dst)
 	w := c.w
 	me := c.WorldRank()
 	dstW := c.ranks[dst]
-	w.mu.Lock()
 	t0 := w.sim.clocks[me]
 	dt := w.transferTime(me, dstW, data.N, 1)
 	w.sim.clocks[me] = t0 + dt
 	w.sim.comm[me] += dt
 	w.stats[me].SentMessages++
 	w.stats[me].SentBytes += int64(hockney.BytesPerElement * data.N)
-	w.mu.Unlock()
 	w.mailboxes[dstW].put(vMessage{cid: c.cid, src: c.rank, tag: tag, elems: data.N, clock: t0})
 }
 
@@ -369,7 +438,6 @@ func (c *VComm) Recv(src, tag int, buf comm.Buf) {
 		panic(fmt.Sprintf("simnet: recv buffer %d elements but message has %d (src=%d tag=%d)",
 			buf.N, m.elems, src, tag))
 	}
-	w.mu.Lock()
 	dt := w.transferTime(c.ranks[src], me, m.elems, 1)
 	end := w.sim.clocks[me]
 	if m.clock > end {
@@ -377,7 +445,6 @@ func (c *VComm) Recv(src, tag int, buf comm.Buf) {
 	}
 	end += dt
 	w.advanceComm(me, end)
-	w.mu.Unlock()
 }
 
 // SendRecv performs the full-duplex shift primitive: both directions
@@ -389,12 +456,10 @@ func (c *VComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv
 	w := c.w
 	me := c.WorldRank()
 	dstW := c.ranks[dst]
-	w.mu.Lock()
 	t0 := w.sim.clocks[me]
 	sendEnd := t0 + w.transferTime(me, dstW, send.N, len(c.ranks))
 	w.stats[me].SentMessages++
 	w.stats[me].SentBytes += int64(hockney.BytesPerElement * send.N)
-	w.mu.Unlock()
 	w.mailboxes[dstW].put(vMessage{cid: c.cid, src: c.rank, tag: sendTag, elems: send.N, clock: t0})
 
 	m := w.mailboxes[me].take(w, c.cid, src, recvTag)
@@ -402,7 +467,6 @@ func (c *VComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv
 		panic(fmt.Sprintf("simnet: sendrecv buffer %d elements but message has %d (src=%d tag=%d)",
 			recv.N, m.elems, src, recvTag))
 	}
-	w.mu.Lock()
 	recvEnd := t0
 	if m.clock > recvEnd {
 		recvEnd = m.clock
@@ -413,11 +477,12 @@ func (c *VComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv
 		end = recvEnd
 	}
 	w.advanceComm(me, end)
-	w.mu.Unlock()
 }
 
 // advanceComm moves a world rank's clock forward to end, accounting the
-// advance (transfer plus waiting) as communication time. Callers hold w.mu.
+// advance (transfer plus waiting) as communication time. The caller must
+// own the rank's clock: be its goroutine, or hold the shard lock its
+// goroutine is parked on.
 func (w *VWorld) advanceComm(worldRank int, end float64) {
 	if end > w.sim.clocks[worldRank] {
 		w.sim.comm[worldRank] += end - w.sim.clocks[worldRank]
@@ -441,9 +506,9 @@ func (c *VComm) checkPeer(verb string, peer int) {
 // bug class the live transport catches with a receive-size panic — aborts
 // loudly instead of silently skewing the figures.
 type vCollGather struct {
-	cond    *sync.Cond
-	arrived int
-	done    bool
+	arrived  int
+	released int // waiters that have observed done and left
+	done     bool
 
 	alg      sched.Algorithm
 	root     int
@@ -455,7 +520,8 @@ type vCollGather struct {
 // schedule's transfers advance the members' clocks through Sim.ExecOne with
 // exact round rendezvous semantics, and the traffic counters record one
 // message per transfer with the same integer segment split the live runtime
-// puts on the wire.
+// puts on the wire. The rendezvous runs under the communicator's shard
+// lock, so disjoint collectives proceed in parallel.
 func (c *VComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int) {
 	p := c.Size()
 	if root < 0 || root >= p {
@@ -467,18 +533,23 @@ func (c *VComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int
 	w := c.w
 	seq := c.opSeq
 	c.opSeq++
-	k := vKey{cid: c.cid, seq: seq}
+	shard := c.shard
 
 	// Deferred unlock so a panic inside the critical section (an unknown
-	// broadcast algorithm, a schedule/member mismatch) releases the world
+	// broadcast algorithm, a schedule/member mismatch) releases the shard
 	// mutex before Run's recover handler calls abort — which needs it.
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	cg := w.colls[k]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	cg := shard.colls[seq]
 	if cg == nil {
-		cg = &vCollGather{alg: alg, root: root, segments: segments, elems: data.N}
-		cg.cond = sync.NewCond(&w.mu)
-		w.colls[k] = cg
+		if n := len(shard.free); n > 0 {
+			cg = shard.free[n-1]
+			shard.free = shard.free[:n-1]
+			*cg = vCollGather{alg: alg, root: root, segments: segments, elems: data.N}
+		} else {
+			cg = &vCollGather{alg: alg, root: root, segments: segments, elems: data.N}
+		}
+		shard.colls[seq] = cg
 	} else if cg.alg != alg || cg.root != root || cg.segments != segments || cg.elems != data.N {
 		panic(fmt.Sprintf("simnet: bcast mismatch on rank %d: (%s root=%d seg=%d n=%d) vs first caller's (%s root=%d seg=%d n=%d)",
 			c.rank, alg, root, segments, data.N, cg.alg, cg.root, cg.segments, cg.elems))
@@ -493,20 +564,28 @@ func (c *VComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int
 			st.SentBytes += d.SentBytes
 		}
 		cg.done = true
-		cg.cond.Broadcast()
-		delete(w.colls, k) // waiters hold the pointer
+		shard.cond.Broadcast()
+		delete(shard.colls, seq) // waiters hold the pointer
+		return
 	}
+	// Every non-executing member waits at least once (done can only flip
+	// while no member holds the shard lock between its arrival increment
+	// and this loop), so the last of the p−1 waiters to leave retires the
+	// gather to the pool.
 	for !cg.done {
 		if w.aborted.Load() {
 			panic(vAborted{})
 		}
-		cg.cond.Wait()
+		shard.cond.Wait()
+	}
+	cg.released++
+	if cg.released == p-1 {
+		shard.free = append(shard.free, cg)
 	}
 }
 
 // vSplitGather coordinates one Split call, mirroring the live runtime.
 type vSplitGather struct {
-	cond    *sync.Cond
 	arrived int
 	colors  map[int]int
 	keys    map[int]int
@@ -517,22 +596,22 @@ type vSplitGather struct {
 // Split partitions the communicator exactly like MPI_Comm_split (and like
 // the live transport): ranks passing the same colour form a new
 // communicator ordered by (key, old rank); a negative colour returns nil.
+// Each resulting communicator gets its own coordination shard.
 func (c *VComm) Split(color, key int) comm.Comm {
 	w := c.w
 	seq := c.splitSeq
 	c.splitSeq++
-	k := vKey{cid: c.cid, seq: seq}
+	shard := c.shard
 
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	sg := w.splits[k]
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	sg := shard.splits[seq]
 	if sg == nil {
 		sg = &vSplitGather{
 			colors: make(map[int]int),
 			keys:   make(map[int]int),
 		}
-		sg.cond = sync.NewCond(&w.mu)
-		w.splits[k] = sg
+		shard.splits[seq] = sg
 	}
 	sg.colors[c.rank] = color
 	sg.keys[c.rank] = key
@@ -540,14 +619,14 @@ func (c *VComm) Split(color, key int) comm.Comm {
 	if sg.arrived == len(c.ranks) {
 		sg.result = c.computeSplit(sg)
 		sg.done = true
-		sg.cond.Broadcast()
-		delete(w.splits, k)
+		shard.cond.Broadcast()
+		delete(shard.splits, seq)
 	}
 	for !sg.done {
 		if w.aborted.Load() {
 			panic(vAborted{})
 		}
-		sg.cond.Wait()
+		shard.cond.Wait()
 	}
 	res := sg.result[c.rank]
 	if res == nil {
@@ -557,7 +636,8 @@ func (c *VComm) Split(color, key int) comm.Comm {
 }
 
 // computeSplit builds the new communicators once all members have arrived.
-// Called with the world mutex held by the last arriver.
+// Called with the parent communicator's shard mutex held by the last
+// arriver; each colour's communicator gets a fresh cid and shard.
 func (c *VComm) computeSplit(sg *vSplitGather) map[int]*VComm {
 	byColor := map[int][]int{}
 	for r, col := range sg.colors {
@@ -581,14 +661,14 @@ func (c *VComm) computeSplit(sg *vSplitGather) map[int]*VComm {
 			}
 			return members[i] < members[j]
 		})
-		c.w.nextCID++
-		cid := c.w.nextCID
+		cid := c.w.nextCID.Add(1)
+		shard := c.w.newShard()
 		worldRanks := make([]int, len(members))
 		for i, m := range members {
 			worldRanks[i] = c.ranks[m]
 		}
 		for i, m := range members {
-			result[m] = &VComm{w: c.w, cid: cid, rank: i, ranks: worldRanks}
+			result[m] = &VComm{w: c.w, shard: shard, cid: cid, rank: i, ranks: worldRanks}
 		}
 	}
 	for r, col := range sg.colors {
@@ -623,18 +703,18 @@ func (c *VComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, ds
 // Gemm advances the rank's compute state by the 2·m·k·n flops of the local
 // update C += A·B: on the communication clock normally, or on the dedicated
 // compute timeline in overlap mode (double buffering with a communication
-// engine, the paper's §VI opportunity).
+// engine, the paper's §VI opportunity). Like the point-to-point calls it
+// touches only caller-owned state and takes no lock.
 func (c *VComm) Gemm(cm, a, b *matrix.Dense) {
 	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
 		panic(fmt.Sprintf("simnet: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
 			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
-	dt := c.w.cfg.Model.Compute(flops)
 	w := c.w
 	me := c.WorldRank()
-	w.mu.Lock()
 	if w.cfg.Overlap {
+		dt := w.cfg.Model.Compute(flops)
 		start := w.computeDone[me]
 		if clk := w.sim.clocks[me]; clk > start {
 			start = clk
@@ -643,5 +723,4 @@ func (c *VComm) Gemm(cm, a, b *matrix.Dense) {
 	} else {
 		w.sim.ComputeRanks([]int{me}, flops)
 	}
-	w.mu.Unlock()
 }

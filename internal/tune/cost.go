@@ -1,0 +1,138 @@
+package tune
+
+import (
+	"repro/internal/engine"
+	"repro/internal/hockney"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// scorer evaluates candidates with the closed-form broadcast models of
+// internal/model generalised to rectangular S×T grids (the paper's tables
+// assume √p×√p; on a square grid the formulas below reduce to model.SUMMA
+// and model.HSUMMA exactly, which the package tests assert). One scorer is
+// built per plan so the schedule-derived broadcast factors are cached
+// across the thousands of stage-1 evaluations.
+type scorer struct {
+	n int
+	m hockney.Model
+	// overlap scores total as max(comm, compute) instead of their sum.
+	overlap bool
+	bcasts  map[bcKey]model.Broadcast
+}
+
+type bcKey struct {
+	alg      sched.Algorithm
+	segments int
+}
+
+func newScorer(n int, m hockney.Model, overlap bool) *scorer {
+	return &scorer{n: n, m: m, overlap: overlap, bcasts: make(map[bcKey]model.Broadcast)}
+}
+
+// bcast returns the equation-(1) factors L(p), W(p) for a broadcast
+// algorithm: the paper's closed forms where it states them (Tables I–II),
+// schedule-derived factors (model.FromSchedule) for the rest — tying the
+// planner's stage 1 to the exact schedules stage 2 executes.
+func (s *scorer) bcast(alg sched.Algorithm, segments int) model.Broadcast {
+	if alg == "" {
+		alg = sched.Binomial
+	}
+	k := bcKey{alg, segments}
+	if bc, ok := s.bcasts[k]; ok {
+		return bc
+	}
+	var bc model.Broadcast
+	switch alg {
+	case sched.Binomial:
+		bc = model.BinomialTree{}
+	case sched.VanDeGeijn:
+		bc = model.VanDeGeijn{}
+	case sched.Flat:
+		bc = model.FlatTree{}
+	default:
+		bc = model.NewFromSchedule(alg, segments)
+	}
+	s.bcasts[k] = bc
+	return bc
+}
+
+// bcastStep returns the cost of broadcasting elems matrix elements over a
+// communicator of p ranks under the candidate's broadcast model.
+func (s *scorer) bcastStep(bc model.Broadcast, p, elems float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return bc.Latency(p)*s.m.Alpha + elems*bc.Bandwidth(p)*s.m.Beta
+}
+
+// score returns the candidate's analytic (comm, total) in seconds.
+func (s *scorer) score(c Candidate) (comm, total float64) {
+	n := float64(s.n)
+	p := float64(c.Grid.Size())
+	S := float64(c.Grid.S)
+	T := float64(c.Grid.T)
+	tileA := n / S // rows of the per-rank A panel (and C tile)
+	tileB := n / T // cols of the per-rank B panel
+
+	switch c.Algorithm {
+	case engine.SUMMA:
+		bc := s.bcast(c.Broadcast, c.Segments)
+		b := float64(c.BlockSize)
+		steps := n / b
+		comm = steps * (s.bcastStep(bc, T, tileA*b) + s.bcastStep(bc, S, b*tileB))
+
+	case engine.HSUMMA:
+		bc := s.bcast(c.Broadcast, c.Segments)
+		b := float64(c.BlockSize)
+		B := float64(c.OuterBlockSize)
+		if B == 0 {
+			B = b
+		}
+		I := float64(c.GroupShape[0])
+		J := float64(c.GroupShape[1])
+		// Outer phase: n/B inter-group broadcasts over the J-wide group-row
+		// and I-tall group-column communicators; inner phase: n/b intra-group
+		// broadcasts over the (T/J)-wide and (S/I)-tall inner communicators.
+		comm = (n/B)*(s.bcastStep(bc, J, tileA*B)+s.bcastStep(bc, I, B*tileB)) +
+			(n/b)*(s.bcastStep(bc, T/J, tileA*b)+s.bcastStep(bc, S/I, b*tileB))
+
+	case engine.Multilevel:
+		bc := s.bcast(c.Broadcast, c.Segments)
+		remS, remT := S, T
+		for _, lv := range c.Levels {
+			Bk := float64(lv.BlockSize)
+			comm += (n / Bk) * (s.bcastStep(bc, float64(lv.J), tileA*Bk) + s.bcastStep(bc, float64(lv.I), Bk*tileB))
+			remS /= float64(lv.I)
+			remT /= float64(lv.J)
+		}
+		b := float64(c.BlockSize)
+		comm += (n / b) * (s.bcastStep(bc, remT, tileA*b) + s.bcastStep(bc, remS, b*tileB))
+
+	case engine.Cannon:
+		// q−1 alignment shifts amortise into the q compute-step shifts on
+		// the virtual transport's full-duplex rendezvous; charge 2 transfers
+		// of the n²/p tile per step plus one alignment round each way.
+		q := S
+		tile := n * n / p
+		shift := s.m.Alpha + tile*s.m.Beta
+		comm = 2 * (q + 1) * shift
+
+	case engine.Fox:
+		bc := s.bcast(c.Broadcast, c.Segments)
+		q := S
+		tile := n * n / p
+		comm = q * (s.bcastStep(bc, q, tile) + (s.m.Alpha + tile*s.m.Beta))
+	}
+
+	compute := s.m.Compute(2 * n * n * n / p)
+	if s.overlap {
+		total = comm
+		if compute > total {
+			total = compute
+		}
+	} else {
+		total = comm + compute
+	}
+	return comm, total
+}

@@ -1,0 +1,457 @@
+// Package tune is the model-driven autotuning planner: given a platform
+// (Hockney machine plus contention description), a problem size n and a
+// processor count p, it searches the configuration space the paper leaves
+// to the reader — algorithm × group hierarchy × grid shape × block sizes ×
+// broadcast variant — and returns a ranked Plan.
+//
+// The search runs in two stages, mirroring how the paper itself proceeds
+// from Tables I–II to measurements:
+//
+//  1. every feasible candidate is scored analytically with the closed-form
+//     broadcast models of internal/model under the platform's Hockney
+//     parameters (microseconds per candidate, so thousands are scanned);
+//
+//  2. the top-K candidates by analytic score are re-ranked by parallel
+//     virtual runs on the simnet communicator — the authoritative timing
+//     path, which executes the real schedules and honours contention and
+//     overlap when requested.
+//
+// Plans are memoised in a cache keyed by (platform fingerprint, n, p,
+// search flags), so serving-style workloads that repeatedly ask "how should
+// I multiply n×n on this machine?" pay the search once.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// Objective selects the quantity the planner minimises.
+type Objective string
+
+const (
+	// MinTotal minimises simulated execution time (communication plus
+	// computation) — the paper's Figure 8 quantity, and the default.
+	MinTotal Objective = "total"
+	// MinComm minimises communication time only (Figures 5–7, 9).
+	MinComm Objective = "comm"
+)
+
+// Request describes one planning problem.
+type Request struct {
+	// Platform is the machine to tune for (preset or calibrated model).
+	Platform platform.Platform
+	// N is the matrix dimension, P the processor count.
+	N, P int
+	// Grid optionally pins the process grid (otherwise every feasible
+	// S×T factorisation of P is searched).
+	Grid *topo.Grid
+	// BlockSize optionally pins the paper's b (otherwise the feasible
+	// power-of-two blocks are searched). The paper's G sweeps hold b
+	// fixed, so figure annotation pins it too.
+	BlockSize int
+	// OuterBlockSize optionally pins HSUMMA's B (otherwise b and its
+	// feasible multiples are searched; the paper sets B = b throughout).
+	OuterBlockSize int
+	// Algorithms restricts the candidate algorithms; nil means SUMMA,
+	// HSUMMA, Cannon and Fox (Multilevel joins when listed explicitly).
+	Algorithms []engine.Algorithm
+	// Broadcasts restricts the broadcast variants; nil means binomial,
+	// Van de Geijn and (in full mode) binary.
+	Broadcasts []sched.Algorithm
+	// Objective defaults to MinTotal.
+	Objective Objective
+	// TopK is the number of stage-1 winners refined by simulation
+	// (default 8).
+	TopK int
+	// Quick trims the candidate space (fewer block sizes, power-of-two
+	// group counts, squarest grid only) so a plan completes in well under
+	// a second — the mode tests and CI smoke runs use.
+	Quick bool
+	// AnalyticOnly skips the stage-2 simulation refinement entirely; the
+	// ranking is by closed-form cost. Used for very large p, where even a
+	// virtual run is expensive.
+	AnalyticOnly bool
+	// Contention enables the platform's link-sharing model during the
+	// stage-2 virtual runs.
+	Contention bool
+	// Overlap enables communication/computation overlap in stage 2 (and
+	// scores stage 1 as max(comm, compute) instead of their sum).
+	Overlap bool
+	// NoCache bypasses the plan cache for this request.
+	NoCache bool
+}
+
+func (r Request) withDefaults() Request {
+	if r.Objective == "" {
+		r.Objective = MinTotal
+	}
+	if r.TopK <= 0 {
+		r.TopK = 8
+	}
+	if len(r.Algorithms) == 0 {
+		r.Algorithms = []engine.Algorithm{engine.SUMMA, engine.HSUMMA, engine.Cannon, engine.Fox}
+	}
+	if len(r.Broadcasts) == 0 {
+		r.Broadcasts = []sched.Algorithm{sched.Binomial, sched.VanDeGeijn}
+		if !r.Quick {
+			r.Broadcasts = append(r.Broadcasts, sched.Binary)
+		}
+	}
+	return r
+}
+
+func (r Request) validate() error {
+	if r.N <= 0 || r.P <= 0 {
+		return fmt.Errorf("tune: invalid problem n=%d p=%d", r.N, r.P)
+	}
+	if r.Grid != nil && r.Grid.Size() != r.P {
+		return fmt.Errorf("tune: pinned grid %v does not hold %d procs", *r.Grid, r.P)
+	}
+	return nil
+}
+
+// Candidate is one fully specified configuration the planner can score,
+// simulate and hand to the engine.
+type Candidate struct {
+	Algorithm engine.Algorithm `json:"algorithm"`
+	Grid      topo.Grid        `json:"grid"`
+	// Groups and GroupShape describe the HSUMMA hierarchy (G = I×J).
+	Groups     int    `json:"groups,omitempty"`
+	GroupShape [2]int `json:"group_shape,omitempty"`
+	BlockSize  int    `json:"block_size,omitempty"`
+	// OuterBlockSize is HSUMMA's B (0 = b).
+	OuterBlockSize int             `json:"outer_block_size,omitempty"`
+	Broadcast      sched.Algorithm `json:"broadcast,omitempty"`
+	Segments       int             `json:"segments,omitempty"`
+	Levels         []core.Level    `json:"levels,omitempty"`
+}
+
+// Spec resolves the candidate into the engine's transport-independent run
+// description — the same value hsumma.Multiply and hsumma.Simulate execute.
+func (c Candidate) Spec(n int) (engine.Spec, error) {
+	opts := core.Options{
+		N: n, Grid: c.Grid,
+		BlockSize:      c.BlockSize,
+		OuterBlockSize: c.OuterBlockSize,
+		Broadcast:      c.Broadcast,
+		Segments:       c.Segments,
+	}
+	if c.Algorithm == engine.HSUMMA {
+		h, err := topo.NewHier(c.Grid, c.GroupShape[0], c.GroupShape[1])
+		if err != nil {
+			return engine.Spec{}, err
+		}
+		opts.Groups = h
+	}
+	return engine.Spec{Algorithm: c.Algorithm, Opts: opts, Levels: c.Levels}, nil
+}
+
+func (c Candidate) String() string {
+	s := fmt.Sprintf("%s grid=%v", c.Algorithm, c.Grid)
+	if c.Algorithm == engine.HSUMMA {
+		s += fmt.Sprintf(" G=%d(%dx%d)", c.Groups, c.GroupShape[0], c.GroupShape[1])
+	}
+	if c.BlockSize > 0 {
+		s += fmt.Sprintf(" b=%d", c.BlockSize)
+		if c.OuterBlockSize > 0 && c.OuterBlockSize != c.BlockSize {
+			s += fmt.Sprintf(" B=%d", c.OuterBlockSize)
+		}
+	}
+	for _, lv := range c.Levels {
+		s += fmt.Sprintf(" L%dx%d:%d", lv.I, lv.J, lv.BlockSize)
+	}
+	if c.Broadcast != "" {
+		s += " bcast=" + string(c.Broadcast)
+	}
+	return s
+}
+
+// Scored is a candidate with its stage-1 (closed-form) and, when refined,
+// stage-2 (simulated) costs in seconds.
+type Scored struct {
+	Candidate
+	ModelComm  float64 `json:"model_comm_s"`
+	ModelTotal float64 `json:"model_total_s"`
+	SimComm    float64 `json:"sim_comm_s,omitempty"`
+	SimTotal   float64 `json:"sim_total_s,omitempty"`
+	// Refined reports whether the stage-2 virtual run was performed.
+	Refined bool `json:"refined"`
+	// Err records a stage-2 failure (the candidate is ranked last).
+	Err string `json:"err,omitempty"`
+}
+
+// objective returns the value the plan ranks by: the simulated cost when
+// available, the analytic one otherwise.
+func (s Scored) objective(o Objective) float64 {
+	if s.Refined {
+		if o == MinComm {
+			return s.SimComm
+		}
+		return s.SimTotal
+	}
+	if o == MinComm {
+		return s.ModelComm
+	}
+	return s.ModelTotal
+}
+
+// Plan is the planner's answer: the best configuration plus the ranked
+// refinement set and search statistics.
+type Plan struct {
+	Platform  string    `json:"platform"`
+	N         int       `json:"n"`
+	P         int       `json:"p"`
+	Objective Objective `json:"objective"`
+	// Best is Ranked[0], repeated for convenience.
+	Best Scored `json:"best"`
+	// Ranked holds the stage-2 refinement set, best first; entries beyond
+	// it were rejected analytically.
+	Ranked []Scored `json:"ranked"`
+	// Scanned counts the candidates scored analytically in stage 1;
+	// Simulated counts the stage-2 virtual runs.
+	Scanned   int `json:"scanned"`
+	Simulated int `json:"simulated"`
+	// FromCache reports that this plan was served from the plan cache.
+	FromCache bool `json:"from_cache,omitempty"`
+}
+
+// DefaultBlockSize is the shared "BlockSize: 0 means auto" rule used by
+// both execution paths (hsumma.Multiply and hsumma.Simulate) and by the
+// planner's b search as its fallback: the largest power-of-two block (≤64)
+// dividing both tile dimensions, degrading to 1 when the tiles are odd.
+func DefaultBlockSize(n int, g topo.Grid) int {
+	b := 64
+	for b > 1 && ((n/g.S)%b != 0 || (n/g.T)%b != 0) {
+		b /= 2
+	}
+	return b
+}
+
+// Candidates enumerates the feasible configuration space for a request —
+// exactly the space Plan searches, exported so tests can sweep it
+// exhaustively and compare against the planner's choice.
+func Candidates(req Request) ([]Candidate, error) {
+	req = req.withDefaults()
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	grids := candidateGrids(req)
+	if len(grids) == 0 {
+		return nil, fmt.Errorf("tune: no process grid of %d ranks divides n=%d", req.P, req.N)
+	}
+	var out []Candidate
+	for _, g := range grids {
+		bs := blockCandidates(req.N, g, req.Quick)
+		if req.BlockSize > 0 {
+			if (req.N/g.S)%req.BlockSize != 0 || (req.N/g.T)%req.BlockSize != 0 {
+				continue
+			}
+			bs = []int{req.BlockSize}
+		}
+		for _, alg := range req.Algorithms {
+			switch alg {
+			case engine.SUMMA:
+				for _, b := range bs {
+					for _, bc := range req.Broadcasts {
+						out = append(out, Candidate{Algorithm: alg, Grid: g, BlockSize: b, Broadcast: bc})
+					}
+				}
+			case engine.HSUMMA:
+				for _, G := range groupCandidates(g, req.Quick) {
+					h, err := topo.FactorGroups(g, G)
+					if err != nil {
+						continue
+					}
+					for _, b := range bs {
+						for _, B := range outerBlockCandidates(req, g, b) {
+							for _, bc := range req.Broadcasts {
+								out = append(out, Candidate{
+									Algorithm: alg, Grid: g,
+									Groups: G, GroupShape: [2]int{h.I, h.J},
+									BlockSize: b, OuterBlockSize: B, Broadcast: bc,
+								})
+							}
+						}
+					}
+				}
+			case engine.Multilevel:
+				out = append(out, multilevelCandidates(req, g, bs)...)
+			case engine.Cannon:
+				// Cannon needs a square grid with tiles aligned to it.
+				if g.S == g.T && req.N%g.S == 0 {
+					out = append(out, Candidate{Algorithm: alg, Grid: g})
+				}
+			case engine.Fox:
+				if g.S == g.T && req.N%g.S == 0 {
+					for _, bc := range req.Broadcasts {
+						out = append(out, Candidate{Algorithm: alg, Grid: g, Broadcast: bc})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tune: no feasible candidate for n=%d p=%d", req.N, req.P)
+	}
+	return out, nil
+}
+
+// candidateGrids lists the process grids the search considers: every S×T
+// factorisation of P whose dimensions divide N (the algorithms' layout
+// constraint), skewed no worse than 8:1 when a squarer choice exists.
+// Quick mode keeps only the squarest feasible grid, since grid shape is a
+// second-order effect the paper holds fixed.
+func candidateGrids(req Request) []topo.Grid {
+	if req.Grid != nil {
+		if req.N%req.Grid.S == 0 && req.N%req.Grid.T == 0 {
+			return []topo.Grid{*req.Grid}
+		}
+		return nil
+	}
+	var all []topo.Grid
+	for s := 1; s*s <= req.P; s++ {
+		if req.P%s != 0 {
+			continue
+		}
+		t := req.P / s
+		if req.N%s != 0 || req.N%t != 0 {
+			continue
+		}
+		all = append(all, topo.Grid{S: s, T: t})
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	// all is ordered by increasing S, so the last entry is the squarest.
+	squarest := all[len(all)-1]
+	if req.Quick {
+		return []topo.Grid{squarest}
+	}
+	kept := all[:0]
+	for _, g := range all {
+		if g == squarest || g.T <= 8*g.S {
+			kept = append(kept, g)
+		}
+	}
+	return kept
+}
+
+// blockCandidates lists the power-of-two block sizes dividing both tile
+// dimensions, within the paper's experimental range [16, 512] (smaller ones
+// admitted only when nothing in range divides). Quick mode keeps at most
+// three, spread across the range.
+func blockCandidates(n int, g topo.Grid, quick bool) []int {
+	var bs []int
+	for b := 1; b <= 512; b *= 2 {
+		if (n/g.S)%b == 0 && (n/g.T)%b == 0 {
+			bs = append(bs, b)
+		}
+	}
+	// Prefer the paper's range; tiny blocks only as a last resort.
+	inRange := bs[:0:0]
+	for _, b := range bs {
+		if b >= 16 {
+			inRange = append(inRange, b)
+		}
+	}
+	if len(inRange) > 0 {
+		bs = inRange
+	}
+	if quick && len(bs) > 3 {
+		bs = []int{bs[0], bs[len(bs)/2], bs[len(bs)-1]}
+	}
+	return bs
+}
+
+// groupCandidates lists the HSUMMA group counts to try on a grid: every
+// feasible G in full mode, the power-of-two subset (plus endpoints) in
+// quick mode — the same subset the paper's figures sweep.
+func groupCandidates(g topo.Grid, quick bool) []int {
+	counts := topo.ValidGroupCounts(g)
+	if !quick {
+		return counts
+	}
+	var out []int
+	for _, G := range counts {
+		if G&(G-1) == 0 || G == g.Size() {
+			out = append(out, G)
+		}
+	}
+	return out
+}
+
+// outerBlockCandidates lists HSUMMA's B values for a given b: B = b (the
+// paper's configuration) plus, in full mode, the feasible multiples 2b and
+// 4b (§III: the inter-group block should be at least the intra-group one).
+// A pinned Request.OuterBlockSize replaces the search.
+func outerBlockCandidates(req Request, g topo.Grid, b int) []int {
+	if B := req.OuterBlockSize; B > 0 {
+		if B%b != 0 || (req.N/g.S)%B != 0 || (req.N/g.T)%B != 0 {
+			return nil
+		}
+		return []int{B}
+	}
+	out := []int{b}
+	if req.Quick {
+		return out
+	}
+	for _, mult := range []int{2, 4} {
+		B := b * mult
+		if (req.N/g.S)%B == 0 && (req.N/g.T)%B == 0 {
+			out = append(out, B)
+		}
+	}
+	return out
+}
+
+// multilevelCandidates proposes three-level hierarchies (two grouping
+// levels over the flat grid): 2×2 and 4×4 outer groupings with halving
+// panel widths, filtered by the multilevel divisibility rules. The
+// two-level case is already covered by the HSUMMA candidates.
+func multilevelCandidates(req Request, g topo.Grid, bs []int) []Candidate {
+	var out []Candidate
+	shapes := [][2][2]int{
+		{{2, 2}, {2, 2}},
+		{{4, 4}, {2, 2}},
+	}
+	for _, shape := range shapes {
+		i1, j1 := shape[0][0], shape[0][1]
+		i2, j2 := shape[1][0], shape[1][1]
+		if g.S%(i1*i2) != 0 || g.T%(j1*j2) != 0 {
+			continue
+		}
+		for _, b := range bs {
+			top := 4 * b
+			if (req.N/g.S)%top != 0 || (req.N/g.T)%top != 0 {
+				continue
+			}
+			for _, bc := range req.Broadcasts {
+				out = append(out, Candidate{
+					Algorithm: engine.Multilevel, Grid: g, BlockSize: b, Broadcast: bc,
+					Levels: []core.Level{
+						{I: i1, J: j1, BlockSize: top},
+						{I: i2, J: j2, BlockSize: 2 * b},
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// rank sorts scored candidates by the request's objective, errors last.
+func rank(scored []Scored, o Objective) {
+	sort.SliceStable(scored, func(i, j int) bool {
+		if (scored[i].Err == "") != (scored[j].Err == "") {
+			return scored[i].Err == ""
+		}
+		return scored[i].objective(o) < scored[j].objective(o)
+	})
+}

@@ -1,0 +1,251 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simalg"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// The scorer's rectangular-grid formulas must reduce to the paper's
+// closed forms (internal/model, Tables I–II) on a square grid.
+func TestScorerMatchesClosedFormOnSquareGrid(t *testing.T) {
+	m := platform.BlueGeneP().Model
+	n, p, b := 4096, 64, 64
+	sc := newScorer(n, m, false)
+	grid := topo.Grid{S: 8, T: 8}
+
+	for _, bc := range []sched.Algorithm{sched.Binomial, sched.VanDeGeijn} {
+		var bcm model.Broadcast = model.BinomialTree{}
+		if bc == sched.VanDeGeijn {
+			bcm = model.VanDeGeijn{}
+		}
+		par := model.Params{N: n, P: p, B: b, Machine: m, Bcast: bcm}
+
+		comm, _ := sc.score(Candidate{Algorithm: engine.SUMMA, Grid: grid, BlockSize: b, Broadcast: bc})
+		if want := model.SUMMA(par).Comm(); math.Abs(comm-want) > 1e-12*want {
+			t.Fatalf("%s SUMMA: scorer %g, closed form %g", bc, comm, want)
+		}
+		for _, G := range []int{1, 4, 16, 64} {
+			h, err := topo.FactorGroups(grid, G)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comm, _ := sc.score(Candidate{
+				Algorithm: engine.HSUMMA, Grid: grid,
+				Groups: G, GroupShape: [2]int{h.I, h.J},
+				BlockSize: b, OuterBlockSize: b, Broadcast: bc,
+			})
+			if want := model.HSUMMA(par, float64(G)).Comm(); math.Abs(comm-want) > 1e-12*want {
+				t.Fatalf("%s HSUMMA G=%d: scorer %g, closed form %g", bc, G, comm, want)
+			}
+		}
+	}
+}
+
+// simulateCandidate runs the authoritative stage-2 measurement for one
+// candidate — the exhaustive-sweep oracle the planner is held against.
+func simulateCandidate(t *testing.T, req Request, c Candidate) (comm, total float64) {
+	t.Helper()
+	spec, err := c.Spec(req.N)
+	if err != nil {
+		t.Fatalf("%s: %v", c, err)
+	}
+	vcfg := simnet.VConfig{Model: req.Platform.Model, Overlap: req.Overlap}
+	if req.Contention {
+		vcfg.Contention = simnet.ContentionFor(req.Platform, c.Grid.Size(), true)
+	}
+	res, _, err := simalg.RunSpec(spec, vcfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c, err)
+	}
+	return res.Comm, res.Total
+}
+
+// Acceptance: on each paper platform preset the planner's choice must
+// simulate within 5% of the best configuration an exhaustive simnet sweep
+// of the same candidate space finds.
+func TestPlannerWithinFivePercentOfExhaustive(t *testing.T) {
+	for _, pf := range []platform.Platform{
+		platform.Grid5000(), platform.BlueGeneP(), platform.Exascale(),
+		platform.Grid5000Calibrated(), platform.BlueGenePCalibrated(),
+	} {
+		pf := pf
+		t.Run(pf.Name, func(t *testing.T) {
+			req := Request{Platform: pf, N: 512, P: 16, Quick: true, NoCache: true}
+			pl, err := NewPlanner().Plan(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pl.Best.Refined {
+				t.Fatalf("best candidate not simulation-refined: %+v", pl.Best)
+			}
+
+			cands, err := Candidates(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) != pl.Scanned {
+				t.Fatalf("planner scanned %d candidates, Candidates lists %d", pl.Scanned, len(cands))
+			}
+			bestExhaustive := math.Inf(1)
+			var bestCand Candidate
+			for _, c := range cands {
+				_, total := simulateCandidate(t, req, c)
+				if total < bestExhaustive {
+					bestExhaustive, bestCand = total, c
+				}
+			}
+			if pl.Best.SimTotal > bestExhaustive*1.05 {
+				t.Fatalf("planner chose %s (%.6g s); exhaustive best is %s (%.6g s) — %.1f%% worse",
+					pl.Best.Candidate, pl.Best.SimTotal, bestCand, bestExhaustive,
+					100*(pl.Best.SimTotal/bestExhaustive-1))
+			}
+		})
+	}
+}
+
+// Acceptance: for HSUMMA on the (calibrated, latency-dominated) BG/P with
+// the scatter-allgather broadcast the paper measured, the planner's G at
+// the paper's full scale must reproduce the optimum trend — an interior
+// value near √p, not an endpoint.
+func TestPlannerBGPGroupTrend(t *testing.T) {
+	pf := platform.BlueGenePCalibrated()
+	pl, err := NewPlanner().Plan(Request{
+		Platform: pf, N: 65536, P: 16384, BlockSize: 256, OuterBlockSize: 256,
+		Algorithms:   []engine.Algorithm{engine.HSUMMA},
+		Broadcasts:   []sched.Algorithm{sched.VanDeGeijn},
+		Objective:    MinComm,
+		AnalyticOnly: true, // one virtual run at p=16384 costs ~14 s; the analytic ranking is exact here
+		NoCache:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	G := pl.Best.Groups
+	sqrtP := 128
+	if G <= 1 || G >= 16384 {
+		t.Fatalf("planner chose endpoint G=%d; paper's optimum is interior (near √p=%d)", G, sqrtP)
+	}
+	if G < sqrtP/4 || G > sqrtP*4 {
+		t.Fatalf("planner chose G=%d, not near √p=%d (paper's eq. 9 optimum)", G, sqrtP)
+	}
+}
+
+// A served-from-cache plan must cost no further virtual runs — the
+// observable quantity that makes a cache hit cheaper than a cold plan
+// (BenchmarkPlanColdVsCached in the root package measures the wall-time
+// side).
+func TestPlanCacheHit(t *testing.T) {
+	p := NewPlanner()
+	req := Request{Platform: platform.Grid5000(), N: 512, P: 16, Quick: true}
+	cold, err := p.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromCache {
+		t.Fatal("first plan reported FromCache")
+	}
+	st := p.Stats()
+	if st.CacheMisses != 1 || st.SimRuns == 0 {
+		t.Fatalf("unexpected cold-plan counters: %+v", st)
+	}
+	warm, err := p.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("second identical plan not served from cache")
+	}
+	after := p.Stats()
+	if after.SimRuns != st.SimRuns {
+		t.Fatalf("cache hit ran %d further virtual runs", after.SimRuns-st.SimRuns)
+	}
+	if after.CacheHits != 1 {
+		t.Fatalf("cache hits %d, want 1", after.CacheHits)
+	}
+	if warm.Best.Candidate.String() != cold.Best.Candidate.String() {
+		t.Fatalf("cached plan differs: %s vs %s", warm.Best.Candidate, cold.Best.Candidate)
+	}
+	// A different problem must miss.
+	if pl, err := p.Plan(Request{Platform: platform.Grid5000(), N: 256, P: 16, Quick: true}); err != nil {
+		t.Fatal(err)
+	} else if pl.FromCache {
+		t.Fatal("different problem served from cache")
+	}
+}
+
+func TestDefaultBlockSize(t *testing.T) {
+	cases := []struct {
+		n    int
+		g    topo.Grid
+		want int
+	}{
+		{256, topo.Grid{S: 4, T: 4}, 64}, // 64-wide tiles: full default
+		{256, topo.Grid{S: 2, T: 8}, 32}, // 32-wide tiles cap it
+		{96, topo.Grid{S: 4, T: 4}, 8},   // 24 = 8·3: largest dividing power of two
+		{9, topo.Grid{S: 3, T: 3}, 1},    // odd tiles degrade to 1
+	}
+	for _, c := range cases {
+		if got := DefaultBlockSize(c.n, c.g); got != c.want {
+			t.Fatalf("DefaultBlockSize(%d, %v) = %d, want %d", c.n, c.g, got, c.want)
+		}
+	}
+}
+
+// Every candidate the enumerator emits must satisfy the engine's layout
+// constraints — a candidate that fails only at execution time would poison
+// stage 2.
+func TestCandidatesAreFeasible(t *testing.T) {
+	reqs := []Request{
+		{Platform: platform.Grid5000(), N: 512, P: 16},
+		{Platform: platform.BlueGeneP(), N: 768, P: 12, Algorithms: []engine.Algorithm{
+			engine.SUMMA, engine.HSUMMA, engine.Multilevel, engine.Cannon, engine.Fox}},
+		{Platform: platform.Exascale(), N: 1024, P: 64, Quick: true},
+	}
+	for _, req := range reqs {
+		cands, err := Candidates(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			if _, err := c.Spec(req.N); err != nil {
+				t.Fatalf("candidate %s does not resolve: %v", c, err)
+			}
+			if c.Grid.Size() != req.P {
+				t.Fatalf("candidate %s grid does not hold %d procs", c, req.P)
+			}
+		}
+	}
+}
+
+// A pinned grid or block size must constrain every candidate.
+func TestCandidatePins(t *testing.T) {
+	g := topo.Grid{S: 2, T: 8}
+	cands, err := Candidates(Request{
+		Platform: platform.Grid5000(), N: 512, P: 16, Grid: &g, BlockSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Grid != g {
+			t.Fatalf("candidate %s escaped the pinned grid", c)
+		}
+		if c.BlockSize != 32 && c.Algorithm != engine.Cannon && c.Algorithm != engine.Fox {
+			t.Fatalf("candidate %s escaped the pinned block size", c)
+		}
+	}
+	// Cannon/Fox need a square grid; the pinned 2x8 grid excludes them.
+	for _, c := range cands {
+		if c.Algorithm == engine.Cannon || c.Algorithm == engine.Fox {
+			t.Fatalf("non-square pinned grid admitted %s", c)
+		}
+	}
+}

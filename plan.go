@@ -1,0 +1,211 @@
+package hsumma
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/topo"
+	"repro/internal/tune"
+)
+
+// This file is the public face of the autotuning planner (internal/tune):
+// Plan answers "how should I multiply n×n over p ranks on this platform?"
+// with a ranked set of configurations, and both execution paths resolve
+// Config{Algorithm: AlgAuto} / SimConfig{Algorithm: AlgAuto} through it.
+//
+// The search is two-stage: every feasible candidate (algorithm × grid
+// shape × group count × block sizes × broadcast) is scored with the
+// paper's closed-form cost models, then the top K are re-ranked by
+// parallel virtual runs on the simnet communicator. Plans are memoised per
+// (platform, problem, flags), so serving-style workloads pay the search
+// once per distinct shape.
+
+// PlanObjective selects the quantity the planner minimises.
+type PlanObjective = tune.Objective
+
+// Planner objectives.
+const (
+	// PlanMinTotal minimises execution time (communication + computation).
+	PlanMinTotal = tune.MinTotal
+	// PlanMinComm minimises communication time only.
+	PlanMinComm = tune.MinComm
+)
+
+// PlanCandidate is one fully specified configuration (re-exported from the
+// planner).
+type PlanCandidate = tune.Candidate
+
+// PlanChoice is a candidate with its analytic and simulated costs.
+type PlanChoice = tune.Scored
+
+// PlanResult is a ranked plan (Best, Ranked, search statistics).
+type PlanResult = tune.Plan
+
+// PlanStats are the shared planner's cache/simulation counters.
+type PlanStats = tune.PlannerStats
+
+// PlanConfig describes one planning problem.
+type PlanConfig struct {
+	// Platform is the machine to tune for (preset or calibrated).
+	Platform Platform
+	// N is the matrix dimension, Procs the rank count.
+	N, Procs int
+	// Grid optionally pins the process grid.
+	Grid *[2]int
+	// BlockSize optionally pins the paper's b.
+	BlockSize int
+	// Algorithms restricts the searched algorithms (nil = SUMMA, HSUMMA,
+	// Cannon, Fox).
+	Algorithms []Algorithm
+	// Broadcasts restricts the broadcast variants (nil = binomial,
+	// Van de Geijn, and in full mode binary).
+	Broadcasts []sched.Algorithm
+	// Objective defaults to PlanMinTotal.
+	Objective PlanObjective
+	// TopK is the stage-2 refinement width (default 8).
+	TopK int
+	// Quick trims the candidate space for sub-second planning.
+	Quick bool
+	// AnalyticOnly skips the stage-2 virtual runs.
+	AnalyticOnly bool
+	// Contention enables the platform's link-sharing model in stage 2.
+	Contention bool
+	// Overlap plans for communication/computation overlap.
+	Overlap bool
+	// NoCache bypasses the plan cache.
+	NoCache bool
+}
+
+func (cfg PlanConfig) request() (tune.Request, error) {
+	var gp *topo.Grid
+	if cfg.Grid != nil {
+		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
+		if err != nil {
+			return tune.Request{}, err
+		}
+		gp = &g
+	}
+	return tune.Request{
+		Platform:     cfg.Platform,
+		N:            cfg.N,
+		P:            cfg.Procs,
+		Grid:         gp,
+		BlockSize:    cfg.BlockSize,
+		Algorithms:   cfg.Algorithms,
+		Broadcasts:   cfg.Broadcasts,
+		Objective:    cfg.Objective,
+		TopK:         cfg.TopK,
+		Quick:        cfg.Quick,
+		AnalyticOnly: cfg.AnalyticOnly,
+		Contention:   cfg.Contention,
+		Overlap:      cfg.Overlap,
+		NoCache:      cfg.NoCache,
+	}, nil
+}
+
+// Plan searches the configuration space for the given problem and returns
+// the ranked plan. Repeated calls with the same platform, problem and
+// flags are served from the shared plan cache (FromCache is set on the
+// result); PlannerCounters exposes the hit/miss/simulation counters.
+func Plan(cfg PlanConfig) (*PlanResult, error) {
+	req, err := cfg.request()
+	if err != nil {
+		return nil, err
+	}
+	return tune.PlanFor(req)
+}
+
+// PlannerCounters reports the shared planner's observability counters:
+// cache hits and misses, and the number of stage-2 virtual runs executed.
+func PlannerCounters() PlanStats { return tune.Stats() }
+
+// autoProcs is the rank-count threshold beyond which auto resolution skips
+// the stage-2 virtual refinement: a single full-scale virtual run at the
+// paper's 16384 ranks costs seconds, and the analytic ranking is already
+// faithful there (asserted against exhaustive sweeps in internal/tune's
+// tests at tractable scale).
+const autoProcs = 2048
+
+// resolveAuto replaces Algorithm: AlgAuto in a live-run Config with the
+// planner's choice for cfg.Platform (default: the Grid'5000 preset).
+// Explicit Grid and BlockSize settings are honoured as constraints.
+func resolveAuto(n int, cfg Config) (Config, error) {
+	pf := platform.Grid5000()
+	if cfg.Platform != nil {
+		pf = *cfg.Platform
+	}
+	var gp *topo.Grid
+	if cfg.Grid != nil {
+		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
+		if err != nil {
+			return Config{}, err
+		}
+		gp = &g
+	}
+	pl, err := tune.PlanFor(tune.Request{
+		Platform: pf, N: n, P: cfg.Procs,
+		Grid: gp, BlockSize: cfg.BlockSize,
+		Quick:        true,
+		AnalyticOnly: cfg.Procs > autoProcs,
+	})
+	if err != nil {
+		return Config{}, err
+	}
+	return applyCandidate(cfg, pl.Best.Candidate), nil
+}
+
+// applyCandidate copies a planner choice into a Config, replacing the
+// auto pseudo-algorithm with a fully pinned configuration.
+func applyCandidate(cfg Config, c tune.Candidate) Config {
+	cfg.Algorithm = c.Algorithm
+	g := [2]int{c.Grid.S, c.Grid.T}
+	cfg.Grid = &g
+	cfg.Procs = c.Grid.Size()
+	cfg.Groups = c.Groups
+	cfg.BlockSize = c.BlockSize
+	cfg.OuterBlockSize = c.OuterBlockSize
+	cfg.Broadcast = c.Broadcast
+	cfg.Segments = c.Segments
+	cfg.Levels = c.Levels
+	return cfg
+}
+
+// resolveSimAuto replaces Algorithm: AlgAuto in a SimConfig with the
+// planner's choice for the simulated machine, honouring the contention and
+// overlap flags of the simulation being requested.
+func resolveSimAuto(cfg SimConfig, procs int) (SimConfig, error) {
+	pf := Platform{Name: "custom", Model: cfg.Machine}
+	if cfg.Platform != nil {
+		pf = *cfg.Platform
+	}
+	var gp *topo.Grid
+	if cfg.Grid != nil {
+		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
+		if err != nil {
+			return SimConfig{}, err
+		}
+		gp = &g
+	}
+	pl, err := tune.PlanFor(tune.Request{
+		Platform: pf, N: cfg.N, P: procs,
+		Grid: gp, BlockSize: cfg.BlockSize,
+		Quick:        true,
+		AnalyticOnly: procs > autoProcs,
+		Contention:   cfg.Contention,
+		Overlap:      cfg.Overlap,
+	})
+	if err != nil {
+		return SimConfig{}, err
+	}
+	c := pl.Best.Candidate
+	cfg.Algorithm = c.Algorithm
+	g := [2]int{c.Grid.S, c.Grid.T}
+	cfg.Grid = &g
+	cfg.Procs = c.Grid.Size()
+	cfg.Groups = c.Groups
+	cfg.BlockSize = c.BlockSize
+	cfg.OuterBlockSize = c.OuterBlockSize
+	cfg.Broadcast = c.Broadcast
+	cfg.Segments = c.Segments
+	cfg.Levels = c.Levels
+	return cfg, nil
+}

@@ -35,6 +35,8 @@ type SimConfig struct {
 	Grid      *[2]int // optional explicit grid
 	Algorithm Algorithm
 	Groups    int // HSUMMA group count (0 = closest feasible to √p)
+	// BlockSize is the paper's b; 0 means "auto" under the same shared
+	// default rule Multiply uses (tune.DefaultBlockSize).
 	BlockSize int
 	// OuterBlockSize is HSUMMA's B (0 = b).
 	OuterBlockSize int
@@ -69,6 +71,10 @@ type SimResult struct {
 	// Groups is the group count actually used (relevant when it was
 	// auto-selected).
 	Groups int
+	// Algorithm and BlockSize echo the configuration actually executed —
+	// what the planner picked when the request said AlgAuto or b=0.
+	Algorithm Algorithm
+	BlockSize int
 }
 
 // Simulate executes the configured algorithm — the same implementation,
@@ -83,16 +89,28 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 		// against — where Multiply defaults to the paper's HSUMMA.
 		alg = AlgSUMMA
 	}
-	// Unlike Multiply, which auto-derives a block size for convenience, a
-	// simulation must not guess the paper's key parameter: b changes the
-	// communication pattern being measured.
-	if cfg.BlockSize <= 0 && alg != AlgCannon && alg != AlgFox {
-		return SimResult{}, fmt.Errorf("hsumma: Simulate requires an explicit BlockSize for %s", alg)
+	// A Platform alone is a complete machine description: default the
+	// Hockney model from it rather than silently simulating on a
+	// zero-cost machine (all-zero timings).
+	if cfg.Machine == (Machine{}) && cfg.Platform != nil {
+		cfg.Machine = cfg.Platform.Model
 	}
 	procs := cfg.Procs
 	if procs == 0 && cfg.Grid != nil {
 		procs = cfg.Grid[0] * cfg.Grid[1]
 	}
+	if alg == AlgAuto {
+		// The planner picks algorithm, grid, groups, blocks and broadcast
+		// for the simulated machine; explicit Grid/BlockSize are honoured.
+		planned, err := resolveSimAuto(cfg, procs)
+		if err != nil {
+			return SimResult{}, err
+		}
+		cfg, alg, procs = planned, planned.Algorithm, planned.Procs
+	}
+	// BlockSize: 0 means "auto" here exactly as in Multiply — resolveSpec
+	// applies the shared tune.DefaultBlockSize rule, so the two execution
+	// paths of one configuration stay directly comparable.
 	spec, grid, err := resolveSpec(cfg.N, Config{
 		Procs: procs, Grid: cfg.Grid, Algorithm: alg,
 		Groups: cfg.Groups, BlockSize: cfg.BlockSize, OuterBlockSize: cfg.OuterBlockSize,
@@ -116,7 +134,15 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	if spec.Algorithm == AlgHSUMMA {
 		usedG = spec.Opts.Groups.Groups()
 	}
-	out := SimResult{Total: res.Total, Comm: res.Comm, Compute: res.Compute, Groups: usedG}
+	out := SimResult{
+		Total: res.Total, Comm: res.Comm, Compute: res.Compute,
+		Groups: usedG, Algorithm: spec.Algorithm,
+	}
+	// Cannon and Fox work on whole tiles; echoing the defaulted b would
+	// suggest it mattered.
+	if spec.Algorithm != AlgCannon && spec.Algorithm != AlgFox {
+		out.BlockSize = spec.Opts.BlockSize
+	}
 	for _, s := range stats {
 		out.Messages += s.SentMessages
 		out.Bytes += s.SentBytes
