@@ -324,27 +324,76 @@ func BenchmarkAblationOverlap(b *testing.B) {
 	}
 }
 
-// BenchmarkFullScaleBGPSim measures the host wall time of one full
-// paper-scale BG/P virtual run (p=16384 goroutine ranks, n=65536, the
-// paper's Figure 8 configuration) — the quantity the per-communicator
-// synchronisation shards recover. The pre-shard baseline on a single core
-// was ~17 s per run, all collectives serialised on one world mutex; the
-// sharded design pools collective gathers (≈18% less single-core wall
-// time) and lets disjoint collectives rendezvous concurrently on
-// multicore hosts.
-func BenchmarkFullScaleBGPSim(b *testing.B) {
+// fullScaleBGPConfig is the paper's Figure 8 configuration (p=16384,
+// n=65536) on the calibrated BG/P — the workload the execution engines
+// are benchmarked on.
+func fullScaleBGPConfig(b *testing.B, ex Engine) simalg.Config {
+	b.Helper()
 	g := topo.Grid{S: 128, T: 128}
 	h, err := topo.FactorGroups(g, 128)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return simalg.Config{
+		N: 65536, Grid: g, BlockSize: 256, Groups: h,
+		Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
+		Executor: ex,
+	}
+}
+
+// BenchmarkFullScaleBGPSim measures the host wall time of one full
+// paper-scale BG/P virtual run on the goroutine engine (one goroutine
+// per rank, sharded collective rendezvous). The pre-shard baseline on a
+// single core was ~17 s per run; sharding brought it to ~14 s; the
+// remaining cost is the ~15M goroutine park/wake rendezvous, which is
+// what the event engine (see the Event twin below) eliminates.
+// allocs/op tracks the GC pressure the simnet pools keep bounded.
+func BenchmarkFullScaleBGPSim(b *testing.B) {
+	cfg := fullScaleBGPConfig(b, EngineGoroutine)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := simalg.HSUMMA(simalg.Config{
-			N: 65536, Grid: g, BlockSize: 256, Groups: h,
-			Bcast: sched.VanDeGeijn, Machine: platform.BlueGenePCalibrated().Model,
-		}); err != nil {
+		if _, err := simalg.HSUMMA(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFullScaleBGPSimEvent is the event-engine twin of
+// BenchmarkFullScaleBGPSim: the same run on internal/evsim (recorded
+// rank programs, single-threaded replay, rank-symmetry fast path),
+// bit-identical results at a fraction of the wall time (~5.5× on one
+// core at the time of writing; tracked in BENCH_sim.json by CI).
+func BenchmarkFullScaleBGPSimEvent(b *testing.B) {
+	cfg := fullScaleBGPConfig(b, EngineEvent)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := simalg.HSUMMA(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanColdRefine quantifies what the event engine buys the
+// autotuner: a cold plan's stage-2 refinement (TopK virtual runs) on
+// each engine, same picks by the parity invariant, different wall time.
+func BenchmarkPlanColdRefine(b *testing.B) {
+	for _, eng := range []Engine{EngineGoroutine, EngineEvent} {
+		eng := eng
+		b.Run(string(eng), func(b *testing.B) {
+			// 1024 ranks keeps the virtual runs heavy enough that the
+			// refinement stage dominates the cold plan (the quantity the
+			// engines differ on) while staying under the auto-resolution
+			// threshold that would skip refinement entirely.
+			cfg := PlanConfig{
+				Platform: PlatformBGPCalibrated(), N: 16384, Procs: 1024,
+				Quick: true, NoCache: true, Engine: eng,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := Plan(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

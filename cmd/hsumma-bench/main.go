@@ -9,6 +9,12 @@
 //	hsumma-bench -exp all -quick
 //	hsumma-bench -exp fig5 -format csv
 //	hsumma-bench -exp fig8 -uncalibrated   # paper's published α/β only
+//
+// The -simbench mode benchmarks the two virtual execution engines on the
+// full paper-scale BG/P run, asserts bit-identical results, and writes
+// BENCH_sim.json (the CI perf gate):
+//
+//	hsumma-bench -simbench -out BENCH_sim.json -baseline ci/bench-sim-baseline.json
 package main
 
 import (
@@ -26,8 +32,16 @@ func main() {
 		quick        = flag.Bool("quick", false, "scaled-down configuration (seconds instead of minutes)")
 		uncalibrated = flag.Bool("uncalibrated", false, "use the paper's published Hockney parameters instead of the SUMMA-fitted machines")
 		format       = flag.String("format", "table", "output format: table or csv")
+		simbench     = flag.Bool("simbench", false, "benchmark the virtual execution engines on the full-scale BG/P run and emit BENCH_sim.json")
+		out          = flag.String("out", "-", "simbench: output path for BENCH_sim.json (- = stdout)")
+		baseline     = flag.String("baseline", "", "simbench: committed baseline JSON; exit non-zero if the event engine regressed >25% against it")
 	)
 	flag.Parse()
+
+	if *simbench {
+		runSimBench(*quick, *out, *baseline)
+		return
+	}
 
 	if *list || *id == "" {
 		fmt.Println("Available experiments (paper artefact -> id):")

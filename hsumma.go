@@ -77,6 +77,42 @@ const (
 	AlgAuto = engine.Auto
 )
 
+// Engine selects a virtual execution engine for Simulate (re-exported
+// from the engine dispatch). Both engines produce bit-identical virtual
+// times, communication-time breakdowns and traffic counters — the engine
+// parity tests assert it — so the choice only affects host wall time.
+type Engine = engine.Executor
+
+// Available virtual execution engines.
+const (
+	// EngineGoroutine is the SPMD goroutine runtime: one goroutine per
+	// rank. Handles every algorithm and model knob.
+	EngineGoroutine = engine.ExecutorGoroutine
+	// EngineEvent is the discrete-event engine (internal/evsim): recorded
+	// rank programs replayed by a single-threaded event loop with a
+	// rank-symmetry fast path — roughly an order of magnitude faster on
+	// full-scale collective-only runs.
+	EngineEvent = engine.ExecutorEvent
+	// EngineAuto (the default) picks the event engine for SUMMA, HSUMMA
+	// and multilevel runs without overlap, goroutines otherwise.
+	EngineAuto = engine.ExecutorAuto
+)
+
+// EngineByName maps a CLI-friendly name to an execution engine; the empty
+// string means auto. Unknown names are an error listing the valid values.
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "", string(engine.ExecutorAuto):
+		return EngineAuto, nil
+	case string(engine.ExecutorGoroutine):
+		return EngineGoroutine, nil
+	case string(engine.ExecutorEvent):
+		return EngineEvent, nil
+	default:
+		return "", fmt.Errorf("hsumma: unknown engine %q (valid values: %s)", name, engine.ExecutorNames())
+	}
+}
+
 // Broadcast names re-exported from the schedule layer.
 const (
 	BcastBinomial   = sched.Binomial

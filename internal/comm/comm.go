@@ -28,6 +28,7 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -97,4 +98,38 @@ func CheckPack(dst Buf, src *matrix.Dense) {
 	if src.Rows*src.Cols != dst.N {
 		panic(fmt.Sprintf("comm: pack %dx%d tile into %d-element buffer", src.Rows, src.Cols, dst.N))
 	}
+}
+
+// SplitGroups computes MPI_Comm_split's grouping from every member's
+// (colour, key): the member lists (old ranks) of each new communicator,
+// colours ascending, each list ordered by (key, old rank); negative
+// colours are excluded. Every transport builds its Split result from
+// this one function, so the engines cannot drift on communicator
+// structure — the invariant the bit-parity tests rely on.
+func SplitGroups(colors, keys map[int]int) [][]int {
+	byColor := map[int][]int{}
+	for r, col := range colors {
+		if col < 0 {
+			continue
+		}
+		byColor[col] = append(byColor[col], r)
+	}
+	cols := make([]int, 0, len(byColor))
+	for col := range byColor {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	groups := make([][]int, 0, len(cols))
+	for _, col := range cols {
+		members := byColor[col]
+		sort.Slice(members, func(i, j int) bool {
+			ki, kj := keys[members[i]], keys[members[j]]
+			if ki != kj {
+				return ki < kj
+			}
+			return members[i] < members[j]
+		})
+		groups = append(groups, members)
+	}
+	return groups
 }

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/comm"
@@ -38,6 +39,67 @@ const Auto Algorithm = "auto"
 // Algorithms lists every dispatchable algorithm, for sweeps and tests.
 func Algorithms() []Algorithm {
 	return []Algorithm{SUMMA, HSUMMA, Multilevel, Cannon, Fox}
+}
+
+// Executor names a virtual execution engine for simulated runs. The live
+// path (hsumma.Multiply) always runs goroutine ranks — real data needs a
+// real runtime; the selector applies to virtual time only.
+type Executor string
+
+const (
+	// ExecutorGoroutine is the SPMD goroutine engine (internal/simnet's
+	// VWorld): one goroutine per rank, collectives rendezvous on sharded
+	// condition variables. Handles every algorithm and every model knob.
+	ExecutorGoroutine Executor = "goroutine"
+	// ExecutorEvent is the discrete-event engine (internal/evsim): rank
+	// programs stream recorded events into a single-threaded replay loop,
+	// with a rank-symmetry fast path sharing clock-equal collective
+	// executions. Bit-identical to the goroutine engine.
+	ExecutorEvent Executor = "event"
+	// ExecutorAuto picks per spec: the event engine for the collective-only
+	// algorithms (SUMMA, HSUMMA, multilevel) without overlap — where the
+	// event loop and its symmetry fast path shine — and the goroutine
+	// engine for the point-to-point-heavy baselines (Cannon, Fox) and for
+	// overlap runs, whose irregular dependency structure gains nothing
+	// from replay. The empty string means auto.
+	ExecutorAuto Executor = "auto"
+)
+
+// Executors lists the selectable executors, for flags and error messages.
+func Executors() []Executor {
+	return []Executor{ExecutorGoroutine, ExecutorEvent, ExecutorAuto}
+}
+
+// ExecutorNames renders the valid executor names for error messages, so
+// every surface (ResolveExecutor, hsumma.EngineByName, CLI help) reports
+// the same list and a future executor is added in one place.
+func ExecutorNames() string {
+	names := make([]string, 0, len(Executors()))
+	for _, e := range Executors() {
+		names = append(names, string(e))
+	}
+	return strings.Join(names, ", ")
+}
+
+// ResolveExecutor applies the auto rule for a spec and validates explicit
+// selections. Both virtual execution paths (simalg and the tune planner's
+// refinement) route through here so "auto" means the same thing
+// everywhere.
+func ResolveExecutor(e Executor, alg Algorithm, overlap bool) (Executor, error) {
+	switch e {
+	case ExecutorGoroutine, ExecutorEvent:
+		return e, nil
+	case ExecutorAuto, "":
+		switch alg {
+		case SUMMA, HSUMMA, Multilevel:
+			if !overlap {
+				return ExecutorEvent, nil
+			}
+		}
+		return ExecutorGoroutine, nil
+	default:
+		return "", fmt.Errorf("engine: unknown executor %q (valid: %s)", e, ExecutorNames())
+	}
 }
 
 // Spec fully describes one distributed multiplication, independent of the

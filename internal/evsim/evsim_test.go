@@ -1,0 +1,188 @@
+package evsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/hockney"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+)
+
+func testCfg() simnet.VConfig {
+	return simnet.VConfig{Model: hockney.Model{Alpha: 1e-5, Beta: 1e-8, Gamma: 1e-9}}
+}
+
+// TestPointToPointTiming pins the replay's Send/Recv semantics: the
+// receiver completes at max(own clock, sender's send-time) plus the
+// transfer time — the same arithmetic as the goroutine engine.
+func TestPointToPointTiming(t *testing.T) {
+	w := NewWorld(2, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		buf := c.NewBuf(1000)
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 7, buf)
+		case 1:
+			c.Recv(0, 7, buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testCfg().Model
+	dt := m.PointToPoint(1000)
+	if got := w.Sim().Clock(0); got != dt {
+		t.Fatalf("sender clock %v, want %v", got, dt)
+	}
+	if got := w.Sim().Clock(1); got != dt {
+		t.Fatalf("receiver clock %v, want %v (message available at 0)", got, dt)
+	}
+	st := w.Stats()
+	if st[0].SentMessages != 1 || st[0].SentBytes != int64(hockney.BytesPerElement*1000) {
+		t.Fatalf("sender stats %+v", st[0])
+	}
+	if st[1].SentMessages != 0 {
+		t.Fatalf("receiver stats %+v", st[1])
+	}
+}
+
+// TestAlgorithmPanicBecomesError: a rank panic aborts the world and
+// surfaces as Run's error, with every goroutine released.
+func TestAlgorithmPanicBecomesError(t *testing.T) {
+	w := NewWorld(4, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		// The others park in a collective that can never complete.
+		c.Bcast(sched.Binomial, 0, c.NewBuf(10), 1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want the rank panic, got %v", err)
+	}
+}
+
+// TestBcastMismatchAborts: members disagreeing on a collective's
+// signature is an SPMD programming error the replay must reject, like
+// the goroutine engine's mismatch panic.
+func TestBcastMismatchAborts(t *testing.T) {
+	w := NewWorld(2, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		root := 0
+		elems := 10
+		if c.Rank() == 1 {
+			elems = 20
+		}
+		c.Bcast(sched.Binomial, root, c.NewBuf(elems), 1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "bcast mismatch") {
+		t.Fatalf("want bcast mismatch, got %v", err)
+	}
+}
+
+// TestRecvSizeMismatchAborts mirrors the goroutine engine's receive-size
+// panic.
+func TestRecvSizeMismatchAborts(t *testing.T) {
+	w := NewWorld(2, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, c.NewBuf(10))
+		} else {
+			c.Recv(0, 0, c.NewBuf(11))
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "recv buffer") {
+		t.Fatalf("want recv size mismatch, got %v", err)
+	}
+}
+
+// TestStalledReplayDetected: a receive that never gets a matching send is
+// reported as a stall instead of hanging forever.
+func TestStalledReplayDetected(t *testing.T) {
+	w := NewWorld(2, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		if c.Rank() == 1 {
+			c.Recv(0, 9, c.NewBuf(4)) // rank 0 never sends
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("want stall detection, got %v", err)
+	}
+}
+
+// TestSplitStructure: split ordering and negative colours match
+// MPI_Comm_split (and the goroutine engine).
+func TestSplitStructure(t *testing.T) {
+	w := NewWorld(6, testCfg())
+	type view struct{ rank, size int }
+	views := make([]view, 6)
+	err := w.Run(func(c comm.Comm) {
+		me := c.Rank()
+		color := me % 2
+		if me == 5 {
+			color = -1
+		}
+		sub := c.Split(color, -me) // reversed key order
+		if sub == nil {
+			views[me] = view{-1, -1}
+			return
+		}
+		views[me] = view{sub.Rank(), sub.Size()}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colour 0: members 0,2,4 keyed -0,-2,-4 -> order 4,2,0.
+	// Colour 1: members 1,3 keyed -1,-3 -> order 3,1 (5 opted out).
+	want := []view{{2, 3}, {1, 2}, {1, 3}, {0, 2}, {0, 3}, {-1, -1}}
+	for i, v := range views {
+		if v != want[i] {
+			t.Fatalf("rank %d split view %+v, want %+v", i, v, want[i])
+		}
+	}
+}
+
+// TestSymmetryMemoShares: clock-equal sibling collectives execute once
+// and replay bit-identically — disjoint row broadcasts from a uniform
+// start must leave every row with identical per-role clocks.
+func TestSymmetryMemoShares(t *testing.T) {
+	const rows, cols = 8, 8
+	w := NewWorld(rows*cols, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		row := c.Rank() / cols
+		sub := c.Split(row, c.Rank()%cols)
+		sub.Bcast(sched.VanDeGeijn, 0, c.NewBuf(4096), 1)
+		sub.Bcast(sched.Binomial, 2, c.NewBuf(128), 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rows*cols; r++ {
+		role := r % cols
+		if got, want := w.Sim().Clock(r), w.Sim().Clock(role); got != want {
+			t.Fatalf("rank %d clock %v differs from role-equivalent rank %d clock %v", r, got, role, want)
+		}
+		if got, want := w.Sim().CommTime(r), w.Sim().CommTime(role); got != want {
+			t.Fatalf("rank %d comm %v differs from role-equivalent rank %d comm %v", r, got, role, want)
+		}
+	}
+}
+
+// TestSingleRankWorld: a p=1 world degenerates cleanly (collectives are
+// no-ops, Gemm advances the clock).
+func TestSingleRankWorld(t *testing.T) {
+	w := NewWorld(1, testCfg())
+	err := w.Run(func(c comm.Comm) {
+		c.Bcast(sched.Binomial, 0, c.NewBuf(5), 1)
+		c.Gemm(c.NewTile(4, 4), c.NewTile(4, 4), c.NewTile(4, 4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testCfg().Model.Compute(2 * 4 * 4 * 4)
+	if got := w.Total(); got != want {
+		t.Fatalf("total %v, want %v", got, want)
+	}
+}

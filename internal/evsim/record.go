@@ -1,0 +1,318 @@
+package evsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+)
+
+// This file is the producer half of the engine: rComm implements
+// comm.Comm by *recording* each call as one ring event instead of
+// executing it. The recording side performs the same argument validation
+// the goroutine engine's VComm does (peer ranges, self-sends, pack
+// shapes, Gemm shapes), so programming errors fail identically on both
+// engines; timing-side checks that need replay state (receive sizes,
+// collective signature mismatches) move to the consumer.
+
+// producer is the per-rank recording context. chead/ctail cache the ring
+// indices so the push fast path performs a single atomic publish.
+type producer struct {
+	w     *World
+	world int32
+	ring  *ring
+	chead uint64 // last observed consumer head
+	ctail uint64 // producer-owned tail (mirrored to ring.tail on publish)
+}
+
+// finish publishes the remaining events, marks the rank's program
+// complete and rings the consumer so the replay can observe the exit
+// (and, when this was the last producer, run its termination scan).
+func (p *producer) finish() {
+	p.publish()
+	p.ring.done.Store(true)
+	if p.ring.hungry.CompareAndSwap(true, false) {
+		p.w.wakeRank(p.world)
+	}
+	p.w.alive.Add(-1)
+	p.w.wakeMu.Lock()
+	p.w.wakeCond.Broadcast()
+	p.w.wakeMu.Unlock()
+}
+
+// commState is one communicator: the immutable member list shared by the
+// producer and consumer sides, the producer-side split rendezvous, and the
+// consumer-owned collective gather.
+//
+// The replay holds at most ONE live gather per communicator at any time:
+// a member reaches collective k+1 only after k has fired (its replay was
+// parked on k), and the gather is retired at fire time before any member
+// resumes. So the gather lives inline — no map, no allocation on the
+// collective hot path.
+type commState struct {
+	ranks []int // comm rank -> world rank (immutable after creation)
+
+	// Consumer side: the in-flight collective, valid when gActive.
+	g       gather
+	gSeq    int32
+	gActive bool
+
+	// Producer side: split rendezvous (the only blocking producer call).
+	splitMu   sync.Mutex
+	splitCond *sync.Cond
+	splits    map[int32]*splitGather
+}
+
+// newCommState registers a communicator so abort can wake its split
+// waiters.
+func (w *World) newCommState(ranks []int) *commState {
+	cs := &commState{
+		ranks:  ranks,
+		splits: make(map[int32]*splitGather),
+	}
+	cs.g.parked = make([]int32, 0, len(ranks)-1)
+	cs.splitCond = sync.NewCond(&cs.splitMu)
+	w.commMu.Lock()
+	w.comms = append(w.comms, cs)
+	w.commMu.Unlock()
+	return cs
+}
+
+// rComm is a recording communicator bound to one rank, implementing
+// comm.Comm for the event engine.
+type rComm struct {
+	p    *producer
+	cs   *commState
+	rank int32
+
+	opSeq    int32
+	splitSeq int32
+}
+
+var _ comm.Comm = (*rComm)(nil)
+
+// Rank returns the caller's rank within the communicator.
+func (c *rComm) Rank() int { return int(c.rank) }
+
+// Size returns the number of ranks in the communicator.
+func (c *rComm) Size() int { return len(c.cs.ranks) }
+
+func (c *rComm) checkPeer(verb string, peer int) {
+	if peer < 0 || peer >= len(c.cs.ranks) {
+		panic(fmt.Sprintf("evsim: %s rank %d outside communicator of %d", verb, peer, len(c.cs.ranks)))
+	}
+	if peer == int(c.rank) {
+		panic("evsim: self-send is not supported (use local copies)")
+	}
+}
+
+// ck32 guards the int32 narrowing of recorded payload sizes and shapes:
+// a silent wrap would produce wrong virtual times on the event engine
+// only, breaking the bit-parity guarantee exactly where it could not be
+// noticed. Panicking matches the engines' shared treatment of caller
+// errors (the panic aborts the world and surfaces from Run).
+func ck32(what string, v int) int32 {
+	if v < 0 || int64(v) > math.MaxInt32 {
+		panic(fmt.Sprintf("evsim: %s %d does not fit the recorded event field (max %d)", what, v, math.MaxInt32))
+	}
+	return int32(v)
+}
+
+// Send records an eager virtual send; the replay advances the sender's
+// clock by the transfer and queues the message for the receiver.
+func (c *rComm) Send(dst, tag int, data comm.Buf) {
+	c.checkPeer("send to", dst)
+	c.p.push(event{comm: c.cs, kind: evSend, a: int32(dst), b: int32(tag), c: ck32("send size", data.N), d: c.rank})
+}
+
+// Recv records a blocking receive; the replay parks the rank until the
+// matching send has been replayed.
+func (c *rComm) Recv(src, tag int, buf comm.Buf) {
+	c.checkPeer("recv from", src)
+	c.p.push(event{comm: c.cs, kind: evRecv, a: int32(src), b: int32(tag), c: ck32("recv size", buf.N)})
+}
+
+// SendRecv records the full-duplex shift primitive as its two halves; the
+// replay processes them back to back, completing at the slower of the two
+// directions exactly like the goroutine engine.
+func (c *rComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv comm.Buf) {
+	c.checkPeer("send to", dst)
+	c.checkPeer("recv from", src)
+	c.p.push(event{comm: c.cs, kind: evSRSend, a: int32(dst), b: int32(sendTag), c: ck32("sendrecv send size", send.N), d: c.rank})
+	c.p.push(event{comm: c.cs, kind: evSRRecv, a: int32(src), b: int32(recvTag), c: ck32("sendrecv recv size", recv.N)})
+}
+
+// Bcast records one collective arrival. The replay gathers the members by
+// the communicator's op sequence and fires the schedule when the last one
+// arrives.
+func (c *rComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int) {
+	p := len(c.cs.ranks)
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("evsim: bcast root %d outside communicator of %d", root, p))
+	}
+	if p == 1 {
+		return
+	}
+	seq := c.opSeq
+	c.opSeq++
+	c.p.push(event{comm: c.cs, kind: evBcast, alg: algCode(alg),
+		a: int32(root), b: int32(segments), c: ck32("bcast size", data.N), d: seq})
+}
+
+// splitGather coordinates one Split call, mirroring the goroutine engine.
+type splitGather struct {
+	arrived int
+	colors  map[int]int
+	keys    map[int]int
+	done    bool
+	result  map[int]*rComm
+}
+
+// Split partitions the communicator exactly like MPI_Comm_split: ranks
+// passing the same colour form a new communicator ordered by (key, old
+// rank); a negative colour returns nil. This is the one producer-side
+// rendezvous: the child communicator's rank and size feed the algorithm's
+// control flow, so recording cannot defer it — but splits are a handful
+// per run, so the parks are negligible.
+func (c *rComm) Split(color, key int) comm.Comm {
+	w := c.p.w
+	cs := c.cs
+	seq := c.splitSeq
+	c.splitSeq++
+
+	// The rendezvous may park this producer indefinitely: make every
+	// already-recorded event visible to the replay first.
+	c.p.publish()
+
+	cs.splitMu.Lock()
+	defer cs.splitMu.Unlock()
+	sg := cs.splits[seq]
+	if sg == nil {
+		sg = &splitGather{colors: make(map[int]int), keys: make(map[int]int)}
+		cs.splits[seq] = sg
+	}
+	sg.colors[int(c.rank)] = color
+	sg.keys[int(c.rank)] = key
+	sg.arrived++
+	if sg.arrived == len(cs.ranks) {
+		sg.result = c.computeSplit(sg)
+		sg.done = true
+		cs.splitCond.Broadcast()
+		delete(cs.splits, seq)
+	}
+	for !sg.done {
+		if w.aborted.Load() {
+			panic(evAborted{})
+		}
+		cs.splitCond.Wait()
+	}
+	res := sg.result[int(c.rank)]
+	if res == nil {
+		return nil
+	}
+	return res
+}
+
+// computeSplit builds the new communicators once all members have
+// arrived; called with the parent's split mutex held by the last arriver.
+// The grouping rule lives in comm.SplitGroups, shared with the goroutine
+// engine and the live transport, so every engine derives the same
+// communicator structure for the same program.
+func (c *rComm) computeSplit(sg *splitGather) map[int]*rComm {
+	result := make(map[int]*rComm, len(sg.colors))
+	for _, members := range comm.SplitGroups(sg.colors, sg.keys) {
+		worldRanks := make([]int, len(members))
+		for i, m := range members {
+			worldRanks[i] = c.cs.ranks[m]
+		}
+		child := c.p.w.newCommState(worldRanks)
+		for i, m := range members {
+			result[m] = &rComm{p: c.p.w.prods[worldRanks[i]], cs: child, rank: int32(i)}
+		}
+	}
+	for r, col := range sg.colors {
+		if col < 0 {
+			result[r] = nil
+		}
+	}
+	return result
+}
+
+// --- Data plane: storage is elided, only shapes are recorded. ---
+
+// NewBuf returns a length-only wire buffer.
+func (c *rComm) NewBuf(elems int) comm.Buf { return comm.Buf{N: elems} }
+
+// NewTile returns a shape-only matrix header (nil Data).
+func (c *rComm) NewTile(rows, cols int) *matrix.Dense {
+	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols}
+}
+
+// CloneTile returns a shape-only copy.
+func (c *rComm) CloneTile(src *matrix.Dense) *matrix.Dense {
+	return &matrix.Dense{Rows: src.Rows, Cols: src.Cols, Stride: src.Cols}
+}
+
+// Pack checks shapes; no elements move.
+func (c *rComm) Pack(dst comm.Buf, src *matrix.Dense) { comm.CheckPack(dst, src) }
+
+// Unpack checks shapes; no elements move.
+func (c *rComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, dst) }
+
+// Gemm validates shapes and records the 2·m·k·n flops of the local update;
+// the replay advances the rank's compute state exactly as the goroutine
+// engine's Gemm does.
+func (c *rComm) Gemm(cm, a, b *matrix.Dense) {
+	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
+		panic(fmt.Sprintf("evsim: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
+			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c.p.push(event{comm: c.cs, kind: evGemm,
+		a: ck32("gemm rows", a.Rows), b: ck32("gemm cols", b.Cols), c: ck32("gemm inner dim", a.Cols)})
+}
+
+// Broadcast algorithm codes: events carry a byte, not the schedule name.
+const (
+	algFlat = iota
+	algBinomial
+	algBinary
+	algChain
+	algVanDeGeijn
+)
+
+func algCode(alg sched.Algorithm) uint8 {
+	switch alg {
+	case sched.Flat:
+		return algFlat
+	case sched.Binomial:
+		return algBinomial
+	case sched.Binary:
+		return algBinary
+	case sched.Chain:
+		return algChain
+	case sched.VanDeGeijn:
+		return algVanDeGeijn
+	default:
+		// Same failure the goroutine engine produces when the schedule is
+		// built, surfaced at record time.
+		panic(fmt.Sprintf("evsim: bcast: unknown broadcast algorithm %q", alg))
+	}
+}
+
+func algName(code uint8) sched.Algorithm {
+	switch code {
+	case algFlat:
+		return sched.Flat
+	case algBinomial:
+		return sched.Binomial
+	case algBinary:
+		return sched.Binary
+	case algChain:
+		return sched.Chain
+	default:
+		return sched.VanDeGeijn
+	}
+}

@@ -1,0 +1,504 @@
+package evsim
+
+import (
+	"fmt"
+
+	"repro/internal/hockney"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+)
+
+// This file is the consumer half of the engine: a single-threaded event
+// loop that owns every clock, traffic counter and compute timeline.
+// Because exactly one goroutine touches them, the hot path needs no
+// locks at all — the engine's concurrency is confined to the rings and
+// the doorbell.
+
+// Rank replay statuses.
+const (
+	rsQueued    uint8 = iota // in the runnable stack (or being advanced)
+	rsWaitEvent              // ring empty: waiting for the producer
+	rsWaitRecv               // blocked on a receive with no matching send yet
+	rsWaitColl               // parked in a collective
+	rsDone                   // program fully replayed
+)
+
+// rankState is the consumer's view of one rank: its ring cursor plus the
+// saved state of a blocking call in progress.
+type rankState struct {
+	ring   *ring
+	status uint8
+
+	// Blocked receive (Recv or the receive half of SendRecv).
+	hasPending bool
+	pendingEv  event
+
+	// SendRecv state between its two halves: the caller's clock snapshot
+	// and the send direction's completion time.
+	srT0      float64
+	srSendEnd float64
+}
+
+// msgKey identifies a point-to-point match: communicator identity, the
+// sender's comm rank, the tag, and the receiver's world rank.
+type msgKey struct {
+	cs  *commState
+	src int32
+	tag int32
+	dst int32
+}
+
+// vMsg is one in-flight virtual payload: no data, only its size and the
+// sender's clock at the moment of the send.
+type vMsg struct {
+	elems int32
+	clock float64
+}
+
+// wakeRank is the producer-side doorbell: rank r's ring went
+// empty→non-empty (or its producer exited) while the consumer had marked
+// it hungry.
+func (w *World) wakeRank(r int32) {
+	w.wakeMu.Lock()
+	w.wakeList = append(w.wakeList, r)
+	w.wakeMu.Unlock()
+	w.wakeCond.Signal()
+}
+
+// consume is the event loop: it drains runnable ranks, parking on the
+// doorbell when every rank is blocked, until all programs are replayed or
+// the world aborts.
+func (w *World) consume() {
+	remaining := len(w.ranks)
+	// Every rank starts queued; the first advance either consumes early
+	// events or files the rank as hungry.
+	w.runnable = make([]int32, remaining)
+	for i := range w.runnable {
+		w.runnable[i] = int32(remaining - 1 - i)
+	}
+	for remaining > 0 {
+		if w.aborted.Load() {
+			return
+		}
+		n := len(w.runnable)
+		if n == 0 {
+			if !w.awaitWork() {
+				return
+			}
+			continue
+		}
+		r := w.runnable[n-1]
+		w.runnable = w.runnable[:n-1]
+		if w.advance(int(r)) {
+			remaining--
+		}
+	}
+}
+
+// awaitWork blocks until a producer rings the doorbell, then requeues the
+// woken ranks. Returns false when the world aborted or the replay cannot
+// progress (a genuine cross-rank deadlock in the recorded programs, which
+// only a mismatched SPMD program can produce).
+func (w *World) awaitWork() bool {
+	w.wakeMu.Lock()
+	for len(w.wakeList) == 0 && !w.aborted.Load() && w.alive.Load() > 0 {
+		w.wakeCond.Wait()
+	}
+	list := w.wakeList
+	w.wakeList = nil
+	w.wakeMu.Unlock()
+	if w.aborted.Load() {
+		return false
+	}
+	for _, r := range list {
+		if w.ranks[r].status == rsWaitEvent {
+			w.ranks[r].status = rsQueued
+			w.runnable = append(w.runnable, r)
+		}
+	}
+	if len(w.runnable) == 0 && w.alive.Load() == 0 {
+		// All producers have exited and no doorbell is pending: requeue
+		// any rank whose ring still has work (or is drained and done);
+		// if none, the remaining ranks are blocked forever.
+		blocked := 0
+		for i := range w.ranks {
+			st := &w.ranks[i]
+			switch st.status {
+			case rsWaitEvent:
+				st.status = rsQueued
+				w.runnable = append(w.runnable, int32(i))
+			case rsWaitRecv, rsWaitColl:
+				blocked++
+			}
+		}
+		if len(w.runnable) == 0 {
+			if blocked > 0 {
+				w.abort(fmt.Errorf("evsim: replay stalled with %d ranks blocked in communication after all programs finished recording (mismatched SPMD program)", blocked))
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// advance resumes one rank's step function: it replays events until the
+// rank blocks, runs out of recorded events, or finishes. Returns true
+// when the rank's program is fully replayed.
+func (w *World) advance(r int) bool {
+	st := &w.ranks[r]
+	if st.hasPending {
+		// A blocked receive was resumed: its message is now queued.
+		ok := false
+		if st.pendingEv.kind == evRecv {
+			ok = w.tryRecv(r, st.pendingEv)
+		} else {
+			ok = w.trySRRecv(r, st.pendingEv)
+		}
+		if !ok {
+			st.status = rsWaitRecv
+			return false
+		}
+		st.hasPending = false
+	}
+	ring := st.ring
+	for {
+		if w.aborted.Load() {
+			return false
+		}
+		h := ring.head.Load()
+		t := ring.tail.Load()
+		if h == t {
+			if ring.done.Load() {
+				if ring.tail.Load() != h {
+					continue // publish landed before the done flag
+				}
+				st.status = rsDone
+				return true
+			}
+			st.status = rsWaitEvent
+			ring.hungry.Store(true)
+			if ring.tail.Load() != h || ring.done.Load() {
+				// The producer published (or exited) between our check and
+				// the hungry store; reclaim the doorbell if it has not
+				// been taken, else its wake is already queued.
+				if ring.hungry.CompareAndSwap(true, false) {
+					st.status = rsQueued
+					continue
+				}
+			}
+			return false
+		}
+		// Batch: replay the whole visible run, publishing the consumed
+		// head (and possibly waking the producer) once at the end or at
+		// the first blocking event. Events are read in place — the
+		// producer cannot overwrite a slot before head is published.
+		buf := ring.buf
+		for ; h != t; h++ {
+			ev := &buf[h&ringMask]
+			switch ev.kind {
+			case evBcast:
+				if w.arrive(r, *ev) {
+					st.status = rsWaitColl
+					ring.release(h + 1)
+					return false
+				}
+			case evGemm:
+				// Inlined doGemm fast path: the local update is the
+				// second most frequent event after collective arrivals.
+				flops := 2 * float64(ev.a) * float64(ev.b) * float64(ev.c)
+				if !w.overlap {
+					w.sim.ComputeRank(r, flops)
+				} else {
+					w.doGemmOverlap(r, flops)
+				}
+			case evSend:
+				w.doSend(r, *ev)
+			case evRecv:
+				if !w.tryRecv(r, *ev) {
+					st.pendingEv, st.hasPending = *ev, true
+					st.status = rsWaitRecv
+					ring.release(h + 1)
+					return false
+				}
+			case evSRSend:
+				w.doSRSend(r, *ev)
+			case evSRRecv:
+				if !w.trySRRecv(r, *ev) {
+					st.pendingEv, st.hasPending = *ev, true
+					st.status = rsWaitRecv
+					ring.release(h + 1)
+					return false
+				}
+			}
+		}
+		ring.release(t)
+	}
+}
+
+// doGemmOverlap advances the rank's dedicated compute timeline (double
+// buffering) — the same arithmetic, in the same order, as the goroutine
+// engine's Gemm in overlap mode.
+func (w *World) doGemmOverlap(me int, flops float64) {
+	dt := w.cfg.Model.Compute(flops)
+	start := w.computeDone[me]
+	if clk := w.sim.Clocks()[me]; clk > start {
+		start = clk
+	}
+	w.computeDone[me] = start + dt
+}
+
+// doSend replays an eager send: the sender is occupied for the transfer
+// and the message is queued carrying the sender's pre-send clock.
+func (w *World) doSend(me int, ev event) {
+	cs := ev.comm
+	dstW := cs.ranks[ev.a]
+	clocks := w.sim.Clocks()
+	t0 := clocks[me]
+	dt := w.sim.TransferTime(me, dstW, int(ev.c), 1)
+	clocks[me] = t0 + dt
+	w.sim.CommTimes()[me] += dt
+	w.stats[me].SentMessages++
+	w.stats[me].SentBytes += int64(hockney.BytesPerElement * int(ev.c))
+	w.deliver(msgKey{cs: cs, src: ev.d, tag: ev.b, dst: int32(dstW)}, vMsg{elems: ev.c, clock: t0})
+}
+
+// doSRSend replays the send half of a SendRecv: both directions share the
+// caller's clock snapshot, and the shift charges the communicator's full
+// flow count exactly like the goroutine engine.
+func (w *World) doSRSend(me int, ev event) {
+	cs := ev.comm
+	st := &w.ranks[me]
+	dstW := cs.ranks[ev.a]
+	t0 := w.sim.Clocks()[me]
+	st.srT0 = t0
+	st.srSendEnd = t0 + w.sim.TransferTime(me, dstW, int(ev.c), len(cs.ranks))
+	w.stats[me].SentMessages++
+	w.stats[me].SentBytes += int64(hockney.BytesPerElement * int(ev.c))
+	w.deliver(msgKey{cs: cs, src: ev.d, tag: ev.b, dst: int32(dstW)}, vMsg{elems: ev.c, clock: t0})
+}
+
+// deliver queues a message and resumes a receiver already blocked on its
+// key, if any.
+func (w *World) deliver(k msgKey, m vMsg) {
+	w.pending[k] = append(w.pending[k], m)
+	if r, ok := w.waiting[k]; ok {
+		delete(w.waiting, k)
+		w.ranks[r].status = rsQueued
+		w.runnable = append(w.runnable, r)
+	}
+}
+
+// take pops the FIFO-next matching message, or registers the receiver as
+// waiting.
+func (w *World) take(me int, k msgKey) (vMsg, bool) {
+	q := w.pending[k]
+	if len(q) == 0 {
+		w.waiting[k] = int32(me)
+		return vMsg{}, false
+	}
+	m := q[0]
+	if len(q) == 1 {
+		delete(w.pending, k)
+	} else {
+		w.pending[k] = q[1:]
+	}
+	return m, true
+}
+
+// tryRecv replays a receive: the receiver advances to max(own clock,
+// sender's send-time) plus the transfer time. False means no matching
+// send has been replayed yet.
+func (w *World) tryRecv(me int, ev event) bool {
+	cs := ev.comm
+	m, ok := w.take(me, msgKey{cs: cs, src: ev.a, tag: ev.b, dst: int32(me)})
+	if !ok {
+		return false
+	}
+	if m.elems != ev.c {
+		w.abort(fmt.Errorf("evsim: recv buffer %d elements but message has %d (src=%d tag=%d)",
+			ev.c, m.elems, ev.a, ev.b))
+		return true
+	}
+	srcW := cs.ranks[ev.a]
+	dt := w.sim.TransferTime(srcW, me, int(m.elems), 1)
+	end := w.sim.Clocks()[me]
+	if m.clock > end {
+		end = m.clock
+	}
+	w.sim.AdvanceComm(me, end+dt)
+	return true
+}
+
+// trySRRecv replays the receive half of a SendRecv: the call completes at
+// the slower of the two directions, both measured from the snapshot the
+// send half took.
+func (w *World) trySRRecv(me int, ev event) bool {
+	cs := ev.comm
+	st := &w.ranks[me]
+	m, ok := w.take(me, msgKey{cs: cs, src: ev.a, tag: ev.b, dst: int32(me)})
+	if !ok {
+		return false
+	}
+	if m.elems != ev.c {
+		w.abort(fmt.Errorf("evsim: sendrecv buffer %d elements but message has %d (src=%d tag=%d)",
+			ev.c, m.elems, ev.a, ev.b))
+		return true
+	}
+	recvEnd := st.srT0
+	if m.clock > recvEnd {
+		recvEnd = m.clock
+	}
+	recvEnd += w.sim.TransferTime(cs.ranks[ev.a], me, int(m.elems), len(cs.ranks))
+	end := st.srSendEnd
+	if recvEnd > end {
+		end = recvEnd
+	}
+	w.sim.AdvanceComm(me, end)
+	return true
+}
+
+// gather coordinates one collective: arrivals are counted, members past
+// the first park, and the last arrival fires the schedule.
+type gather struct {
+	arrived  int32
+	alg      uint8
+	root     int32
+	segments int32
+	elems    int32
+	parked   []int32
+}
+
+// arrive records one collective arrival; when the last member arrives the
+// collective executes and every parked member is requeued. Returns true
+// when the caller must park.
+func (w *World) arrive(me int, ev event) bool {
+	cs := ev.comm
+	g := &cs.g
+	if !cs.gActive {
+		cs.gActive = true
+		cs.gSeq = ev.d
+		g.alg, g.root, g.segments, g.elems = ev.alg, ev.a, ev.b, ev.c
+	} else if cs.gSeq != ev.d || g.alg != ev.alg || g.root != ev.a || g.segments != ev.b || g.elems != ev.c {
+		w.abort(fmt.Errorf("evsim: bcast mismatch on world rank %d: op %d (%s root=%d seg=%d n=%d) vs live op %d (%s root=%d seg=%d n=%d)",
+			me, ev.d, algName(ev.alg), ev.a, ev.b, ev.c, cs.gSeq, algName(g.alg), g.root, g.segments, g.elems))
+		return false
+	}
+	g.arrived++
+	if int(g.arrived) == len(cs.ranks) {
+		cs.gActive = false
+		g.arrived = 0
+		w.execColl(cs, g)
+		for _, pr := range g.parked {
+			w.ranks[pr].status = rsQueued
+			w.runnable = append(w.runnable, pr)
+		}
+		g.parked = g.parked[:0]
+		return false
+	}
+	g.parked = append(g.parked, int32(me))
+	return true
+}
+
+// --- Collective execution and the rank-symmetry fast path. ---
+
+// memoKey identifies a collective execution up to everything its outcome
+// depends on under uniform links: the schedule (pointer identity from the
+// shared cache), the payload, and the members' common start clock.
+// Contention is per-collective flow counts, so it is part of the schedule;
+// a LinkCost model would add world-rank placement, which is why the memo
+// is disabled there.
+type memoKey struct {
+	sched *sched.Schedule
+	elems int32
+	t0    float64
+}
+
+// memoEntry is a captured execution: per-role absolute final clocks (valid
+// for the key's t0) and the exact ordered sequence of communication-time
+// increments ExecPhase applied — replaying those increments add by add is
+// bit-identical to re-walking the schedule, because floating-point
+// addition is replayed in the original association order.
+type memoEntry struct {
+	finals []float64
+	advs   []roleAdv
+}
+
+type roleAdv struct {
+	role  int32
+	delta float64
+}
+
+// memoCap bounds the memo; start clocks advance monotonically through a
+// run, so old entries never hit again and a periodic reset loses nothing.
+const memoCap = 4096
+
+// execColl fires a complete collective through the same Hockney cost code
+// as the goroutine engine, sharing executions between clock-equal sibling
+// collectives where the symmetry fast path applies.
+func (w *World) execColl(cs *commState, g *gather) {
+	s, err := w.caches.Broadcast(algName(g.alg), len(cs.ranks), int(g.root), int(g.segments))
+	if err != nil {
+		w.abort(fmt.Errorf("evsim: bcast: %v", err))
+		return
+	}
+	elems := int(g.elems)
+	if w.memoEnabled {
+		clocks := w.sim.Clocks()
+		t0 := clocks[cs.ranks[0]]
+		uniform := true
+		for _, m := range cs.ranks[1:] {
+			if clocks[m] != t0 {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			k := memoKey{sched: s, elems: g.elems, t0: t0}
+			if e, ok := w.memo[k]; ok {
+				comm := w.sim.CommTimes()
+				for i, m := range cs.ranks {
+					clocks[m] = e.finals[i]
+				}
+				for _, a := range e.advs {
+					comm[cs.ranks[a.role]] += a.delta
+				}
+				w.applyTraffic(s, elems, cs.ranks)
+				return
+			}
+			// Miss: execute once, capturing the outcome for the siblings.
+			role := make(map[int]int32, len(cs.ranks))
+			for i, m := range cs.ranks {
+				role[m] = int32(i)
+			}
+			e := &memoEntry{}
+			w.sim.SetCommHook(func(rank int, delta float64) {
+				e.advs = append(e.advs, roleAdv{role: role[rank], delta: delta})
+			})
+			w.sim.ExecOne(simnet.Collective{Sched: s, Members: cs.ranks, PayloadBytes: float64(elems)})
+			w.sim.SetCommHook(nil)
+			e.finals = make([]float64, len(cs.ranks))
+			for i, m := range cs.ranks {
+				e.finals[i] = clocks[m]
+			}
+			if len(w.memo) >= memoCap {
+				w.memo = make(map[memoKey]*memoEntry)
+			}
+			w.memo[k] = e
+			w.applyTraffic(s, elems, cs.ranks)
+			return
+		}
+	}
+	w.sim.ExecOne(simnet.Collective{Sched: s, Members: cs.ranks, PayloadBytes: float64(elems)})
+	w.applyTraffic(s, elems, cs.ranks)
+}
+
+// applyTraffic adds the collective's cached per-role traffic deltas to
+// the members — the same cache, and the same integer byte split, as the
+// goroutine engine.
+func (w *World) applyTraffic(s *sched.Schedule, elems int, members []int) {
+	for i, d := range w.caches.Traffic(s, elems) {
+		st := &w.stats[members[i]]
+		st.SentMessages += d.SentMessages
+		st.SentBytes += d.SentBytes
+	}
+}

@@ -1,0 +1,149 @@
+package evsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ring capacity per rank. 256 events of 32 bytes keeps a 16384-rank world
+// at ~130 MB of buffering while amortising each producer/consumer park
+// over ~128 communication calls (the producer is woken at the
+// half-drained mark, so it refills half a ring per wake).
+const (
+	ringBits = 8
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+	// ringRefill is the hysteresis mark: a parked producer is woken only
+	// once this much space is free. Waking on the first pop would resume
+	// it with one free slot — push one event, park again — which is
+	// exactly the per-call park/wake cycle this engine exists to avoid.
+	ringRefill = ringSize / 2
+)
+
+// event is one recorded communication (or compute) call, 32 bytes. The
+// integer fields are kind-specific:
+//
+//	evBcast:  a=root  b=segments c=elems  d=per-comm op sequence
+//	evSend:   a=dst   b=tag      c=elems  d=caller's comm rank
+//	evRecv:   a=src   b=tag      c=elems
+//	evSRSend: a=dst   b=sendTag  c=elems  d=caller's comm rank
+//	evSRRecv: a=src   b=recvTag  c=elems
+//	evGemm:   a=C rows (A rows)  b=C cols (B cols)  c=inner dim (A cols)
+type event struct {
+	comm       *commState
+	a, b, c, d int32
+	kind       uint8
+	alg        uint8 // broadcast algorithm code (evBcast only)
+}
+
+const (
+	evBcast = iota
+	evSend
+	evRecv
+	evSRSend
+	evSRRecv
+	evGemm
+)
+
+// ring is the single-producer/single-consumer event queue of one rank.
+// head is advanced by the consumer (batched — once per drained run, not
+// per event), tail by the producer. The producer parks on the embedded
+// cond when the ring is full; the consumer's empty-side park goes through
+// the world doorbell instead, flagged by hungry so the producer rings it
+// exactly once per empty→non-empty transition.
+type ring struct {
+	buf  *[ringSize]event // fixed-size array: index masking needs no bounds check
+	head atomic.Uint64    // next slot to consume
+	_    [48]byte         // keep the producer's tail off the consumer's line
+	tail atomic.Uint64    // next slot to fill
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked atomic.Bool // producer is (about to be) parked on cond
+	hungry atomic.Bool // consumer wants a doorbell on next publish
+	done   atomic.Bool // producer finished its program
+}
+
+func newRing() *ring {
+	r := &ring{buf: new([ringSize]event)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// publishEvery batches the producer's tail publication: a sequentially
+// consistent store costs a full fence, so paying it per event would be
+// ~15M fences per full-scale run. Unpublished events are made visible by
+// the next periodic publish, a hungry consumer's doorbell, or the
+// producer's next blocking point (ring full, split, finish).
+const publishEvery = 16
+
+// push appends one event, parking when the ring is full until the
+// consumer frees half the ring or the world aborts. Producer-side only.
+// The producer caches the consumer's head (chead) and owns its tail
+// (ctail), so the fast path is one plain store plus a flag probe.
+func (p *producer) push(ev event) {
+	r := p.ring
+	for {
+		if p.ctail-p.chead < ringSize {
+			r.buf[p.ctail&ringMask] = ev
+			p.ctail++
+			if r.hungry.Load() {
+				p.publish()
+			} else if p.ctail&(publishEvery-1) == 0 {
+				r.tail.Store(p.ctail)
+			}
+			return
+		}
+		p.chead = r.head.Load()
+		if p.ctail-p.chead < ringSize {
+			continue
+		}
+		p.publish() // let the consumer see everything before we park
+		if p.w.aborted.Load() {
+			panic(evAborted{})
+		}
+		r.mu.Lock()
+		r.parked.Store(true)
+		// Recheck under the lock: the consumer may have freed space (or
+		// the world aborted) between the check above and the park, and its
+		// parked-flag probe may have predated our store.
+		if p.ctail-r.head.Load() < ringSize || p.w.aborted.Load() {
+			r.parked.Store(false)
+			r.mu.Unlock()
+			continue
+		}
+		r.cond.Wait()
+		r.mu.Unlock()
+		p.chead = r.head.Load()
+	}
+}
+
+// publish makes every recorded event visible and rings the doorbell if
+// the consumer is waiting for this rank. Called from the push fast path
+// when the consumer is hungry, and from every producer blocking point —
+// ring-full park, split rendezvous, program finish — so no event can
+// remain invisible across a producer stall.
+func (p *producer) publish() {
+	r := p.ring
+	r.tail.Store(p.ctail)
+	if r.hungry.Load() && r.hungry.CompareAndSwap(true, false) {
+		p.w.wakeRank(p.world)
+	}
+}
+
+// release publishes the consumer's progress and wakes the producer if it
+// is parked and at least half the ring has drained (the hysteresis that
+// makes each park/wake pay for ~64 events). Consumer-side only.
+func (r *ring) release(head uint64) {
+	r.head.Store(head)
+	if r.parked.Load() && r.tail.Load()-head <= ringSize-ringRefill {
+		if r.parked.CompareAndSwap(true, false) {
+			r.mu.Lock()
+			r.cond.Signal()
+			r.mu.Unlock()
+		}
+	}
+}
+
+// empty reports whether the ring has no consumable event right now.
+func (r *ring) empty() bool { return r.head.Load() == r.tail.Load() }

@@ -2,9 +2,10 @@ package mpi
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/comm"
 )
 
 // Comm is a communicator: an ordered group of ranks with an isolated message
@@ -147,32 +148,12 @@ func (c *Comm) Split(color, key int) *Comm {
 }
 
 // computeSplit builds the new communicators once all members have arrived.
-// Called with the world mutex held by the last arriver.
+// Called with the world mutex held by the last arriver. The grouping rule
+// lives in comm.SplitGroups, shared by every transport.
 func (c *Comm) computeSplit(sg *splitGather) map[int]*Comm {
-	// Group members by colour.
-	byColor := map[int][]int{}
-	for r, col := range sg.colors {
-		if col < 0 {
-			continue
-		}
-		byColor[col] = append(byColor[col], r)
-	}
 	result := make(map[int]*Comm, len(sg.colors))
 	// Deterministic colour order keeps cid assignment reproducible.
-	colors := make([]int, 0, len(byColor))
-	for col := range byColor {
-		colors = append(colors, col)
-	}
-	sort.Ints(colors)
-	for _, col := range colors {
-		members := byColor[col]
-		sort.Slice(members, func(i, j int) bool {
-			ki, kj := sg.keys[members[i]], sg.keys[members[j]]
-			if ki != kj {
-				return ki < kj
-			}
-			return members[i] < members[j]
-		})
+	for _, members := range comm.SplitGroups(sg.colors, sg.keys) {
 		cid := c.world.nextCID.Add(1)
 		worldRanks := make([]int, len(members))
 		for i, m := range members {

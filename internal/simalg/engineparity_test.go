@@ -1,0 +1,220 @@
+package simalg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/evsim"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// The engine parity invariant: the event-driven engine (internal/evsim)
+// must produce *bit-identical* virtual times, per-rank communication-time
+// breakdowns and per-rank traffic counters to the goroutine engine
+// (internal/simnet.VWorld) — for every algorithm, on every platform
+// preset, with and without contention. This is what lets "auto" switch
+// engines purely on host wall time.
+
+// engineRun executes a spec on one engine and returns per-rank clocks,
+// comm times and traffic.
+func engineRun(t *testing.T, spec engine.Spec, vcfg simnet.VConfig, ex engine.Executor) (clocks, commT []float64, stats []simnet.VRankStats) {
+	t.Helper()
+	g := spec.Opts.Grid
+	bm, err := dist.NewBlockMap(spec.Opts.N, spec.Opts.N, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var algErr error
+	rank := func(c comm.Comm) {
+		aLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		bLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		cLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		if e := engine.Run(c, spec, aLoc, bLoc, cLoc); e != nil {
+			mu.Lock()
+			if algErr == nil {
+				algErr = e
+			}
+			mu.Unlock()
+		}
+	}
+	var sim *simnet.Sim
+	switch ex {
+	case engine.ExecutorEvent:
+		w := evsim.NewWorld(g.Size(), vcfg)
+		err = w.Run(rank)
+		sim, stats = w.Sim(), w.Stats()
+	default:
+		w := simnet.NewVWorld(g.Size(), vcfg)
+		err = w.Run(func(c *simnet.VComm) { rank(c) })
+		sim, stats = w.Sim(), w.Stats()
+	}
+	if err != nil {
+		t.Fatalf("%s engine: %v", ex, err)
+	}
+	if algErr != nil {
+		t.Fatalf("%s engine: %v", ex, algErr)
+	}
+	p := g.Size()
+	clocks = make([]float64, p)
+	commT = make([]float64, p)
+	for r := 0; r < p; r++ {
+		clocks[r] = sim.Clock(r)
+		commT[r] = sim.CommTime(r)
+	}
+	return clocks, commT, stats
+}
+
+func paritySpecs(t *testing.T) map[string]engine.Spec {
+	t.Helper()
+	g := topo.Grid{S: 4, T: 4}
+	h, err := topo.NewHier(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 96
+	return map[string]engine.Spec{
+		"summa": {Algorithm: engine.SUMMA, Opts: core.Options{
+			N: n, Grid: g, BlockSize: 8, Broadcast: sched.Binomial}},
+		"hsumma": {Algorithm: engine.HSUMMA, Opts: core.Options{
+			N: n, Grid: g, BlockSize: 8, OuterBlockSize: 24, Groups: h,
+			Broadcast: sched.VanDeGeijn, Segments: 4}},
+		"multilevel": {Algorithm: engine.Multilevel, Opts: core.Options{
+			N: n, Grid: g, BlockSize: 4, Broadcast: sched.Binomial},
+			Levels: []core.Level{{I: 2, J: 2, BlockSize: 8}}},
+		"cannon": {Algorithm: engine.Cannon, Opts: core.Options{N: n, Grid: g}},
+		"fox": {Algorithm: engine.Fox, Opts: core.Options{
+			N: n, Grid: g, Broadcast: sched.VanDeGeijn}},
+	}
+}
+
+func parityPlatforms() map[string]platform.Platform {
+	return map[string]platform.Platform{
+		"grid5000":     platform.Grid5000(),
+		"bgp":          platform.BlueGeneP(),
+		"exascale":     platform.Exascale(),
+		"grid5000-cal": platform.Grid5000Calibrated(),
+		"bgp-cal":      platform.BlueGenePCalibrated(),
+	}
+}
+
+// TestEngineParity is the table-driven bit-identity check: five
+// algorithms × five platform presets × contention off/on.
+func TestEngineParity(t *testing.T) {
+	for algName, spec := range paritySpecs(t) {
+		for pfName, pf := range parityPlatforms() {
+			for _, contention := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/contention=%t", algName, pfName, contention)
+				spec, pf, contention := spec, pf, contention
+				t.Run(name, func(t *testing.T) {
+					vcfg := simnet.VConfig{Model: pf.Model}
+					if contention {
+						vcfg.Contention = simnet.ContentionFor(pf, spec.Opts.Grid.Size(), true)
+					}
+					gc, gm, gs := engineRun(t, spec, vcfg, engine.ExecutorGoroutine)
+					ec, em, es := engineRun(t, spec, vcfg, engine.ExecutorEvent)
+					for r := range gc {
+						if gc[r] != ec[r] {
+							t.Fatalf("rank %d clock: goroutine %v vs event %v", r, gc[r], ec[r])
+						}
+						if gm[r] != em[r] {
+							t.Fatalf("rank %d comm time: goroutine %v vs event %v", r, gm[r], em[r])
+						}
+						if gs[r] != es[r] {
+							t.Fatalf("rank %d traffic: goroutine %+v vs event %+v", r, gs[r], es[r])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineParityOverlapAndLinkCost covers the model knobs outside the
+// main table: the overlap compute timeline, and a non-uniform link model
+// (which disables the symmetry memo — transfer times depend on rank
+// placement).
+func TestEngineParityOverlapAndLinkCost(t *testing.T) {
+	specs := paritySpecs(t)
+	pf := platform.BlueGenePCalibrated()
+
+	t.Run("overlap", func(t *testing.T) {
+		spec := specs["hsumma"]
+		vcfg := simnet.VConfig{Model: pf.Model, Overlap: true}
+		// Overlap moves Gemm onto a separate timeline; Total differs from
+		// MaxClock, so compare through the world totals as well.
+		gRes, gStats, err := RunSpecOn(spec, vcfg, engine.ExecutorGoroutine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eRes, eStats, err := RunSpecOn(spec, vcfg, engine.ExecutorEvent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gRes.Total != eRes.Total || gRes.Comm != eRes.Comm {
+			t.Fatalf("overlap totals differ: goroutine %+v vs event %+v", gRes, eRes)
+		}
+		for r := range gStats {
+			if gStats[r] != eStats[r] {
+				t.Fatalf("rank %d traffic: %+v vs %+v", r, gStats[r], eStats[r])
+			}
+		}
+	})
+
+	t.Run("linkcost", func(t *testing.T) {
+		spec := specs["hsumma"]
+		link := func(src, dst int) float64 { return 1 + 0.1*float64((src+dst)%3) }
+		vcfg := simnet.VConfig{Model: pf.Model, LinkCost: link}
+		gc, gm, gs := engineRun(t, spec, vcfg, engine.ExecutorGoroutine)
+		ec, em, es := engineRun(t, spec, vcfg, engine.ExecutorEvent)
+		for r := range gc {
+			if gc[r] != ec[r] || gm[r] != em[r] || gs[r] != es[r] {
+				t.Fatalf("rank %d differs under link cost: clock %v/%v comm %v/%v stats %+v/%+v",
+					r, gc[r], ec[r], gm[r], em[r], gs[r], es[r])
+			}
+		}
+	})
+}
+
+// TestEngineAutoSelection pins the auto rule: event for collective-only
+// specs, goroutines for the point-to-point baselines and overlap runs —
+// and rejection of unknown executors.
+func TestEngineAutoSelection(t *testing.T) {
+	cases := []struct {
+		alg     engine.Algorithm
+		overlap bool
+		want    engine.Executor
+	}{
+		{engine.SUMMA, false, engine.ExecutorEvent},
+		{engine.HSUMMA, false, engine.ExecutorEvent},
+		{engine.Multilevel, false, engine.ExecutorEvent},
+		{engine.Cannon, false, engine.ExecutorGoroutine},
+		{engine.Fox, false, engine.ExecutorGoroutine},
+		{engine.HSUMMA, true, engine.ExecutorGoroutine},
+	}
+	for _, c := range cases {
+		got, err := engine.ResolveExecutor(engine.ExecutorAuto, c.alg, c.overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("auto(%s, overlap=%t) = %s, want %s", c.alg, c.overlap, got, c.want)
+		}
+		// The empty string behaves as auto.
+		got, err = engine.ResolveExecutor("", c.alg, c.overlap)
+		if err != nil || got != c.want {
+			t.Errorf("empty executor (%s, overlap=%t) = %s (%v), want %s", c.alg, c.overlap, got, err, c.want)
+		}
+	}
+	if _, err := engine.ResolveExecutor("warp", engine.SUMMA, false); err == nil {
+		t.Fatal("unknown executor accepted")
+	}
+}

@@ -13,9 +13,11 @@ package simalg
 import (
 	"sync"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/engine"
+	"repro/internal/evsim"
 	"repro/internal/hockney"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -50,6 +52,10 @@ type Config struct {
 	// overlap and names it as a further opportunity (§VI); this flag is
 	// the corresponding ablation.
 	Overlap bool
+	// Executor selects the virtual execution engine (goroutine | event |
+	// auto); empty means auto. Engines are bit-identical — the choice
+	// only affects host wall time.
+	Executor engine.Executor
 }
 
 // Result reports simulated times the way the paper does.
@@ -57,6 +63,10 @@ type Result struct {
 	Total   float64 // execution time: communication + computation (s)
 	Comm    float64 // max per-rank time inside communication (s)
 	Compute float64 // per-rank computation time 2n³/p·γ (s)
+	// Engine is the virtual execution engine that produced the result
+	// (what "auto" resolved to). Engines are bit-identical; this is
+	// recorded so plans and reports can say which one did the work.
+	Engine engine.Executor
 }
 
 // SUMMA simulates the flat algorithm.
@@ -106,27 +116,48 @@ func RunStats(cfg Config, alg engine.Algorithm) (Result, []simnet.VRankStats, er
 		},
 		Levels: cfg.Levels,
 	}
-	return RunSpec(spec, simnet.VConfig{
+	return RunSpecOn(spec, simnet.VConfig{
 		Model:      cfg.Machine,
 		Contention: cfg.Contention,
 		LinkCost:   cfg.LinkCost,
 		Overlap:    cfg.Overlap,
-	})
+	}, cfg.Executor)
 }
 
 // RunSpec executes a fully resolved engine spec — the same value the live
 // path hands to engine.Run — on the virtual communicator under the given
-// virtual-world configuration.
+// virtual-world configuration, selecting the execution engine
+// automatically (event for collective-only specs, goroutines otherwise).
 func RunSpec(spec engine.Spec, vcfg simnet.VConfig) (Result, []simnet.VRankStats, error) {
+	return RunSpecOn(spec, vcfg, engine.ExecutorAuto)
+}
+
+// virtualWorld is what the two execution engines have in common: run the
+// rank programs, then report times and traffic.
+type virtualWorld interface {
+	Total() float64
+	MaxCommTime() float64
+	Stats() []simnet.VRankStats
+}
+
+// RunSpecOn is RunSpec with an explicit executor selection (goroutine |
+// event | auto). The engines are bit-identical in every output — virtual
+// times, per-rank communication-time breakdowns, traffic counters — which
+// the engine parity tests in this package assert; they differ only in
+// host wall time.
+func RunSpecOn(spec engine.Spec, vcfg simnet.VConfig, ex engine.Executor) (Result, []simnet.VRankStats, error) {
+	resolved, err := engine.ResolveExecutor(ex, spec.Algorithm, vcfg.Overlap)
+	if err != nil {
+		return Result{}, nil, err
+	}
 	g := spec.Opts.Grid
 	bm, err := dist.NewBlockMap(spec.Opts.N, spec.Opts.N, g)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	w := simnet.NewVWorld(g.Size(), vcfg)
 	var mu sync.Mutex
 	var algErr error
-	err = w.Run(func(c *simnet.VComm) {
+	rank := func(c comm.Comm) {
 		// Shape-only tiles: the virtual transport never touches element
 		// storage, so a 16384-rank simulation allocates only headers.
 		aLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
@@ -139,7 +170,18 @@ func RunSpec(spec engine.Spec, vcfg simnet.VConfig) (Result, []simnet.VRankStats
 			}
 			mu.Unlock()
 		}
-	})
+	}
+	var w virtualWorld
+	switch resolved {
+	case engine.ExecutorEvent:
+		ew := evsim.NewWorld(g.Size(), vcfg)
+		err = ew.Run(rank)
+		w = ew
+	default:
+		gw := simnet.NewVWorld(g.Size(), vcfg)
+		err = gw.Run(func(c *simnet.VComm) { rank(c) })
+		w = gw
+	}
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -152,6 +194,7 @@ func RunSpec(spec engine.Spec, vcfg simnet.VConfig) (Result, []simnet.VRankStats
 		Total:   w.Total(),
 		Comm:    w.MaxCommTime(),
 		Compute: vcfg.Model.Compute(2 * n * n * n / p),
+		Engine:  resolved,
 	}
 	return res, w.Stats(), nil
 }

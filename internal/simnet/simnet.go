@@ -27,6 +27,7 @@ package simnet
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/hockney"
 	"repro/internal/platform"
@@ -111,6 +112,9 @@ type Sim struct {
 	linkCost   LinkCostFunc
 	clocks     []float64
 	comm       []float64
+	// commHook, when set, observes every per-rank communication-time
+	// advance the executors apply (see SetCommHook).
+	commHook func(rank int, delta float64)
 }
 
 // New returns a simulator for p ranks under the given model, with no
@@ -138,6 +142,14 @@ func (s *Sim) SetContention(f ContentionFunc) {
 // SetLinkCost installs a per-transfer bandwidth multiplier (nil = uniform
 // links).
 func (s *Sim) SetLinkCost(f LinkCostFunc) { s.linkCost = f }
+
+// SetCommHook installs f to observe every per-rank communication-time
+// increment the collective executors apply, in application order; nil
+// removes it. internal/evsim's rank-symmetry fast path uses the hook to
+// capture a collective's exact floating-point increment sequence, so a
+// clock-equal sibling collective can replay it bit-identically without
+// re-walking the schedule.
+func (s *Sim) SetCommHook(f func(rank int, delta float64)) { s.commHook = f }
 
 // linkFactor returns the bandwidth multiplier for one transfer.
 func (s *Sim) linkFactor(src, dst int) float64 {
@@ -191,6 +203,45 @@ func (s *Sim) ComputeRanks(ranks []int, flops float64) {
 	}
 }
 
+// ComputeRank advances one rank by the time of `flops` floating-point
+// operations — identical arithmetic to ComputeRanks for a single rank,
+// without the slice.
+func (s *Sim) ComputeRank(rank int, flops float64) {
+	s.clocks[rank] += s.model.Compute(flops)
+}
+
+// TransferTime returns the virtual duration of one point-to-point transfer
+// of elems elements among `flows` concurrent ones, applying the contention
+// and link models. Both virtual execution engines route their Send/Recv/
+// SendRecv timing through this one function, so the engines agree bit for
+// bit.
+func (s *Sim) TransferTime(src, dst, elems, flows int) float64 {
+	eff := s.model
+	eff.Beta *= s.contention(flows) * s.linkFactor(src, dst)
+	return eff.PointToPoint(float64(elems))
+}
+
+// AdvanceComm moves a rank's clock forward to end, accounting the advance
+// (transfer plus waiting) as communication time. The caller must own the
+// rank's clock — be the goroutine it belongs to, or the single-threaded
+// event loop.
+func (s *Sim) AdvanceComm(rank int, end float64) {
+	if end > s.clocks[rank] {
+		s.comm[rank] += end - s.clocks[rank]
+		s.clocks[rank] = end
+	}
+}
+
+// Clocks exposes the per-rank clock array itself, for the execution
+// engines (internal/evsim's event loop writes member clocks when replaying
+// a memoised collective). The caller owns synchronisation; everyone else
+// should use Clock.
+func (s *Sim) Clocks() []float64 { return s.clocks }
+
+// CommTimes exposes the per-rank communication-time array itself, under
+// the same single-owner contract as Clocks.
+func (s *Sim) CommTimes() []float64 { return s.comm }
+
 // Collective is one schedule instance bound to a member list: Members[i] is
 // the simulator rank acting as schedule rank i. PayloadBytes is the full
 // broadcast payload.
@@ -226,11 +277,11 @@ func (s *Sim) ExecPhase(cols []Collective) {
 	if rs, ok := commonRingStart(cols); ok && s.linkCost == nil {
 		ringFrom = rs
 	}
-	type update struct {
-		rank int
-		end  float64
-	}
-	var updates []update
+	updates := updatePool.Get().(*[]update)
+	defer func() {
+		*updates = (*updates)[:0]
+		updatePool.Put(updates)
+	}()
 	for round := 0; round < maxRounds; round++ {
 		if ringFrom >= 0 && round == ringFrom {
 			s.execRingTails(cols)
@@ -243,7 +294,7 @@ func (s *Sim) ExecPhase(cols []Collective) {
 			}
 		}
 		factor := s.contention(flows)
-		updates = updates[:0]
+		*updates = (*updates)[:0]
 		for _, c := range cols {
 			if round >= len(c.Sched.Rounds) {
 				continue
@@ -257,17 +308,33 @@ func (s *Sim) ExecPhase(cols []Collective) {
 					start = s.clocks[dst]
 				}
 				end := start + eff.PointToPoint(c.Sched.SegBytes(t, c.PayloadBytes))
-				updates = append(updates, update{src, end}, update{dst, end})
+				*updates = append(*updates, update{src, end}, update{dst, end})
 			}
 		}
-		for _, u := range updates {
+		for _, u := range *updates {
 			if u.end > s.clocks[u.rank] {
-				s.comm[u.rank] += u.end - s.clocks[u.rank]
+				adv := u.end - s.clocks[u.rank]
+				s.comm[u.rank] += adv
 				s.clocks[u.rank] = u.end
+				if s.commHook != nil {
+					s.commHook(u.rank, adv)
+				}
 			}
 		}
 	}
 }
+
+// update is one endpoint clock advance of a simulation round; the scratch
+// slices holding them are pooled because ExecPhase runs once per
+// collective — millions of times in a full-scale simulation — and the
+// per-call allocation is measurable GC pressure (tracked by
+// BenchmarkFullScaleBGPSim's allocs/op).
+type update struct {
+	rank int
+	end  float64
+}
+
+var updatePool = sync.Pool{New: func() any { s := make([]update, 0, 64); return &s }}
 
 // commonRingStart reports the shared ring-suffix start round if every
 // collective has one at the same index with the same round count and
@@ -319,8 +386,12 @@ func (s *Sim) execRingTails(cols []Collective) {
 		}
 		final := maxClock + float64(c.Sched.RingRounds)*perHop
 		for _, m := range c.Members {
-			s.comm[m] += final - s.clocks[m]
+			adv := final - s.clocks[m]
+			s.comm[m] += adv
 			s.clocks[m] = final
+			if s.commHook != nil {
+				s.commHook(m, adv)
+			}
 		}
 	}
 }

@@ -3,7 +3,6 @@ package simnet
 import (
 	"fmt"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -91,16 +90,18 @@ type VWorld struct {
 	sim *Sim
 	cfg VConfig
 
-	// cacheMu guards the schedule and traffic caches — the only state
-	// shared across communicator shards on the hot path, touched with a
-	// read lock except on first construction.
-	cacheMu      sync.RWMutex
-	schedCache   map[vSchedKey]*sched.Schedule
-	trafficCache map[vTrafficKey][]VRankStats
+	// caches memoise schedules and traffic deltas — the only state shared
+	// across communicator shards on the hot path (internally read-locked).
+	caches *SchedCache
 
 	// shardsMu guards the shard registry (needed only by abort).
 	shardsMu sync.Mutex
 	shards   []*vShard
+
+	// tilesMu guards the registry of pooled tile headers handed out by
+	// NewTile/CloneTile; Run recycles them when the ranks are done.
+	tilesMu sync.Mutex
+	tiles   []*matrix.Dense
 
 	nextCID     atomic.Int64
 	stats       []VRankStats // per world rank, goroutine-owned (see file comment)
@@ -142,20 +143,6 @@ func (w *VWorld) newShard() *vShard {
 	return s
 }
 
-type vSchedKey struct {
-	alg      sched.Algorithm
-	p, root  int
-	segments int
-}
-
-// vTrafficKey caches per-rank traffic deltas by (schedule identity,
-// payload size). Schedules are themselves cached per world, so pointer
-// identity is a valid key.
-type vTrafficKey struct {
-	sched *sched.Schedule
-	elems int
-}
-
 // NewVWorld returns a virtual world of p ranks under the given
 // configuration.
 func NewVWorld(p int, cfg VConfig) *VWorld {
@@ -163,12 +150,11 @@ func NewVWorld(p int, cfg VConfig) *VWorld {
 	sim.SetContention(cfg.Contention)
 	sim.SetLinkCost(cfg.LinkCost)
 	w := &VWorld{
-		sim:          sim,
-		cfg:          cfg,
-		schedCache:   make(map[vSchedKey]*sched.Schedule),
-		trafficCache: make(map[vTrafficKey][]VRankStats),
-		stats:        make([]VRankStats, p),
-		mailboxes:    make([]*vMailbox, p),
+		sim:       sim,
+		cfg:       cfg,
+		caches:    NewSchedCache(),
+		stats:     make([]VRankStats, p),
+		mailboxes: make([]*vMailbox, p),
 	}
 	if cfg.Overlap {
 		w.computeDone = make([]float64, p)
@@ -212,6 +198,11 @@ func (w *VWorld) Run(fn func(c *VComm)) error {
 		}(vc)
 	}
 	wg.Wait()
+	if firstErr == nil {
+		// Only recycle on clean completion: after a panic some rank may
+		// still reference its tiles from the captured stack trace.
+		w.recycleTiles()
+	}
 	return firstErr
 }
 
@@ -275,57 +266,11 @@ func (w *VWorld) Total() float64 {
 func (w *VWorld) MaxCommTime() float64 { return w.sim.MaxCommTime() }
 
 func (w *VWorld) schedule(alg sched.Algorithm, p, root, segments int) *sched.Schedule {
-	k := vSchedKey{alg, p, root, segments}
-	w.cacheMu.RLock()
-	s, ok := w.schedCache[k]
-	w.cacheMu.RUnlock()
-	if ok {
-		return s
-	}
-	s, err := sched.NewBroadcast(alg, p, root, segments)
+	s, err := w.caches.Broadcast(alg, p, root, segments)
 	if err != nil {
 		panic(fmt.Sprintf("simnet: bcast: %v", err))
 	}
-	w.cacheMu.Lock()
-	if exist, ok := w.schedCache[k]; ok {
-		s = exist // another shard built it first; keep pointer identity
-	} else {
-		w.schedCache[k] = s
-	}
-	w.cacheMu.Unlock()
 	return s
-}
-
-// traffic returns the per-schedule-rank (messages, bytes) a collective of
-// the given payload generates, cached: a Van de Geijn broadcast has O(p²)
-// transfers, and walking them per collective would dominate large
-// simulations where the timing side takes the O(p) ring fast path. Byte
-// counts use the same integer sched.SegmentRange split the live runtime
-// puts on the wire, so parity is preserved.
-func (w *VWorld) traffic(s *sched.Schedule, elems int) []VRankStats {
-	k := vTrafficKey{sched: s, elems: elems}
-	w.cacheMu.RLock()
-	d, ok := w.trafficCache[k]
-	w.cacheMu.RUnlock()
-	if ok {
-		return d
-	}
-	delta := make([]VRankStats, s.NumRanks)
-	for _, round := range s.Rounds {
-		for _, t := range round.Transfers {
-			lo, hi := sched.SegmentRange(elems, s.Segments, t.SegLo, t.SegHi)
-			delta[t.Src].SentMessages++
-			delta[t.Src].SentBytes += int64(hockney.BytesPerElement * (hi - lo))
-		}
-	}
-	w.cacheMu.Lock()
-	if exist, ok := w.trafficCache[k]; ok {
-		delta = exist
-	} else {
-		w.trafficCache[k] = delta
-	}
-	w.cacheMu.Unlock()
-	return delta
 }
 
 // vMessage is one in-flight virtual payload: no data, only its size and the
@@ -402,11 +347,10 @@ func (c *VComm) WorldRank() int { return c.ranks[c.rank] }
 // A bare Send/Recv is a single flow; SendRecv — used only for the global
 // shift phases of Cannon and Fox, where every rank of the communicator
 // shifts simultaneously — charges the communicator's full flow count, as
-// the retired phase executor did for a shift round.
+// the retired phase executor did for a shift round. The arithmetic lives
+// in Sim.TransferTime, shared with the event engine.
 func (w *VWorld) transferTime(srcW, dstW, elems, flows int) float64 {
-	eff := w.cfg.Model
-	eff.Beta *= w.sim.contention(flows) * w.sim.linkFactor(srcW, dstW)
-	return eff.PointToPoint(float64(elems))
+	return w.sim.TransferTime(srcW, dstW, elems, flows)
 }
 
 // Send delivers a virtual message of data.N elements to dst under tag. The
@@ -484,10 +428,7 @@ func (c *VComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv
 // own the rank's clock: be its goroutine, or hold the shard lock its
 // goroutine is parked on.
 func (w *VWorld) advanceComm(worldRank int, end float64) {
-	if end > w.sim.clocks[worldRank] {
-		w.sim.comm[worldRank] += end - w.sim.clocks[worldRank]
-		w.sim.clocks[worldRank] = end
-	}
+	w.sim.AdvanceComm(worldRank, end)
 }
 
 func (c *VComm) checkPeer(verb string, peer int) {
@@ -558,7 +499,7 @@ func (c *VComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int
 	if cg.arrived == p {
 		s := w.schedule(alg, p, root, segments)
 		w.sim.ExecOne(Collective{Sched: s, Members: c.ranks, PayloadBytes: float64(data.N)})
-		for i, d := range w.traffic(s, data.N) {
+		for i, d := range w.caches.Traffic(s, data.N) {
 			st := &w.stats[c.ranks[i]]
 			st.SentMessages += d.SentMessages
 			st.SentBytes += d.SentBytes
@@ -637,30 +578,11 @@ func (c *VComm) Split(color, key int) comm.Comm {
 
 // computeSplit builds the new communicators once all members have arrived.
 // Called with the parent communicator's shard mutex held by the last
-// arriver; each colour's communicator gets a fresh cid and shard.
+// arriver; each colour's communicator gets a fresh cid and shard. The
+// grouping rule lives in comm.SplitGroups, shared by every transport.
 func (c *VComm) computeSplit(sg *vSplitGather) map[int]*VComm {
-	byColor := map[int][]int{}
-	for r, col := range sg.colors {
-		if col < 0 {
-			continue
-		}
-		byColor[col] = append(byColor[col], r)
-	}
 	result := make(map[int]*VComm, len(sg.colors))
-	colors := make([]int, 0, len(byColor))
-	for col := range byColor {
-		colors = append(colors, col)
-	}
-	sort.Ints(colors)
-	for _, col := range colors {
-		members := byColor[col]
-		sort.Slice(members, func(i, j int) bool {
-			ki, kj := sg.keys[members[i]], sg.keys[members[j]]
-			if ki != kj {
-				return ki < kj
-			}
-			return members[i] < members[j]
-		})
+	for _, members := range comm.SplitGroups(sg.colors, sg.keys) {
 		cid := c.w.nextCID.Add(1)
 		shard := c.w.newShard()
 		worldRanks := make([]int, len(members))
@@ -684,14 +606,48 @@ func (c *VComm) computeSplit(sg *vSplitGather) map[int]*VComm {
 // NewBuf returns a length-only wire buffer.
 func (c *VComm) NewBuf(elems int) comm.Buf { return comm.Buf{N: elems} }
 
+// tilePool recycles the shape-only matrix headers the virtual data plane
+// hands out. A single virtual run allocates a handful per rank, but the
+// tune planner's refinement stage executes thousands of virtual runs per
+// cold plan; recycling the headers across runs keeps that loop from
+// churning the GC (allocs/op is tracked by BenchmarkFullScaleBGPSim).
+var tilePool = sync.Pool{New: func() any { return new(matrix.Dense) }}
+
+// newPooledTile takes a header from the pool and registers it with the
+// world so Run can recycle it once the ranks are done. Safe because the
+// algorithm layer never retains tiles beyond its own execution — they are
+// scratch panels by construction. tilesMu is setup-phase only: the
+// algorithms allocate their panels before the step loop, so the registry
+// never contends with the communication hot path.
+func (w *VWorld) newPooledTile(rows, cols int) *matrix.Dense {
+	d := tilePool.Get().(*matrix.Dense)
+	*d = matrix.Dense{Rows: rows, Cols: cols, Stride: cols}
+	w.tilesMu.Lock()
+	w.tiles = append(w.tiles, d)
+	w.tilesMu.Unlock()
+	return d
+}
+
+// recycleTiles returns every handed-out header to the pool; called by Run
+// after all rank goroutines have finished.
+func (w *VWorld) recycleTiles() {
+	w.tilesMu.Lock()
+	tiles := w.tiles
+	w.tiles = nil
+	w.tilesMu.Unlock()
+	for _, d := range tiles {
+		tilePool.Put(d)
+	}
+}
+
 // NewTile returns a shape-only matrix header (nil Data).
 func (c *VComm) NewTile(rows, cols int) *matrix.Dense {
-	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols}
+	return c.w.newPooledTile(rows, cols)
 }
 
 // CloneTile returns a shape-only copy.
 func (c *VComm) CloneTile(src *matrix.Dense) *matrix.Dense {
-	return &matrix.Dense{Rows: src.Rows, Cols: src.Cols, Stride: src.Cols}
+	return c.w.newPooledTile(src.Rows, src.Cols)
 }
 
 // Pack checks shapes; no elements move.

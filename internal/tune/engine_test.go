@@ -1,0 +1,84 @@
+package tune
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+)
+
+// The event engine is bit-identical to the goroutine engine, so routing
+// the planner's stage-2 refinement through it must leave every pick
+// unchanged — on all five platform presets. This is the acceptance
+// condition for letting "auto" (the default) use the event engine in
+// planning.
+func TestRefinementEngineDoesNotChangePicks(t *testing.T) {
+	presets := map[string]platform.Platform{
+		"grid5000":     platform.Grid5000(),
+		"bgp":          platform.BlueGeneP(),
+		"exascale":     platform.Exascale(),
+		"grid5000-cal": platform.Grid5000Calibrated(),
+		"bgp-cal":      platform.BlueGenePCalibrated(),
+	}
+	for name, pf := range presets {
+		pf := pf
+		t.Run(name, func(t *testing.T) {
+			base := Request{Platform: pf, N: 512, P: 16, Quick: true, NoCache: true}
+			var plans []*Plan
+			for _, ex := range []engine.Executor{engine.ExecutorGoroutine, engine.ExecutorEvent, engine.ExecutorAuto} {
+				req := base
+				req.Executor = ex
+				pl, err := NewPlanner().Plan(req)
+				if err != nil {
+					t.Fatalf("%s: %v", ex, err)
+				}
+				plans = append(plans, pl)
+			}
+			ref := plans[0]
+			for _, pl := range plans[1:] {
+				if fmt.Sprintf("%+v", pl.Best.Candidate) != fmt.Sprintf("%+v", ref.Best.Candidate) {
+					t.Fatalf("best pick changed with executor: %+v vs %+v", pl.Best.Candidate, ref.Best.Candidate)
+				}
+				if len(pl.Ranked) != len(ref.Ranked) {
+					t.Fatalf("ranked set size changed: %d vs %d", len(pl.Ranked), len(ref.Ranked))
+				}
+				for i := range pl.Ranked {
+					if fmt.Sprintf("%+v", pl.Ranked[i].Candidate) != fmt.Sprintf("%+v", ref.Ranked[i].Candidate) ||
+						pl.Ranked[i].SimComm != ref.Ranked[i].SimComm ||
+						pl.Ranked[i].SimTotal != ref.Ranked[i].SimTotal {
+						t.Fatalf("rank %d differs across executors: %+v vs %+v", i, pl.Ranked[i], ref.Ranked[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRefineTimeCounter checks that cold plans accumulate refinement wall
+// time in the planner counters (the observability the event engine's
+// speedup is measured against).
+func TestRefineTimeCounter(t *testing.T) {
+	p := NewPlanner()
+	if _, err := p.Plan(Request{Platform: platform.Grid5000(), N: 512, P: 16, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.SimRuns == 0 {
+		t.Fatal("expected stage-2 virtual runs")
+	}
+	if st.RefineNanos <= 0 {
+		t.Fatalf("RefineNanos = %d, want > 0", st.RefineNanos)
+	}
+	if st.RefineTime() <= 0 {
+		t.Fatalf("RefineTime() = %v, want > 0", st.RefineTime())
+	}
+	// A cache hit must not add refinement time.
+	before := p.Stats().RefineNanos
+	if _, err := p.Plan(Request{Platform: platform.Grid5000(), N: 512, P: 16, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if after := p.Stats().RefineNanos; after != before {
+		t.Fatalf("cache hit changed RefineNanos: %d -> %d", before, after)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/simalg"
 	"repro/internal/simnet"
@@ -25,6 +26,7 @@ type Planner struct {
 	cache map[string]*Plan
 
 	hits, misses, simRuns atomic.Int64
+	refineNanos           atomic.Int64
 }
 
 // NewPlanner returns an empty planner with its own plan cache.
@@ -52,7 +54,15 @@ type PlannerStats struct {
 	// SimRuns counts stage-2 virtual runs executed (not served from the
 	// plan cache) — the expensive quantity the cache exists to avoid.
 	SimRuns int64
+	// RefineNanos is the cumulative wall time spent inside the stage-2
+	// refinement (the virtual runs), across all cold plans. Together with
+	// SimRuns it shows what the event engine buys: the same picks at a
+	// fraction of the refinement wall time.
+	RefineNanos int64
 }
+
+// RefineTime is RefineNanos as a duration.
+func (s PlannerStats) RefineTime() time.Duration { return time.Duration(s.RefineNanos) }
 
 // Stats returns a snapshot of the planner's counters.
 func (p *Planner) Stats() PlannerStats {
@@ -60,6 +70,7 @@ func (p *Planner) Stats() PlannerStats {
 		CacheHits:   p.hits.Load(),
 		CacheMisses: p.misses.Load(),
 		SimRuns:     p.simRuns.Load(),
+		RefineNanos: p.refineNanos.Load(),
 	}
 }
 
@@ -83,7 +94,7 @@ func fingerprint(req Request) string {
 	if req.OuterBlockSize > 0 {
 		fmt.Fprintf(&b, "|B=%d", req.OuterBlockSize)
 	}
-	fmt.Fprintf(&b, "|algs=%v|bcasts=%v", req.Algorithms, req.Broadcasts)
+	fmt.Fprintf(&b, "|algs=%v|bcasts=%v|exec=%s", req.Algorithms, req.Broadcasts, req.Executor)
 	return b.String()
 }
 
@@ -177,12 +188,18 @@ func (p *Planner) plan(req Request) (*Plan, error) {
 		Ranked:    top,
 		Scanned:   len(cands),
 		Simulated: simulated,
+		Engine:    string(req.Executor), // normalised by withDefaults
 	}, nil
 }
 
 // refine runs the stage-2 virtual runs for the given candidates in
-// parallel, filling their Sim fields in place.
+// parallel, filling their Sim fields in place. Each run goes through the
+// requested executor policy (default auto, which picks the event engine
+// for collective-only candidates — the bulk of any top-K set); the
+// cumulative wall time is tracked in RefineNanos.
 func (p *Planner) refine(req Request, top []Scored) {
+	start := time.Now()
+	defer func() { p.refineNanos.Add(int64(time.Since(start))) }()
 	maxPar := p.MaxParallel
 	if maxPar <= 0 {
 		maxPar = runtime.GOMAXPROCS(0)
@@ -205,12 +222,13 @@ func (p *Planner) refine(req Request, top []Scored) {
 				vcfg.Contention = simnet.ContentionFor(req.Platform, s.Candidate.Grid.Size(), true)
 			}
 			p.simRuns.Add(1)
-			res, _, err := simalg.RunSpec(spec, vcfg)
+			res, _, err := simalg.RunSpecOn(spec, vcfg, req.Executor)
 			if err != nil {
 				s.Err = err.Error()
 				return
 			}
 			s.SimComm, s.SimTotal, s.Refined = res.Comm, res.Total, true
+			s.Engine = string(res.Engine)
 		}(&top[i])
 	}
 	wg.Wait()

@@ -84,6 +84,12 @@ type Request struct {
 	// Overlap enables communication/computation overlap in stage 2 (and
 	// scores stage 1 as max(comm, compute) instead of their sum).
 	Overlap bool
+	// Executor selects the virtual execution engine for the stage-2
+	// refinement runs (goroutine | event | auto); empty means auto, which
+	// picks the event engine for collective-only candidates. Engines are
+	// bit-identical, so the choice cannot change the plan — only its wall
+	// time; plans record what ran (see Scored.Engine).
+	Executor engine.Executor
 	// NoCache bypasses the plan cache for this request.
 	NoCache bool
 }
@@ -91,6 +97,11 @@ type Request struct {
 func (r Request) withDefaults() Request {
 	if r.Objective == "" {
 		r.Objective = MinTotal
+	}
+	if r.Executor == "" {
+		// Normalise before fingerprinting so "" and "auto" — the same
+		// policy — share a cache entry.
+		r.Executor = engine.ExecutorAuto
 	}
 	if r.TopK <= 0 {
 		r.TopK = 8
@@ -183,6 +194,9 @@ type Scored struct {
 	SimTotal   float64 `json:"sim_total_s,omitempty"`
 	// Refined reports whether the stage-2 virtual run was performed.
 	Refined bool `json:"refined"`
+	// Engine records which virtual execution engine scored the candidate
+	// in stage 2 ("goroutine" or "event"), empty when not refined.
+	Engine string `json:"engine,omitempty"`
 	// Err records a stage-2 failure (the candidate is ranked last).
 	Err string `json:"err,omitempty"`
 }
@@ -218,6 +232,10 @@ type Plan struct {
 	// Simulated counts the stage-2 virtual runs.
 	Scanned   int `json:"scanned"`
 	Simulated int `json:"simulated"`
+	// Engine is the executor policy the refinement ran under ("auto",
+	// "goroutine" or "event"); per-candidate resolution is in
+	// Ranked[i].Engine.
+	Engine string `json:"engine,omitempty"`
 	// FromCache reports that this plan was served from the plan cache.
 	FromCache bool `json:"from_cache,omitempty"`
 }

@@ -54,6 +54,12 @@ type SimConfig struct {
 	// buffering), the paper's §VI opportunity; off reproduces the
 	// paper's non-overlapped implementation.
 	Overlap bool
+	// Engine selects the virtual execution engine: EngineGoroutine,
+	// EngineEvent, or EngineAuto (the default, also the zero value).
+	// The engines produce bit-identical results; auto picks the event
+	// engine for collective-only algorithms without overlap, where it is
+	// roughly an order of magnitude faster at full scale.
+	Engine Engine
 }
 
 // SimResult reports simulated execution and communication times in
@@ -75,6 +81,9 @@ type SimResult struct {
 	// what the planner picked when the request said AlgAuto or b=0.
 	Algorithm Algorithm
 	BlockSize int
+	// Engine reports the virtual execution engine that ran the
+	// simulation (what EngineAuto resolved to).
+	Engine Engine
 }
 
 // Simulate executes the configured algorithm — the same implementation,
@@ -126,7 +135,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 		}
 		vcfg.Contention = simnet.ContentionFor(*cfg.Platform, grid.Size(), true)
 	}
-	res, stats, err := simalg.RunSpec(spec, vcfg)
+	res, stats, err := simalg.RunSpecOn(spec, vcfg, cfg.Engine)
 	if err != nil {
 		return SimResult{}, err
 	}
@@ -136,7 +145,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	}
 	out := SimResult{
 		Total: res.Total, Comm: res.Comm, Compute: res.Compute,
-		Groups: usedG, Algorithm: spec.Algorithm,
+		Groups: usedG, Algorithm: spec.Algorithm, Engine: res.Engine,
 	}
 	// Cannon and Fox work on whole tiles; echoing the defaulted b would
 	// suggest it mattered.
