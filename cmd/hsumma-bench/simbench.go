@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/simalg"
@@ -26,16 +27,19 @@ import (
 
 // simBenchReport is the BENCH_sim.json schema.
 type simBenchReport struct {
-	Config                string  `json:"config"`
-	Procs                 int     `json:"p"`
-	N                     int     `json:"n"`
-	GoroutineWallS        float64 `json:"goroutine_wall_s"`
-	EventWallS            float64 `json:"event_wall_s"`
-	EventSpeedup          float64 `json:"event_speedup"`
-	EventVsGoroutineRatio float64 `json:"event_vs_goroutine_ratio"`
-	SimTotalS             float64 `json:"sim_total_s"`
-	SimCommS              float64 `json:"sim_comm_s"`
-	ParityOK              bool    `json:"parity_ok"`
+	Config string `json:"config"`
+	Procs  int    `json:"p"`
+	N      int    `json:"n"`
+	// Shape records the full GEMM problem shape the benchmark executed
+	// (M = N = K for the paper's square configuration).
+	Shape                 matrix.Shape `json:"shape"`
+	GoroutineWallS        float64      `json:"goroutine_wall_s"`
+	EventWallS            float64      `json:"event_wall_s"`
+	EventSpeedup          float64      `json:"event_speedup"`
+	EventVsGoroutineRatio float64      `json:"event_vs_goroutine_ratio"`
+	SimTotalS             float64      `json:"sim_total_s"`
+	SimCommS              float64      `json:"sim_comm_s"`
+	ParityOK              bool         `json:"parity_ok"`
 }
 
 // simBenchBaseline is the committed baseline schema (see
@@ -124,7 +128,7 @@ func runSimBench(quick bool, outPath, baselinePath string) {
 
 	rep := simBenchReport{
 		Config: fmt.Sprintf("hsumma bgp-cal n=%d p=%d G=%d b=256 vandegeijn", n, grid.Size(), groups),
-		Procs:  grid.Size(), N: n,
+		Procs:  grid.Size(), N: n, Shape: eRes.Shape,
 		GoroutineWallS:        gWall,
 		EventWallS:            eWall,
 		EventSpeedup:          gWall / eWall,

@@ -20,12 +20,16 @@
 //	hsumma-run plan -platform bgp
 //	hsumma-run plan -platform all -quick -json > BENCH_plan.json
 //
+// Rectangular problems C(M×N) += A(M×K)·B(K×N) pass -m and -k beside -n
+// (either may be omitted to default to n — the square shorthand).
+//
 // Usage:
 //
 //	hsumma-run -n 512 -p 16 -alg hsumma -G 4 -b 32
 //	hsumma-run -n 512 -p 16 -auto
 //	hsumma-run -mode=sim -platform bgp -n 65536 -p 16384 -alg hsumma -G 512 -b 256 -bcast vandegeijn
 //	hsumma-run -mode=sim -platform bgp -n 4096 -p 256 -auto
+//	hsumma-run -mode=sim -platform grid5000 -m 8192 -n 512 -k 8192 -p 64 -alg summa
 package main
 
 import (
@@ -47,7 +51,9 @@ func main() {
 	}
 	var (
 		mode   = flag.String("mode", "live", "execution mode: live (goroutine runtime, real data) or sim (virtual time, no data)")
-		n      = flag.Int("n", 512, "matrix dimension (n×n)")
+		n      = flag.Int("n", 512, "result columns (N); with -m and -k unset, the square n×n problem")
+		m      = flag.Int("m", 0, "result rows M for rectangular GEMM C(M×N) += A(M×K)·B(K×N); 0 = n")
+		k      = flag.Int("k", 0, "contraction dimension K; 0 = n")
 		p      = flag.Int("p", 16, "number of ranks")
 		alg    = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox, auto")
 		auto   = flag.Bool("auto", false, "let the planner pick the configuration (same as -alg auto)")
@@ -88,14 +94,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	shape := shapeFromFlags(*m, *n, *k)
 
 	switch *mode {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -mode %q (want live or sim)\n", *mode)
 		os.Exit(2)
 	case "live":
-		a := hsumma.RandomMatrix(*n, *n, *seed)
-		bm := hsumma.RandomMatrix(*n, *n, *seed+1)
+		a := hsumma.RandomMatrix(shape.M, shape.K, *seed)
+		bm := hsumma.RandomMatrix(shape.K, shape.N, *seed+1)
 		cfg := hsumma.Config{
 			Procs:          *p,
 			Algorithm:      hsumma.Algorithm(*alg),
@@ -114,7 +121,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("mode           : live (goroutine runtime)\n")
-		fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", *alg, *p, *n)
+		fmt.Printf("algorithm      : %s (p=%d, %s)\n", *alg, *p, shape)
 		fmt.Printf("wall time      : %v\n", elapsed)
 		fmt.Printf("messages sent  : %d\n", stats.Messages)
 		fmt.Printf("bytes moved    : %d\n", stats.Bytes)
@@ -133,7 +140,7 @@ func main() {
 	case "sim":
 		start := time.Now()
 		res, err := hsumma.Simulate(hsumma.SimConfig{
-			N:              *n,
+			Shape:          shape,
 			Procs:          *p,
 			Algorithm:      hsumma.Algorithm(*alg),
 			Groups:         *G,
@@ -151,7 +158,10 @@ func main() {
 		}
 		fmt.Printf("mode           : sim (virtual communicator, %s)\n", machine.Name)
 		fmt.Printf("engine         : %s\n", res.Engine)
-		fmt.Printf("algorithm      : %s (p=%d, n=%d)\n", res.Algorithm, *p, *n)
+		fmt.Printf("algorithm      : %s (p=%d, %s)\n", res.Algorithm, *p, shape)
+		if res.Shape != shape {
+			fmt.Printf("padded to      : %s\n", res.Shape)
+		}
 		if res.Algorithm == hsumma.AlgHSUMMA {
 			fmt.Printf("groups         : G=%d\n", res.Groups)
 		}
@@ -165,6 +175,24 @@ func main() {
 		fmt.Printf("bytes moved    : %d (identical to a live run of this config)\n", res.Bytes)
 		fmt.Printf("host wall time : %v\n", time.Since(start))
 	}
+}
+
+// shapeFromFlags resolves the -m/-n/-k trio into a validated GEMM shape:
+// unset -m/-k default to n (the square shorthand), and invalid
+// dimensions exit with the shared dimension-naming error.
+func shapeFromFlags(m, n, k int) hsumma.Shape {
+	shape := hsumma.Shape{M: m, N: n, K: k}
+	if shape.M == 0 {
+		shape.M = n
+	}
+	if shape.K == 0 {
+		shape.K = n
+	}
+	if err := shape.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	return shape
 }
 
 func platformByName(name string) (hsumma.Platform, error) {
@@ -214,7 +242,9 @@ func runPlanCmd(args []string) {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	var (
 		pf         = fs.String("platform", "grid5000", "grid5000[-cal], bgp[-cal], exascale, or all (the three calibrated paper platforms)")
-		n          = fs.Int("n", 0, "matrix dimension (0 = the platform's paper-scale default)")
+		n          = fs.Int("n", 0, "result columns N (0 = the platform's paper-scale default)")
+		m          = fs.Int("m", 0, "result rows M for rectangular planning (0 = n)")
+		k          = fs.Int("k", 0, "contraction dimension K (0 = n)")
 		p          = fs.Int("p", 0, "rank count (0 = the platform's paper-scale default)")
 		b          = fs.Int("b", 0, "pin the block size b (0 = search)")
 		topk       = fs.Int("topk", 8, "stage-2 refinement width")
@@ -280,9 +310,10 @@ func runPlanCmd(args []string) {
 		if !analyticSet && pp > 2048 {
 			analyticOnly = true
 		}
+		shape := shapeFromFlags(*m, pn, *k)
 		start := time.Now()
 		pl, err := hsumma.Plan(hsumma.PlanConfig{
-			Platform: machine, N: pn, Procs: pp,
+			Platform: machine, Shape: shape, Procs: pp,
 			BlockSize:    *b,
 			TopK:         *topk,
 			Objective:    obj,
@@ -311,7 +342,7 @@ func runPlanCmd(args []string) {
 }
 
 func printPlan(pl *hsumma.PlanResult, elapsed time.Duration, analyticOnly bool) {
-	fmt.Printf("== plan: %s — n=%d, p=%d (objective: min %s) ==\n", pl.Platform, pl.N, pl.P, pl.Objective)
+	fmt.Printf("== plan: %s — %s, p=%d (objective: min %s) ==\n", pl.Platform, pl.Shape, pl.P, pl.Objective)
 	fmt.Printf("   scanned %d candidates, simulated %d, cached=%t, %v\n",
 		pl.Scanned, pl.Simulated, pl.FromCache, elapsed.Round(time.Millisecond))
 	if analyticOnly {

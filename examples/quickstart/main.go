@@ -76,4 +76,18 @@ func main() {
 	}
 	fmt.Printf("simulated BG/P, 1024 ranks, n=8192: SUMMA comm %.3gs, HSUMMA (G=32) comm %.3gs (%.2fx)\n",
 		base.Comm, sim.Comm, base.Comm/sim.Comm)
+
+	// Shapes: everything above uses the square shorthand (a plain n means
+	// the paper's n×n×n problem), but Multiply accepts any rectangular
+	// C(M×N) += A(M×K)·B(K×N) — just pass rectangular matrices. Shapes
+	// that do not divide the grid are zero-padded and cropped internally.
+	// See examples/tallskinny for the rectangular planner and simulator.
+	ta := hsumma.RandomMatrix(96, 64, 3) // A: 96×64
+	tb := hsumma.RandomMatrix(64, 32, 4) // B: 64×32
+	tc, _, err := hsumma.Multiply(ta, tb, hsumma.Config{Procs: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rectangular 96×64·64×32 on the same 16 ranks: max |Δ| = %.3g\n",
+		hsumma.MaxAbsDiff(tc, hsumma.Reference(ta, tb)))
 }

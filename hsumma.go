@@ -40,6 +40,20 @@ import (
 // Matrix is a dense row-major float64 matrix (see NewMatrix, Random).
 type Matrix = matrix.Dense
 
+// Shape is the global GEMM problem shape C (M×N) += A (M×K) · B (K×N).
+// Every layer of the stack carries it; the paper's square n×n benchmark
+// is the SquareShape(n) special case, and every config keeps accepting a
+// plain n as the square shorthand.
+type Shape = matrix.Shape
+
+// SquareShape returns the paper's square n×n×n problem shape.
+func SquareShape(n int) Shape { return matrix.Square(n) }
+
+// ErrSquareOnly is reported (via errors.Is) by Multiply, Simulate and
+// Plan when a square-only baseline (Cannon, Fox) is asked to multiply a
+// rectangular problem.
+var ErrSquareOnly = matrix.ErrSquareOnly
+
 // NewMatrix allocates a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.New(r, c) }
 
@@ -181,14 +195,22 @@ type Stats struct {
 	MaxRankCommSeconds float64
 }
 
-// resolveSpec turns a user Config into the engine's transport-independent
-// Spec (shared by Multiply and Simulate).
-func resolveSpec(n int, cfg Config) (engine.Spec, topo.Grid, error) {
+// resolveSpec turns a user Config plus a problem shape into the engine's
+// transport-independent Spec (shared by Multiply and Simulate). The
+// returned spec carries the *execution* shape — the requested shape
+// rounded up to the algorithm's divisibility constraints (zero-padding
+// preserves the product; Multiply crops the gathered result) — and
+// rejects rectangular shapes on the square-only baselines with
+// ErrSquareOnly, so all public surfaces report identical shape errors.
+func resolveSpec(shape Shape, cfg Config) (engine.Spec, topo.Grid, error) {
+	if err := shape.Validate(); err != nil {
+		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: %w", err)
+	}
 	if cfg.Procs <= 0 {
 		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: Procs must be positive")
 	}
 	if cfg.Algorithm == AlgAuto {
-		planned, err := resolveAuto(n, cfg)
+		planned, err := resolveAuto(shape, cfg)
 		if err != nil {
 			return engine.Spec{}, topo.Grid{}, err
 		}
@@ -204,12 +226,12 @@ func resolveSpec(n int, cfg Config) (engine.Spec, topo.Grid, error) {
 	if cfg.BlockSize <= 0 {
 		// The shared "0 means auto" rule, hoisted next to the planner's
 		// b/B search so Multiply and Simulate default identically.
-		cfg.BlockSize = tune.DefaultBlockSize(n, grid)
+		cfg.BlockSize = tune.DefaultBlockSize(shape, grid)
 	}
 	spec := engine.Spec{
 		Algorithm: cfg.Algorithm,
 		Opts: core.Options{
-			N: n, Grid: grid,
+			Shape: shape, Grid: grid,
 			BlockSize:      cfg.BlockSize,
 			OuterBlockSize: cfg.OuterBlockSize,
 			Broadcast:      cfg.Broadcast,
@@ -224,34 +246,53 @@ func resolveSpec(n int, cfg Config) (engine.Spec, topo.Grid, error) {
 		}
 		spec.Opts.Groups = h
 	}
+	// Round the shape up to the execution shape (identity on divisible
+	// problems); square-only algorithms reject rectangular shapes here.
+	spec, err = spec.Padded()
+	if err != nil {
+		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: %w", err)
+	}
 	return spec, grid, nil
 }
 
-// Multiply computes A·B (n×n matrices) with the configured distributed
-// algorithm: it block-distributes the inputs over the process grid through
-// the dist layer, runs one goroutine per rank through the message-passing
-// runtime (each rank executing the shared algorithm code against the live
-// transport), and gathers the result.
+// Multiply computes A·B with the configured distributed algorithm: A is
+// M×K, B is K×N, and the result is M×N (the paper's square benchmark is
+// simply the M = N = K case). It block-distributes each operand over the
+// process grid by its own shape through the dist layer, runs one
+// goroutine per rank through the message-passing runtime (each rank
+// executing the shared algorithm code against the live transport), and
+// gathers the result. Shapes that do not divide the grid or block sizes
+// are zero-padded to the execution shape and the result is cropped —
+// any positive M, N, K runs.
 func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 	var st Stats
-	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
-		return nil, st, fmt.Errorf("hsumma: Multiply needs equal square matrices, got %dx%d and %dx%d",
+	if a.Cols != b.Rows {
+		return nil, st, fmt.Errorf("hsumma: inner dimensions differ: A is %dx%d, B is %dx%d (need A columns == B rows)",
 			a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	n := a.Rows
-	spec, grid, err := resolveSpec(n, cfg)
+	shape := Shape{M: a.Rows, N: b.Cols, K: a.Cols}
+	spec, grid, err := resolveSpec(shape, cfg)
 	if err != nil {
 		return nil, st, err
 	}
+	es := spec.Opts.Shape // execution shape (padded when needed)
 
-	bm, err := dist.NewBlockMap(n, n, grid)
+	bmA, err := dist.NewBlockMap(es.M, es.K, grid)
 	if err != nil {
 		return nil, st, err
 	}
-	aT, bT := bm.Scatter(a), bm.Scatter(b)
+	bmB, err := dist.NewBlockMap(es.K, es.N, grid)
+	if err != nil {
+		return nil, st, err
+	}
+	bmC, err := dist.NewBlockMap(es.M, es.N, grid)
+	if err != nil {
+		return nil, st, err
+	}
+	aT, bT := bmA.Scatter(padTo(a, es.M, es.K)), bmB.Scatter(padTo(b, es.K, es.N))
 	cT := make([]*matrix.Dense, grid.Size())
 	for r := range cT {
-		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
+		cT[r] = matrix.New(bmC.LocalRows(), bmC.LocalCols())
 	}
 
 	var mu sync.Mutex
@@ -279,7 +320,24 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 			st.MaxRankCommSeconds = r.CommSeconds
 		}
 	}
-	return bm.Gather(cT), st, nil
+	out := bmC.Gather(cT)
+	if es.M != shape.M || es.N != shape.N {
+		out = out.View(0, 0, shape.M, shape.N).Clone()
+	}
+	return out, st, nil
+}
+
+// padTo embeds m in the top-left corner of a zeroed r×c matrix, or
+// returns m itself when it already has that shape. Zero rows/columns of A
+// and B contribute nothing to the product, so running the padded problem
+// and cropping C is exact.
+func padTo(m *Matrix, r, c int) *Matrix {
+	if m.Rows == r && m.Cols == c {
+		return m
+	}
+	out := matrix.New(r, c)
+	out.View(0, 0, m.Rows, m.Cols).CopyFrom(m)
+	return out
 }
 
 // Reference computes A·B sequentially — the oracle for verification.

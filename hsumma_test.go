@@ -1,6 +1,7 @@
 package hsumma
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -72,15 +73,24 @@ func TestMultiplyExplicitGrid(t *testing.T) {
 	}
 }
 
-func TestMultiplyRejectsNonSquare(t *testing.T) {
-	if _, _, err := Multiply(NewMatrix(4, 6), NewMatrix(6, 4), Config{Procs: 4}); err == nil {
-		t.Fatal("non-square matrices accepted")
+func TestMultiplyInputValidation(t *testing.T) {
+	// Rectangular shapes are supported; mismatched inner dimensions are not.
+	if _, _, err := Multiply(NewMatrix(4, 6), NewMatrix(5, 4), Config{Procs: 4}); err == nil {
+		t.Fatal("mismatched inner dimensions accepted")
 	}
 	if _, _, err := Multiply(NewMatrix(4, 4), NewMatrix(4, 4), Config{Procs: 0}); err == nil {
 		t.Fatal("zero procs accepted")
 	}
 	if _, _, err := Multiply(NewMatrix(4, 4), NewMatrix(4, 4), Config{Procs: 4, Algorithm: "magic"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+	// The square-only baselines reject rectangular problems via the shared
+	// ErrSquareOnly.
+	if _, _, err := Multiply(NewMatrix(4, 6), NewMatrix(6, 4), Config{Procs: 4, Algorithm: AlgCannon}); !errors.Is(err, ErrSquareOnly) {
+		t.Fatalf("Cannon on a rectangular problem: got %v, want ErrSquareOnly", err)
+	}
+	if _, _, err := Multiply(NewMatrix(4, 6), NewMatrix(6, 4), Config{Procs: 4, Algorithm: AlgFox}); !errors.Is(err, ErrSquareOnly) {
+		t.Fatalf("Fox on a rectangular problem: got %v, want ErrSquareOnly", err)
 	}
 }
 

@@ -20,18 +20,24 @@ import (
 	"repro/internal/topo"
 )
 
-// squareGridOf validates the square-grid requirement and the tile shapes.
-func squareGridOf(c comm.Comm, g topo.Grid, n int) (q int, err error) {
+// squareGridOf validates the square-only restriction (square shape on a
+// square grid, via the shared matrix.ErrSquareOnly) and the divisibility
+// requirement.
+func squareGridOf(c comm.Comm, g topo.Grid, sh matrix.Shape) (q, n int, err error) {
+	if !sh.IsSquare() {
+		return 0, 0, fmt.Errorf("baseline: shape %v: %w", sh, matrix.ErrSquareOnly)
+	}
 	if g.S != g.T {
-		return 0, fmt.Errorf("baseline: %v is not square (Cannon/Fox require q×q)", g)
+		return 0, 0, fmt.Errorf("baseline: grid %v: %w", g, matrix.ErrSquareOnly)
 	}
 	if c.Size() != g.Size() {
-		return 0, fmt.Errorf("baseline: communicator size %d does not match grid %v", c.Size(), g)
+		return 0, 0, fmt.Errorf("baseline: communicator size %d does not match grid %v", c.Size(), g)
 	}
+	n = sh.N
 	if n%g.S != 0 {
-		return 0, fmt.Errorf("baseline: n=%d not divisible by q=%d", n, g.S)
+		return 0, 0, fmt.Errorf("baseline: n=%d not divisible by q=%d", n, g.S)
 	}
-	return g.S, nil
+	return g.S, n, nil
 }
 
 // Cannon performs C += A·B with Cannon's algorithm: after an initial
@@ -39,8 +45,8 @@ func squareGridOf(c comm.Comm, g topo.Grid, n int) (q int, err error) {
 // by j), q iterations of local multiply followed by a single-step rotation
 // of A leftwards and B upwards. Local tiles are (n/q)×(n/q); aLoc and bLoc
 // are not modified (the rotations work on copies).
-func Cannon(c comm.Comm, g topo.Grid, n int, aLoc, bLoc, cLoc *matrix.Dense) error {
-	q, err := squareGridOf(c, g, n)
+func Cannon(c comm.Comm, g topo.Grid, sh matrix.Shape, aLoc, bLoc, cLoc *matrix.Dense) error {
+	q, n, err := squareGridOf(c, g, sh)
 	if err != nil {
 		return err
 	}
@@ -91,8 +97,8 @@ func Cannon(c comm.Comm, g topo.Grid, n int, aLoc, bLoc, cLoc *matrix.Dense) err
 // multiplied with the local B, and B rolls upwards one step. bcastAlg
 // selects the broadcast schedule (the original paper assumed a hypercube
 // broadcast; any algorithm from internal/sched works).
-func Fox(c comm.Comm, g topo.Grid, n int, bcastAlg sched.Algorithm, aLoc, bLoc, cLoc *matrix.Dense) error {
-	q, err := squareGridOf(c, g, n)
+func Fox(c comm.Comm, g topo.Grid, sh matrix.Shape, bcastAlg sched.Algorithm, aLoc, bLoc, cLoc *matrix.Dense) error {
+	q, n, err := squareGridOf(c, g, sh)
 	if err != nil {
 		return err
 	}

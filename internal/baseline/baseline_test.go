@@ -15,7 +15,7 @@ import (
 
 const tol = 1e-10
 
-func runSquare(t *testing.T, q, n int, algo func(comm.Comm, topo.Grid, int, *matrix.Dense, *matrix.Dense, *matrix.Dense) error) {
+func runSquare(t *testing.T, q, n int, algo func(comm.Comm, topo.Grid, matrix.Shape, *matrix.Dense, *matrix.Dense, *matrix.Dense) error) {
 	t.Helper()
 	g := topo.Grid{S: q, T: q}
 	bm, err := dist.NewBlockMap(n, n, g)
@@ -30,7 +30,7 @@ func runSquare(t *testing.T, q, n int, algo func(comm.Comm, topo.Grid, int, *mat
 		cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 	}
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := algo(mpi.AsComm(c), g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := algo(mpi.AsComm(c), g, matrix.Square(n), aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -57,8 +57,8 @@ func TestCannonSizes(t *testing.T) {
 }
 
 func TestFoxSizes(t *testing.T) {
-	fox := func(cm comm.Comm, g topo.Grid, n int, a, b, c *matrix.Dense) error {
-		return Fox(cm, g, n, sched.Binomial, a, b, c)
+	fox := func(cm comm.Comm, g topo.Grid, sh matrix.Shape, a, b, c *matrix.Dense) error {
+		return Fox(cm, g, sh, sched.Binomial, a, b, c)
 	}
 	for _, c := range []struct{ q, n int }{{1, 4}, {2, 8}, {3, 9}, {4, 16}} {
 		c := c
@@ -69,8 +69,8 @@ func TestFoxSizes(t *testing.T) {
 }
 
 func TestFoxVanDeGeijnBroadcast(t *testing.T) {
-	fox := func(cm comm.Comm, g topo.Grid, n int, a, b, c *matrix.Dense) error {
-		return Fox(cm, g, n, sched.VanDeGeijn, a, b, c)
+	fox := func(cm comm.Comm, g topo.Grid, sh matrix.Shape, a, b, c *matrix.Dense) error {
+		return Fox(cm, g, sh, sched.VanDeGeijn, a, b, c)
 	}
 	runSquare(t, 4, 16, fox)
 }
@@ -84,7 +84,7 @@ func TestCannonAccumulates(t *testing.T) {
 	c0 := matrix.Random(n, n, 3)
 	aT, bT, cT := bm.Scatter(a), bm.Scatter(b), bm.Scatter(c0)
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := Cannon(mpi.AsComm(c), g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := Cannon(mpi.AsComm(c), g, matrix.Square(n), aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -101,10 +101,10 @@ func TestNonSquareGridRejected(t *testing.T) {
 	g := topo.Grid{S: 2, T: 4}
 	err := mpi.Run(8, func(c *mpi.Comm) {
 		tile := matrix.New(4, 2)
-		if e := Cannon(mpi.AsComm(c), g, 8, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Cannon(mpi.AsComm(c), g, matrix.Square(8), tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("non-square grid accepted by Cannon")
 		}
-		if e := Fox(mpi.AsComm(c), g, 8, sched.Binomial, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Fox(mpi.AsComm(c), g, matrix.Square(8), sched.Binomial, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("non-square grid accepted by Fox")
 		}
 	})
@@ -117,7 +117,7 @@ func TestIndivisibleNRejected(t *testing.T) {
 	g := topo.Grid{S: 2, T: 2}
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		tile := matrix.New(3, 3)
-		if e := Cannon(mpi.AsComm(c), g, 7, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Cannon(mpi.AsComm(c), g, matrix.Square(7), tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("n=7 over q=2 accepted")
 		}
 	})
@@ -135,10 +135,10 @@ func TestCannonFoxAgree(t *testing.T) {
 	a := matrix.Random(n, n, 77)
 	b := matrix.Random(n, n, 78)
 	results := make([]*matrix.Dense, 2)
-	for idx, algo := range []func(comm.Comm, topo.Grid, int, *matrix.Dense, *matrix.Dense, *matrix.Dense) error{
+	for idx, algo := range []func(comm.Comm, topo.Grid, matrix.Shape, *matrix.Dense, *matrix.Dense, *matrix.Dense) error{
 		Cannon,
-		func(cm comm.Comm, g topo.Grid, n int, x, y, z *matrix.Dense) error {
-			return Fox(cm, g, n, sched.Binomial, x, y, z)
+		func(cm comm.Comm, g topo.Grid, sh matrix.Shape, x, y, z *matrix.Dense) error {
+			return Fox(cm, g, sh, sched.Binomial, x, y, z)
 		},
 	} {
 		aT, bT := bm.Scatter(a), bm.Scatter(b)
@@ -147,7 +147,7 @@ func TestCannonFoxAgree(t *testing.T) {
 			cT[r] = matrix.New(bm.LocalRows(), bm.LocalCols())
 		}
 		if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-			if e := algo(mpi.AsComm(c), g, n, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+			if e := algo(mpi.AsComm(c), g, matrix.Square(n), aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 				panic(e)
 			}
 		}); err != nil {

@@ -5,30 +5,39 @@
 // inter-group phase and an intra-group phase — plus the multilevel
 // (>2-level) generalisation the paper lists as future work.
 //
-// All algorithms multiply block-checkerboard-distributed square matrices
-// in place: each rank contributes its local tiles of A and B and
-// accumulates into its local tile of C. Correctness is asserted against
-// sequential GEMM in the package tests for every grid shape, group count
-// and block-size combination the paper exercises (scaled down).
+// All algorithms multiply block-checkerboard-distributed matrices in
+// place and are shape-general: the global problem is C (M×N) += A (M×K) ·
+// B (K×N), with the paper's square n×n benchmark as the M = N = K special
+// case. Each rank contributes its local tiles of A ((M/s)×(K/t)) and B
+// ((K/s)×(N/t)) and accumulates into its local tile of C ((M/s)×(N/t));
+// the pivot loop walks the contraction dimension K. Correctness is
+// asserted against sequential GEMM in the package tests for every grid
+// shape, group count and block-size combination the paper exercises
+// (scaled down), plus rectangular shapes in every aspect class.
 package core
 
 import (
 	"fmt"
 
+	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/topo"
 )
 
 // Options configures a distributed multiplication. The zero value is not
-// usable; fill in at least N, Grid and BlockSize.
+// usable; fill in at least a shape (Shape, or N as the square shorthand),
+// Grid and BlockSize.
 type Options struct {
-	// N is the global matrix dimension (matrices are square n×n, as in
-	// the paper's analysis and experiments).
+	// Shape is the global GEMM shape C (M×N) += A (M×K)·B (K×N). The zero
+	// value defers to N, the square shorthand.
+	Shape matrix.Shape
+	// N is the square shorthand for Shape = Square(n) — the paper's
+	// configuration. Ignored when Shape is set.
 	N int
 	// Grid is the s×t process grid.
 	Grid topo.Grid
 	// BlockSize is the paper's b: the pivot panel width per SUMMA step
-	// (and per HSUMMA inner step).
+	// (and per HSUMMA inner step), walking the K dimension.
 	BlockSize int
 	// OuterBlockSize is the paper's B: the panel width exchanged between
 	// groups per HSUMMA outer step. Zero means B = b, the configuration
@@ -46,6 +55,9 @@ type Options struct {
 
 func (o *Options) withDefaults() Options {
 	out := *o
+	if out.Shape.IsZero() {
+		out.Shape = matrix.Square(out.N)
+	}
 	if out.Broadcast == "" {
 		out.Broadcast = sched.Binomial
 	}
@@ -58,31 +70,43 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
+// tiles returns the per-rank tile extents of the three operands on the
+// s×t grid: A is aRows×aCols, B is bRows×bCols, C is aRows×bCols.
+func (o Options) tiles() (aRows, aCols, bRows, bCols int) {
+	sh, g := o.Shape, o.Grid
+	return sh.M / g.S, sh.K / g.T, sh.K / g.S, sh.N / g.T
+}
+
 // validateSUMMA checks the divisibility constraints the implementation
-// relies on: square tiles per rank and pivot panels that live in exactly
-// one grid row/column (b | n/s and b | n/t), the same constraints the
-// paper's experiments satisfy.
+// relies on: uniform tiles per rank for each operand (s | M, s | K,
+// t | K, t | N) and pivot panels that live in exactly one grid
+// row/column (b | K/t for A's panels, b | K/s for B's), the same
+// constraints the paper's experiments satisfy with M = N = K.
 func (o Options) validateSUMMA() error {
-	if o.N <= 0 || o.BlockSize <= 0 {
-		return fmt.Errorf("core: invalid n=%d b=%d", o.N, o.BlockSize)
+	sh := o.Shape
+	if err := sh.Validate(); err != nil {
+		return err
+	}
+	if o.BlockSize <= 0 {
+		return fmt.Errorf("core: invalid block size b=%d for shape %v", o.BlockSize, sh)
 	}
 	s, t := o.Grid.S, o.Grid.T
 	if s <= 0 || t <= 0 {
 		return fmt.Errorf("core: invalid grid %v", o.Grid)
 	}
-	if o.N%s != 0 || o.N%t != 0 {
-		return fmt.Errorf("core: n=%d not divisible by grid %v", o.N, o.Grid)
+	if sh.M%s != 0 || sh.K%s != 0 || sh.K%t != 0 || sh.N%t != 0 {
+		return fmt.Errorf("core: shape %v not divisible by grid %v (need s | M, s | K, t | K, t | N)", sh, o.Grid)
 	}
-	if (o.N/s)%o.BlockSize != 0 || (o.N/t)%o.BlockSize != 0 {
-		return fmt.Errorf("core: block size %d does not divide local tile %dx%d",
-			o.BlockSize, o.N/s, o.N/t)
+	if (sh.K/t)%o.BlockSize != 0 || (sh.K/s)%o.BlockSize != 0 {
+		return fmt.Errorf("core: block size %d does not divide the per-rank K extents %d (A columns) and %d (B rows)",
+			o.BlockSize, sh.K/t, sh.K/s)
 	}
 	return nil
 }
 
 // validateHSUMMA adds the hierarchical constraints: the group arrangement
 // must match the grid, B must be a multiple of b, and outer panels must
-// live in one grid row/column (B | n/s, B | n/t).
+// live in one grid row/column (B | K/s, B | K/t).
 func (o Options) validateHSUMMA() error {
 	if err := o.validateSUMMA(); err != nil {
 		return err
@@ -98,9 +122,10 @@ func (o Options) validateHSUMMA() error {
 	if B%o.BlockSize != 0 {
 		return fmt.Errorf("core: outer block %d not a multiple of inner block %d", B, o.BlockSize)
 	}
-	if (o.N/o.Grid.S)%B != 0 || (o.N/o.Grid.T)%B != 0 {
-		return fmt.Errorf("core: outer block %d does not divide local tile %dx%d",
-			B, o.N/o.Grid.S, o.N/o.Grid.T)
+	sh := o.Shape
+	if (sh.K/o.Grid.S)%B != 0 || (sh.K/o.Grid.T)%B != 0 {
+		return fmt.Errorf("core: outer block %d does not divide the per-rank K extents %d (A columns) and %d (B rows)",
+			B, sh.K/o.Grid.T, sh.K/o.Grid.S)
 	}
 	return nil
 }

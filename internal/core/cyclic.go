@@ -30,40 +30,46 @@ func CyclicSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) erro
 	if c.Size() != g.Size() {
 		return fmt.Errorf("core: communicator size %d does not match grid %v", c.Size(), g)
 	}
-	n, b := o.N, o.BlockSize
-	if (n/b)%g.S != 0 || (n/b)%g.T != 0 {
-		return fmt.Errorf("core: cyclic layout needs the %d block rows/cols divisible by grid %v", n/b, g)
+	sh, b := o.Shape, o.BlockSize
+	if sh.M%b != 0 || sh.N%b != 0 || sh.K%b != 0 ||
+		(sh.M/b)%g.S != 0 || (sh.K/b)%g.S != 0 || (sh.K/b)%g.T != 0 || (sh.N/b)%g.T != 0 {
+		return fmt.Errorf("core: cyclic layout needs every operand's block rows/cols divisible by grid %v (shape %v, b=%d)", g, sh, b)
 	}
-	cm, err := dist.NewCyclicMap(n, n, b, b, g)
+	cmA, err := dist.NewCyclicMap(sh.M, sh.K, b, b, g)
 	if err != nil {
 		return err
 	}
-	localRows, localCols := cm.LocalRows(), cm.LocalCols()
-	checkTile("A", aLoc, localRows, localCols)
-	checkTile("B", bLoc, localRows, localCols)
-	checkTile("C", cLoc, localRows, localCols)
+	cmB, err := dist.NewCyclicMap(sh.K, sh.N, b, b, g)
+	if err != nil {
+		return err
+	}
+	aRows, aCols := cmA.LocalRows(), cmA.LocalCols()
+	bRows, bCols := cmB.LocalRows(), cmB.LocalCols()
+	checkTile("A", aLoc, aRows, aCols)
+	checkTile("B", bLoc, bRows, bCols)
+	checkTile("C", cLoc, aRows, bCols)
 
 	i, j := g.Coords(c.Rank())
 	rowComm := c.Split(i, j)
 	colComm := c.Split(g.S+j, i)
 
-	aPanel := c.NewTile(localRows, b)
-	bPanel := c.NewTile(b, localCols)
-	aBuf := c.NewBuf(localRows * b)
-	bBuf := c.NewBuf(b * localCols)
-	for k := 0; k < n/b; k++ {
+	aPanel := c.NewTile(aRows, b)
+	bPanel := c.NewTile(b, bCols)
+	aBuf := c.NewBuf(aRows * b)
+	bBuf := c.NewBuf(b * bCols)
+	for k := 0; k < sh.K/b; k++ {
 		// Owner grid column of A's pivot block-column k, and the local
 		// block column it is stored at on the owner.
 		ownerCol := k % g.T
 		if j == ownerCol {
-			c.Pack(aBuf, aLoc.View(0, (k/g.T)*b, localRows, b))
+			c.Pack(aBuf, aLoc.View(0, (k/g.T)*b, aRows, b))
 		}
 		rowComm.Bcast(o.Broadcast, ownerCol, aBuf, o.Segments)
 		c.Unpack(aPanel, aBuf)
 
 		ownerRow := k % g.S
 		if i == ownerRow {
-			c.Pack(bBuf, bLoc.View((k/g.S)*b, 0, b, localCols))
+			c.Pack(bBuf, bLoc.View((k/g.S)*b, 0, b, bCols))
 		}
 		colComm.Bcast(o.Broadcast, ownerRow, bBuf, o.Segments)
 		c.Unpack(bPanel, bBuf)

@@ -9,10 +9,12 @@ import (
 
 // HSUMMA performs C += A·B with the paper's hierarchical SUMMA
 // (Section III, Algorithm 1). The s×t grid is arranged as I×J groups; each
-// of the n/B outer steps first broadcasts the outer pivot panels *between*
+// of the K/B outer steps first broadcasts the outer pivot panels *between*
 // groups (over the group-row/group-column communicators), then runs B/b
 // inner steps that broadcast b-wide sub-panels *inside* each group and
-// update C locally.
+// update C locally. The pivot loop walks the contraction dimension K, so
+// rectangular M×K·K×N problems run the same two-phase pattern as the
+// paper's square benchmark.
 //
 // With Groups = 1×1 or Groups = s×t (and B = b) the hierarchy degenerates
 // and HSUMMA performs exactly SUMMA's communication, which the paper notes
@@ -35,11 +37,11 @@ func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	rowComm := c.Split(2*g.Size()+h.InnerRowColor(c.Rank()), jj)   // P(x,y)(ii,*), rank = jj, size t/J
 	colComm := c.Split(3*g.Size()+h.InnerColColor(c.Rank()), ii)   // P(x,y)(*,jj), rank = ii, size s/I
 
-	n, b, B := o.N, o.BlockSize, o.OuterBlockSize
-	localRows, localCols := n/g.S, n/g.T
-	checkTile("A", aLoc, localRows, localCols)
-	checkTile("B", bLoc, localRows, localCols)
-	checkTile("C", cLoc, localRows, localCols)
+	b, B := o.BlockSize, o.OuterBlockSize
+	aRows, aCols, bRows, bCols := o.tiles()
+	checkTile("A", aLoc, aRows, aCols)
+	checkTile("B", bLoc, bRows, bCols)
+	checkTile("C", cLoc, aRows, bCols)
 
 	innerT := h.InnerT()
 	innerS := h.InnerS()
@@ -48,24 +50,24 @@ func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	// slice of the B-wide pivot column of A, and my column's slice of the
 	// B-high pivot row of B. Only ranks on the owning inner column/row
 	// ever hold them, but allocating unconditionally keeps the code
-	// simple; the memory is B·n/s + B·n/t per rank, the paper's footprint.
-	aOuter := c.NewTile(localRows, B)
-	bOuter := c.NewTile(B, localCols)
-	aOuterBuf := c.NewBuf(localRows * B)
-	bOuterBuf := c.NewBuf(B * localCols)
+	// simple; the memory is B·M/s + B·N/t per rank, the paper's footprint.
+	aOuter := c.NewTile(aRows, B)
+	bOuter := c.NewTile(B, bCols)
+	aOuterBuf := c.NewBuf(aRows * B)
+	bOuterBuf := c.NewBuf(B * bCols)
 
-	aPanel := c.NewTile(localRows, b)
-	bPanel := c.NewTile(b, localCols)
-	aBuf := c.NewBuf(localRows * b)
-	bBuf := c.NewBuf(b * localCols)
+	aPanel := c.NewTile(aRows, b)
+	bPanel := c.NewTile(b, bCols)
+	aBuf := c.NewBuf(aRows * b)
+	bBuf := c.NewBuf(b * bCols)
 
-	for ko := 0; ko < n/B; ko++ {
-		lo := ko * B // first global index of the outer pivot panel
+	for ko := 0; ko < o.Shape.K/B; ko++ {
+		lo := ko * B // first global K index of the outer pivot panel
 		// Owning grid column of A's outer panel, in hierarchical
 		// coordinates (group column yo, inner column jjo); similarly
 		// the owning grid row for B.
-		ownerGridCol := lo / localCols
-		ownerGridRow := lo / localRows
+		ownerGridCol := lo / aCols
+		ownerGridRow := lo / bRows
 		yo, jjo := ownerGridCol/innerT, ownerGridCol%innerT
 		xo, iio := ownerGridRow/innerS, ownerGridRow%innerS
 
@@ -75,7 +77,7 @@ func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 		// inner column jjo.
 		if jj == jjo {
 			if y == yo {
-				c.Pack(aOuterBuf, aLoc.View(0, lo%localCols, localRows, B))
+				c.Pack(aOuterBuf, aLoc.View(0, lo%aCols, aRows, B))
 			}
 			groupRowComm.Bcast(o.Broadcast, yo, aOuterBuf, o.Segments)
 			c.Unpack(aOuter, aOuterBuf)
@@ -83,7 +85,7 @@ func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 		// Phase 1 (vertical, between groups) for B's outer panel.
 		if ii == iio {
 			if x == xo {
-				c.Pack(bOuterBuf, bLoc.View(lo%localRows, 0, B, localCols))
+				c.Pack(bOuterBuf, bLoc.View(lo%bRows, 0, B, bCols))
 			}
 			groupColComm.Bcast(o.Broadcast, xo, bOuterBuf, o.Segments)
 			c.Unpack(bOuter, bOuterBuf)
@@ -94,12 +96,12 @@ func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 		// entire outer panel lives on that inner column/row.
 		for ki := 0; ki < B/b; ki++ {
 			if jj == jjo {
-				c.Pack(aBuf, aOuter.View(0, ki*b, localRows, b))
+				c.Pack(aBuf, aOuter.View(0, ki*b, aRows, b))
 			}
 			rowComm.Bcast(o.Broadcast, jjo, aBuf, o.Segments)
 			c.Unpack(aPanel, aBuf)
 			if ii == iio {
-				c.Pack(bBuf, bOuter.View(ki*b, 0, b, localCols))
+				c.Pack(bBuf, bOuter.View(ki*b, 0, b, bCols))
 			}
 			colComm.Bcast(o.Broadcast, iio, bBuf, o.Segments)
 			c.Unpack(bPanel, bBuf)

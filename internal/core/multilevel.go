@@ -63,18 +63,18 @@ func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int,
 	rowRadix = append(rowRadix, g.S/prodI)
 	widths = append(widths, innerBlock)
 
-	n := o.N
-	localRows, localCols := n/g.S, n/g.T
-	checkTile("A", aLoc, localRows, localCols)
-	checkTile("B", bLoc, localRows, localCols)
-	checkTile("C", cLoc, localRows, localCols)
+	aRows, aCols, bRows, bCols := o.tiles()
+	checkTile("A", aLoc, aRows, aCols)
+	checkTile("B", bLoc, bRows, bCols)
+	checkTile("C", cLoc, aRows, bCols)
 	for k := 0; k < len(widths); k++ {
 		if k > 0 && widths[k-1]%widths[k] != 0 {
 			return fmt.Errorf("core: level %d width %d not a multiple of next width %d", k-1, widths[k-1], widths[k])
 		}
 	}
-	if localCols%widths[0] != 0 || localRows%widths[0] != 0 {
-		return fmt.Errorf("core: top width %d does not divide local tile %dx%d", widths[0], localRows, localCols)
+	if aCols%widths[0] != 0 || bRows%widths[0] != 0 {
+		return fmt.Errorf("core: top width %d does not divide the per-rank K extents %d (A columns) and %d (B rows)",
+			widths[0], aCols, bRows)
 	}
 
 	i, j := g.Coords(c.Rank())
@@ -98,19 +98,19 @@ func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int,
 	aWire := make([]comm.Buf, nLevels)
 	bWire := make([]comm.Buf, nLevels)
 	for k, w := range widths {
-		aBufs[k] = c.NewTile(localRows, w)
-		bBufs[k] = c.NewTile(w, localCols)
-		aWire[k] = c.NewBuf(localRows * w)
-		bWire[k] = c.NewBuf(w * localCols)
+		aBufs[k] = c.NewTile(aRows, w)
+		bBufs[k] = c.NewTile(w, bCols)
+		aWire[k] = c.NewBuf(aRows * w)
+		bWire[k] = c.NewBuf(w * bCols)
 	}
 
 	// descend recursively broadcasts the panel starting at global pivot
-	// index lo with width widths[k] at level k, then subdivides.
+	// K index lo with width widths[k] at level k, then subdivides.
 	var descend func(k, lo int)
 	descend = func(k, lo int) {
 		w := widths[k]
-		ownerCol := lo / localCols
-		ownerRow := lo / localRows
+		ownerCol := lo / aCols
+		ownerRow := lo / bRows
 		ownerColDigits := digits(ownerCol, colRadix)
 		ownerRowDigits := digits(ownerRow, rowRadix)
 		// A horizontal broadcast at this level: participants are ranks
@@ -120,10 +120,10 @@ func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int,
 			if colDigits[k] == ownerColDigits[k] {
 				// I hold the parent panel (or the tile at k=0).
 				if k == 0 {
-					c.Pack(aWire[k], aLoc.View(0, lo%localCols, localRows, w))
+					c.Pack(aWire[k], aLoc.View(0, lo%aCols, aRows, w))
 				} else {
 					parentOff := lo % widths[k-1]
-					c.Pack(aWire[k], aBufs[k-1].View(0, parentOff, localRows, w))
+					c.Pack(aWire[k], aBufs[k-1].View(0, parentOff, aRows, w))
 				}
 			}
 			aComms[k].Bcast(o.Broadcast, ownerColDigits[k], aWire[k], o.Segments)
@@ -132,10 +132,10 @@ func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int,
 		if digitsMatchBelow(rowDigits, ownerRowDigits, k) {
 			if rowDigits[k] == ownerRowDigits[k] {
 				if k == 0 {
-					c.Pack(bWire[k], bLoc.View(lo%localRows, 0, w, localCols))
+					c.Pack(bWire[k], bLoc.View(lo%bRows, 0, w, bCols))
 				} else {
 					parentOff := lo % widths[k-1]
-					c.Pack(bWire[k], bBufs[k-1].View(parentOff, 0, w, localCols))
+					c.Pack(bWire[k], bBufs[k-1].View(parentOff, 0, w, bCols))
 				}
 			}
 			bComms[k].Bcast(o.Broadcast, ownerRowDigits[k], bWire[k], o.Segments)
@@ -149,7 +149,7 @@ func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int,
 			descend(k+1, lo+sub*widths[k+1])
 		}
 	}
-	for outer := 0; outer < n/widths[0]; outer++ {
+	for outer := 0; outer < o.Shape.K/widths[0]; outer++ {
 		descend(0, outer*widths[0])
 	}
 	return nil

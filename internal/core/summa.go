@@ -9,15 +9,16 @@ import (
 )
 
 // SUMMA performs C += A·B over the communicator with the scalable universal
-// matrix multiplication algorithm (paper Section II-A): n/b steps, each
+// matrix multiplication algorithm (paper Section II-A): K/b steps, each
 // broadcasting the pivot column panel of A along process rows and the pivot
 // row panel of B along process columns, followed by a local rank-b update.
 //
 // c must span exactly Grid.Size() ranks; aLoc, bLoc and cLoc are this
-// rank's block-checkerboard tiles of size (n/s)×(n/t) (see dist.BlockMap).
-// aLoc and bLoc are not modified. The algorithm is written against the
-// transport-agnostic comm.Comm interface, so the identical code executes on
-// the live goroutine runtime and on the simnet virtual communicator.
+// rank's block-checkerboard tiles of size (M/s)×(K/t), (K/s)×(N/t) and
+// (M/s)×(N/t) respectively (see dist.BlockMap). aLoc and bLoc are not
+// modified. The algorithm is written against the transport-agnostic
+// comm.Comm interface, so the identical code executes on the live
+// goroutine runtime and on the simnet virtual communicator.
 func SUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	o := opts.withDefaults()
 	if err := o.validateSUMMA(); err != nil {
@@ -32,29 +33,29 @@ func SUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 	rowComm := c.Split(i, j)     // my grid row; my rank within it is j
 	colComm := c.Split(g.S+j, i) // my grid column; my rank within it is i
 
-	n, b := o.N, o.BlockSize
-	localRows, localCols := n/g.S, n/g.T
-	checkTile("A", aLoc, localRows, localCols)
-	checkTile("B", bLoc, localRows, localCols)
-	checkTile("C", cLoc, localRows, localCols)
+	b := o.BlockSize
+	aRows, aCols, bRows, bCols := o.tiles()
+	checkTile("A", aLoc, aRows, aCols)
+	checkTile("B", bLoc, bRows, bCols)
+	checkTile("C", cLoc, aRows, bCols)
 
-	aPanel := c.NewTile(localRows, b)
-	bPanel := c.NewTile(b, localCols)
-	aBuf := c.NewBuf(localRows * b)
-	bBuf := c.NewBuf(b * localCols)
-	for k := 0; k < n/b; k++ {
-		lo := k * b // first global index of the pivot panel
-		ownerCol := lo / localCols
-		ownerRow := lo / localRows
+	aPanel := c.NewTile(aRows, b)
+	bPanel := c.NewTile(b, bCols)
+	aBuf := c.NewBuf(aRows * b)
+	bBuf := c.NewBuf(b * bCols)
+	for k := 0; k < o.Shape.K/b; k++ {
+		lo := k * b // first global K index of the pivot panel
+		ownerCol := lo / aCols
+		ownerRow := lo / bRows
 		// Horizontal broadcast of A's pivot column panel along my row.
 		if j == ownerCol {
-			c.Pack(aBuf, aLoc.View(0, lo%localCols, localRows, b))
+			c.Pack(aBuf, aLoc.View(0, lo%aCols, aRows, b))
 		}
 		rowComm.Bcast(o.Broadcast, ownerCol, aBuf, o.Segments)
 		c.Unpack(aPanel, aBuf)
 		// Vertical broadcast of B's pivot row panel along my column.
 		if i == ownerRow {
-			c.Pack(bBuf, bLoc.View(lo%localRows, 0, b, localCols))
+			c.Pack(bBuf, bLoc.View(lo%bRows, 0, b, bCols))
 		}
 		colComm.Bcast(o.Broadcast, ownerRow, bBuf, o.Segments)
 		c.Unpack(bPanel, bBuf)

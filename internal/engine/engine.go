@@ -106,18 +106,103 @@ func ResolveExecutor(e Executor, alg Algorithm, overlap bool) (Executor, error) 
 // transport it runs on.
 type Spec struct {
 	Algorithm Algorithm
-	// Opts carries N, Grid, BlockSize, OuterBlockSize, Groups, Broadcast
-	// and Segments (see core.Options).
+	// Opts carries the Shape (with N as the square shorthand), Grid,
+	// BlockSize, OuterBlockSize, Groups, Broadcast and Segments (see
+	// core.Options).
 	Opts core.Options
 	// Levels configures Multilevel (outermost first); the inner block is
 	// Opts.BlockSize.
 	Levels []core.Level
 }
 
+// Shape returns the spec's resolved global GEMM shape: Opts.Shape, or the
+// square shorthand Square(Opts.N) when Shape is unset.
+func (s Spec) Shape() matrix.Shape {
+	if !s.Opts.Shape.IsZero() {
+		return s.Opts.Shape
+	}
+	return matrix.Square(s.Opts.N)
+}
+
+// PaddedShape returns the smallest execution shape ≥ the spec's shape that
+// satisfies the algorithm's divisibility constraints on its grid and block
+// sizes. Zero-padding preserves the product — the top-left M×N block of
+// the padded C equals A·B — so both execution paths run the padded shape
+// and the live path crops the gathered result. Square-only algorithms
+// (Cannon, Fox) reject rectangular shapes with matrix.ErrSquareOnly; a
+// square-but-non-divisible n is padded to the next multiple of q.
+func (s Spec) PaddedShape() (matrix.Shape, error) {
+	sh := s.Shape()
+	if err := sh.Validate(); err != nil {
+		return matrix.Shape{}, err
+	}
+	g := s.Opts.Grid
+	if g.S <= 0 || g.T <= 0 {
+		return sh, nil // grid validation happens in the algorithm
+	}
+	switch s.Algorithm {
+	case Cannon, Fox:
+		if !sh.IsSquare() {
+			return matrix.Shape{}, fmt.Errorf("engine: %s: shape %v: %w", s.Algorithm, sh, matrix.ErrSquareOnly)
+		}
+		if g.S != g.T {
+			return sh, nil // the baseline reports the grid restriction
+		}
+		return matrix.Square(ceilMult(sh.N, g.S)), nil
+	case SUMMA, HSUMMA, Multilevel:
+		// The K padding unit: panels of the widest level must live in one
+		// grid row and one grid column, so K must be a multiple of
+		// unit·lcm(S,T); M and N only need their own grid dimension.
+		unit := s.Opts.BlockSize
+		if s.Algorithm == HSUMMA && s.Opts.OuterBlockSize > unit {
+			unit = s.Opts.OuterBlockSize
+		}
+		if s.Algorithm == Multilevel && len(s.Levels) > 0 && s.Levels[0].BlockSize > unit {
+			unit = s.Levels[0].BlockSize
+		}
+		if unit <= 0 {
+			return sh, nil // block validation happens in the algorithm
+		}
+		return matrix.Shape{
+			M: ceilMult(sh.M, g.S),
+			N: ceilMult(sh.N, g.T),
+			K: ceilMult(sh.K, unit*lcm(g.S, g.T)),
+		}, nil
+	}
+	return sh, nil
+}
+
+// Padded returns the spec with its shape replaced by PaddedShape — the
+// form both execution paths actually run. It is idempotent.
+func (s Spec) Padded() (Spec, error) {
+	sh, err := s.PaddedShape()
+	if err != nil {
+		return Spec{}, err
+	}
+	s.Opts.Shape = sh
+	s.Opts.N = 0
+	return s, nil
+}
+
+// ceilMult rounds v up to the next multiple of m.
+func ceilMult(v, m int) int { return (v + m - 1) / m * m }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
 // Run executes the specified algorithm on this rank's communicator and
 // tiles. It is called SPMD-style: every rank of the communicator calls Run
 // with the same Spec and its own tiles.
 func Run(c comm.Comm, s Spec, aLoc, bLoc, cLoc *matrix.Dense) error {
+	if s.Opts.Shape.IsZero() {
+		s.Opts.Shape = s.Shape()
+	}
 	switch s.Algorithm {
 	case SUMMA:
 		return core.SUMMA(c, s.Opts, aLoc, bLoc, cLoc)
@@ -126,9 +211,9 @@ func Run(c comm.Comm, s Spec, aLoc, bLoc, cLoc *matrix.Dense) error {
 	case Multilevel:
 		return core.MultilevelHSUMMA(c, s.Opts, s.Levels, s.Opts.BlockSize, aLoc, bLoc, cLoc)
 	case Cannon:
-		return baseline.Cannon(c, s.Opts.Grid, s.Opts.N, aLoc, bLoc, cLoc)
+		return baseline.Cannon(c, s.Opts.Grid, s.Shape(), aLoc, bLoc, cLoc)
 	case Fox:
-		return baseline.Fox(c, s.Opts.Grid, s.Opts.N, s.Opts.Broadcast, aLoc, bLoc, cLoc)
+		return baseline.Fox(c, s.Opts.Grid, s.Shape(), s.Opts.Broadcast, aLoc, bLoc, cLoc)
 	case Auto:
 		return fmt.Errorf("engine: algorithm %q must be resolved by the tune planner before Run", s.Algorithm)
 	default:

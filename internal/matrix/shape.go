@@ -1,0 +1,72 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shape is the global GEMM problem shape: C (M×N) += A (M×K) · B (K×N).
+// The paper's analysis and experiments fix M = N = K = n (the square
+// benchmark); Shape carries the three dimensions independently so the
+// whole stack — distribution, algorithms, cost models, planner,
+// simulators — handles tall, wide and fat-K rectangular workloads with
+// the square problem as the special case Square(n).
+type Shape struct {
+	// M is the row count of A and C.
+	M int `json:"m"`
+	// N is the column count of B and C.
+	N int `json:"n"`
+	// K is the contraction dimension: columns of A, rows of B.
+	K int `json:"k"`
+}
+
+// Square returns the paper's square n×n×n shape — the shorthand every
+// config layer keeps accepting as a plain n.
+func Square(n int) Shape { return Shape{M: n, N: n, K: n} }
+
+// IsZero reports whether the shape is unset (the "defer to the square
+// shorthand" sentinel used by the config layers).
+func (s Shape) IsZero() bool { return s == Shape{} }
+
+// IsSquare reports M = N = K, the only case the Cannon and Fox baselines
+// (and the paper's closed-form tables) cover.
+func (s Shape) IsSquare() bool { return s.M == s.N && s.N == s.K }
+
+// Validate rejects non-positive dimensions with an error naming them, so
+// Multiply, Simulate and Plan all report the same diagnosis.
+func (s Shape) Validate() error {
+	if s.M <= 0 || s.N <= 0 || s.K <= 0 {
+		return fmt.Errorf("matrix: invalid GEMM shape M=%d N=%d K=%d (every dimension must be positive)", s.M, s.N, s.K)
+	}
+	return nil
+}
+
+// Flops returns the multiply-add count 2·M·N·K of one GEMM of this shape.
+func (s Shape) Flops() float64 { return 2 * float64(s.M) * float64(s.N) * float64(s.K) }
+
+// MinDim returns the smallest of the three dimensions — the ceiling any
+// panel width must respect on skinny problems.
+func (s Shape) MinDim() int {
+	min := s.M
+	if s.N < min {
+		min = s.N
+	}
+	if s.K < min {
+		min = s.K
+	}
+	return min
+}
+
+func (s Shape) String() string {
+	if s.IsSquare() {
+		return fmt.Sprintf("n=%d", s.N)
+	}
+	return fmt.Sprintf("M=%d N=%d K=%d", s.M, s.N, s.K)
+}
+
+// ErrSquareOnly is the shared restriction error for the square-only
+// baselines (Cannon, Fox): they require M = N = K on a square process
+// grid. Every surface (Multiply, Simulate, Plan, the planner's candidate
+// enumeration) wraps this error, so errors.Is works identically across
+// all of them.
+var ErrSquareOnly = errors.New("algorithm is square-only: it requires M = N = K on a square process grid")

@@ -1,0 +1,53 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShapeBasics(t *testing.T) {
+	if s := Square(8); s != (Shape{M: 8, N: 8, K: 8}) || !s.IsSquare() || s.IsZero() {
+		t.Fatalf("Square(8) = %+v", s)
+	}
+	if (Shape{}).IsSquare() != true {
+		t.Fatal("zero shape trivially square") // degenerate but consistent
+	}
+	if !(Shape{}).IsZero() {
+		t.Fatal("zero shape not IsZero")
+	}
+	if s := (Shape{M: 4, N: 2, K: 8}); s.IsSquare() {
+		t.Fatalf("%v reported square", s)
+	}
+	if got := (Shape{M: 3, N: 5, K: 7}).Flops(); got != 2*3*5*7 {
+		t.Fatalf("Flops = %g", got)
+	}
+	if got := (Shape{M: 9, N: 5, K: 7}).MinDim(); got != 5 {
+		t.Fatalf("MinDim = %d", got)
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	if err := Square(16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Shape{{}, {M: 4, N: 4}, {M: -1, N: 4, K: 4}, {M: 4, N: 0, K: 4}} {
+		err := s.Validate()
+		if err == nil {
+			t.Fatalf("%+v accepted", s)
+		}
+		// The error must name the dimensions so every public surface
+		// reports the same diagnosis.
+		if !strings.Contains(err.Error(), "M=") || !strings.Contains(err.Error(), "K=") {
+			t.Fatalf("error does not name dimensions: %v", err)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := Square(64).String(); got != "n=64" {
+		t.Fatalf("square String = %q", got)
+	}
+	if got := (Shape{M: 8, N: 4, K: 2}).String(); got != "M=8 N=4 K=2" {
+		t.Fatalf("rect String = %q", got)
+	}
+}

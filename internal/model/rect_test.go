@@ -1,0 +1,114 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hockney"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/topo"
+)
+
+func presets() []platform.Platform {
+	return []platform.Platform{
+		platform.Grid5000(), platform.BlueGeneP(), platform.Exascale(),
+		platform.Grid5000Calibrated(), platform.BlueGenePCalibrated(),
+	}
+}
+
+// Acceptance: the rectangular cost model reduces *bit-exactly* to the
+// existing square formulas at M = N = K, on every platform preset and
+// under both of the paper's broadcast models.
+func TestRectReducesToSquareBitExact(t *testing.T) {
+	n, p, b := 65536, 16384, 256
+	grid := topo.Grid{S: 128, T: 128}
+	for _, pf := range presets() {
+		for _, bc := range []Broadcast{BinomialTree{}, VanDeGeijn{}} {
+			rp := RectParams{Shape: matrix.Square(n), Grid: grid, B: b, Machine: pf.Model, Bcast: bc}
+			sp := Params{N: n, P: p, B: b, Machine: pf.Model, Bcast: bc}
+
+			if got, want := SUMMARect(rp), SUMMA(sp); got != want {
+				t.Fatalf("%s/%s SUMMA: rect %+v != square %+v", pf.Name, bc.Name(), got, want)
+			}
+			for _, G := range []int{1, 16, 128, 1024, 16384} {
+				I := int(math.Round(math.Sqrt(float64(G))))
+				if I*I != G {
+					continue
+				}
+				got := HSUMMARect(rp, I, I, 0)
+				want := HSUMMA(sp, float64(G))
+				if got != want {
+					t.Fatalf("%s/%s HSUMMA G=%d: rect %+v != square %+v", pf.Name, bc.Name(), G, got, want)
+				}
+			}
+			// Split blocks (B = 4b) must reduce to the Table II general row.
+			if got, want := HSUMMARect(rp, 16, 16, 4*b), HSUMMASplitBlocks(sp, 256, 4*b); got != want {
+				t.Fatalf("%s/%s split blocks: rect %+v != square %+v", pf.Name, bc.Name(), got, want)
+			}
+		}
+	}
+}
+
+// The generic rectangular arithmetic (the non-delegated path) must agree
+// with the square closed form to floating-point reassociation tolerance —
+// the delegation above is a consistency shortcut, not a different model.
+func TestRectGenericAgreesWithSquare(t *testing.T) {
+	n, p, b := 4096, 256, 64
+	grid := topo.Grid{S: 16, T: 16}
+	for _, pf := range presets() {
+		for _, bc := range []Broadcast{BinomialTree{}, VanDeGeijn{}} {
+			rp := RectParams{Shape: matrix.Square(n), Grid: grid, B: b, Machine: pf.Model, Bcast: bc}
+			sp := Params{N: n, P: p, B: b, Machine: pf.Model, Bcast: bc}
+			got := summaRectGeneric(rp).Comm()
+			want := SUMMA(sp).Comm()
+			if math.Abs(got-want) > 1e-12*want {
+				t.Fatalf("%s/%s: generic rect %g vs square %g", pf.Name, bc.Name(), got, want)
+			}
+			gotH := hsummaRectGeneric(rp, 4, 4, b).Comm()
+			wantH := HSUMMA(sp, 16).Comm()
+			if math.Abs(gotH-wantH) > 1e-12*wantH {
+				t.Fatalf("%s/%s HSUMMA: generic rect %g vs square %g", pf.Name, bc.Name(), gotH, wantH)
+			}
+		}
+	}
+}
+
+// Rectangular sanity: a tall problem on a tall grid must broadcast less
+// than on the transposed (mismatched) grid — the effect that makes the
+// planner's orientation search worthwhile.
+func TestRectOrientationMatters(t *testing.T) {
+	m := hockney.Model{Alpha: 1e-5, Beta: 1e-9, Gamma: 1e-11}
+	sh := matrix.Shape{M: 16384, N: 512, K: 16384}
+	tall := SUMMARect(RectParams{Shape: sh, Grid: topo.Grid{S: 32, T: 4}, B: 64, Machine: m})
+	wide := SUMMARect(RectParams{Shape: sh, Grid: topo.Grid{S: 4, T: 32}, B: 64, Machine: m})
+	if tall.Comm() >= wide.Comm() {
+		t.Fatalf("tall-on-tall %g not cheaper than tall-on-wide %g", tall.Comm(), wide.Comm())
+	}
+	// Compute is orientation-independent.
+	if tall.Compute != wide.Compute {
+		t.Fatalf("compute differs with orientation: %g vs %g", tall.Compute, wide.Compute)
+	}
+}
+
+func TestRectParamsValidate(t *testing.T) {
+	m := hockney.Model{Alpha: 1, Beta: 1}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero shape", func() {
+		SUMMARect(RectParams{Grid: topo.Grid{S: 2, T: 2}, B: 2, Machine: m})
+	})
+	mustPanic("zero block", func() {
+		SUMMARect(RectParams{Shape: matrix.Square(8), Grid: topo.Grid{S: 2, T: 2}, Machine: m})
+	})
+	mustPanic("bad groups", func() {
+		HSUMMARect(RectParams{Shape: matrix.Square(8), Grid: topo.Grid{S: 2, T: 2}, B: 2, Machine: m}, 3, 1, 0)
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/evsim"
 	"repro/internal/hockney"
+	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/simnet"
 	"repro/internal/topo"
@@ -26,6 +27,9 @@ import (
 
 // Config describes one simulated run.
 type Config struct {
+	// Shape is the global GEMM shape C (M×N) += A (M×K)·B (K×N); the zero
+	// value defers to N, the square shorthand.
+	Shape          matrix.Shape
 	N              int
 	Grid           topo.Grid
 	BlockSize      int       // b
@@ -62,11 +66,15 @@ type Config struct {
 type Result struct {
 	Total   float64 // execution time: communication + computation (s)
 	Comm    float64 // max per-rank time inside communication (s)
-	Compute float64 // per-rank computation time 2n³/p·γ (s)
+	Compute float64 // per-rank computation time 2MNK/p·γ (s)
 	// Engine is the virtual execution engine that produced the result
 	// (what "auto" resolved to). Engines are bit-identical; this is
 	// recorded so plans and reports can say which one did the work.
 	Engine engine.Executor
+	// Shape is the execution shape actually simulated — the requested
+	// shape rounded up to the algorithm's divisibility constraints (see
+	// engine.Spec.PaddedShape), identical to what a live run executes.
+	Shape matrix.Shape
 }
 
 // SUMMA simulates the flat algorithm.
@@ -107,7 +115,7 @@ func RunStats(cfg Config, alg engine.Algorithm) (Result, []simnet.VRankStats, er
 	spec := engine.Spec{
 		Algorithm: alg,
 		Opts: core.Options{
-			N: cfg.N, Grid: cfg.Grid,
+			Shape: cfg.Shape, N: cfg.N, Grid: cfg.Grid,
 			BlockSize:      cfg.BlockSize,
 			OuterBlockSize: cfg.OuterBlockSize,
 			Groups:         cfg.Groups,
@@ -150,19 +158,35 @@ func RunSpecOn(spec engine.Spec, vcfg simnet.VConfig, ex engine.Executor) (Resul
 	if err != nil {
 		return Result{}, nil, err
 	}
+	// Pad to the algorithm's divisibility constraints (idempotent), the
+	// same execution shape the live path runs — the parity invariant.
+	spec, err = spec.Padded()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	sh := spec.Opts.Shape
 	g := spec.Opts.Grid
-	bm, err := dist.NewBlockMap(spec.Opts.N, spec.Opts.N, g)
+	bmA, err := dist.NewBlockMap(sh.M, sh.K, g)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	bmB, err := dist.NewBlockMap(sh.K, sh.N, g)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	bmC, err := dist.NewBlockMap(sh.M, sh.N, g)
 	if err != nil {
 		return Result{}, nil, err
 	}
 	var mu sync.Mutex
 	var algErr error
 	rank := func(c comm.Comm) {
-		// Shape-only tiles: the virtual transport never touches element
-		// storage, so a 16384-rank simulation allocates only headers.
-		aLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
-		bLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
-		cLoc := c.NewTile(bm.LocalRows(), bm.LocalCols())
+		// Shape-only tiles, one per operand: the virtual transport never
+		// touches element storage, so a 16384-rank simulation allocates
+		// only headers.
+		aLoc := c.NewTile(bmA.LocalRows(), bmA.LocalCols())
+		bLoc := c.NewTile(bmB.LocalRows(), bmB.LocalCols())
+		cLoc := c.NewTile(bmC.LocalRows(), bmC.LocalCols())
 		if e := engine.Run(c, spec, aLoc, bLoc, cLoc); e != nil {
 			mu.Lock()
 			if algErr == nil {
@@ -188,13 +212,13 @@ func RunSpecOn(spec engine.Spec, vcfg simnet.VConfig, ex engine.Executor) (Resul
 	if algErr != nil {
 		return Result{}, nil, algErr
 	}
-	n := float64(spec.Opts.N)
 	p := float64(g.Size())
 	res := Result{
 		Total:   w.Total(),
 		Comm:    w.MaxCommTime(),
-		Compute: vcfg.Model.Compute(2 * n * n * n / p),
+		Compute: vcfg.Model.Compute(sh.Flops() / p),
 		Engine:  resolved,
+		Shape:   sh,
 	}
 	return res, w.Stats(), nil
 }

@@ -136,19 +136,22 @@ func TestTotalDecomposition(t *testing.T) {
 
 func TestValidationErrors(t *testing.T) {
 	g := topo.Grid{S: 4, T: 4}
-	bad := []Config{
-		{N: 0, Grid: g, BlockSize: 8, Machine: machine},
-		{N: 100, Grid: g, BlockSize: 8, Machine: machine},  // n not divisible
-		{N: 256, Grid: g, BlockSize: 48, Machine: machine}, // b does not divide tile
-	}
-	for _, cfg := range bad {
-		if _, err := SUMMA(cfg); err == nil {
-			t.Fatalf("accepted %+v", cfg)
-		}
+	if _, err := SUMMA(Config{N: 0, Grid: g, BlockSize: 8, Machine: machine}); err == nil {
+		t.Fatal("accepted n=0")
 	}
 	hb := Config{N: 256, Grid: g, BlockSize: 8, OuterBlockSize: 12, Groups: mustHier(t, g, 4), Machine: machine}
 	if _, err := HSUMMA(hb); err == nil {
 		t.Fatal("accepted B not multiple of b")
+	}
+	// Non-divisible problems are no longer rejected: the spec is padded to
+	// the execution shape (the result the padded live run computes, then
+	// crops). The padded shape is echoed on the result.
+	res, err := SUMMA(Config{N: 100, Grid: g, BlockSize: 8, Machine: machine})
+	if err != nil {
+		t.Fatalf("n=100 on 4x4 should pad, got %v", err)
+	}
+	if res.Shape.K != 128 || res.Shape.M != 100 || res.Shape.N != 100 {
+		t.Fatalf("unexpected padded shape %v", res.Shape)
 	}
 }
 

@@ -1,21 +1,26 @@
 package tune
 
 import (
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hockney"
+	"repro/internal/matrix"
 	"repro/internal/model"
 	"repro/internal/sched"
 )
 
 // scorer evaluates candidates with the closed-form broadcast models of
-// internal/model generalised to rectangular S×T grids (the paper's tables
-// assume √p×√p; on a square grid the formulas below reduce to model.SUMMA
-// and model.HSUMMA exactly, which the package tests assert). One scorer is
-// built per plan so the schedule-derived broadcast factors are cached
-// across the thousands of stage-1 evaluations.
+// internal/model generalised to rectangular problems on rectangular S×T
+// grids (the paper's tables assume n×n on √p×√p): SUMMA and HSUMMA score
+// through model.SUMMARect/HSUMMARect, which reduce bit-exactly to
+// model.SUMMA and model.HSUMMA on square problems (asserted in the model
+// and tune package tests), so a square request ranks exactly as before
+// the generalisation. One scorer is built per plan so the
+// schedule-derived broadcast factors are cached across the thousands of
+// stage-1 evaluations.
 type scorer struct {
-	n int
-	m hockney.Model
+	sh matrix.Shape
+	m  hockney.Model
 	// overlap scores total as max(comm, compute) instead of their sum.
 	overlap bool
 	bcasts  map[bcKey]model.Broadcast
@@ -26,8 +31,8 @@ type bcKey struct {
 	segments int
 }
 
-func newScorer(n int, m hockney.Model, overlap bool) *scorer {
-	return &scorer{n: n, m: m, overlap: overlap, bcasts: make(map[bcKey]model.Broadcast)}
+func newScorer(sh matrix.Shape, m hockney.Model, overlap bool) *scorer {
+	return &scorer{sh: sh, m: m, overlap: overlap, bcasts: make(map[bcKey]model.Broadcast)}
 }
 
 // bcast returns the equation-(1) factors L(p), W(p) for a broadcast
@@ -66,66 +71,79 @@ func (s *scorer) bcastStep(bc model.Broadcast, p, elems float64) float64 {
 	return bc.Latency(p)*s.m.Alpha + elems*bc.Bandwidth(p)*s.m.Beta
 }
 
+// execShape returns the shape the candidate would actually execute: the
+// requested shape rounded up to the candidate's divisibility constraints
+// (identity on dividing shapes). Scoring the padded shape keeps the
+// stage-1 ranking honest on non-dividing problems, where candidates with
+// different blocks pad by different amounts and an analytic-only plan
+// has no stage-2 run to correct it.
+func (s *scorer) execShape(c Candidate) matrix.Shape {
+	spec := engine.Spec{Algorithm: c.Algorithm, Opts: core.Options{
+		Shape: s.sh, Grid: c.Grid,
+		BlockSize: c.BlockSize, OuterBlockSize: c.OuterBlockSize,
+	}, Levels: c.Levels}
+	padded, err := spec.PaddedShape()
+	if err != nil {
+		return s.sh // square-only rejection is handled by the enumeration
+	}
+	return padded
+}
+
 // score returns the candidate's analytic (comm, total) in seconds.
 func (s *scorer) score(c Candidate) (comm, total float64) {
-	n := float64(s.n)
+	sh := s.execShape(c)
+	M := float64(sh.M)
+	N := float64(sh.N)
+	K := float64(sh.K)
 	p := float64(c.Grid.Size())
 	S := float64(c.Grid.S)
 	T := float64(c.Grid.T)
-	tileA := n / S // rows of the per-rank A panel (and C tile)
-	tileB := n / T // cols of the per-rank B panel
+	tileA := M / S // rows of the per-rank A panel (and C tile)
+	tileB := N / T // cols of the per-rank B panel
 
 	switch c.Algorithm {
 	case engine.SUMMA:
-		bc := s.bcast(c.Broadcast, c.Segments)
-		b := float64(c.BlockSize)
-		steps := n / b
-		comm = steps * (s.bcastStep(bc, T, tileA*b) + s.bcastStep(bc, S, b*tileB))
+		comm = model.SUMMARect(model.RectParams{
+			Shape: sh, Grid: c.Grid, B: c.BlockSize,
+			Machine: s.m, Bcast: s.bcast(c.Broadcast, c.Segments),
+		}).Comm()
 
 	case engine.HSUMMA:
-		bc := s.bcast(c.Broadcast, c.Segments)
-		b := float64(c.BlockSize)
-		B := float64(c.OuterBlockSize)
-		if B == 0 {
-			B = b
-		}
-		I := float64(c.GroupShape[0])
-		J := float64(c.GroupShape[1])
-		// Outer phase: n/B inter-group broadcasts over the J-wide group-row
-		// and I-tall group-column communicators; inner phase: n/b intra-group
-		// broadcasts over the (T/J)-wide and (S/I)-tall inner communicators.
-		comm = (n/B)*(s.bcastStep(bc, J, tileA*B)+s.bcastStep(bc, I, B*tileB)) +
-			(n/b)*(s.bcastStep(bc, T/J, tileA*b)+s.bcastStep(bc, S/I, b*tileB))
+		comm = model.HSUMMARect(model.RectParams{
+			Shape: sh, Grid: c.Grid, B: c.BlockSize,
+			Machine: s.m, Bcast: s.bcast(c.Broadcast, c.Segments),
+		}, c.GroupShape[0], c.GroupShape[1], c.OuterBlockSize).Comm()
 
 	case engine.Multilevel:
 		bc := s.bcast(c.Broadcast, c.Segments)
 		remS, remT := S, T
 		for _, lv := range c.Levels {
 			Bk := float64(lv.BlockSize)
-			comm += (n / Bk) * (s.bcastStep(bc, float64(lv.J), tileA*Bk) + s.bcastStep(bc, float64(lv.I), Bk*tileB))
+			comm += (K / Bk) * (s.bcastStep(bc, float64(lv.J), tileA*Bk) + s.bcastStep(bc, float64(lv.I), Bk*tileB))
 			remS /= float64(lv.I)
 			remT /= float64(lv.J)
 		}
 		b := float64(c.BlockSize)
-		comm += (n / b) * (s.bcastStep(bc, remT, tileA*b) + s.bcastStep(bc, remS, b*tileB))
+		comm += (K / b) * (s.bcastStep(bc, remT, tileA*b) + s.bcastStep(bc, remS, b*tileB))
 
 	case engine.Cannon:
 		// q−1 alignment shifts amortise into the q compute-step shifts on
 		// the virtual transport's full-duplex rendezvous; charge 2 transfers
 		// of the n²/p tile per step plus one alignment round each way.
+		// (Square-only: the enumeration never proposes Cannon otherwise.)
 		q := S
-		tile := n * n / p
+		tile := N * N / p
 		shift := s.m.Alpha + tile*s.m.Beta
 		comm = 2 * (q + 1) * shift
 
 	case engine.Fox:
 		bc := s.bcast(c.Broadcast, c.Segments)
 		q := S
-		tile := n * n / p
+		tile := N * N / p
 		comm = q * (s.bcastStep(bc, q, tile) + (s.m.Alpha + tile*s.m.Beta))
 	}
 
-	compute := s.m.Compute(2 * n * n * n / p)
+	compute := s.m.Compute(2 * M * N * K / p)
 	if s.overlap {
 		total = comm
 		if compute > total {

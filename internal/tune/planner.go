@@ -83,8 +83,8 @@ func fingerprint(req Request) string {
 	pf := req.Platform
 	fmt.Fprintf(&b, "pf=%s|a=%g|b=%g|g=%g|cont=%d|deg=%d",
 		pf.Name, pf.Model.Alpha, pf.Model.Beta, pf.Model.Gamma, pf.Contention, pf.TorusDegree)
-	fmt.Fprintf(&b, "|n=%d|p=%d|obj=%s|k=%d|quick=%t|analytic=%t|contention=%t|overlap=%t",
-		req.N, req.P, req.Objective, req.TopK, req.Quick, req.AnalyticOnly, req.Contention, req.Overlap)
+	fmt.Fprintf(&b, "|M=%d|N=%d|K=%d|p=%d|obj=%s|k=%d|quick=%t|analytic=%t|contention=%t|overlap=%t",
+		req.Shape.M, req.Shape.N, req.Shape.K, req.P, req.Objective, req.TopK, req.Quick, req.AnalyticOnly, req.Contention, req.Overlap)
 	if req.Grid != nil {
 		fmt.Fprintf(&b, "|grid=%dx%d", req.Grid.S, req.Grid.T)
 	}
@@ -148,7 +148,7 @@ func (p *Planner) plan(req Request) (*Plan, error) {
 	}
 
 	// Stage 1: closed-form scoring of the whole space.
-	sc := newScorer(req.N, req.Platform.Model, req.Overlap)
+	sc := newScorer(req.Shape, req.Platform.Model, req.Overlap)
 	scored := make([]Scored, len(cands))
 	for i, c := range cands {
 		comm, total := sc.score(c)
@@ -179,9 +179,14 @@ func (p *Planner) plan(req Request) (*Plan, error) {
 	if top[0].Err != "" {
 		return nil, fmt.Errorf("tune: every refined candidate failed; best: %s: %s", top[0].Candidate, top[0].Err)
 	}
+	n := 0
+	if req.Shape.IsSquare() {
+		n = req.Shape.N
+	}
 	return &Plan{
 		Platform:  req.Platform.Name,
-		N:         req.N,
+		Shape:     req.Shape,
+		N:         n,
 		P:         req.P,
 		Objective: req.Objective,
 		Best:      top[0],
@@ -212,7 +217,7 @@ func (p *Planner) refine(req Request, top []Scored) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			spec, err := s.Candidate.Spec(req.N)
+			spec, err := s.Candidate.Spec(req.Shape)
 			if err != nil {
 				s.Err = err.Error()
 				return

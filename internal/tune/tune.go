@@ -1,8 +1,9 @@
 // Package tune is the model-driven autotuning planner: given a platform
-// (Hockney machine plus contention description), a problem size n and a
-// processor count p, it searches the configuration space the paper leaves
-// to the reader — algorithm × group hierarchy × grid shape × block sizes ×
-// broadcast variant — and returns a ranked Plan.
+// (Hockney machine plus contention description), a GEMM problem shape
+// (M, N, K — or the square shorthand n) and a processor count p, it
+// searches the configuration space the paper leaves to the reader —
+// algorithm × group hierarchy × grid shape and orientation × block sizes
+// × broadcast variant — and returns a ranked Plan.
 //
 // The search runs in two stages, mirroring how the paper itself proceeds
 // from Tables I–II to measurements:
@@ -23,10 +24,12 @@ package tune
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/matrix"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/topo"
@@ -47,7 +50,11 @@ const (
 type Request struct {
 	// Platform is the machine to tune for (preset or calibrated model).
 	Platform platform.Platform
-	// N is the matrix dimension, P the processor count.
+	// Shape is the GEMM problem C (M×N) += A (M×K)·B (K×N); the zero
+	// value defers to N, the square shorthand.
+	Shape matrix.Shape
+	// N is the square matrix dimension (ignored when Shape is set), P the
+	// processor count.
 	N, P int
 	// Grid optionally pins the process grid (otherwise every feasible
 	// S×T factorisation of P is searched).
@@ -95,6 +102,9 @@ type Request struct {
 }
 
 func (r Request) withDefaults() Request {
+	if r.Shape.IsZero() {
+		r.Shape = matrix.Square(r.N)
+	}
 	if r.Objective == "" {
 		r.Objective = MinTotal
 	}
@@ -119,8 +129,13 @@ func (r Request) withDefaults() Request {
 }
 
 func (r Request) validate() error {
-	if r.N <= 0 || r.P <= 0 {
-		return fmt.Errorf("tune: invalid problem n=%d p=%d", r.N, r.P)
+	// The same dimension-naming validation Multiply and Simulate apply,
+	// so all three public surfaces report identical shape errors.
+	if err := r.Shape.Validate(); err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	if r.P <= 0 {
+		return fmt.Errorf("tune: invalid processor count p=%d", r.P)
 	}
 	if r.Grid != nil && r.Grid.Size() != r.P {
 		return fmt.Errorf("tune: pinned grid %v does not hold %d procs", *r.Grid, r.P)
@@ -146,9 +161,9 @@ type Candidate struct {
 
 // Spec resolves the candidate into the engine's transport-independent run
 // description — the same value hsumma.Multiply and hsumma.Simulate execute.
-func (c Candidate) Spec(n int) (engine.Spec, error) {
+func (c Candidate) Spec(sh matrix.Shape) (engine.Spec, error) {
 	opts := core.Options{
-		N: n, Grid: c.Grid,
+		Shape: sh, Grid: c.Grid,
 		BlockSize:      c.BlockSize,
 		OuterBlockSize: c.OuterBlockSize,
 		Broadcast:      c.Broadcast,
@@ -219,10 +234,14 @@ func (s Scored) objective(o Objective) float64 {
 // Plan is the planner's answer: the best configuration plus the ranked
 // refinement set and search statistics.
 type Plan struct {
-	Platform  string    `json:"platform"`
-	N         int       `json:"n"`
-	P         int       `json:"p"`
-	Objective Objective `json:"objective"`
+	Platform string `json:"platform"`
+	// Shape is the *requested* GEMM problem; candidates that need padding
+	// are scored and simulated at their own (grid-dependent) execution
+	// shapes. N echoes the square shorthand (0 for rectangular problems).
+	Shape     matrix.Shape `json:"shape"`
+	N         int          `json:"n,omitempty"`
+	P         int          `json:"p"`
+	Objective Objective    `json:"objective"`
 	// Best is Ranked[0], repeated for convenience.
 	Best Scored `json:"best"`
 	// Ranked holds the stage-2 refinement set, best first; entries beyond
@@ -240,17 +259,67 @@ type Plan struct {
 	FromCache bool `json:"from_cache,omitempty"`
 }
 
+// minTileExtent returns the smallest per-rank tile extent of the three
+// operands — min(M/S, K/S, K/T, N/T), floored at 1 — the ceiling any auto
+// block size must respect so panels never exceed a skinny dimension.
+func minTileExtent(sh matrix.Shape, g topo.Grid) int {
+	min := sh.M / g.S
+	for _, e := range []int{sh.K / g.S, sh.K / g.T, sh.N / g.T} {
+		if e < min {
+			min = e
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	return min
+}
+
 // DefaultBlockSize is the shared "BlockSize: 0 means auto" rule used by
 // both execution paths (hsumma.Multiply and hsumma.Simulate) and by the
-// planner's b search as its fallback: the largest power-of-two block (≤64)
-// dividing both tile dimensions, degrading to 1 when the tiles are odd.
-func DefaultBlockSize(n int, g topo.Grid) int {
+// planner's b search as its fallback: the largest power-of-two block
+// (≤64) not exceeding the smallest per-rank tile extent and — when the
+// shape divides the grid — dividing the per-rank K extents exactly, so no
+// padding is introduced. On shapes that do not divide the grid (where
+// execution pads K to a multiple of b·lcm(S,T)) the block is additionally
+// bounded so the padding it forces stays under ~12.5% of K — a large b
+// would otherwise silently inflate the executed problem. It degrades to 1
+// when the extents are odd.
+func DefaultBlockSize(sh matrix.Shape, g topo.Grid) int {
+	if sh.IsZero() || g.S <= 0 || g.T <= 0 {
+		return 1
+	}
 	b := 64
-	for b > 1 && ((n/g.S)%b != 0 || (n/g.T)%b != 0) {
+	for b > 1 && b > minTileExtent(sh, g) {
 		b /= 2
+	}
+	if sh.K%g.S == 0 && sh.K%g.T == 0 {
+		for b > 1 && ((sh.K/g.S)%b != 0 || (sh.K/g.T)%b != 0) {
+			b /= 2
+		}
+	} else {
+		// Padding territory: K will execute as ceil(K / b·lcm(S,T)) units.
+		// ceilMult is non-decreasing in b, so halve until the overhead a
+		// block of this size forces is bounded.
+		L := lcm(g.S, g.T)
+		for b > 1 && ceilMult(sh.K, b*L)-sh.K > sh.K/8 {
+			b /= 2
+		}
 	}
 	return b
 }
+
+// ceilMult rounds v up to the next multiple of m.
+func ceilMult(v, m int) int { return (v + m - 1) / m * m }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
 
 // Candidates enumerates the feasible configuration space for a request —
 // exactly the space Plan searches, exported so tests can sweep it
@@ -260,15 +329,22 @@ func Candidates(req Request) ([]Candidate, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	sh := req.Shape
 	grids := candidateGrids(req)
 	if len(grids) == 0 {
-		return nil, fmt.Errorf("tune: no process grid of %d ranks divides n=%d", req.P, req.N)
+		return nil, fmt.Errorf("tune: no process grid of %d ranks fits shape %v", req.P, sh)
 	}
+	squareOnlySkipped := false
 	var out []Candidate
 	for _, g := range grids {
-		bs := blockCandidates(req.N, g, req.Quick)
+		bs := blockCandidates(sh, g, req.Quick)
 		if req.BlockSize > 0 {
-			if (req.N/g.S)%req.BlockSize != 0 || (req.N/g.T)%req.BlockSize != 0 {
+			// A pinned b is a user constraint: feasibility follows the
+			// execution layer, not the auto-search skinny cap — when the
+			// shape divides the grid the panels must divide exactly,
+			// otherwise padding makes any pinned b runnable.
+			if sh.K%g.S == 0 && sh.K%g.T == 0 &&
+				((sh.K/g.S)%req.BlockSize != 0 || (sh.K/g.T)%req.BlockSize != 0) {
 				continue
 			}
 			bs = []int{req.BlockSize}
@@ -302,12 +378,22 @@ func Candidates(req Request) ([]Candidate, error) {
 			case engine.Multilevel:
 				out = append(out, multilevelCandidates(req, g, bs)...)
 			case engine.Cannon:
-				// Cannon needs a square grid with tiles aligned to it.
-				if g.S == g.T && req.N%g.S == 0 {
+				// Cannon is square-only: square problem on a square grid
+				// (a non-divisible n pads to the next multiple of q,
+				// exactly as the execution layer does).
+				if !sh.IsSquare() {
+					squareOnlySkipped = true
+					continue
+				}
+				if g.S == g.T {
 					out = append(out, Candidate{Algorithm: alg, Grid: g})
 				}
 			case engine.Fox:
-				if g.S == g.T && req.N%g.S == 0 {
+				if !sh.IsSquare() {
+					squareOnlySkipped = true
+					continue
+				}
+				if g.S == g.T {
 					for _, bc := range req.Broadcasts {
 						out = append(out, Candidate{Algorithm: alg, Grid: g, Broadcast: bc})
 					}
@@ -316,62 +402,114 @@ func Candidates(req Request) ([]Candidate, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("tune: no feasible candidate for n=%d p=%d", req.N, req.P)
+		if squareOnlySkipped {
+			return nil, fmt.Errorf("tune: no feasible candidate for shape %v p=%d: %w", sh, req.P, matrix.ErrSquareOnly)
+		}
+		return nil, fmt.Errorf("tune: no feasible candidate for shape %v p=%d", sh, req.P)
 	}
 	return out, nil
 }
 
+// gridDivides reports the SUMMA-family layout constraint: every operand's
+// tiles are uniform on the grid (S | M, S | K, T | K, T | N).
+func gridDivides(sh matrix.Shape, g topo.Grid) bool {
+	return sh.M%g.S == 0 && sh.K%g.S == 0 && sh.K%g.T == 0 && sh.N%g.T == 0
+}
+
+// aspectDistance measures how far a grid's S:T ratio sits from the
+// shape's M:N ratio on a log scale — zero for a perfectly
+// orientation-matched grid (tall problems on tall grids).
+func aspectDistance(sh matrix.Shape, g topo.Grid) float64 {
+	return math.Abs(math.Log(float64(g.S)/float64(g.T)) - math.Log(float64(sh.M)/float64(sh.N)))
+}
+
 // candidateGrids lists the process grids the search considers: every S×T
-// factorisation of P whose dimensions divide N (the algorithms' layout
-// constraint), skewed no worse than 8:1 when a squarer choice exists.
-// Quick mode keeps only the squarest feasible grid, since grid shape is a
-// second-order effect the paper holds fixed.
+// factorisation of P whose dimensions divide the shape (the algorithms'
+// layout constraint; when nothing divides — prime-ish dimensions — every
+// factorisation is kept and execution pads). For rectangular outputs
+// (M ≠ N) both orientations of each factorisation are enumerated, so a
+// tall problem can land on a tall grid. Grids are skew-filtered to 8:1
+// around the output aspect ratio, keeping the squarest and the
+// aspect-closest unconditionally. Quick mode keeps only the feasible grid
+// whose orientation best matches the aspect ratio — the squarest one on
+// square problems, matching the paper's fixed grids.
 func candidateGrids(req Request) []topo.Grid {
+	sh := req.Shape
 	if req.Grid != nil {
-		if req.N%req.Grid.S == 0 && req.N%req.Grid.T == 0 {
-			return []topo.Grid{*req.Grid}
-		}
-		return nil
+		// A pinned grid is always accepted: padding makes it executable
+		// even when it does not divide the shape.
+		return []topo.Grid{*req.Grid}
 	}
-	var all []topo.Grid
-	for s := 1; s*s <= req.P; s++ {
-		if req.P%s != 0 {
-			continue
+	collect := func(requireDivides bool) []topo.Grid {
+		var all []topo.Grid
+		for s := 1; s*s <= req.P; s++ {
+			if req.P%s != 0 {
+				continue
+			}
+			t := req.P / s
+			g := topo.Grid{S: s, T: t}
+			if !requireDivides || gridDivides(sh, g) {
+				all = append(all, g)
+			}
+			// The transposed orientation only matters when the output is
+			// rectangular; on M = N the cost is symmetric in (S, T).
+			if s != t && sh.M != sh.N {
+				gT := topo.Grid{S: t, T: s}
+				if !requireDivides || gridDivides(sh, gT) {
+					all = append(all, gT)
+				}
+			}
 		}
-		t := req.P / s
-		if req.N%s != 0 || req.N%t != 0 {
-			continue
-		}
-		all = append(all, topo.Grid{S: s, T: t})
+		return all
+	}
+	all := collect(true)
+	if len(all) == 0 {
+		all = collect(false) // padding territory: prime-ish dimensions
 	}
 	if len(all) == 0 {
 		return nil
 	}
-	// all is ordered by increasing S, so the last entry is the squarest.
-	squarest := all[len(all)-1]
+	// The squarest factorisation, and the orientation closest to the
+	// output aspect ratio, are always kept.
+	squarest, closest := all[0], all[0]
+	for _, g := range all {
+		if min(g.S, g.T) > min(squarest.S, squarest.T) {
+			squarest = g
+		}
+		if aspectDistance(sh, g) < aspectDistance(sh, closest) {
+			closest = g
+		}
+	}
 	if req.Quick {
-		return []topo.Grid{squarest}
+		return []topo.Grid{closest}
 	}
 	kept := all[:0]
 	for _, g := range all {
-		if g == squarest || g.T <= 8*g.S {
+		if g == squarest || g == closest || aspectDistance(sh, g) <= math.Log(8) {
 			kept = append(kept, g)
 		}
 	}
 	return kept
 }
 
-// blockCandidates lists the power-of-two block sizes dividing both tile
-// dimensions, within the paper's experimental range [16, 512] (smaller ones
-// admitted only when nothing in range divides). Quick mode keeps at most
-// three, spread across the range.
-func blockCandidates(n int, g topo.Grid, quick bool) []int {
+// blockCandidates lists the power-of-two block sizes keyed off the
+// per-rank tile extents: never exceeding the smallest extent of any
+// operand (so auto blocks never exceed a skinny dimension) and — when the
+// shape divides the grid — dividing the per-rank K extents exactly.
+// Within that, the paper's experimental range [16, 512] is preferred
+// (smaller ones admitted only when nothing in range fits). Quick mode
+// keeps at most three, spread across the range.
+func blockCandidates(sh matrix.Shape, g topo.Grid, quick bool) []int {
+	cap := minTileExtent(sh, g)
+	exact := sh.K%g.S == 0 && sh.K%g.T == 0
 	var bs []int
-	for b := 1; b <= 512; b *= 2 {
-		if (n/g.S)%b == 0 && (n/g.T)%b == 0 {
-			bs = append(bs, b)
+	for b := 1; b <= 512 && b <= cap; b *= 2 {
+		if exact && ((sh.K/g.S)%b != 0 || (sh.K/g.T)%b != 0) {
+			continue
 		}
+		bs = append(bs, b)
 	}
+	// b = 1 always passes both filters, so bs is never empty.
 	// Prefer the paper's range; tiny blocks only as a last resort.
 	inRange := bs[:0:0]
 	for _, b := range bs {
@@ -408,10 +546,20 @@ func groupCandidates(g topo.Grid, quick bool) []int {
 // outerBlockCandidates lists HSUMMA's B values for a given b: B = b (the
 // paper's configuration) plus, in full mode, the feasible multiples 2b and
 // 4b (§III: the inter-group block should be at least the intra-group one).
-// A pinned Request.OuterBlockSize replaces the search.
+// Feasibility is keyed off the per-rank K extents (B-wide outer panels
+// must live in one grid row/column) and the smallest tile extent. A
+// pinned Request.OuterBlockSize replaces the search.
 func outerBlockCandidates(req Request, g topo.Grid, b int) []int {
+	sh := req.Shape
+	exact := sh.K%g.S == 0 && sh.K%g.T == 0
+	divides := func(B int) bool {
+		return !exact || ((sh.K/g.S)%B == 0 && (sh.K/g.T)%B == 0)
+	}
 	if B := req.OuterBlockSize; B > 0 {
-		if B%b != 0 || (req.N/g.S)%B != 0 || (req.N/g.T)%B != 0 {
+		// A pinned B, like a pinned b, follows the execution layer's
+		// feasibility (padding covers non-dividing shapes), not the
+		// auto-search skinny cap.
+		if B%b != 0 || !divides(B) {
 			return nil
 		}
 		return []int{B}
@@ -421,8 +569,7 @@ func outerBlockCandidates(req Request, g topo.Grid, b int) []int {
 		return out
 	}
 	for _, mult := range []int{2, 4} {
-		B := b * mult
-		if (req.N/g.S)%B == 0 && (req.N/g.T)%B == 0 {
+		if B := b * mult; B <= minTileExtent(sh, g) && divides(B) {
 			out = append(out, B)
 		}
 	}
@@ -439,6 +586,8 @@ func multilevelCandidates(req Request, g topo.Grid, bs []int) []Candidate {
 		{{2, 2}, {2, 2}},
 		{{4, 4}, {2, 2}},
 	}
+	sh := req.Shape
+	exact := sh.K%g.S == 0 && sh.K%g.T == 0
 	for _, shape := range shapes {
 		i1, j1 := shape[0][0], shape[0][1]
 		i2, j2 := shape[1][0], shape[1][1]
@@ -447,7 +596,10 @@ func multilevelCandidates(req Request, g topo.Grid, bs []int) []Candidate {
 		}
 		for _, b := range bs {
 			top := 4 * b
-			if (req.N/g.S)%top != 0 || (req.N/g.T)%top != 0 {
+			if top > minTileExtent(sh, g) {
+				continue
+			}
+			if exact && ((sh.K/g.S)%top != 0 || (sh.K/g.T)%top != 0) {
 				continue
 			}
 			for _, bc := range req.Broadcasts {

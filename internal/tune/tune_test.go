@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/matrix"
 	"repro/internal/model"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -18,7 +19,7 @@ import (
 func TestScorerMatchesClosedFormOnSquareGrid(t *testing.T) {
 	m := platform.BlueGeneP().Model
 	n, p, b := 4096, 64, 64
-	sc := newScorer(n, m, false)
+	sc := newScorer(matrix.Square(n), m, false)
 	grid := topo.Grid{S: 8, T: 8}
 
 	for _, bc := range []sched.Algorithm{sched.Binomial, sched.VanDeGeijn} {
@@ -53,7 +54,7 @@ func TestScorerMatchesClosedFormOnSquareGrid(t *testing.T) {
 // candidate — the exhaustive-sweep oracle the planner is held against.
 func simulateCandidate(t *testing.T, req Request, c Candidate) (comm, total float64) {
 	t.Helper()
-	spec, err := c.Spec(req.N)
+	spec, err := c.Spec(matrix.Square(req.N))
 	if err != nil {
 		t.Fatalf("%s: %v", c, err)
 	}
@@ -193,7 +194,7 @@ func TestDefaultBlockSize(t *testing.T) {
 		{9, topo.Grid{S: 3, T: 3}, 1},    // odd tiles degrade to 1
 	}
 	for _, c := range cases {
-		if got := DefaultBlockSize(c.n, c.g); got != c.want {
+		if got := DefaultBlockSize(matrix.Square(c.n), c.g); got != c.want {
 			t.Fatalf("DefaultBlockSize(%d, %v) = %d, want %d", c.n, c.g, got, c.want)
 		}
 	}
@@ -215,7 +216,7 @@ func TestCandidatesAreFeasible(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, c := range cands {
-			if _, err := c.Spec(req.N); err != nil {
+			if _, err := c.Spec(matrix.Square(req.N)); err != nil {
 				t.Fatalf("candidate %s does not resolve: %v", c, err)
 			}
 			if c.Grid.Size() != req.P {

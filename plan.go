@@ -47,7 +47,11 @@ type PlanStats = tune.PlannerStats
 type PlanConfig struct {
 	// Platform is the machine to tune for (preset or calibrated).
 	Platform Platform
-	// N is the matrix dimension, Procs the rank count.
+	// Shape is the GEMM problem C (M×N) += A (M×K)·B (K×N); the zero
+	// value defers to N, the square shorthand.
+	Shape Shape
+	// N is the square matrix dimension (ignored when Shape is set), Procs
+	// the rank count.
 	N, Procs int
 	// Grid optionally pins the process grid.
 	Grid *[2]int
@@ -91,6 +95,7 @@ func (cfg PlanConfig) request() (tune.Request, error) {
 	}
 	return tune.Request{
 		Platform:     cfg.Platform,
+		Shape:        cfg.Shape,
 		N:            cfg.N,
 		P:            cfg.Procs,
 		Grid:         gp,
@@ -134,7 +139,7 @@ const autoProcs = 2048
 // resolveAuto replaces Algorithm: AlgAuto in a live-run Config with the
 // planner's choice for cfg.Platform (default: the Grid'5000 preset).
 // Explicit Grid and BlockSize settings are honoured as constraints.
-func resolveAuto(n int, cfg Config) (Config, error) {
+func resolveAuto(shape Shape, cfg Config) (Config, error) {
 	pf := platform.Grid5000()
 	if cfg.Platform != nil {
 		pf = *cfg.Platform
@@ -148,7 +153,7 @@ func resolveAuto(n int, cfg Config) (Config, error) {
 		gp = &g
 	}
 	pl, err := tune.PlanFor(tune.Request{
-		Platform: pf, N: n, P: cfg.Procs,
+		Platform: pf, Shape: shape, P: cfg.Procs,
 		Grid: gp, BlockSize: cfg.BlockSize,
 		Quick:        true,
 		AnalyticOnly: cfg.Procs > autoProcs,
@@ -178,7 +183,7 @@ func applyCandidate(cfg Config, c tune.Candidate) Config {
 // resolveSimAuto replaces Algorithm: AlgAuto in a SimConfig with the
 // planner's choice for the simulated machine, honouring the contention and
 // overlap flags of the simulation being requested.
-func resolveSimAuto(cfg SimConfig, procs int) (SimConfig, error) {
+func resolveSimAuto(cfg SimConfig, shape Shape, procs int) (SimConfig, error) {
 	pf := Platform{Name: "custom", Model: cfg.Machine}
 	if cfg.Platform != nil {
 		pf = *cfg.Platform
@@ -192,7 +197,7 @@ func resolveSimAuto(cfg SimConfig, procs int) (SimConfig, error) {
 		gp = &g
 	}
 	pl, err := tune.PlanFor(tune.Request{
-		Platform: pf, N: cfg.N, P: procs,
+		Platform: pf, Shape: shape, P: procs,
 		Grid: gp, BlockSize: cfg.BlockSize,
 		Quick:        true,
 		AnalyticOnly: procs > autoProcs,

@@ -30,6 +30,10 @@ var (
 
 // SimConfig describes one simulated run at arbitrary scale.
 type SimConfig struct {
+	// Shape is the GEMM problem C (M×N) += A (M×K)·B (K×N); the zero
+	// value defers to N, the square shorthand.
+	Shape Shape
+	// N is the square matrix dimension (ignored when Shape is set).
 	N         int
 	Procs     int
 	Grid      *[2]int // optional explicit grid
@@ -84,13 +88,19 @@ type SimResult struct {
 	// Engine reports the virtual execution engine that ran the
 	// simulation (what EngineAuto resolved to).
 	Engine Engine
+	// Shape is the execution shape actually simulated — the requested
+	// shape rounded up to the algorithm's divisibility constraints,
+	// exactly what a live run of this configuration executes.
+	Shape Shape
 }
 
 // Simulate executes the configured algorithm — the same implementation,
 // resolved through the same spec, that Multiply runs — on the simnet
 // virtual communicator and returns its Hockney-model times. All five
 // algorithms are supported; a simulated run moves no matrix elements, so
-// it scales to the paper's 16384-rank BlueGene/P and beyond.
+// it scales to the paper's 16384-rank BlueGene/P and beyond. Rectangular
+// problems set Shape (SimulateShape is the explicit-shape convenience);
+// N remains the square shorthand.
 func Simulate(cfg SimConfig) (SimResult, error) {
 	alg := cfg.Algorithm
 	if alg == "" {
@@ -104,6 +114,10 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	if cfg.Machine == (Machine{}) && cfg.Platform != nil {
 		cfg.Machine = cfg.Platform.Model
 	}
+	shape := cfg.Shape
+	if shape.IsZero() {
+		shape = SquareShape(cfg.N)
+	}
 	procs := cfg.Procs
 	if procs == 0 && cfg.Grid != nil {
 		procs = cfg.Grid[0] * cfg.Grid[1]
@@ -111,7 +125,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	if alg == AlgAuto {
 		// The planner picks algorithm, grid, groups, blocks and broadcast
 		// for the simulated machine; explicit Grid/BlockSize are honoured.
-		planned, err := resolveSimAuto(cfg, procs)
+		planned, err := resolveSimAuto(cfg, shape, procs)
 		if err != nil {
 			return SimResult{}, err
 		}
@@ -120,7 +134,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	// BlockSize: 0 means "auto" here exactly as in Multiply — resolveSpec
 	// applies the shared tune.DefaultBlockSize rule, so the two execution
 	// paths of one configuration stay directly comparable.
-	spec, grid, err := resolveSpec(cfg.N, Config{
+	spec, grid, err := resolveSpec(shape, Config{
 		Procs: procs, Grid: cfg.Grid, Algorithm: alg,
 		Groups: cfg.Groups, BlockSize: cfg.BlockSize, OuterBlockSize: cfg.OuterBlockSize,
 		Levels: cfg.Levels, Broadcast: cfg.Broadcast, Segments: cfg.Segments,
@@ -146,6 +160,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	out := SimResult{
 		Total: res.Total, Comm: res.Comm, Compute: res.Compute,
 		Groups: usedG, Algorithm: spec.Algorithm, Engine: res.Engine,
+		Shape: res.Shape,
 	}
 	// Cannon and Fox work on whole tiles; echoing the defaulted b would
 	// suggest it mattered.
@@ -157,6 +172,14 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 		out.Bytes += s.SentBytes
 	}
 	return out, nil
+}
+
+// SimulateShape is Simulate with an explicit rectangular problem shape:
+// it overrides cfg.Shape (and the N shorthand) and runs the same virtual
+// execution.
+func SimulateShape(shape Shape, cfg SimConfig) (SimResult, error) {
+	cfg.Shape = shape
+	return Simulate(cfg)
 }
 
 // ModelParams re-exports the closed-form model inputs.
