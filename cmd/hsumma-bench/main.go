@@ -15,6 +15,15 @@
 // BENCH_sim.json (the CI perf gate):
 //
 //	hsumma-bench -simbench -out BENCH_sim.json -baseline ci/bench-sim-baseline.json
+//
+// The -loadgen mode drives a hsumma-serve daemon (or an in-process server
+// when -url is empty) with concurrent mixed-shape traffic, verifies every
+// response against the sequential reference, benchmarks warm-session vs
+// one-shot throughput, and writes BENCH_serve.json (the serve-smoke CI
+// gate):
+//
+//	hsumma-bench -loadgen -url http://localhost:8080 -duration 5 -conc 4 \
+//	    -out BENCH_serve.json -baseline ci/bench-serve-baseline.json
 package main
 
 import (
@@ -33,13 +42,21 @@ func main() {
 		uncalibrated = flag.Bool("uncalibrated", false, "use the paper's published Hockney parameters instead of the SUMMA-fitted machines")
 		format       = flag.String("format", "table", "output format: table or csv")
 		simbench     = flag.Bool("simbench", false, "benchmark the virtual execution engines on the full-scale BG/P run and emit BENCH_sim.json")
-		out          = flag.String("out", "-", "simbench: output path for BENCH_sim.json (- = stdout)")
-		baseline     = flag.String("baseline", "", "simbench: committed baseline JSON; exit non-zero if the event engine regressed >25% against it")
+		out          = flag.String("out", "-", "simbench/loadgen: output path for the JSON report (- = stdout)")
+		baseline     = flag.String("baseline", "", "simbench/loadgen: committed baseline JSON to gate against")
+		loadgen      = flag.Bool("loadgen", false, "drive a hsumma-serve daemon with concurrent mixed-shape traffic and emit BENCH_serve.json")
+		url          = flag.String("url", "", "loadgen: daemon base URL (empty = start an in-process server)")
+		duration     = flag.Float64("duration", 5, "loadgen: traffic duration in seconds")
+		conc         = flag.Int("conc", 4, "loadgen: concurrent client workers")
 	)
 	flag.Parse()
 
 	if *simbench {
 		runSimBench(*quick, *out, *baseline)
+		return
+	}
+	if *loadgen {
+		runLoadgen(*url, *duration, *conc, *quick, *out, *baseline)
 		return
 	}
 

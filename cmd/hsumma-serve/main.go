@@ -1,0 +1,87 @@
+// Command hsumma-serve is the GEMM-as-a-service daemon: an HTTP front end
+// over the serving subsystem (internal/serve), keeping distributed
+// sessions resident and routing concurrent multiply requests onto them by
+// execution shape.
+//
+//	hsumma-serve -addr :8080 -platform grid5000 -rank-budget 256
+//
+// Endpoints:
+//
+//	POST /multiply   one GEMM; JSON body:
+//	                   {"m":512,"n":512,"k":512,"procs":16,
+//	                    "algorithm":"hsumma","a":[...],"b":[...]}
+//	                 or raw little-endian float64s (A then B) with the
+//	                 shape in query parameters:
+//	                   /multiply?m=512&k=512&n=512&procs=16
+//	GET  /plan       the autotuning planner's ranked plan:
+//	                   /plan?n=4096&p=256&platform=bgp
+//	GET  /metrics    scheduler + plan-cache counters (Prometheus format)
+//	GET  /healthz    liveness
+//
+// Backpressure (bounded session queues, rank budget) surfaces as 503 with
+// Retry-After; a SIGINT/SIGTERM drains gracefully — in-flight requests
+// finish, queued ones get a clean error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		pfName     = flag.String("platform", "", "platform preset the planner tunes auto requests for (grid5000, bgp, exascale; empty = grid5000)")
+		rankBudget = flag.Int("rank-budget", 256, "max resident ranks across all sessions")
+		queueDepth = flag.Int("queue-depth", 32, "per-session bounded queue depth")
+		procs      = flag.Int("default-procs", 16, "rank count for requests that do not pin one")
+	)
+	flag.Parse()
+
+	hcfg := serve.HandlerConfig{DefaultProcs: *procs}
+	if *pfName != "" {
+		pf, err := platform.ByName(*pfName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		hcfg.Platform = &pf
+	}
+
+	sched := serve.NewScheduler(serve.SchedulerConfig{
+		RankBudget: *rankBudget,
+		QueueDepth: *queueDepth,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(sched, hcfg)}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("hsumma-serve: draining (in-flight requests finish, queued ones error out)")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		sched.Close()
+		close(done)
+	}()
+
+	log.Printf("hsumma-serve: listening on %s (rank budget %d, queue depth %d, default procs %d)",
+		*addr, *rankBudget, *queueDepth, *procs)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -26,6 +26,7 @@ package hsumma
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -139,21 +140,14 @@ const (
 // BroadcastByName maps a CLI-friendly name to a broadcast algorithm. The
 // empty string defaults to binomial; an unknown name is an error (it used
 // to silently fall back to binomial, which hid typos in sweep scripts).
+// The alias table itself lives in sched.ByName, shared with the serving
+// daemon's request parser.
 func BroadcastByName(name string) (sched.Algorithm, error) {
-	switch name {
-	case "", string(sched.Binomial):
-		return sched.Binomial, nil
-	case string(sched.VanDeGeijn), "vdg", "scatter-allgather":
-		return sched.VanDeGeijn, nil
-	case string(sched.Flat):
-		return sched.Flat, nil
-	case string(sched.Binary):
-		return sched.Binary, nil
-	case string(sched.Chain), "pipeline":
-		return sched.Chain, nil
-	default:
-		return "", fmt.Errorf("hsumma: unknown broadcast algorithm %q (have binomial, vandegeijn, flat, binary, chain)", name)
+	alg, err := sched.ByName(name)
+	if err != nil {
+		return "", fmt.Errorf("hsumma: %w", err)
 	}
+	return alg, nil
 }
 
 // Config describes a distributed multiplication run on the in-process
@@ -185,7 +179,7 @@ type Config struct {
 	Platform *Platform
 }
 
-// Stats reports aggregate traffic of a run.
+// Stats reports aggregate traffic and timing of a run.
 type Stats struct {
 	// Messages and Bytes are totals across all ranks.
 	Messages int64
@@ -193,66 +187,65 @@ type Stats struct {
 	// MaxRankCommSeconds is the largest per-rank wall time spent in
 	// communication calls.
 	MaxRankCommSeconds float64
+	// WallSeconds is the end-to-end elapsed time of the call: setup +
+	// distributed run + gather (for Session.Multiply it includes time
+	// queued behind earlier requests on the session).
+	WallSeconds float64
+	// SetupSeconds is the pre-run staging cost this call paid: for the
+	// one-shot Multiply that is spec resolution, block-map construction,
+	// tile allocation and the operand scatter; for Session.Multiply only
+	// the per-request share (scatter + output zeroing) remains — the rest
+	// was paid once at NewSession, which is the session-reuse win these two
+	// fields exist to measure.
+	SetupSeconds float64
 }
 
 // resolveSpec turns a user Config plus a problem shape into the engine's
-// transport-independent Spec (shared by Multiply and Simulate). The
-// returned spec carries the *execution* shape — the requested shape
-// rounded up to the algorithm's divisibility constraints (zero-padding
-// preserves the product; Multiply crops the gathered result) — and
-// rejects rectangular shapes on the square-only baselines with
-// ErrSquareOnly, so all public surfaces report identical shape errors.
+// transport-independent Spec (shared by Multiply, Simulate and the serving
+// layer — the resolution itself lives in tune.ResolveSpec so every surface
+// defaults identically). The returned spec carries the *execution* shape —
+// the requested shape rounded up to the algorithm's divisibility
+// constraints (zero-padding preserves the product; Multiply crops the
+// gathered result) — and rejects rectangular shapes on the square-only
+// baselines with ErrSquareOnly, so all public surfaces report identical
+// shape errors.
 func resolveSpec(shape Shape, cfg Config) (engine.Spec, topo.Grid, error) {
-	if err := shape.Validate(); err != nil {
-		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: %w", err)
-	}
-	if cfg.Procs <= 0 {
-		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: Procs must be positive")
-	}
-	if cfg.Algorithm == AlgAuto {
-		planned, err := resolveAuto(shape, cfg)
-		if err != nil {
-			return engine.Spec{}, topo.Grid{}, err
-		}
-		cfg = planned
-	}
-	grid, err := resolveGrid(cfg)
+	rp, err := cfg.resolveParams(shape)
 	if err != nil {
 		return engine.Spec{}, topo.Grid{}, err
 	}
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = AlgHSUMMA
-	}
-	if cfg.BlockSize <= 0 {
-		// The shared "0 means auto" rule, hoisted next to the planner's
-		// b/B search so Multiply and Simulate default identically.
-		cfg.BlockSize = tune.DefaultBlockSize(shape, grid)
-	}
-	spec := engine.Spec{
-		Algorithm: cfg.Algorithm,
-		Opts: core.Options{
-			Shape: shape, Grid: grid,
-			BlockSize:      cfg.BlockSize,
-			OuterBlockSize: cfg.OuterBlockSize,
-			Broadcast:      cfg.Broadcast,
-			Segments:       cfg.Segments,
-		},
-		Levels: cfg.Levels,
-	}
-	if cfg.Algorithm == AlgHSUMMA {
-		h, err := resolveGroups(grid, cfg.Groups)
-		if err != nil {
-			return engine.Spec{}, topo.Grid{}, err
-		}
-		spec.Opts.Groups = h
-	}
-	// Round the shape up to the execution shape (identity on divisible
-	// problems); square-only algorithms reject rectangular shapes here.
-	spec, err = spec.Padded()
+	spec, err := tune.ResolveSpec(rp)
 	if err != nil {
+		// tune's resolution errors carry no namespace; the façade owns the
+		// "hsumma:" prefix (sentinels like ErrSquareOnly stay reachable
+		// through the wrap).
 		return engine.Spec{}, topo.Grid{}, fmt.Errorf("hsumma: %w", err)
 	}
-	return spec, grid, nil
+	return spec, spec.Opts.Grid, nil
+}
+
+// resolveParams adapts a public Config to the shared resolution input.
+func (cfg Config) resolveParams(shape Shape) (tune.ResolveParams, error) {
+	rp := tune.ResolveParams{
+		Shape:          shape,
+		Procs:          cfg.Procs,
+		Algorithm:      cfg.Algorithm,
+		Groups:         cfg.Groups,
+		BlockSize:      cfg.BlockSize,
+		OuterBlockSize: cfg.OuterBlockSize,
+		Levels:         cfg.Levels,
+		Broadcast:      cfg.Broadcast,
+		Segments:       cfg.Segments,
+		Platform:       cfg.Platform,
+	}
+	if cfg.Grid != nil {
+		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
+		if err != nil {
+			return tune.ResolveParams{}, err
+		}
+		rp.Grid = &g
+	}
+	return rp, nil
 }
 
 // Multiply computes A·B with the configured distributed algorithm: A is
@@ -265,6 +258,7 @@ func resolveSpec(shape Shape, cfg Config) (engine.Spec, topo.Grid, error) {
 // are zero-padded to the execution shape and the result is cropped —
 // any positive M, N, K runs.
 func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
+	start := time.Now()
 	var st Stats
 	if a.Cols != b.Rows {
 		return nil, st, fmt.Errorf("hsumma: inner dimensions differ: A is %dx%d, B is %dx%d (need A columns == B rows)",
@@ -294,6 +288,11 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 	for r := range cT {
 		cT[r] = matrix.New(bmC.LocalRows(), bmC.LocalCols())
 	}
+	// Everything up to here — resolution, maps, scatter, tile allocation —
+	// is what a resident session (NewSession) pays once instead of per
+	// call; the world spawn below is part of it too, but is not separable
+	// from the run without skewing MaxRankCommSeconds.
+	st.SetupSeconds = time.Since(start).Seconds()
 
 	var mu sync.Mutex
 	var algErr error
@@ -324,6 +323,7 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 	if es.M != shape.M || es.N != shape.N {
 		out = out.View(0, 0, shape.M, shape.N).Clone()
 	}
+	st.WallSeconds = time.Since(start).Seconds()
 	return out, st, nil
 }
 
@@ -345,46 +345,4 @@ func Reference(a, b *Matrix) *Matrix {
 	c := matrix.New(a.Rows, b.Cols)
 	core.Reference(c, a, b)
 	return c
-}
-
-func resolveGrid(cfg Config) (topo.Grid, error) {
-	if cfg.Grid != nil {
-		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
-		if err != nil {
-			return topo.Grid{}, err
-		}
-		if g.Size() != cfg.Procs {
-			return topo.Grid{}, fmt.Errorf("hsumma: grid %v does not hold %d procs", g, cfg.Procs)
-		}
-		return g, nil
-	}
-	return topo.SquarestGrid(cfg.Procs)
-}
-
-func resolveGroups(g topo.Grid, G int) (topo.Hier, error) {
-	if G > 0 {
-		return topo.FactorGroups(g, G)
-	}
-	// Default: the feasible group count closest to √p, the paper's
-	// analytic optimum.
-	counts := topo.ValidGroupCounts(g)
-	if len(counts) == 0 {
-		// Unreachable for any valid grid (G=1 always factorises), but a
-		// guard beats an index panic if ValidGroupCounts ever changes.
-		return topo.Hier{}, fmt.Errorf("hsumma: no feasible group count for grid %v", g)
-	}
-	best := counts[0]
-	for _, c := range counts {
-		if absInt(c*c-g.Size()) < absInt(best*best-g.Size()) {
-			best = c
-		}
-	}
-	return topo.FactorGroups(g, best)
-}
-
-func absInt(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
 }

@@ -173,6 +173,51 @@ func (m *BlockMap) Scatter(a *matrix.Dense) []*matrix.Dense {
 	return tiles
 }
 
+// ScatterInto copies each rank's tile of a into the caller-provided tiles,
+// reusing their storage — the allocation-free Scatter the serving layer
+// uses to push a stream of operands through one resident session. Each
+// tiles[r] must already have rank r's exact tile shape (as allocated from
+// TileShape or a previous Scatter).
+func (m *BlockMap) ScatterInto(tiles []*matrix.Dense, a *matrix.Dense) {
+	m.checkShape(a)
+	m.checkTiles(tiles)
+	for r, t := range tiles {
+		if t.Rows == 0 || t.Cols == 0 {
+			continue
+		}
+		i, j := m.grid.Coords(r)
+		t.CopyFrom(a.View(m.rowStart(i), m.colStart(j), t.Rows, t.Cols))
+	}
+}
+
+// GatherInto reassembles the global matrix from per-rank tiles into the
+// caller-provided out matrix (the allocation-free Gather).
+func (m *BlockMap) GatherInto(out *matrix.Dense, tiles []*matrix.Dense) {
+	m.checkShape(out)
+	m.checkTiles(tiles)
+	for r, t := range tiles {
+		if t.Rows == 0 || t.Cols == 0 {
+			continue
+		}
+		i, j := m.grid.Coords(r)
+		out.View(m.rowStart(i), m.colStart(j), t.Rows, t.Cols).CopyFrom(t)
+	}
+}
+
+// checkTiles validates a tile slice against the map's grid and per-rank
+// tile shapes.
+func (m *BlockMap) checkTiles(tiles []*matrix.Dense) {
+	if len(tiles) != m.grid.Size() {
+		panic(fmt.Sprintf("dist: %d tiles for grid %v", len(tiles), m.grid))
+	}
+	for r, t := range tiles {
+		tr, tc := m.TileShape(r)
+		if t.Rows != tr || t.Cols != tc {
+			panic(fmt.Sprintf("dist: tile %d is %dx%d, want %dx%d", r, t.Rows, t.Cols, tr, tc))
+		}
+	}
+}
+
 // Gather reassembles the global matrix from per-rank tiles (the inverse of
 // Scatter).
 func (m *BlockMap) Gather(tiles []*matrix.Dense) *matrix.Dense {

@@ -1,0 +1,77 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// TestScatterIntoGatherIntoRoundTrip checks the allocation-free variants
+// reproduce Scatter/Gather exactly, including ragged (non-divisible) and
+// degenerate (grid larger than matrix) shapes.
+func TestScatterIntoGatherIntoRoundTrip(t *testing.T) {
+	cases := []struct {
+		rows, cols int
+		g          topo.Grid
+	}{
+		{8, 8, topo.Grid{S: 2, T: 2}},
+		{9, 7, topo.Grid{S: 2, T: 3}},  // ragged both ways
+		{3, 5, topo.Grid{S: 4, T: 2}},  // rows < S: empty tiles
+		{16, 4, topo.Grid{S: 4, T: 4}}, // exact
+	}
+	for _, tc := range cases {
+		m, err := NewBlockMap(tc.rows, tc.cols, tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := matrix.Random(tc.rows, tc.cols, 42)
+		want := m.Scatter(a)
+
+		// Scatter into tiles pre-filled with garbage: every element must be
+		// overwritten.
+		tiles := make([]*matrix.Dense, tc.g.Size())
+		for r := range tiles {
+			tr, tcn := m.TileShape(r)
+			tiles[r] = matrix.New(tr, tcn)
+			tiles[r].Fill(-99)
+		}
+		m.ScatterInto(tiles, a)
+		for r := range tiles {
+			if !matrix.Equal(tiles[r], want[r]) {
+				t.Fatalf("%dx%d on %v: ScatterInto tile %d differs from Scatter", tc.rows, tc.cols, tc.g, r)
+			}
+		}
+
+		out := matrix.New(tc.rows, tc.cols)
+		out.Fill(-99)
+		m.GatherInto(out, tiles)
+		if !matrix.Equal(out, a) {
+			t.Fatalf("%dx%d on %v: GatherInto does not invert ScatterInto", tc.rows, tc.cols, tc.g)
+		}
+	}
+}
+
+// TestScatterIntoValidation checks the shape guards reject mismatched
+// tiles and global matrices.
+func TestScatterIntoValidation(t *testing.T) {
+	m, _ := NewBlockMap(8, 8, topo.Grid{S: 2, T: 2})
+	a := matrix.Random(8, 8, 1)
+	good := m.Scatter(a)
+
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("short tile slice", func() { m.ScatterInto(good[:3], a) })
+	expectPanic("wrong tile shape", func() {
+		bad := append([]*matrix.Dense(nil), good...)
+		bad[1] = matrix.New(3, 3)
+		m.ScatterInto(bad, a)
+	})
+	expectPanic("wrong global shape", func() { m.GatherInto(matrix.New(7, 8), good) })
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/sched"
 )
 
 // Algorithm names a distributed multiplication algorithm.
@@ -39,6 +40,17 @@ const Auto Algorithm = "auto"
 // Algorithms lists every dispatchable algorithm, for sweeps and tests.
 func Algorithms() []Algorithm {
 	return []Algorithm{SUMMA, HSUMMA, Multilevel, Cannon, Fox}
+}
+
+// AlgorithmByName maps a user-facing name (case-insensitive) to an
+// algorithm, including the planner's auto pseudo-algorithm. Every surface
+// that parses algorithm names shares this table.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch a := Algorithm(strings.ToLower(name)); a {
+	case SUMMA, HSUMMA, Multilevel, Cannon, Fox, Auto:
+		return a, nil
+	}
+	return "", fmt.Errorf("engine: unknown algorithm %q (have summa, hsumma, multilevel, cannon, fox, auto)", name)
 }
 
 // Executor names a virtual execution engine for simulated runs. The live
@@ -122,6 +134,49 @@ func (s Spec) Shape() matrix.Shape {
 		return s.Opts.Shape
 	}
 	return matrix.Square(s.Opts.N)
+}
+
+// Key returns the spec's canonical execution-shape key: a string under
+// which two specs are equal only when they describe the same execution —
+// algorithm, global shape, process grid, block sizes, group hierarchy,
+// broadcast and segmentation. Fields with a defaulted meaning are
+// canonicalised (an empty Broadcast keys as binomial, OuterBlockSize 0 as
+// b), so a request that spells the default out loud shares a key with one
+// that leaves it blank. The serving layer (internal/serve) routes requests
+// by it: two multiplications with the same key can share one resident
+// session (its world, block maps and buffers), and the tune planner's
+// memoised plan for the shape is reused through the same identity. Call it
+// on a resolved spec (after Padded) so the shape the key carries is the
+// execution shape.
+func (s Spec) Key() string {
+	sh := s.Shape()
+	bcast := s.Opts.Broadcast
+	if bcast == "" {
+		bcast = sched.Binomial
+	}
+	// Segments are honoured only by the chain broadcast (sched.NewBroadcast
+	// defaults <= 0 to 1 and the other schedules ignore the knob), and
+	// HSUMMA's outer block B only by HSUMMA itself — key only what the
+	// execution reads.
+	seg := 1
+	if bcast == sched.Chain && s.Opts.Segments > 1 {
+		seg = s.Opts.Segments
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%dx%dx%d|g=%dx%d|b=%d",
+		s.Algorithm, sh.M, sh.N, sh.K, s.Opts.Grid.S, s.Opts.Grid.T, s.Opts.BlockSize)
+	if s.Algorithm == HSUMMA {
+		outer := s.Opts.OuterBlockSize
+		if outer == 0 {
+			outer = s.Opts.BlockSize
+		}
+		fmt.Fprintf(&b, "|B=%d|G=%dx%d", outer, s.Opts.Groups.I, s.Opts.Groups.J)
+	}
+	fmt.Fprintf(&b, "|bc=%s|seg=%d", bcast, seg)
+	for _, lv := range s.Levels {
+		fmt.Fprintf(&b, "|L%dx%d:%d", lv.I, lv.J, lv.BlockSize)
+	}
+	return b.String()
 }
 
 // PaddedShape returns the smallest execution shape ≥ the spec's shape that

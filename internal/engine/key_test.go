@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// TestSpecKeyCanonicalisesDefaults locks in that a spec spelling a default
+// out loud keys identically to one leaving it blank — the serving layer
+// would otherwise split one logical workload across two resident sessions.
+func TestSpecKeyCanonicalisesDefaults(t *testing.T) {
+	base := Spec{
+		Algorithm: SUMMA,
+		Opts: core.Options{
+			Shape: matrix.Square(64), Grid: topo.Grid{S: 4, T: 4}, BlockSize: 16,
+		},
+	}
+	explicit := base
+	explicit.Opts.Broadcast = sched.Binomial
+	explicit.Opts.OuterBlockSize = 16 // ignored by SUMMA — must not split the key
+	explicit.Opts.Segments = 1        // the non-chain default — ditto
+	if base.Key() != explicit.Key() {
+		t.Fatalf("defaulted and explicit specs key differently:\n  %s\n  %s", base.Key(), explicit.Key())
+	}
+
+	different := base
+	different.Opts.Broadcast = sched.VanDeGeijn
+	if base.Key() == different.Key() {
+		t.Fatal("distinct broadcasts must key differently")
+	}
+
+	// Segments matter exactly when the chain broadcast reads them.
+	chain := base
+	chain.Opts.Broadcast = sched.Chain
+	chain4 := chain
+	chain4.Opts.Segments = 4
+	if chain.Key() == chain4.Key() {
+		t.Fatal("chain pipeline depths must key differently")
+	}
+	segOnSumma := base
+	segOnSumma.Opts.Segments = 4
+	if base.Key() != segOnSumma.Key() {
+		t.Fatal("segments under a non-chain broadcast must not split the key")
+	}
+
+	// HSUMMA's outer block B is execution-relevant there, and only there.
+	h, err := topo.FactorGroups(topo.Grid{S: 4, T: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbase := base
+	hbase.Algorithm = HSUMMA
+	hbase.Opts.Groups = h
+	hBeqB := hbase
+	hBeqB.Opts.OuterBlockSize = 16 // B = b, the default
+	if hbase.Key() != hBeqB.Key() {
+		t.Fatal("HSUMMA with implicit and explicit B = b must share a key")
+	}
+	hB32 := hbase
+	hB32.Opts.OuterBlockSize = 32
+	if hbase.Key() == hB32.Key() {
+		t.Fatal("distinct HSUMMA outer blocks must key differently")
+	}
+}

@@ -139,6 +139,21 @@ func RunStats(p int, fn func(c *Comm)) ([]RankStats, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mpi: invalid world size %d", p)
 	}
+	prog := newProgram(p, fn)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			prog.execRank(r)
+		}(r)
+	}
+	wg.Wait()
+	return prog.w.stats, prog.err()
+}
+
+// newWorld builds the shared coordination state for one p-rank program.
+func newWorld(p int) *World {
 	w := &World{
 		size:      p,
 		mailboxes: make([]*mailbox, p),
@@ -149,37 +164,53 @@ func RunStats(p int, fn func(c *Comm)) ([]RankStats, error) {
 		w.mailboxes[i] = newMailbox()
 	}
 	w.nextCID.Store(1) // cid 0 is the world communicator
+	return w
+}
 
+// program is one SPMD execution of fn over a fresh world: the unit both
+// Run (spawned goroutines) and PersistentWorld.RunOn (resident goroutines)
+// execute, sharing the abort-on-panic protocol.
+type program struct {
+	w     *World
+	fn    func(c *Comm)
+	ranks []int
+	// done is counted down once per rank by drivers that dispatch ranks to
+	// pre-existing goroutines (PersistentWorld).
+	done sync.WaitGroup
+
+	errOnce  sync.Once
+	firstErr error
+}
+
+func newProgram(p int, fn func(c *Comm)) *program {
 	ranks := make([]int, p)
 	for i := range ranks {
 		ranks[i] = i
 	}
-
-	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
-	for r := 0; r < p; r++ {
-		comm := &Comm{world: w, cid: 0, rank: r, ranks: ranks}
-		wg.Add(1)
-		go func(c *Comm) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if _, ok := rec.(worldAborted); ok {
-						return // collateral unwind, not the root cause
-					}
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("mpi: rank %d panicked: %v\n%s", c.rank, rec, debug.Stack())
-					})
-					c.world.abort(fmt.Sprint(rec))
-				}
-			}()
-			fn(c)
-		}(comm)
-	}
-	wg.Wait()
-	return w.stats, firstErr
+	return &program{w: newWorld(p), fn: fn, ranks: ranks}
 }
+
+// execRank runs the program on one rank, converting a panic into the
+// world-wide abort that unwinds every other rank. Safe to call from any
+// goroutine; exactly one call per rank.
+func (pr *program) execRank(r int) {
+	c := &Comm{world: pr.w, cid: 0, rank: r, ranks: pr.ranks}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(worldAborted); ok {
+				return // collateral unwind, not the root cause
+			}
+			pr.errOnce.Do(func() {
+				pr.firstErr = fmt.Errorf("mpi: rank %d panicked: %v\n%s", c.rank, rec, debug.Stack())
+			})
+			c.world.abort(fmt.Sprint(rec))
+		}
+	}()
+	pr.fn(c)
+}
+
+// err returns the first rank failure, once every rank has finished.
+func (pr *program) err() error { return pr.firstErr }
 
 // RunGrid is Run over a topo.Grid's process count — a convenience for the
 // 2D algorithms, which derive coordinates from the rank themselves.

@@ -90,6 +90,27 @@ func Algorithms() []Algorithm {
 	return []Algorithm{Flat, Binomial, Binary, Chain, VanDeGeijn}
 }
 
+// ByName maps a user-facing name (plus the historical aliases) to a
+// broadcast algorithm; the empty string defaults to binomial. Every
+// surface that parses broadcast names — the façade's BroadcastByName, the
+// CLI, the serving daemon — routes here, so a new schedule or alias is
+// added in one place.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "", string(Binomial):
+		return Binomial, nil
+	case string(VanDeGeijn), "vdg", "scatter-allgather":
+		return VanDeGeijn, nil
+	case string(Flat):
+		return Flat, nil
+	case string(Binary):
+		return Binary, nil
+	case string(Chain), "pipeline":
+		return Chain, nil
+	}
+	return "", fmt.Errorf("sched: unknown broadcast algorithm %q (have binomial, vandegeijn, flat, binary, chain)", name)
+}
+
 // NewBroadcast builds the schedule for the given algorithm over p ranks
 // rooted at root. segments is honoured only by Chain (pipeline depth);
 // VanDeGeijn always uses p segments, the others 1. segments <= 0 defaults

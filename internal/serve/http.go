@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/topo"
+	"repro/internal/tune"
+)
+
+// HandlerConfig tunes the HTTP face of a scheduler.
+type HandlerConfig struct {
+	// DefaultProcs is the rank count used when a request does not pin one
+	// (default 16).
+	DefaultProcs int
+	// Platform is the machine the planner tunes auto requests (and the
+	// /plan endpoint's default) for; nil means the Grid'5000 preset.
+	Platform *platform.Platform
+	// MaxBodyBytes bounds request bodies (default 256 MiB — a 2048² pair
+	// of float64 operands is 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c HandlerConfig) withDefaults() HandlerConfig {
+	if c.DefaultProcs <= 0 {
+		c.DefaultProcs = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// handler is the daemon's HTTP surface over one Scheduler.
+type handler struct {
+	sc  *Scheduler
+	cfg HandlerConfig
+	mux *http.ServeMux
+}
+
+// NewHandler wires the serving endpoints over a scheduler:
+//
+//	POST /multiply  — one GEMM; JSON body or raw little-endian float64s
+//	GET  /plan      — the autotuning planner's ranked plan for a problem
+//	GET  /metrics   — scheduler + plan-cache counters, Prometheus format
+//	GET  /healthz   — liveness
+func NewHandler(sc *Scheduler, cfg HandlerConfig) http.Handler {
+	h := &handler{sc: sc, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /multiply", h.multiply)
+	h.mux.HandleFunc("GET /plan", h.plan)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return h
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	h.mux.ServeHTTP(w, r)
+}
+
+// httpError maps serving errors onto status codes: backpressure and drain
+// are 503 (retryable), everything else a 400-class client error.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// maxDim bounds each requested matrix dimension. 2^24 keeps every product
+// of two dimensions within 2^48 — far from int64 overflow — so the
+// element-count arithmetic below is safe against crafted query parameters;
+// the real admission limit is MaxBodyBytes.
+const maxDim = 1 << 24
+
+// maxPlanProcs bounds /plan's rank count; it admits the paper's exascale
+// projection (2^20 ranks, ranked analytically) with headroom while keeping
+// the candidate enumeration itself bounded.
+const maxPlanProcs = 1 << 22
+
+// validateDims guards the request dimensions before any size arithmetic:
+// positive, bounded, and with operand AND result byte sizes under the body
+// limit (a small-K request could otherwise demand a result allocation far
+// beyond anything its operands paid for).
+func validateDims(m, n, k int, maxBytes int64) error {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return fmt.Errorf("serve: m, n, k must be positive (have %d, %d, %d)", m, n, k)
+	}
+	if m > maxDim || n > maxDim || k > maxDim {
+		return fmt.Errorf("serve: dimension exceeds limit %d (have m=%d, n=%d, k=%d)", maxDim, m, n, k)
+	}
+	if bytes := (int64(m)*int64(k) + int64(k)*int64(n)) * 8; bytes > maxBytes {
+		return fmt.Errorf("serve: operands need %d bytes, above the %d-byte body limit", bytes, maxBytes)
+	}
+	if bytes := int64(m) * int64(n) * 8; bytes > maxBytes {
+		return fmt.Errorf("serve: result needs %d bytes, above the %d-byte limit", bytes, maxBytes)
+	}
+	return nil
+}
+
+// jsonMultiply is the JSON body of POST /multiply. A and B are row-major;
+// m, n, k are required and must match their lengths.
+type jsonMultiply struct {
+	M     int    `json:"m"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	Procs int    `json:"procs,omitempty"`
+	Alg   string `json:"algorithm,omitempty"`
+	Grid  []int  `json:"grid,omitempty"`
+	// Groups is HSUMMA's G; BlockSize/OuterBlockSize the paper's b/B.
+	Groups         int       `json:"groups,omitempty"`
+	BlockSize      int       `json:"block_size,omitempty"`
+	OuterBlockSize int       `json:"outer_block_size,omitempty"`
+	Broadcast      string    `json:"broadcast,omitempty"`
+	Segments       int       `json:"segments,omitempty"`
+	A              []float64 `json:"a"`
+	B              []float64 `json:"b"`
+}
+
+// jsonResult is the JSON response of POST /multiply.
+type jsonResult struct {
+	M     int       `json:"m"`
+	N     int       `json:"n"`
+	C     []float64 `json:"c"`
+	Stats Stats     `json:"stats"`
+}
+
+func (h *handler) multiply(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	var (
+		a, b *matrix.Dense
+		rp   tune.ResolveParams
+		raw  bool
+		err  error
+	)
+	switch {
+	case strings.HasPrefix(ct, "application/octet-stream"):
+		raw = true
+		a, b, rp, err = h.parseRaw(r)
+	case ct == "" || strings.HasPrefix(ct, "application/json"):
+		a, b, rp, err = h.parseJSON(r)
+	default:
+		http.Error(w, fmt.Sprintf("unsupported Content-Type %q (want application/json or application/octet-stream)", ct), http.StatusUnsupportedMediaType)
+		return
+	}
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out, stats, err := h.sc.Multiply(a, b, rp)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if raw {
+		statsJSON, _ := json.Marshal(stats)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Hsumma-Stats", string(statsJSON))
+		w.Header().Set("X-Hsumma-Shape", fmt.Sprintf("%dx%d", out.Rows, out.Cols))
+		writeRawMatrix(w, out)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(jsonResult{M: out.Rows, N: out.Cols, C: out.Pack(nil), Stats: stats})
+}
+
+// parseJSON decodes the JSON multiply body.
+func (h *handler) parseJSON(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.ResolveParams, error) {
+	var req jsonMultiply
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad JSON body: %w", err)
+	}
+	if err := validateDims(req.M, req.N, req.K, h.cfg.MaxBodyBytes); err != nil {
+		return nil, nil, tune.ResolveParams{}, err
+	}
+	if len(req.A) != req.M*req.K {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: a has %d elements, want m*k = %d", len(req.A), req.M*req.K)
+	}
+	if len(req.B) != req.K*req.N {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: b has %d elements, want k*n = %d", len(req.B), req.K*req.N)
+	}
+	rp, err := h.resolveParams(req.Procs, req.Alg, req.Grid, req.Groups, req.BlockSize, req.OuterBlockSize, req.Broadcast, req.Segments)
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, err
+	}
+	return matrix.FromSlice(req.M, req.K, req.A), matrix.FromSlice(req.K, req.N, req.B), rp, nil
+}
+
+// parseRaw decodes the raw body: m*k float64s of A immediately followed by
+// k*n float64s of B, little-endian; the shape and config arrive as query
+// parameters (m, k, n, procs, algorithm, grid=SxT, groups, block_size,
+// outer_block_size, broadcast, segments).
+func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.ResolveParams, error) {
+	q := r.URL.Query()
+	geti := func(name string) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.Atoi(v)
+	}
+	m, err := geti("m")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad m: %w", err)
+	}
+	n, err := geti("n")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad n: %w", err)
+	}
+	k, err := geti("k")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad k: %w", err)
+	}
+	if m <= 0 || n <= 0 || k <= 0 {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: raw bodies need positive m, k, n query parameters (have %d, %d, %d)", m, k, n)
+	}
+	if err := validateDims(m, n, k, h.cfg.MaxBodyBytes); err != nil {
+		return nil, nil, tune.ResolveParams{}, err
+	}
+	procs, err := geti("procs")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad procs: %w", err)
+	}
+	groups, err := geti("groups")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad groups: %w", err)
+	}
+	blockSize, err := geti("block_size")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad block_size: %w", err)
+	}
+	outer, err := geti("outer_block_size")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad outer_block_size: %w", err)
+	}
+	segments, err := geti("segments")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad segments: %w", err)
+	}
+	var grid []int
+	if g := q.Get("grid"); g != "" {
+		parts := strings.Split(g, "x")
+		if len(parts) != 2 {
+			return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad grid %q (want SxT)", g)
+		}
+		s, err1 := strconv.Atoi(parts[0])
+		t, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad grid %q (want SxT)", g)
+		}
+		grid = []int{s, t}
+	}
+	rp, err := h.resolveParams(procs, q.Get("algorithm"), grid, groups, blockSize, outer, q.Get("broadcast"), segments)
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, err
+	}
+
+	need := (m*k + k*n) * 8
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: reading body: %w", err)
+	}
+	if len(body) != need {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: raw body has %d bytes, want (m*k + k*n)*8 = %d", len(body), need)
+	}
+	decode := func(off, elems int) []float64 {
+		out := make([]float64, elems)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off+8*i:]))
+		}
+		return out
+	}
+	a := matrix.FromSlice(m, k, decode(0, m*k))
+	b := matrix.FromSlice(k, n, decode(m*k*8, k*n))
+	return a, b, rp, nil
+}
+
+// resolveParams assembles the shared resolution input from request knobs,
+// applying the handler's defaults.
+func (h *handler) resolveParams(procs int, alg string, grid []int, groups, blockSize, outer int, bcast string, segments int) (tune.ResolveParams, error) {
+	rp := tune.ResolveParams{
+		Procs:          procs,
+		Groups:         groups,
+		BlockSize:      blockSize,
+		OuterBlockSize: outer,
+		Segments:       segments,
+		Platform:       h.cfg.Platform,
+	}
+	if rp.Procs <= 0 {
+		rp.Procs = h.cfg.DefaultProcs
+	}
+	if alg != "" {
+		a, err := engine.AlgorithmByName(alg)
+		if err != nil {
+			return tune.ResolveParams{}, err
+		}
+		rp.Algorithm = a
+	}
+	if len(grid) == 2 {
+		g, err := topo.NewGrid(grid[0], grid[1])
+		if err != nil {
+			return tune.ResolveParams{}, err
+		}
+		rp.Grid = &g
+	} else if len(grid) != 0 {
+		return tune.ResolveParams{}, fmt.Errorf("serve: grid must be [S, T], have %v", grid)
+	}
+	if bcast != "" {
+		b, err := sched.ByName(bcast)
+		if err != nil {
+			return tune.ResolveParams{}, err
+		}
+		rp.Broadcast = b
+	}
+	return rp, nil
+}
+
+// writeRawMatrix streams a matrix as little-endian float64s.
+func writeRawMatrix(w io.Writer, m *matrix.Dense) {
+	buf := make([]byte, 8*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j, v := range row {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		w.Write(buf)
+	}
+}
+
+// plan serves the autotuning planner: GET /plan?m=&n=&k=&p=&platform=&quick=.
+func (h *handler) plan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	geti := func(name string) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.Atoi(v)
+	}
+	n, err := geti("n")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	m, err := geti("m")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	k, err := geti("k")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	p, err := geti("p")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if p <= 0 {
+		p = h.cfg.DefaultProcs
+	}
+	if m <= 0 {
+		m = n
+	}
+	if k <= 0 {
+		k = n
+	}
+	if n <= 0 || m <= 0 || k <= 0 {
+		httpError(w, fmt.Errorf("serve: /plan needs n (square) or m, n, k"))
+		return
+	}
+	if m > maxDim || n > maxDim || k > maxDim || p > maxPlanProcs {
+		httpError(w, fmt.Errorf("serve: /plan problem too large (dims <= %d, p <= %d)", maxDim, maxPlanProcs))
+		return
+	}
+	pf := platform.Grid5000()
+	if h.cfg.Platform != nil {
+		pf = *h.cfg.Platform
+	}
+	if name := q.Get("platform"); name != "" {
+		pf, err = platform.ByName(name)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+	}
+	quick := q.Get("quick") != "0" // quick by default: this is a serving hot path
+	pl, err := tune.PlanFor(tune.Request{
+		Platform: pf,
+		Shape:    matrix.Shape{M: m, N: n, K: k},
+		P:        p,
+		Quick:    quick,
+		// The same full-scale guard both implicit-auto paths apply: above
+		// AutoProcs ranks a single stage-2 virtual run costs seconds of
+		// host CPU, far too much for an unauthenticated endpoint.
+		AnalyticOnly: p > tune.AutoProcs,
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(pl)
+}
+
+// metrics renders the scheduler and plan-cache counters in Prometheus text
+// exposition format.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	m := h.sc.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	emit := func(name, help, typ string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	emit("hsumma_serve_requests_total", "Multiply requests received.", "counter", float64(m.Requests))
+	emit("hsumma_serve_completed_total", "Multiply requests completed successfully.", "counter", float64(m.Completed))
+	emit("hsumma_serve_errors_total", "Multiply requests failed (excluding backpressure).", "counter", float64(m.Errors))
+	emit("hsumma_serve_rejected_total", "Multiply requests rejected by backpressure (503).", "counter", float64(m.Rejected))
+	emit("hsumma_serve_session_hits_total", "Requests routed to a resident session.", "counter", float64(m.SessionHits))
+	emit("hsumma_serve_session_misses_total", "Requests that had to spin up a session.", "counter", float64(m.SessionMisses))
+	emit("hsumma_serve_sessions_retired_total", "Sessions retired under the rank budget.", "counter", float64(m.SessionsRetired))
+	emit("hsumma_serve_sessions_live", "Resident sessions.", "gauge", float64(m.SessionsLive))
+	emit("hsumma_serve_ranks_live", "Resident ranks across all sessions.", "gauge", float64(m.RanksLive))
+	emit("hsumma_serve_queued", "Requests waiting in session queues.", "gauge", float64(m.Queued))
+	emit("hsumma_serve_in_flight", "Requests executing right now.", "gauge", float64(m.InFlight))
+	emit("hsumma_serve_plan_cache_hits_total", "Tune plan-cache hits.", "counter", float64(m.PlanCacheHits))
+	emit("hsumma_serve_plan_cache_misses_total", "Tune plan-cache misses.", "counter", float64(m.PlanCacheMisses))
+	emit("hsumma_serve_uptime_seconds", "Process uptime.", "gauge", time.Since(startTime).Seconds())
+	fmt.Fprintf(w, "# HELP hsumma_serve_latency_seconds Completed-request latency quantiles over a sliding window.\n")
+	fmt.Fprintf(w, "# TYPE hsumma_serve_latency_seconds summary\n")
+	fmt.Fprintf(w, "hsumma_serve_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50Seconds)
+	fmt.Fprintf(w, "hsumma_serve_latency_seconds{quantile=\"0.99\"} %g\n", m.LatencyP99Seconds)
+}

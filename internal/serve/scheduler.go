@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/tune"
+)
+
+// Resolver turns one request's pinned knobs into a fully resolved, padded
+// execution spec. The default is tune.ResolveSpec, so engine.Auto requests
+// go through the memoised planner — repeat shapes hit the plan cache, and
+// the resolved spec's Key is exactly the identity sessions are pooled by.
+type Resolver func(tune.ResolveParams) (engine.Spec, error)
+
+// SchedulerConfig tunes the front door.
+type SchedulerConfig struct {
+	// RankBudget caps the total resident ranks across live sessions
+	// (default 256). A request needing more ranks than the whole budget is
+	// rejected with ErrOverloaded.
+	RankBudget int
+	// QueueDepth bounds each session's work queue (default 32); a full
+	// queue rejects with ErrOverloaded.
+	QueueDepth int
+	// LatencyWindow is the sliding sample window for the p50/p99 latency
+	// quantiles (default 1024 completed requests).
+	LatencyWindow int
+	// Resolve overrides the spec resolution (default tune.ResolveSpec).
+	Resolve Resolver
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.RankBudget <= 0 {
+		c.RankBudget = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	if c.Resolve == nil {
+		c.Resolve = tune.ResolveSpec
+	}
+	return c
+}
+
+// Metrics is a snapshot of the scheduler's observability counters — what
+// GET /metrics renders.
+type Metrics struct {
+	// Request lifecycle totals.
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Errors    int64 `json:"errors"`
+	Rejected  int64 `json:"rejected"` // ErrOverloaded admissions
+	// Session pool behaviour.
+	SessionHits     int64 `json:"session_hits"`
+	SessionMisses   int64 `json:"session_misses"`
+	SessionsRetired int64 `json:"sessions_retired"`
+	SessionsLive    int   `json:"sessions_live"`
+	RanksLive       int   `json:"ranks_live"`
+	// Instantaneous load.
+	Queued   int64 `json:"queued"`
+	InFlight int64 `json:"in_flight"`
+	// Latency quantiles over the sliding window, in seconds (0 until the
+	// first request completes).
+	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
+	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+	// Plan-cache counters from the shared tune planner: session keys are
+	// resolved through it, so serving workloads surface its reuse here.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+}
+
+// Scheduler is the admission-controlled front door: it keys requests by
+// execution shape, routes them to a pool of resident sessions under a rank
+// budget, applies backpressure via bounded queues, and exports counters.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	closed  bool
+
+	requests, completed, errors, rejected atomic.Int64
+	hits, misses, retired                 atomic.Int64
+
+	latMu  sync.Mutex
+	lat    []float64
+	latIdx int
+	latN   int
+}
+
+// entry is one pooled session slot. The ranks are reserved against the
+// budget from the moment the entry is inserted (session construction
+// happens outside the scheduler lock; waiters block on ready). leases
+// counts requests that have been routed to the session but not yet
+// finished with it — retirement requires leases == 0, which closes the
+// race between routing and enqueueing.
+type entry struct {
+	ranks  int
+	sess   *Session // nil until ready closes
+	err    error    // construction failure, set before ready closes
+	ready  chan struct{}
+	leases int
+}
+
+// NewScheduler returns an empty scheduler; sessions spin up on demand.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	return &Scheduler{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lat:     make([]float64, cfg.LatencyWindow),
+	}
+}
+
+// Multiply serves one request: A (M×K) · B (K×N) under the given pinned
+// knobs (zero values resolve to defaults; engine.Auto engages the
+// planner). The request is routed to the session owning its execution
+// shape, creating or retiring sessions under the rank budget. A full
+// session queue or an unadmittable session rejects with ErrOverloaded.
+func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matrix.Dense, Stats, error) {
+	sc.requests.Add(1)
+	if a.Cols != b.Rows {
+		sc.errors.Add(1)
+		return nil, Stats{}, fmt.Errorf("serve: inner dimensions differ: A is %dx%d, B is %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	rp.Shape = matrix.Shape{M: a.Rows, N: b.Cols, K: a.Cols}
+	spec, err := sc.cfg.Resolve(rp)
+	if err != nil {
+		sc.errors.Add(1)
+		return nil, Stats{}, err
+	}
+
+	sess, release, err := sc.route(rp.Shape, spec)
+	if err != nil {
+		sc.countFailure(err)
+		return nil, Stats{}, err
+	}
+	out, stats, err := sess.TryMultiply(a, b)
+	release()
+	if err != nil {
+		sc.countFailure(err)
+		return nil, stats, err
+	}
+	sc.completed.Add(1)
+	sc.recordLatency(stats.WallSeconds)
+	return out, stats, nil
+}
+
+// countFailure splits backpressure rejections (a healthy, retryable
+// signal) from genuine errors.
+func (sc *Scheduler) countFailure(err error) {
+	if err == ErrOverloaded {
+		sc.rejected.Add(1)
+		return
+	}
+	sc.errors.Add(1)
+}
+
+// routeKey identifies the session a request shares: the resolved spec's
+// execution-shape key plus the *requested* (pre-padding) shape, because a
+// session's staging buffers are pinned to the request shape — two problem
+// shapes that pad to the same execution must not share one session.
+func routeKey(reqShape matrix.Shape, spec engine.Spec) string {
+	return fmt.Sprintf("%s|req=%dx%dx%d", spec.Key(), reqShape.M, reqShape.N, reqShape.K)
+}
+
+// route finds or creates the session for a request, retiring idle
+// unleased sessions in least-recently-used order when the rank budget is
+// exceeded. The budget is reserved under the scheduler lock but session
+// construction (world spawn, tile allocation) runs outside it; concurrent
+// requests for the same key wait on the entry instead of double-building.
+// The returned release func gives the routing lease back — retirement
+// never touches a session between its routing and its enqueue.
+func (sc *Scheduler) route(reqShape matrix.Shape, spec engine.Spec) (*Session, func(), error) {
+	key := routeKey(reqShape, spec)
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if e := sc.entries[key]; e != nil {
+		e.leases++
+		sc.mu.Unlock()
+		<-e.ready // no-op on the common resident-session path
+		if e.err != nil {
+			sc.release(key, e)
+			return nil, nil, e.err
+		}
+		sc.hits.Add(1)
+		e.sess.touch()
+		return e.sess, func() { sc.release(key, e) }, nil
+	}
+	need := spec.Opts.Grid.Size()
+	if need > sc.cfg.RankBudget {
+		sc.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: request needs %d ranks, budget is %d", ErrTooLarge, need, sc.cfg.RankBudget)
+	}
+	// Retire idle, unleased sessions, oldest first, until the new one
+	// fits. leases == 0 guarantees no request sits between routing and
+	// enqueue, and Idle() that nothing is queued or running — so Close
+	// returns promptly.
+	for sc.ranksLiveLocked()+need > sc.cfg.RankBudget {
+		vKey, victim := sc.oldestIdleLocked()
+		if victim == nil {
+			sc.mu.Unlock()
+			return nil, nil, ErrOverloaded
+		}
+		delete(sc.entries, vKey)
+		victim.sess.Close()
+		sc.retired.Add(1)
+	}
+	e := &entry{ranks: need, ready: make(chan struct{}), leases: 1}
+	sc.entries[key] = e
+	sc.mu.Unlock()
+
+	// Build the session off the lock: spawning the world and zeroing the
+	// staging buffers can be arbitrarily large, and other shapes' requests
+	// must keep flowing meanwhile.
+	sess, err := NewSession(reqShape, spec, SessionConfig{QueueDepth: sc.cfg.QueueDepth})
+	sc.mu.Lock()
+	if err == nil && sc.closed {
+		// The scheduler drained while this session was being built (Close
+		// removed the entry already); don't leak a resident world.
+		err = ErrClosed
+		sess.Close()
+	}
+	if err != nil {
+		e.err = err
+		delete(sc.entries, key)
+		e.leases--
+		sc.mu.Unlock()
+		close(e.ready)
+		return nil, nil, err
+	}
+	e.sess = sess
+	sc.mu.Unlock()
+	close(e.ready)
+	sc.misses.Add(1)
+	return sess, func() { sc.release(key, e) }, nil
+}
+
+// release returns a routing lease.
+func (sc *Scheduler) release(key string, e *entry) {
+	sc.mu.Lock()
+	e.leases--
+	sc.mu.Unlock()
+}
+
+// ranksLiveLocked counts ranks reserved by live and in-construction
+// sessions.
+func (sc *Scheduler) ranksLiveLocked() int {
+	total := 0
+	for _, e := range sc.entries {
+		total += e.ranks
+	}
+	return total
+}
+
+// oldestIdleLocked picks the retirement victim: the least-recently-used
+// entry that is fully built, unleased and idle.
+func (sc *Scheduler) oldestIdleLocked() (string, *entry) {
+	var (
+		vKey   string
+		victim *entry
+	)
+	for key, e := range sc.entries {
+		if e.sess == nil || e.leases > 0 || !e.sess.Idle() {
+			continue
+		}
+		if victim == nil || e.sess.LastUsed().Before(victim.sess.LastUsed()) {
+			vKey, victim = key, e
+		}
+	}
+	return vKey, victim
+}
+
+// Sessions returns a snapshot of the live sessions, for introspection.
+func (sc *Scheduler) Sessions() []*Session {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make([]*Session, 0, len(sc.entries))
+	for _, e := range sc.entries {
+		if e.sess != nil {
+			out = append(out, e.sess)
+		}
+	}
+	return out
+}
+
+func (sc *Scheduler) recordLatency(sec float64) {
+	sc.latMu.Lock()
+	sc.lat[sc.latIdx] = sec
+	sc.latIdx = (sc.latIdx + 1) % len(sc.lat)
+	if sc.latN < len(sc.lat) {
+		sc.latN++
+	}
+	sc.latMu.Unlock()
+}
+
+// quantile returns the q-quantile (0..1) of the latency window.
+func (sc *Scheduler) quantile(q float64) float64 {
+	sc.latMu.Lock()
+	n := sc.latN
+	samples := append([]float64(nil), sc.lat[:n]...)
+	sc.latMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	idx := int(q * float64(n-1))
+	return samples[idx]
+}
+
+// Metrics returns a snapshot of the scheduler's counters. The queued and
+// in-flight gauges are derived from the live sessions' queues at snapshot
+// time.
+func (sc *Scheduler) Metrics() Metrics {
+	sc.mu.Lock()
+	ranks := sc.ranksLiveLocked()
+	var live int
+	var queued, inFlight int64
+	for _, e := range sc.entries {
+		if e.sess == nil {
+			continue
+		}
+		live++
+		queued += int64(e.sess.QueueLen())
+		if e.sess.Executing() {
+			inFlight++
+		}
+	}
+	sc.mu.Unlock()
+	ps := tune.Stats()
+	return Metrics{
+		Requests:          sc.requests.Load(),
+		Completed:         sc.completed.Load(),
+		Errors:            sc.errors.Load(),
+		Rejected:          sc.rejected.Load(),
+		SessionHits:       sc.hits.Load(),
+		SessionMisses:     sc.misses.Load(),
+		SessionsRetired:   sc.retired.Load(),
+		SessionsLive:      live,
+		RanksLive:         ranks,
+		Queued:            queued,
+		InFlight:          inFlight,
+		LatencyP50Seconds: sc.quantile(0.50),
+		LatencyP99Seconds: sc.quantile(0.99),
+		PlanCacheHits:     ps.CacheHits,
+		PlanCacheMisses:   ps.CacheMisses,
+	}
+}
+
+// Close drains the scheduler: new requests fail with ErrClosed, each
+// session's in-flight request finishes, queued requests receive ErrClosed,
+// and every resident world is released.
+func (sc *Scheduler) Close() error {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil
+	}
+	sc.closed = true
+	sessions := make([]*Session, 0, len(sc.entries))
+	for _, e := range sc.entries {
+		if e.sess != nil {
+			sessions = append(sessions, e.sess)
+		}
+	}
+	sc.entries = make(map[string]*entry)
+	sc.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			s.Close()
+		}(s)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Uptime helper for the metrics endpoint.
+var startTime = time.Now()

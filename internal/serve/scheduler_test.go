@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/tune"
+)
+
+// TestSchedulerShapeRouting checks the shape-keyed routing contract: two
+// distinct shapes spin up two sessions, and repeats of each land on the
+// resident session as hits.
+func TestSchedulerShapeRouting(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{RankBudget: 64})
+	defer sc.Close()
+
+	mul := func(m, k, n int, seed uint64) {
+		t.Helper()
+		a := matrix.Random(m, k, seed)
+		b := matrix.Random(k, n, seed+1)
+		got, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+			t.Fatalf("wrong product: %g", d)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		mul(32, 32, 32, uint64(i*2+1))
+		mul(16, 24, 8, uint64(i*2+100))
+	}
+
+	m := sc.Metrics()
+	if m.SessionsLive != 2 {
+		t.Fatalf("SessionsLive = %d, want 2 (one per shape)", m.SessionsLive)
+	}
+	if m.SessionMisses != 2 {
+		t.Fatalf("SessionMisses = %d, want 2", m.SessionMisses)
+	}
+	if m.SessionHits != 4 {
+		t.Fatalf("SessionHits = %d, want 4", m.SessionHits)
+	}
+	if m.Completed != 6 || m.Requests != 6 {
+		t.Fatalf("Completed/Requests = %d/%d, want 6/6", m.Completed, m.Requests)
+	}
+	if m.LatencyP50Seconds <= 0 || m.LatencyP99Seconds < m.LatencyP50Seconds {
+		t.Fatalf("implausible latency quantiles p50=%g p99=%g", m.LatencyP50Seconds, m.LatencyP99Seconds)
+	}
+	if m.RanksLive != 8 {
+		t.Fatalf("RanksLive = %d, want 8", m.RanksLive)
+	}
+}
+
+// TestSchedulerPaddedShapesDoNotCollide is the regression test for
+// shape-keyed routing with padding: two request shapes that pad to the
+// same execution shape (16x16x16 and 15x16x16 on a 2x2 grid with b=4)
+// must land on separate sessions — a session's staging buffers are pinned
+// to the request shape — and both must keep succeeding in any order.
+func TestSchedulerPaddedShapesDoNotCollide(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{RankBudget: 16})
+	defer sc.Close()
+
+	rp := tune.ResolveParams{Procs: 4, BlockSize: 4}
+	mul := func(m int) {
+		t.Helper()
+		a := matrix.Random(m, 16, uint64(m))
+		b := matrix.Random(16, 16, uint64(m+1))
+		got, _, err := sc.Multiply(a, b, rp)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+			t.Fatalf("m=%d: wrong product (%g)", m, d)
+		}
+	}
+	mul(16)
+	mul(15) // pads to the same 16x16x16 execution shape
+	mul(16)
+	mul(15)
+	m := sc.Metrics()
+	if m.SessionsLive != 2 {
+		t.Fatalf("SessionsLive = %d, want 2 (one per request shape)", m.SessionsLive)
+	}
+	if m.Completed != 4 {
+		t.Fatalf("Completed = %d, want 4", m.Completed)
+	}
+}
+
+// TestSchedulerRankBudget checks sessions are retired LRU-idle-first when
+// the budget is exceeded, and that an unsatisfiable request is rejected
+// with ErrOverloaded.
+func TestSchedulerRankBudget(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{RankBudget: 8})
+	defer sc.Close()
+
+	mul := func(n, procs int) error {
+		a := matrix.Random(n, n, 1)
+		b := matrix.Random(n, n, 2)
+		_, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: procs})
+		return err
+	}
+	if err := mul(16, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := mul(32, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Metrics().RanksLive; got != 8 {
+		t.Fatalf("RanksLive = %d, want 8", got)
+	}
+	// A third shape exceeds the budget: the oldest idle session retires.
+	if err := mul(24, 4); err != nil {
+		t.Fatal(err)
+	}
+	m := sc.Metrics()
+	if m.SessionsRetired != 1 || m.SessionsLive != 2 || m.RanksLive != 8 {
+		t.Fatalf("after retirement: retired=%d live=%d ranks=%d, want 1/2/8",
+			m.SessionsRetired, m.SessionsLive, m.RanksLive)
+	}
+	// A request larger than the whole budget can never be admitted —
+	// that is ErrTooLarge (non-retryable), not transient backpressure.
+	if err := mul(64, 16); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("budget-exceeding request: want ErrTooLarge, got %v", err)
+	}
+	if sc.Metrics().Errors == 0 {
+		t.Fatal("unservable request not counted as an error")
+	}
+}
+
+// TestSchedulerBackpressure checks a full session queue surfaces
+// ErrOverloaded through Scheduler.Multiply.
+func TestSchedulerBackpressure(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{RankBudget: 8, QueueDepth: 1})
+	defer sc.Close()
+
+	shape := matrix.Square(16)
+	a := matrix.Random(shape.M, shape.K, 1)
+	b := matrix.Random(shape.K, shape.N, 2)
+
+	// Prime the session, then gate its runner so the queue can fill.
+	if _, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	sessions := sc.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("want 1 session, have %d", len(sessions))
+	}
+	sess := sessions[0]
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	sess.beforeRun = func() {
+		started <- struct{}{}
+		<-gate
+	}
+
+	res := make(chan error, 2)
+	go func() { _, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4}); res <- err }()
+	<-started // executing, parked on the gate
+	go func() { _, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4}); res <- err }()
+	for sess.QueueLen() < 1 {
+		runtime.Gosched()
+	}
+
+	if _, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: want ErrOverloaded, got %v", err)
+	}
+	m := sc.Metrics()
+	if m.Rejected == 0 {
+		t.Fatal("backpressure rejection not counted")
+	}
+	if m.Queued == 0 {
+		t.Fatal("queued gauge should be non-zero while the queue is full")
+	}
+	if m.InFlight == 0 {
+		t.Fatal("in-flight gauge should be non-zero while the runner is gated")
+	}
+
+	close(gate)
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerGracefulDrain checks Close semantics through the front
+// door: in-flight requests finish with correct results, queued ones fail
+// with ErrClosed, and new requests are refused.
+func TestSchedulerGracefulDrain(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{RankBudget: 8, QueueDepth: 4})
+
+	shape := matrix.Square(16)
+	a := matrix.Random(shape.M, shape.K, 1)
+	b := matrix.Random(shape.K, shape.N, 2)
+	if _, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	sess := sc.Sessions()[0]
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	sess.beforeRun = func() {
+		started <- struct{}{}
+		<-gate
+	}
+
+	type result struct {
+		out *matrix.Dense
+		err error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		out, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4})
+		inflight <- result{out, err}
+	}()
+	<-started
+
+	queued := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4})
+			queued <- err
+		}()
+	}
+	for sess.QueueLen() < 2 {
+		runtime.Gosched()
+	}
+
+	done := make(chan struct{})
+	go func() { sc.Close(); close(done) }()
+	close(gate)
+	<-done
+
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request should survive Close, got %v", r.err)
+	}
+	if d := matrix.MaxAbsDiff(r.out, reference(a, b)); d != 0 {
+		t.Fatalf("in-flight result wrong: %g", d)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-queued; !errors.Is(err, ErrClosed) {
+			t.Fatalf("queued request: want ErrClosed, got %v", err)
+		}
+	}
+	if _, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close request: want ErrClosed, got %v", err)
+	}
+}
+
+// TestSchedulerConcurrentMixedShapes hammers the scheduler with concurrent
+// requests of two shapes and checks every admitted result is exact — the
+// mixed-traffic regime the daemon serves.
+func TestSchedulerConcurrentMixedShapes(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{RankBudget: 16, QueueDepth: 64})
+	defer sc.Close()
+
+	shapes := []matrix.Shape{matrix.Square(24), {M: 16, N: 8, K: 32}}
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := shapes[i%2]
+			a := matrix.Random(sh.M, sh.K, uint64(i+1))
+			b := matrix.Random(sh.K, sh.N, uint64(i+200))
+			got, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: 4})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+				errs <- errors.New("wrong product under mixed concurrency")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := sc.Metrics()
+	if m.Completed != callers {
+		t.Fatalf("Completed = %d, want %d", m.Completed, callers)
+	}
+	if m.SessionsLive != 2 {
+		t.Fatalf("SessionsLive = %d, want 2", m.SessionsLive)
+	}
+}

@@ -1,0 +1,428 @@
+// Package serve is the GEMM-as-a-service layer: it keeps the distributed
+// runtime resident between multiplications so the paper's carefully tuned
+// HSUMMA schedules are amortised over a *stream* of products instead of
+// exactly one — the master-worker serving design of Dongarra et al.
+// (Revisiting Matrix Product on Master-Worker Platforms) layered over this
+// repository's transport-agnostic engine.
+//
+// Three pieces compose the subsystem:
+//
+//   - Session: a persistent mpi world whose rank goroutines stay resident
+//     and loop on a per-session work queue, pinned to one resolved
+//     execution spec. Block maps, scatter tiles and padded operand buffers
+//     are built once and reused, so a repeat multiply of the same shape
+//     pays data movement and compute only — no spawn, no plan, no map
+//     construction, no tile allocation.
+//
+//   - Scheduler: the admission-controlled front door. Requests are keyed by
+//     their execution-shape key (engine.Spec.Key) and routed to a pool of
+//     sessions, spinning sessions up on miss and retiring idle ones under a
+//     configurable rank budget; bounded queues apply backpressure
+//     (ErrOverloaded) and counters expose hits/misses, queue depths and
+//     latency quantiles.
+//
+//   - HTTP handler (http.go): POST /multiply (JSON or raw little-endian
+//     float64 bodies), GET /plan and GET /metrics over a Scheduler — the
+//     daemon face cmd/hsumma-serve serves.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+)
+
+// Typed serving errors, reported via errors.Is through every layer
+// (Session, Scheduler, and as HTTP status codes by the handler).
+var (
+	// ErrClosed reports a request submitted to (or queued on) a session or
+	// scheduler that has been closed; queued requests receive it during a
+	// graceful drain while in-flight ones finish normally.
+	ErrClosed = errors.New("serve: closed")
+	// ErrOverloaded reports backpressure: a bounded queue was full or the
+	// rank budget could not admit a new session right now. Clients should
+	// retry with backoff (the HTTP layer maps it to 503 + Retry-After).
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrTooLarge reports a request that can never be admitted — it needs
+	// more ranks than the scheduler's whole budget — so retrying is
+	// pointless (the HTTP layer maps it to 400, not 503).
+	ErrTooLarge = errors.New("serve: request exceeds the rank budget")
+)
+
+// Stats reports one multiplication's execution statistics — the serving
+// analogue of the façade's hsumma.Stats, extended with the wall/setup
+// decomposition that makes the session-reuse win measurable.
+type Stats struct {
+	// Messages and Bytes are rank-traffic totals, identical to what a
+	// one-shot run of the same spec reports.
+	Messages int64
+	Bytes    int64
+	// MaxRankCommSeconds is the largest per-rank wall time spent inside
+	// communication calls.
+	MaxRankCommSeconds float64
+	// WallSeconds is the end-to-end request time: queue wait + setup +
+	// distributed run + gather.
+	WallSeconds float64
+	// SetupSeconds is the pre-run data-staging time the caller paid on this
+	// request: operand padding + scatter + output-tile zeroing, plus — on
+	// the one-shot path only — spec resolution, block-map construction and
+	// tile allocation. Warm sessions skip that second group entirely, which
+	// is exactly the amortisation this package exists for.
+	SetupSeconds float64
+}
+
+// SessionConfig tunes a session's queueing behaviour.
+type SessionConfig struct {
+	// QueueDepth bounds the session's work queue (default 32). Submit
+	// blocks when the queue is full; TrySubmit returns ErrOverloaded.
+	QueueDepth int
+}
+
+// Session is a persistent execution context for one resolved spec: a
+// resident mpi world plus the reusable data-staging state (block maps,
+// scatter tiles, padded buffers). Concurrent Multiply calls are serialised
+// by the session queue; Close drains it gracefully (the in-flight request
+// finishes, queued ones fail with ErrClosed).
+type Session struct {
+	spec engine.Spec
+	req  matrix.Shape // requested (pre-padding) problem shape
+	key  string
+
+	world            *mpi.PersistentWorld
+	bmA, bmB, bmC    *dist.BlockMap
+	aT, bT, cT       []*matrix.Dense
+	padA, padB, padC *matrix.Dense // nil when the request shape needs no padding
+
+	jobs chan *job
+	quit chan struct{}
+	done chan struct{} // closed when the runner exits
+
+	mu       sync.Mutex
+	closed   bool
+	pending  int  // jobs reserved for the queue but not yet taken by the runner
+	inFlight bool // a job is currently executing
+
+	calls    atomic.Int64
+	lastUsed atomic.Int64 // unix nanos; scheduler retirement order
+
+	// beforeRun, when set, is invoked by the runner before executing each
+	// job — a test hook for making queue states deterministic.
+	beforeRun func()
+}
+
+// job is one queued multiplication.
+type job struct {
+	a, b  *matrix.Dense
+	start time.Time
+
+	out   *matrix.Dense
+	stats Stats
+	err   error
+	done  chan struct{}
+}
+
+func (j *job) finish(err error) {
+	j.err = err
+	close(j.done)
+}
+
+// NewSession builds a session pinned to a resolved, padded execution spec
+// (as produced by tune.ResolveSpec) serving requests of the given
+// pre-padding problem shape. The spec's world is spawned immediately and
+// stays resident until Close.
+func NewSession(reqShape matrix.Shape, spec engine.Spec, cfg SessionConfig) (*Session, error) {
+	if err := reqShape.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	es := spec.Shape() // execution shape (padded when needed)
+	if es.M < reqShape.M || es.N < reqShape.N || es.K < reqShape.K {
+		return nil, fmt.Errorf("serve: execution shape %v smaller than request shape %v", es, reqShape)
+	}
+	grid := spec.Opts.Grid
+	if grid.S <= 0 || grid.T <= 0 {
+		return nil, fmt.Errorf("serve: spec has no process grid (resolve it first)")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 32
+	}
+	bmA, err := dist.NewBlockMap(es.M, es.K, grid)
+	if err != nil {
+		return nil, err
+	}
+	bmB, err := dist.NewBlockMap(es.K, es.N, grid)
+	if err != nil {
+		return nil, err
+	}
+	bmC, err := dist.NewBlockMap(es.M, es.N, grid)
+	if err != nil {
+		return nil, err
+	}
+	world, err := mpi.Persistent(grid.Size())
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		spec: spec, req: reqShape, key: spec.Key(),
+		world: world, bmA: bmA, bmB: bmB, bmC: bmC,
+		jobs: make(chan *job, depth),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	alloc := func(bm *dist.BlockMap) []*matrix.Dense {
+		tiles := make([]*matrix.Dense, grid.Size())
+		for r := range tiles {
+			tr, tc := bm.TileShape(r)
+			tiles[r] = matrix.New(tr, tc)
+		}
+		return tiles
+	}
+	s.aT, s.bT, s.cT = alloc(bmA), alloc(bmB), alloc(bmC)
+	if es.M != reqShape.M || es.K != reqShape.K {
+		s.padA = matrix.New(es.M, es.K)
+	}
+	if es.K != reqShape.K || es.N != reqShape.N {
+		s.padB = matrix.New(es.K, es.N)
+	}
+	if es.M != reqShape.M || es.N != reqShape.N {
+		s.padC = matrix.New(es.M, es.N)
+	}
+	s.touch()
+	go s.run()
+	return s, nil
+}
+
+// Key returns the session's execution-shape key (engine.Spec.Key) — the
+// identity the scheduler routes by.
+func (s *Session) Key() string { return s.key }
+
+// Shape returns the problem shape the session serves (pre-padding).
+func (s *Session) Shape() matrix.Shape { return s.req }
+
+// Spec returns the resolved execution spec the session is pinned to.
+func (s *Session) Spec() engine.Spec { return s.spec }
+
+// Ranks returns the number of resident ranks (the session's cost against a
+// scheduler rank budget).
+func (s *Session) Ranks() int { return s.world.Size() }
+
+// Calls returns the number of completed multiplications.
+func (s *Session) Calls() int64 { return s.calls.Load() }
+
+// Idle reports whether the session has no queued and no in-flight work —
+// the precondition for the scheduler to retire it.
+func (s *Session) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending == 0 && !s.inFlight
+}
+
+// LastUsed returns the time of the session's most recent activity.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// QueueLen returns the number of queued (not yet started) requests.
+func (s *Session) QueueLen() int { return len(s.jobs) }
+
+// Executing reports whether a request is running right now.
+func (s *Session) Executing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inFlight
+}
+
+// Multiply computes A·B on the resident session, blocking while earlier
+// requests drain (the session queue serialises concurrent callers). The
+// operands must match the session's problem shape exactly.
+func (s *Session) Multiply(a, b *matrix.Dense) (*matrix.Dense, Stats, error) {
+	return s.submit(a, b, true)
+}
+
+// TryMultiply is Multiply with backpressure instead of blocking: a full
+// session queue returns ErrOverloaded immediately. The scheduler's
+// admission path uses it.
+func (s *Session) TryMultiply(a, b *matrix.Dense) (*matrix.Dense, Stats, error) {
+	return s.submit(a, b, false)
+}
+
+func (s *Session) submit(a, b *matrix.Dense, block bool) (*matrix.Dense, Stats, error) {
+	if a.Rows != s.req.M || a.Cols != s.req.K || b.Rows != s.req.K || b.Cols != s.req.N {
+		return nil, Stats{}, fmt.Errorf("serve: operands %dx%d · %dx%d do not match session shape %v",
+			a.Rows, a.Cols, b.Rows, b.Cols, s.req)
+	}
+	j := &job{a: a, b: b, start: time.Now(), done: make(chan struct{})}
+
+	// Reserve a queue slot under the lock so a concurrent Close knows
+	// exactly how many jobs its drain must fail.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, Stats{}, ErrClosed
+	}
+	if !block {
+		select {
+		case s.jobs <- j:
+			s.pending++
+			s.mu.Unlock()
+		default:
+			s.mu.Unlock()
+			return nil, Stats{}, ErrOverloaded
+		}
+	} else {
+		s.pending++
+		s.mu.Unlock()
+		// May block on a full queue; the runner (or the drain loop after a
+		// concurrent Close) is guaranteed to take it.
+		s.jobs <- j
+	}
+	<-j.done
+	return j.out, j.stats, j.err
+}
+
+// run is the session's runner goroutine: it executes queued jobs one at a
+// time until Close, then drains the queue with ErrClosed.
+func (s *Session) run() {
+	defer close(s.done)
+	for {
+		// Check quit first so a Close issued while a job was executing
+		// deterministically drains the queue instead of racing it against
+		// the next queued job.
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		case j := <-s.jobs:
+			s.mu.Lock()
+			s.pending--
+			s.inFlight = true
+			s.mu.Unlock()
+			s.execute(j)
+			s.mu.Lock()
+			s.inFlight = false
+			s.mu.Unlock()
+		}
+	}
+}
+
+// drain fails every job that was enqueued (or reserved by a blocked
+// sender) before Close marked the session closed.
+func (s *Session) drain() {
+	for {
+		s.mu.Lock()
+		p := s.pending
+		s.mu.Unlock()
+		if p == 0 {
+			return
+		}
+		j := <-s.jobs
+		s.mu.Lock()
+		s.pending--
+		s.mu.Unlock()
+		j.finish(ErrClosed)
+	}
+}
+
+// execute stages one job's operands through the reused buffers, runs the
+// resident world, and gathers the (cropped) product.
+func (s *Session) execute(j *job) {
+	if s.beforeRun != nil {
+		s.beforeRun()
+	}
+	s.touch()
+
+	setupStart := time.Now()
+	ga := j.a
+	if s.padA != nil {
+		// The pad fringe was zeroed at allocation and only the request
+		// region is ever rewritten, so zero-padding is preserved.
+		s.padA.View(0, 0, s.req.M, s.req.K).CopyFrom(j.a)
+		ga = s.padA
+	}
+	gb := j.b
+	if s.padB != nil {
+		s.padB.View(0, 0, s.req.K, s.req.N).CopyFrom(j.b)
+		gb = s.padB
+	}
+	s.bmA.ScatterInto(s.aT, ga)
+	s.bmB.ScatterInto(s.bT, gb)
+	for _, t := range s.cT {
+		t.Zero()
+	}
+	setup := time.Since(setupStart)
+
+	var mu sync.Mutex
+	var algErr error
+	ranks, err := s.world.RunOn(func(c *mpi.Comm) {
+		r := c.Rank()
+		if e := engine.Run(mpi.AsComm(c), s.spec, s.aT[r], s.bT[r], s.cT[r]); e != nil {
+			mu.Lock()
+			if algErr == nil {
+				algErr = e
+			}
+			mu.Unlock()
+		}
+	})
+	if err == nil {
+		err = algErr
+	}
+	if err != nil {
+		j.finish(err)
+		return
+	}
+	for _, r := range ranks {
+		j.stats.Messages += r.SentMessages
+		j.stats.Bytes += r.SentBytes
+		if r.CommSeconds > j.stats.MaxRankCommSeconds {
+			j.stats.MaxRankCommSeconds = r.CommSeconds
+		}
+	}
+	var out *matrix.Dense
+	if s.padC != nil {
+		// Gather into the reused padded buffer and clone only the crop the
+		// caller keeps.
+		s.bmC.GatherInto(s.padC, s.cT)
+		out = s.padC.View(0, 0, s.req.M, s.req.N).Clone()
+	} else {
+		// The gathered matrix IS the caller's result; this allocation is
+		// inherent.
+		out = s.bmC.Gather(s.cT)
+	}
+	j.out = out
+	j.stats.SetupSeconds = setup.Seconds()
+	j.stats.WallSeconds = time.Since(j.start).Seconds()
+	s.calls.Add(1)
+	s.touch()
+	j.finish(nil)
+}
+
+// Close stops the session: the in-flight request (if any) finishes, queued
+// requests fail with ErrClosed, and the resident world is released. It is
+// idempotent and safe to call concurrently with Multiply.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	<-s.done
+	s.world.Close()
+	return nil
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/tune"
+)
+
+// reference computes the oracle product.
+func reference(a, b *matrix.Dense) *matrix.Dense {
+	c := matrix.New(a.Rows, b.Cols)
+	blas.Naive(c, a, b)
+	return c
+}
+
+// TestSessionCorrectness checks repeated multiplies of fresh operands on
+// one session against the sequential oracle, including a padded
+// (non-divisible) shape where the reused pad fringe must stay zero.
+func TestSessionCorrectness(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape matrix.Shape
+		rp    tune.ResolveParams
+	}{
+		{"divisible", matrix.Square(32), tune.ResolveParams{Procs: 4}},
+		{"padded", matrix.Shape{M: 30, N: 26, K: 22}, tune.ResolveParams{Procs: 4}},
+		{"rect", matrix.Shape{M: 48, N: 16, K: 32}, tune.ResolveParams{Procs: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rp := tc.rp
+			rp.Shape = tc.shape
+			spec, err := tune.ResolveSpec(rp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := NewSession(tc.shape, spec, SessionConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			for i := 0; i < 3; i++ {
+				a := matrix.Random(tc.shape.M, tc.shape.K, uint64(10*i+1))
+				b := matrix.Random(tc.shape.K, tc.shape.N, uint64(10*i+2))
+				got, stats, err := sess.Multiply(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+					t.Fatalf("call %d: max |diff| = %g vs oracle", i, d)
+				}
+				if stats.Messages == 0 || stats.WallSeconds <= 0 {
+					t.Fatalf("call %d: implausible stats %+v", i, stats)
+				}
+			}
+			if sess.Calls() != 3 {
+				t.Fatalf("Calls() = %d, want 3", sess.Calls())
+			}
+		})
+	}
+}
+
+// TestSessionShapeMismatch checks operands of the wrong shape are rejected
+// without touching the queue.
+func TestSessionShapeMismatch(t *testing.T) {
+	shape := matrix.Square(16)
+	spec, err := tune.ResolveSpec(tune.ResolveParams{Shape: shape, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(shape, spec, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, _, err := sess.Multiply(matrix.New(8, 16), matrix.New(16, 16)); err == nil {
+		t.Fatal("mismatched operands accepted")
+	}
+}
+
+// TestSessionConcurrentCallers drives one session from many goroutines:
+// the queue must serialise them and every result must be exact.
+func TestSessionConcurrentCallers(t *testing.T) {
+	shape := matrix.Square(24)
+	spec, err := tune.ResolveSpec(tune.ResolveParams{Shape: shape, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(shape, spec, SessionConfig{QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const callers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := matrix.Random(shape.M, shape.K, uint64(i+1))
+			b := matrix.Random(shape.K, shape.N, uint64(i+100))
+			got, _, err := sess.Multiply(a, b)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+				errs <- errors.New("wrong product under concurrency")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if sess.Calls() != callers {
+		t.Fatalf("Calls() = %d, want %d", sess.Calls(), callers)
+	}
+}
+
+// TestSessionDrainOnClose checks the graceful-drain contract: the
+// in-flight request finishes with a correct result, queued requests fail
+// with ErrClosed, and new submissions after Close fail with ErrClosed.
+func TestSessionDrainOnClose(t *testing.T) {
+	shape := matrix.Square(16)
+	spec, err := tune.ResolveSpec(tune.ResolveParams{Shape: shape, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(shape, spec, SessionConfig{QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	sess.beforeRun = func() {
+		started <- struct{}{}
+		<-gate
+	}
+
+	a := matrix.Random(shape.M, shape.K, 1)
+	b := matrix.Random(shape.K, shape.N, 2)
+
+	type result struct {
+		out *matrix.Dense
+		err error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		out, _, err := sess.Multiply(a, b)
+		inflight <- result{out, err}
+	}()
+	<-started // the first request is now executing, parked on the gate
+
+	queuedRes := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, _, err := sess.Multiply(a, b)
+			queuedRes <- err
+		}()
+	}
+	// Wait until all three sit in the queue behind the gated request.
+	for sess.QueueLen() < 3 {
+		runtime.Gosched()
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		sess.Close()
+		close(closed)
+	}()
+	close(gate) // release the in-flight request
+	<-closed
+
+	r := <-inflight
+	if r.err != nil {
+		t.Fatalf("in-flight request should finish cleanly, got %v", r.err)
+	}
+	if d := matrix.MaxAbsDiff(r.out, reference(a, b)); d != 0 {
+		t.Fatalf("in-flight result wrong after drain: %g", d)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-queuedRes; !errors.Is(err, ErrClosed) {
+			t.Fatalf("queued request %d: want ErrClosed, got %v", i, err)
+		}
+	}
+	if _, _, err := sess.Multiply(a, b); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: want ErrClosed, got %v", err)
+	}
+}
+
+// TestSessionBackpressure checks TryMultiply's bounded-queue rejection.
+func TestSessionBackpressure(t *testing.T) {
+	shape := matrix.Square(16)
+	spec, err := tune.ResolveSpec(tune.ResolveParams{Shape: shape, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(shape, spec, SessionConfig{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	sess.beforeRun = func() {
+		started <- struct{}{}
+		<-gate
+	}
+	a := matrix.Random(shape.M, shape.K, 1)
+	b := matrix.Random(shape.K, shape.N, 2)
+
+	res := make(chan error, 2)
+	go func() { _, _, err := sess.Multiply(a, b); res <- err }()
+	<-started // executing, parked
+	go func() { _, _, err := sess.Multiply(a, b); res <- err }()
+	for sess.QueueLen() < 1 {
+		runtime.Gosched()
+	} // the queue (depth 1) is now full
+
+	if _, _, err := sess.TryMultiply(a, b); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full queue: want ErrOverloaded, got %v", err)
+	}
+
+	close(gate)
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-res; err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+}

@@ -1,0 +1,194 @@
+package tune
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/topo"
+)
+
+// This file is the shared live-path configuration resolution: it turns a
+// user-facing description of one multiplication (what the public
+// hsumma.Config carries, and what the serving layer receives per request)
+// into the engine's fully pinned, padded Spec. hsumma.Multiply,
+// hsumma.Simulate and internal/serve all route through ResolveSpec, so the
+// three surfaces agree on defaulting (algorithm, grid, groups, block
+// sizes), on AlgAuto planner resolution — and therefore on engine.Spec.Key,
+// the identity the serving layer's session routing and the plan cache are
+// keyed by.
+
+// AutoProcs is the rank-count threshold beyond which implicit Auto
+// resolution skips the stage-2 virtual refinement: a single full-scale
+// virtual run at the paper's 16384 ranks costs seconds, and the analytic
+// ranking is already faithful there (asserted against exhaustive sweeps in
+// this package's tests at tractable scale).
+const AutoProcs = 2048
+
+// ResolveParams describes one live multiplication the way a caller pins it:
+// zero values mean "resolve for me". It is the transport-free subset of the
+// public Config.
+type ResolveParams struct {
+	// Shape is the global GEMM problem (required).
+	Shape matrix.Shape
+	// Procs is the rank count (required; must match Grid when both set).
+	Procs int
+	// Algorithm defaults to HSUMMA; engine.Auto delegates everything not
+	// explicitly pinned to the planner.
+	Algorithm engine.Algorithm
+	// Grid optionally pins the process grid.
+	Grid *topo.Grid
+	// Groups is HSUMMA's G (0 = feasible count closest to √p).
+	Groups int
+	// BlockSize is the paper's b (0 = DefaultBlockSize); OuterBlockSize is
+	// HSUMMA's B (0 = b).
+	BlockSize, OuterBlockSize int
+	// Levels configures Multilevel (outermost first).
+	Levels []core.Level
+	// Broadcast selects the collective schedule (empty = binomial).
+	Broadcast sched.Algorithm
+	// Segments is the chain-broadcast pipeline depth.
+	Segments int
+	// Platform names the machine the planner tunes for under
+	// engine.Auto (nil = the Grid'5000 preset). Ignored otherwise.
+	Platform *platform.Platform
+}
+
+// ResolveSpec resolves the parameters into the padded execution spec both
+// live paths run. Errors are unprefixed (wrapped where sentinel identity
+// matters, e.g. matrix.ErrSquareOnly); each caller applies its own
+// namespace — the façade adds "hsumma:", the HTTP layer serves them bare.
+// The resolution itself: planner resolution for engine.Auto (explicit Grid and
+// BlockSize are honoured as constraints), grid factorisation, the shared
+// BlockSize-0-means-auto rule, the √p group default, and the padding of
+// the shape up to the algorithm's divisibility constraints. Square-only
+// baselines reject rectangular shapes with matrix.ErrSquareOnly.
+func ResolveSpec(rp ResolveParams) (engine.Spec, error) {
+	if err := rp.Shape.Validate(); err != nil {
+		return engine.Spec{}, err
+	}
+	if rp.Procs <= 0 {
+		return engine.Spec{}, fmt.Errorf("Procs must be positive")
+	}
+	if rp.Algorithm == engine.Auto {
+		planned, err := resolveAutoParams(rp)
+		if err != nil {
+			return engine.Spec{}, err
+		}
+		rp = planned
+	}
+	grid, err := resolveGrid(rp)
+	if err != nil {
+		return engine.Spec{}, err
+	}
+	if rp.Algorithm == "" {
+		rp.Algorithm = engine.HSUMMA
+	}
+	if rp.BlockSize <= 0 {
+		// The shared "0 means auto" rule, next to the planner's b/B search
+		// so Multiply and Simulate default identically.
+		rp.BlockSize = DefaultBlockSize(rp.Shape, grid)
+	}
+	spec := engine.Spec{
+		Algorithm: rp.Algorithm,
+		Opts: core.Options{
+			Shape: rp.Shape, Grid: grid,
+			BlockSize:      rp.BlockSize,
+			OuterBlockSize: rp.OuterBlockSize,
+			Broadcast:      rp.Broadcast,
+			Segments:       rp.Segments,
+		},
+		Levels: rp.Levels,
+	}
+	if rp.Algorithm == engine.HSUMMA {
+		h, err := resolveGroups(grid, rp.Groups)
+		if err != nil {
+			return engine.Spec{}, err
+		}
+		spec.Opts.Groups = h
+	}
+	// Round the shape up to the execution shape (identity on divisible
+	// problems); square-only algorithms reject rectangular shapes here.
+	spec, err = spec.Padded()
+	if err != nil {
+		return engine.Spec{}, err
+	}
+	return spec, nil
+}
+
+// resolveAutoParams replaces Algorithm: engine.Auto with the planner's
+// choice for rp.Platform (default: the Grid'5000 preset), honouring
+// explicit Grid and BlockSize settings as constraints. Plans are memoised,
+// so a serving workload pays the search once per distinct shape.
+func resolveAutoParams(rp ResolveParams) (ResolveParams, error) {
+	pf := platform.Grid5000()
+	if rp.Platform != nil {
+		pf = *rp.Platform
+	}
+	pl, err := PlanFor(Request{
+		Platform: pf, Shape: rp.Shape, P: rp.Procs,
+		Grid: rp.Grid, BlockSize: rp.BlockSize,
+		Quick:        true,
+		AnalyticOnly: rp.Procs > AutoProcs,
+	})
+	if err != nil {
+		return ResolveParams{}, err
+	}
+	c := pl.Best.Candidate
+	rp.Algorithm = c.Algorithm
+	g := c.Grid
+	rp.Grid = &g
+	rp.Procs = c.Grid.Size()
+	rp.Groups = c.Groups
+	rp.BlockSize = c.BlockSize
+	rp.OuterBlockSize = c.OuterBlockSize
+	rp.Broadcast = c.Broadcast
+	rp.Segments = c.Segments
+	rp.Levels = c.Levels
+	return rp, nil
+}
+
+func resolveGrid(rp ResolveParams) (topo.Grid, error) {
+	if rp.Grid != nil {
+		g, err := topo.NewGrid(rp.Grid.S, rp.Grid.T)
+		if err != nil {
+			return topo.Grid{}, err
+		}
+		if g.Size() != rp.Procs {
+			return topo.Grid{}, fmt.Errorf("grid %v does not hold %d procs", g, rp.Procs)
+		}
+		return g, nil
+	}
+	return topo.SquarestGrid(rp.Procs)
+}
+
+func resolveGroups(g topo.Grid, G int) (topo.Hier, error) {
+	if G > 0 {
+		return topo.FactorGroups(g, G)
+	}
+	// Default: the feasible group count closest to √p, the paper's
+	// analytic optimum.
+	counts := topo.ValidGroupCounts(g)
+	if len(counts) == 0 {
+		// Unreachable for any valid grid (G=1 always factorises), but a
+		// guard beats an index panic if ValidGroupCounts ever changes.
+		return topo.Hier{}, fmt.Errorf("no feasible group count for grid %v", g)
+	}
+	best := counts[0]
+	for _, c := range counts {
+		if absInt(c*c-g.Size()) < absInt(best*best-g.Size()) {
+			best = c
+		}
+	}
+	return topo.FactorGroups(g, best)
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,7 +1,6 @@
 package hsumma
 
 import (
-	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/topo"
 	"repro/internal/tune"
@@ -129,56 +128,11 @@ func Plan(cfg PlanConfig) (*PlanResult, error) {
 // cache hits and misses, and the number of stage-2 virtual runs executed.
 func PlannerCounters() PlanStats { return tune.Stats() }
 
-// autoProcs is the rank-count threshold beyond which auto resolution skips
-// the stage-2 virtual refinement: a single full-scale virtual run at the
-// paper's 16384 ranks costs seconds, and the analytic ranking is already
-// faithful there (asserted against exhaustive sweeps in internal/tune's
-// tests at tractable scale).
-const autoProcs = 2048
-
-// resolveAuto replaces Algorithm: AlgAuto in a live-run Config with the
-// planner's choice for cfg.Platform (default: the Grid'5000 preset).
-// Explicit Grid and BlockSize settings are honoured as constraints.
-func resolveAuto(shape Shape, cfg Config) (Config, error) {
-	pf := platform.Grid5000()
-	if cfg.Platform != nil {
-		pf = *cfg.Platform
-	}
-	var gp *topo.Grid
-	if cfg.Grid != nil {
-		g, err := topo.NewGrid(cfg.Grid[0], cfg.Grid[1])
-		if err != nil {
-			return Config{}, err
-		}
-		gp = &g
-	}
-	pl, err := tune.PlanFor(tune.Request{
-		Platform: pf, Shape: shape, P: cfg.Procs,
-		Grid: gp, BlockSize: cfg.BlockSize,
-		Quick:        true,
-		AnalyticOnly: cfg.Procs > autoProcs,
-	})
-	if err != nil {
-		return Config{}, err
-	}
-	return applyCandidate(cfg, pl.Best.Candidate), nil
-}
-
-// applyCandidate copies a planner choice into a Config, replacing the
-// auto pseudo-algorithm with a fully pinned configuration.
-func applyCandidate(cfg Config, c tune.Candidate) Config {
-	cfg.Algorithm = c.Algorithm
-	g := [2]int{c.Grid.S, c.Grid.T}
-	cfg.Grid = &g
-	cfg.Procs = c.Grid.Size()
-	cfg.Groups = c.Groups
-	cfg.BlockSize = c.BlockSize
-	cfg.OuterBlockSize = c.OuterBlockSize
-	cfg.Broadcast = c.Broadcast
-	cfg.Segments = c.Segments
-	cfg.Levels = c.Levels
-	return cfg
-}
+// autoProcs re-states the shared rank-count threshold beyond which
+// implicit auto resolution skips the stage-2 virtual refinement (see
+// tune.AutoProcs; the live path's resolution moved into tune.ResolveSpec,
+// which both hsumma.Multiply and the serving layer route through).
+const autoProcs = tune.AutoProcs
 
 // resolveSimAuto replaces Algorithm: AlgAuto in a SimConfig with the
 // planner's choice for the simulated machine, honouring the contention and

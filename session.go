@@ -1,0 +1,95 @@
+package hsumma
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+// This file is the library face of the serving subsystem (internal/serve):
+// a Session keeps the distributed runtime resident between multiplications
+// — rank goroutines parked on a work queue, block maps, scatter tiles and
+// padded buffers built once — so a stream of products of one shape pays
+// spawn + plan + map setup a single time instead of per call. The same
+// machinery, fronted by a shape-keyed scheduler and an HTTP daemon, is
+// cmd/hsumma-serve.
+
+// Serving errors, reported via errors.Is.
+var (
+	// ErrSessionClosed is returned by Session.Multiply after Close (queued
+	// requests receive it during the graceful drain; the in-flight one
+	// finishes normally).
+	ErrSessionClosed = serve.ErrClosed
+	// ErrOverloaded reports serving-layer backpressure (bounded queues /
+	// rank budget); the library Session blocks instead of rejecting, so it
+	// surfaces only through the daemon.
+	ErrOverloaded = serve.ErrOverloaded
+)
+
+// Session is a persistent execution context for one problem shape and
+// configuration. Create it once with NewSession, call Multiply for each
+// product, Close when done. Concurrent Multiply calls are safe and are
+// serialised by the session's work queue.
+type Session struct {
+	inner *serve.Session
+	shape Shape
+}
+
+// NewSession resolves the configuration exactly as Multiply would —
+// including AlgAuto planner resolution and the shared block-size default —
+// then spawns the resident world and staging buffers for the given problem
+// shape: A (M×K) · B (K×N) = C (M×N). Every Session.Multiply must pass
+// operands of exactly this shape; start one session per distinct shape (or
+// use cmd/hsumma-serve, whose scheduler pools sessions by shape
+// automatically).
+func NewSession(shape Shape, cfg Config) (*Session, error) {
+	spec, _, err := resolveSpec(shape, cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := serve.NewSession(shape, spec, serve.SessionConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner, shape: shape}, nil
+}
+
+// Shape returns the problem shape the session serves.
+func (s *Session) Shape() Shape { return s.shape }
+
+// Key returns the session's canonical execution-shape key — the identity
+// the serving scheduler routes requests by.
+func (s *Session) Key() string { return s.inner.Key() }
+
+// Calls returns the number of multiplications completed on the session.
+func (s *Session) Calls() int64 { return s.inner.Calls() }
+
+// Multiply computes A·B on the resident session. The operands must match
+// the session shape exactly; the result and the traffic statistics are
+// identical to what the one-shot Multiply reports for the same
+// configuration (bit-identical products — both run the same spec on the
+// same runtime), but Stats.SetupSeconds carries only the per-request
+// staging cost, the rest having been paid once at NewSession.
+func (s *Session) Multiply(a, b *Matrix) (*Matrix, Stats, error) {
+	out, st, err := s.inner.Multiply(a, b)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, Stats{
+		Messages:           st.Messages,
+		Bytes:              st.Bytes,
+		MaxRankCommSeconds: st.MaxRankCommSeconds,
+		WallSeconds:        st.WallSeconds,
+		SetupSeconds:       st.SetupSeconds,
+	}, nil
+}
+
+// Close releases the session: the in-flight request finishes, queued ones
+// fail with ErrSessionClosed, and the resident rank goroutines exit. It is
+// idempotent.
+func (s *Session) Close() error { return s.inner.Close() }
+
+// String identifies the session for logs.
+func (s *Session) String() string {
+	return fmt.Sprintf("hsumma.Session(%v, %s)", s.shape, s.inner.Key())
+}
