@@ -16,6 +16,13 @@
 //
 //	hsumma-bench -simbench -out BENCH_sim.json -baseline ci/bench-sim-baseline.json
 //
+// The -kernelbench mode benchmarks the local GEMM microkernel — the
+// register-blocked packed kernel against the scalar kernel, plus the
+// intra-rank thread sweep — and writes BENCH_kernel.json (the CI
+// kernel gate):
+//
+//	hsumma-bench -kernelbench -out BENCH_kernel.json -baseline ci/bench-kernel-baseline.json
+//
 // The -loadgen mode drives a hsumma-serve daemon (or an in-process server
 // when -url is empty) with concurrent mixed-shape traffic, verifies every
 // response against the sequential reference, benchmarks warm-session vs
@@ -42,6 +49,7 @@ func main() {
 		uncalibrated = flag.Bool("uncalibrated", false, "use the paper's published Hockney parameters instead of the SUMMA-fitted machines")
 		format       = flag.String("format", "table", "output format: table or csv")
 		simbench     = flag.Bool("simbench", false, "benchmark the virtual execution engines on the full-scale BG/P run and emit BENCH_sim.json")
+		kernelbench  = flag.Bool("kernelbench", false, "benchmark the packed GEMM microkernel against the scalar kernel and emit BENCH_kernel.json")
 		out          = flag.String("out", "-", "simbench/loadgen: output path for the JSON report (- = stdout)")
 		baseline     = flag.String("baseline", "", "simbench/loadgen: committed baseline JSON to gate against")
 		loadgen      = flag.Bool("loadgen", false, "drive a hsumma-serve daemon with concurrent mixed-shape traffic and emit BENCH_serve.json")
@@ -53,6 +61,10 @@ func main() {
 
 	if *simbench {
 		runSimBench(*quick, *out, *baseline)
+		return
+	}
+	if *kernelbench {
+		runKernelBench(*quick, *out, *baseline)
 		return
 	}
 	if *loadgen {

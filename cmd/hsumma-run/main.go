@@ -61,6 +61,7 @@ func main() {
 		b      = flag.Int("b", 0, "block size b (0 = auto via the shared default rule)")
 		outer  = flag.Int("B", 0, "outer block size B (0 = b)")
 		bcast  = flag.String("bcast", "binomial", "broadcast: binomial, vandegeijn, flat, binary, chain")
+		thr    = flag.Int("threads", 1, "per-rank thread budget for local multiplies (hybrid intra-rank parallelism)")
 		levels = flag.String("levels", "", "multilevel hierarchy, outermost first, e.g. 2x2:64,2x2:32 (IxJ:blocksize); empty degenerates to SUMMA")
 		pf     = flag.String("platform", "grid5000", "machine preset: grid5000, bgp, exascale (sim timing; auto-planning target in both modes)")
 		seed   = flag.Uint64("seed", 42, "input matrix seed (live mode)")
@@ -111,6 +112,7 @@ func main() {
 			OuterBlockSize: *outer,
 			Levels:         levelList,
 			Broadcast:      bcastAlg,
+			Threads:        *thr,
 			Platform:       &machine,
 		}
 		start := time.Now()
@@ -148,6 +150,7 @@ func main() {
 			OuterBlockSize: *outer,
 			Levels:         levelList,
 			Broadcast:      bcastAlg,
+			Threads:        *thr,
 			Machine:        machine.Model,
 			Platform:       &machine,
 			Engine:         simEngine,
@@ -247,6 +250,8 @@ func runPlanCmd(args []string) {
 		k          = fs.Int("k", 0, "contraction dimension K (0 = n)")
 		p          = fs.Int("p", 0, "rank count (0 = the platform's paper-scale default)")
 		b          = fs.Int("b", 0, "pin the block size b (0 = search)")
+		thr        = fs.Int("threads", 0, "pin the per-rank thread budget (0 = searched under -cores, 1 otherwise)")
+		cores      = fs.Int("cores", 0, "core budget: search (ranks × threads) splits of this many cores instead of planning for exactly -p ranks")
 		topk       = fs.Int("topk", 8, "stage-2 refinement width")
 		objective  = fs.String("objective", "total", "ranking objective: total or comm")
 		quick      = fs.Bool("quick", false, "trim the candidate space (and the default problem scale) for a sub-second sweep")
@@ -292,7 +297,7 @@ func runPlanCmd(args []string) {
 			if pn == 0 {
 				pn = dn
 			}
-			if pp == 0 {
+			if pp == 0 && *cores == 0 {
 				pp = dp
 			}
 		}
@@ -315,6 +320,8 @@ func runPlanCmd(args []string) {
 		pl, err := hsumma.Plan(hsumma.PlanConfig{
 			Platform: machine, Shape: shape, Procs: pp,
 			BlockSize:    *b,
+			Threads:      *thr,
+			CoreBudget:   *cores,
 			TopK:         *topk,
 			Objective:    obj,
 			Quick:        *quick,
@@ -342,14 +349,18 @@ func runPlanCmd(args []string) {
 }
 
 func printPlan(pl *hsumma.PlanResult, elapsed time.Duration, analyticOnly bool) {
-	fmt.Printf("== plan: %s — %s, p=%d (objective: min %s) ==\n", pl.Platform, pl.Shape, pl.P, pl.Objective)
+	budget := fmt.Sprintf("p=%d", pl.P)
+	if pl.CoreBudget > 0 {
+		budget = fmt.Sprintf("cores=%d", pl.CoreBudget)
+	}
+	fmt.Printf("== plan: %s — %s, %s (objective: min %s) ==\n", pl.Platform, pl.Shape, budget, pl.Objective)
 	fmt.Printf("   scanned %d candidates, simulated %d, cached=%t, %v\n",
 		pl.Scanned, pl.Simulated, pl.FromCache, elapsed.Round(time.Millisecond))
 	if analyticOnly {
 		fmt.Println("   (analytic ranking only; pass -analytic=false to force simulated refinement)")
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "   rank\talgorithm\tgrid\tG\tb\tB\tbcast\tmodel comm (s)\tsim comm (s)\tsim total (s)\tengine")
+	fmt.Fprintln(w, "   rank\talgorithm\tgrid\tt\tG\tb\tB\tbcast\tmodel comm (s)\tsim comm (s)\tsim total (s)\tengine")
 	for i, s := range pl.Ranked {
 		simComm, simTotal, eng := "-", "-", "-"
 		if s.Refined {
@@ -360,8 +371,12 @@ func printPlan(pl *hsumma.PlanResult, elapsed time.Duration, analyticOnly bool) 
 		if i == 0 {
 			marker = " <- best"
 		}
-		fmt.Fprintf(w, "   #%d\t%s\t%s\t%d\t%d\t%d\t%s\t%.4g\t%s\t%s\t%s%s\n",
-			i+1, s.Algorithm, s.Grid, s.Groups, s.BlockSize, s.OuterBlockSize,
+		threads := s.Threads
+		if threads < 1 {
+			threads = 1
+		}
+		fmt.Fprintf(w, "   #%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%.4g\t%s\t%s\t%s%s\n",
+			i+1, s.Algorithm, s.Grid, threads, s.Groups, s.BlockSize, s.OuterBlockSize,
 			s.Broadcast, s.ModelComm, simComm, simTotal, eng, marker)
 	}
 	w.Flush()

@@ -3,24 +3,27 @@
 // sessions resident and routing concurrent multiply requests onto them by
 // execution shape.
 //
-//	hsumma-serve -addr :8080 -platform grid5000 -rank-budget 256
+//	hsumma-serve -addr :8080 -platform grid5000 -core-budget 256
 //
 // Endpoints:
 //
 //	POST /multiply   one GEMM; JSON body:
 //	                   {"m":512,"n":512,"k":512,"procs":16,
-//	                    "algorithm":"hsumma","a":[...],"b":[...]}
+//	                    "algorithm":"hsumma","threads":4,"a":[...],"b":[...]}
 //	                 or raw little-endian float64s (A then B) with the
 //	                 shape in query parameters:
-//	                   /multiply?m=512&k=512&n=512&procs=16
+//	                   /multiply?m=512&k=512&n=512&procs=16&threads=4
 //	GET  /plan       the autotuning planner's ranked plan:
 //	                   /plan?n=4096&p=256&platform=bgp
 //	GET  /metrics    scheduler + plan-cache counters (Prometheus format)
 //	GET  /healthz    liveness
+//	GET  /debug/pprof/...  (only with -pprof) the Go runtime profiler
 //
-// Backpressure (bounded session queues, rank budget) surfaces as 503 with
-// Retry-After; a SIGINT/SIGTERM drains gracefully — in-flight requests
-// finish, queued ones get a clean error.
+// Sessions are accounted in cores — ranks × per-rank threads — against the
+// core budget; -rank-budget remains as the pre-hybrid alias. Backpressure
+// (bounded session queues, core budget) surfaces as 503 with Retry-After;
+// a SIGINT/SIGTERM drains gracefully — in-flight requests finish, queued
+// ones get a clean error.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,9 +47,11 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		pfName     = flag.String("platform", "", "platform preset the planner tunes auto requests for (grid5000, bgp, exascale; empty = grid5000)")
-		rankBudget = flag.Int("rank-budget", 256, "max resident ranks across all sessions")
+		coreBudget = flag.Int("core-budget", 0, "max resident cores (ranks × threads) across all sessions (default 256)")
+		rankBudget = flag.Int("rank-budget", 0, "alias for -core-budget from before hybrid sessions existed")
 		queueDepth = flag.Int("queue-depth", 32, "per-session bounded queue depth")
 		procs      = flag.Int("default-procs", 16, "rank count for requests that do not pin one")
+		withPprof  = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -59,11 +65,32 @@ func main() {
 		hcfg.Platform = &pf
 	}
 
+	budget := *coreBudget
+	if budget <= 0 {
+		budget = *rankBudget
+	}
+	if budget <= 0 {
+		budget = 256
+	}
 	sched := serve.NewScheduler(serve.SchedulerConfig{
-		RankBudget: *rankBudget,
+		CoreBudget: budget,
 		QueueDepth: *queueDepth,
 	})
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(sched, hcfg)}
+	handler := serve.NewHandler(sched, hcfg)
+	if *withPprof {
+		// An outer mux: the service endpoints stay exactly as NewHandler
+		// wires them, with the profiler grafted alongside. Deliberately
+		// opt-in — /debug/pprof on an open port leaks heap contents.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 1)
@@ -78,8 +105,8 @@ func main() {
 		close(done)
 	}()
 
-	log.Printf("hsumma-serve: listening on %s (rank budget %d, queue depth %d, default procs %d)",
-		*addr, *rankBudget, *queueDepth, *procs)
+	log.Printf("hsumma-serve: listening on %s (core budget %d, queue depth %d, default procs %d, pprof %v)",
+		*addr, budget, *queueDepth, *procs, *withPprof)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

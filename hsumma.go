@@ -173,6 +173,12 @@ type Config struct {
 	Broadcast sched.Algorithm
 	// Segments is the chain-broadcast pipeline depth.
 	Segments int
+	// Threads is the per-rank thread budget for local multiplies — the
+	// hybrid MPI+OpenMP analog: ranks with Threads > 1 run their panel
+	// multiplies goroutine-parallel over disjoint C row bands. 0 and 1
+	// both mean serial ranks (the historical behaviour); results are
+	// bit-deterministic for any fixed value.
+	Threads int
 	// Platform optionally names the machine the planner tunes for when
 	// Algorithm is AlgAuto (default: the Grid'5000 preset, the closest
 	// analogue of a commodity host). Ignored otherwise.
@@ -236,6 +242,7 @@ func (cfg Config) resolveParams(shape Shape) (tune.ResolveParams, error) {
 		Levels:         cfg.Levels,
 		Broadcast:      cfg.Broadcast,
 		Segments:       cfg.Segments,
+		Threads:        cfg.Threads,
 		Platform:       cfg.Platform,
 	}
 	if cfg.Grid != nil {

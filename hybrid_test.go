@@ -1,0 +1,106 @@
+package hsumma_test
+
+import (
+	"testing"
+
+	hsumma "repro"
+)
+
+// The hybrid path end to end: every algorithm runs with multi-threaded
+// ranks through the full Multiply (scatter → distributed run with
+// goroutine-parallel local multiplies → gather) and stays correct. Run
+// under -race this is the data-race oracle for the intra-rank band split.
+func TestMultiplyHybridThreads(t *testing.T) {
+	const n, p = 96, 4
+	a := hsumma.RandomMatrix(n, n, 301)
+	b := hsumma.RandomMatrix(n, n, 302)
+	want := hsumma.Reference(a, b)
+	for _, alg := range []hsumma.Algorithm{hsumma.AlgSUMMA, hsumma.AlgHSUMMA, hsumma.AlgCannon, hsumma.AlgFox} {
+		for _, threads := range []int{2, 4} {
+			got, _, err := hsumma.Multiply(a, b, hsumma.Config{
+				Procs: p, Algorithm: alg, BlockSize: 16, Threads: threads,
+			})
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", alg, threads, err)
+			}
+			if d := hsumma.MaxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("%s threads=%d: differs from reference by %g", alg, threads, d)
+			}
+		}
+	}
+}
+
+// At any fixed thread count a multiplication is bit-deterministic: the
+// band split is a pure function of (rows, threads), so repeated runs of
+// the same config produce identical bits.
+func TestMultiplyHybridDeterministic(t *testing.T) {
+	const n, p = 128, 4
+	a := hsumma.RandomMatrix(n, n, 303)
+	b := hsumma.RandomMatrix(n, n, 304)
+	for _, threads := range []int{1, 2, 4} {
+		cfg := hsumma.Config{Procs: p, Algorithm: hsumma.AlgHSUMMA, BlockSize: 32, Threads: threads}
+		first, _, err := hsumma.Multiply(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, _, err := hsumma.Multiply(a, b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hsumma.MaxAbsDiff(first, again) != 0 {
+			t.Fatalf("threads=%d: repeated runs are not bit-identical", threads)
+		}
+	}
+}
+
+// Threads=0 and Threads=1 are the same serial configuration: identical
+// bits and an identical session key (so pre-hybrid clients keep hitting
+// the sessions they always did).
+func TestMultiplyThreadsZeroIsSerial(t *testing.T) {
+	const n, p = 64, 4
+	a := hsumma.RandomMatrix(n, n, 305)
+	b := hsumma.RandomMatrix(n, n, 306)
+	zero, _, err := hsumma.Multiply(a, b, hsumma.Config{Procs: p, BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _, err := hsumma.Multiply(a, b, hsumma.Config{Procs: p, BlockSize: 16, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hsumma.MaxAbsDiff(zero, one) != 0 {
+		t.Fatal("Threads 0 and 1 differ")
+	}
+}
+
+// A hybrid simulation must report strictly less compute time than the
+// serial run of the same spec, with communication untouched — the virtual
+// engines charge flops/Speedup(threads).
+func TestSimulateHybridThreads(t *testing.T) {
+	base := hsumma.SimConfig{
+		N: 1024, Procs: 16, Algorithm: hsumma.AlgSUMMA, BlockSize: 64,
+		Machine: hsumma.PlatformGrid5000().Model,
+	}
+	serial, err := hsumma.Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid := base
+	hybrid.Threads = 4
+	fast, err := hsumma.Simulate(hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comm is unchanged up to clock-arithmetic rounding: threaded compute
+	// shifts collective start times, so the end-start comm sums can differ
+	// in the last ulps.
+	if d := fast.Comm - serial.Comm; d > 1e-12*serial.Comm || d < -1e-12*serial.Comm {
+		t.Fatalf("threads changed simulated comm: %g vs %g", fast.Comm, serial.Comm)
+	}
+	if fast.Compute >= serial.Compute {
+		t.Fatalf("4 threads did not shorten simulated compute: %g vs %g", fast.Compute, serial.Compute)
+	}
+	if fast.Total >= serial.Total {
+		t.Fatalf("4 threads did not shorten simulated total: %g vs %g", fast.Total, serial.Total)
+	}
+}

@@ -1,9 +1,12 @@
 // Package blas provides the dense floating-point kernels that stand in for
 // the vendor BLAS libraries (Intel MKL on Grid'5000, IBM ESSL on BlueGene/P)
 // used by the paper for all sequential computation. The central routine is
-// Gemm, a cache-blocked general matrix-matrix multiply with optional
-// goroutine parallelism; Naive is the O(n³) reference all other kernels are
-// validated against.
+// Gemm, a packed, register-tiled matrix-matrix multiply in the GotoBLAS
+// blocking scheme, with optional goroutine parallelism over write-disjoint
+// C row bands (ParallelGemm — the intra-rank analog of the paper's OpenMP
+// threads inside each MPI process); Naive is the O(n³) reference all other
+// kernels are validated against, and ScalarGemm is the previous
+// cache-blocked scalar kernel, kept as the old-vs-new benchmark reference.
 package blas
 
 import (
@@ -14,9 +17,22 @@ import (
 	"repro/internal/matrix"
 )
 
-// tile sizes for the blocked kernel, chosen so an (mc×kc) panel of A and a
-// (kc×nc) panel of B fit comfortably in L2 on commodity hardware. The exact
-// values only affect speed, never results.
+// Register-tile and cache-block sizes for the packed kernel. The micro-tile
+// is mr×nr entries of C held in scalar accumulators for a full kc-long
+// contraction; mc×kc panels of A and kc×nc panels of B are packed into
+// contiguous pooled buffers so the micro-kernel streams them with unit
+// stride regardless of the caller's layout. The exact values only affect
+// speed, never results.
+const (
+	mr = 4 // micro-tile rows of C per kernel invocation
+	nr = 4 // micro-tile cols of C per kernel invocation
+
+	mcBlock = 128  // A panel rows resident in L2 while B micropanels stream
+	kcBlock = 256  // contraction depth packed per panel pair
+	ncBlock = 2048 // B panel cols packed per outer iteration
+)
+
+// tile sizes for ScalarGemm, the previous blocked kernel.
 const (
 	tileM = 64
 	tileN = 64
@@ -50,53 +66,187 @@ func Naive(c, a, b *matrix.Dense) {
 	}
 }
 
-// Gemm computes C += A·B using a cache-blocked kernel. It accepts views
-// (non-tight strides) for all operands.
+// packPool recycles packing buffers across calls: a resident serving rank
+// multiplies the same panel shapes millions of times, and the pool makes
+// the steady state allocation-free.
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func packBuf(n int) *[]float64 {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func roundUp(v, q int) int { return (v + q - 1) / q * q }
+
+// packA copies the A block [i0,i0+mcb)×[k0,k0+kcb) into mr-row micropanels:
+// micropanel i/mr holds element (i,k) at offset k*mr + i%mr, so the kernel
+// reads one mr-wide column slice per k step with unit stride. Rows past mcb
+// in the last micropanel are zero-filled; their products land in
+// accumulators the masked writeback discards, so padding never changes
+// results.
+func packA(ap []float64, a *matrix.Dense, i0, mcb, k0, kcb int) {
+	for i := 0; i < mcb; i += mr {
+		dst := ap[(i/mr)*kcb*mr : (i/mr+1)*kcb*mr]
+		rows := min(mr, mcb-i)
+		for r := 0; r < rows; r++ {
+			src := a.Data[(i0+i+r)*a.Stride+k0 : (i0+i+r)*a.Stride+k0+kcb]
+			for k, v := range src {
+				dst[k*mr+r] = v
+			}
+		}
+		for r := rows; r < mr; r++ {
+			for k := 0; k < kcb; k++ {
+				dst[k*mr+r] = 0
+			}
+		}
+	}
+}
+
+// packB copies the B block [k0,k0+kcb)×[j0,j0+ncb) into nr-column
+// micropanels: micropanel j/nr holds element (k,j) at offset k*nr + j%nr —
+// effectively a transpose into contiguous kc×nr strips. Columns past ncb in
+// the last micropanel are zero-filled.
+func packB(bp []float64, b *matrix.Dense, k0, kcb, j0, ncb int) {
+	for j := 0; j < ncb; j += nr {
+		dst := bp[(j/nr)*kcb*nr : (j/nr+1)*kcb*nr]
+		cols := min(nr, ncb-j)
+		if cols == nr {
+			for k := 0; k < kcb; k++ {
+				src := b.Data[(k0+k)*b.Stride+j0+j : (k0+k)*b.Stride+j0+j+nr]
+				d := dst[k*nr : k*nr+nr]
+				d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
+			}
+			continue
+		}
+		for k := 0; k < kcb; k++ {
+			src := b.Data[(k0+k)*b.Stride+j0+j : (k0+k)*b.Stride+j0+j+cols]
+			d := dst[k*nr : k*nr+nr]
+			for cc, v := range src {
+				d[cc] = v
+			}
+			for cc := cols; cc < nr; cc++ {
+				d[cc] = 0
+			}
+		}
+	}
+}
+
+// kernel4x4 contracts one packed A micropanel against one packed B
+// micropanel over depth kc, accumulating the mr×nr C micro-tile two rows
+// at a time in eight independent scalar accumulators — few enough that the
+// compiler keeps every chain in a register (sixteen at once spill), so C
+// is loaded and stored once per kc block instead of once per k step, and
+// the independent chains expose instruction-level parallelism the
+// single-accumulator scalar loop cannot. ct is positioned at the C
+// micro-tile's top-left corner; mrows/ncols mask the writeback on edge
+// tiles (the padded lanes' accumulators are simply dropped).
+func kernel4x4(kc int, ap, bp, ct []float64, ldc, mrows, ncols int) {
+	ap = ap[: kc*mr : kc*mr]
+	bp = bp[:len(ap):len(ap)]
+	full := mrows == mr && ncols == nr
+	var acc [mr * nr]float64
+	for i := 0; i < mr; i += 2 {
+		var c00, c01, c02, c03, c10, c11, c12, c13 float64
+		for k := 0; k <= len(ap)-mr; k += mr {
+			b0, b1, b2, b3 := bp[k], bp[k+1], bp[k+2], bp[k+3]
+			a0, a1 := ap[k+i], ap[k+i+1]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+		}
+		if full {
+			r0 := ct[i*ldc : i*ldc+nr : i*ldc+nr]
+			r1 := ct[(i+1)*ldc : (i+1)*ldc+nr : (i+1)*ldc+nr]
+			r0[0] += c00
+			r0[1] += c01
+			r0[2] += c02
+			r0[3] += c03
+			r1[0] += c10
+			r1[1] += c11
+			r1[2] += c12
+			r1[3] += c13
+			continue
+		}
+		acc[i*nr+0], acc[i*nr+1], acc[i*nr+2], acc[i*nr+3] = c00, c01, c02, c03
+		acc[(i+1)*nr+0], acc[(i+1)*nr+1], acc[(i+1)*nr+2], acc[(i+1)*nr+3] = c10, c11, c12, c13
+	}
+	if !full {
+		for i := 0; i < mrows; i++ {
+			ci := ct[i*ldc:]
+			for j := 0; j < ncols; j++ {
+				ci[j] += acc[i*nr+j]
+			}
+		}
+	}
+}
+
+// Gemm computes C += A·B with the packed register-tiled kernel. It accepts
+// views (non-tight strides) for all operands. Results are deterministic:
+// every C entry accumulates its k-terms in ascending order (register
+// accumulation within each kc block, blocks applied in order), so repeated
+// runs are bit-identical — though the float association differs from
+// Naive's by the per-block partial sums.
 func Gemm(c, a, b *matrix.Dense) {
 	checkGemmShapes(c, a, b)
-	gemmRange(c, a, b, 0, a.Rows)
+	gemmRows(c, a, b, 0, a.Rows)
 }
 
-// gemmRange updates rows [i0,i1) of C. Splitting on C rows keeps parallel
-// workers write-disjoint.
-func gemmRange(c, a, b *matrix.Dense, i0, i1 int) {
-	m, n, k := a.Rows, b.Cols, a.Cols
-	_ = m
-	for ii := i0; ii < i1; ii += tileM {
-		iMax := min(ii+tileM, i1)
-		for kk := 0; kk < k; kk += tileK {
-			kMax := min(kk+tileK, k)
-			for jj := 0; jj < n; jj += tileN {
-				jMax := min(jj+tileN, n)
-				microKernel(c, a, b, ii, iMax, kk, kMax, jj, jMax)
+// gemmRows runs the packed path over C rows [i0,i1). Splitting on C rows
+// keeps parallel workers write-disjoint; each band packs its own panels,
+// so bands share nothing but the read-only inputs.
+func gemmRows(c, a, b *matrix.Dense, i0, i1 int) {
+	n, kdim := b.Cols, a.Cols
+	if i1 <= i0 || n == 0 || kdim == 0 {
+		return
+	}
+	kcMax := min(kcBlock, kdim)
+	apBuf := packBuf(roundUp(min(mcBlock, i1-i0), mr) * kcMax)
+	bpBuf := packBuf(roundUp(min(ncBlock, n), nr) * kcMax)
+	for jc := 0; jc < n; jc += ncBlock {
+		ncb := min(ncBlock, n-jc)
+		for pc := 0; pc < kdim; pc += kcBlock {
+			kcb := min(kcBlock, kdim-pc)
+			bp := (*bpBuf)[:roundUp(ncb, nr)*kcb]
+			packB(bp, b, pc, kcb, jc, ncb)
+			for ic := i0; ic < i1; ic += mcBlock {
+				mcb := min(mcBlock, i1-ic)
+				ap := (*apBuf)[:roundUp(mcb, mr)*kcb]
+				packA(ap, a, ic, mcb, pc, kcb)
+				for jr := 0; jr < ncb; jr += nr {
+					bpj := bp[(jr/nr)*kcb*nr:]
+					ncols := min(nr, ncb-jr)
+					for ir := 0; ir < mcb; ir += mr {
+						apo := ap[(ir/mr)*kcb*mr:]
+						mrows := min(mr, mcb-ir)
+						ct := c.Data[(ic+ir)*c.Stride+jc+jr:]
+						if useFMAKernel && mrows == mr && ncols == nr {
+							kernel4x4fma(kcb, &apo[0], &bpj[0], &ct[0], c.Stride)
+						} else {
+							kernel4x4(kcb, apo, bpj, ct, c.Stride, mrows, ncols)
+						}
+					}
+				}
 			}
 		}
 	}
-}
-
-// microKernel updates the C tile [i0,i1)×[j0,j1) with the A panel
-// [i0,i1)×[k0,k1) and B panel [k0,k1)×[j0,j1). The inner loop runs along
-// contiguous rows of B and C so the compiler can keep the accumulator in
-// registers and the loads stream.
-func microKernel(c, a, b *matrix.Dense, i0, i1, k0, k1, j0, j1 int) {
-	for i := i0; i < i1; i++ {
-		crow := c.Data[i*c.Stride+j0 : i*c.Stride+j1]
-		arow := a.Data[i*a.Stride+k0 : i*a.Stride+k1]
-		for ko, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.Data[(k0+ko)*b.Stride+j0 : (k0+ko)*b.Stride+j1]
-			for j, bkj := range brow {
-				crow[j] += aik * bkj
-			}
-		}
-	}
+	packPool.Put(apBuf)
+	packPool.Put(bpBuf)
 }
 
 // ParallelGemm computes C += A·B splitting C's rows across up to workers
 // goroutines (GOMAXPROCS when workers <= 0). Workers own disjoint row bands
-// of C, so no synchronisation beyond the final join is needed.
+// of C, so no synchronisation beyond the final join is needed, and the band
+// partition depends only on (rows, workers) — repeated runs at a fixed
+// worker count are bit-identical.
 func ParallelGemm(c, a, b *matrix.Dense, workers int) {
 	checkGemmShapes(c, a, b)
 	if workers <= 0 {
@@ -107,7 +257,7 @@ func ParallelGemm(c, a, b *matrix.Dense, workers int) {
 		workers = rows
 	}
 	if workers <= 1 || rows*b.Cols*a.Cols < 32*32*32 {
-		gemmRange(c, a, b, 0, rows)
+		gemmRows(c, a, b, 0, rows)
 		return
 	}
 	var wg sync.WaitGroup
@@ -120,10 +270,44 @@ func ParallelGemm(c, a, b *matrix.Dense, workers int) {
 		wg.Add(1)
 		go func(i0, i1 int) {
 			defer wg.Done()
-			gemmRange(c, a, b, i0, i1)
+			gemmRows(c, a, b, i0, i1)
 		}(i0, i1)
 	}
 	wg.Wait()
+}
+
+// ScalarGemm is the previous cache-blocked scalar kernel — one accumulator,
+// unpacked operands — retained as the baseline the kernel bench measures
+// the packed kernel against. It accepts views for all operands.
+func ScalarGemm(c, a, b *matrix.Dense) {
+	checkGemmShapes(c, a, b)
+	n, k := b.Cols, a.Cols
+	for ii := 0; ii < a.Rows; ii += tileM {
+		iMax := min(ii+tileM, a.Rows)
+		for kk := 0; kk < k; kk += tileK {
+			kMax := min(kk+tileK, k)
+			for jj := 0; jj < n; jj += tileN {
+				jMax := min(jj+tileN, n)
+				scalarKernel(c, a, b, ii, iMax, kk, kMax, jj, jMax)
+			}
+		}
+	}
+}
+
+// scalarKernel updates the C tile [i0,i1)×[j0,j1) with the A panel
+// [i0,i1)×[k0,k1) and B panel [k0,k1)×[j0,j1). The inner loop runs along
+// contiguous rows of B and C so the loads stream.
+func scalarKernel(c, a, b *matrix.Dense, i0, i1, k0, k1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		crow := c.Data[i*c.Stride+j0 : i*c.Stride+j1]
+		arow := a.Data[i*a.Stride+k0 : i*a.Stride+k1]
+		for ko, aik := range arow {
+			brow := b.Data[(k0+ko)*b.Stride+j0 : (k0+ko)*b.Stride+j1]
+			for j, bkj := range brow {
+				crow[j] += aik * bkj
+			}
+		}
+	}
 }
 
 // Axpy computes y += alpha*x element-wise over matrices of equal shape.
@@ -162,6 +346,12 @@ func Dot(a, b *matrix.Dense) float64 {
 func FlopsGemm(m, n, k int) float64 {
 	return 2 * float64(m) * float64(n) * float64(k)
 }
+
+// HasFMAKernel reports whether the AVX2+FMA assembly microkernel is active
+// on this host (amd64 with AVX2, FMA and OS-enabled YMM state); otherwise
+// the portable register-tiled Go kernel runs. Exposed for benchmarks and
+// diagnostics — both paths satisfy the same accuracy contract.
+func HasFMAKernel() bool { return useFMAKernel }
 
 func min(a, b int) int {
 	if a < b {

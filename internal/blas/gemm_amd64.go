@@ -1,0 +1,15 @@
+//go:build amd64
+
+package blas
+
+// useFMAKernel gates the AVX2+FMA micro-kernel: the packed panel layout is
+// identical for both kernels, so the choice is made per micro-tile and
+// edge tiles always take the portable masked path.
+var useFMAKernel = cpuHasAVXFMA()
+
+// cpuHasAVXFMA probes CPUID/XGETBV for AVX + FMA support with OS-enabled
+// ymm state.
+func cpuHasAVXFMA() bool
+
+//go:noescape
+func kernel4x4fma(kc int, ap, bp, ct *float64, ldc int)

@@ -1,0 +1,110 @@
+// AVX2+FMA micro-kernel for the packed GEMM path, plus the CPUID probe
+// that gates it. The kernel contracts one packed mr×kc A micropanel
+// against one packed kc×nr B micropanel and adds the mr×nr product into
+// the C micro-tile. Accumulators live in ymm registers: one register per
+// C row and two chains per row (even/odd k), so eight FMA chains cover
+// the FMA latency at full throughput. Only full 4×4 tiles come here; edge
+// tiles take the portable masked kernel.
+
+#include "textflag.h"
+
+// func cpuHasAVXFMA() bool
+TEXT ·cpuHasAVXFMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $0x18001000, BX // FMA (bit 12) | OSXSAVE (27) | AVX (28)
+	CMPL BX, $0x18001000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX          // XCR0: xmm (bit 1) and ymm (bit 2) state enabled
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func kernel4x4fma(kc int, ap, bp, ct *float64, ldc int)
+TEXT ·kernel4x4fma(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ ct+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8          // C row stride in bytes
+
+	// Y0..Y3: even-k accumulators for C rows 0..3; Y4..Y7: odd-k chains.
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	CMPQ CX, $2
+	JL   tail
+
+loop:
+	VMOVUPD      (DI), Y8       // B micropanel row k
+	VMOVUPD      32(DI), Y9     // B micropanel row k+1
+	VBROADCASTSD (SI), Y10      // A(0, k)
+	VBROADCASTSD 32(SI), Y11    // A(0, k+1)
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y11, Y4
+	VBROADCASTSD 8(SI), Y10
+	VBROADCASTSD 40(SI), Y11
+	VFMADD231PD  Y8, Y10, Y1
+	VFMADD231PD  Y9, Y11, Y5
+	VBROADCASTSD 16(SI), Y10
+	VBROADCASTSD 48(SI), Y11
+	VFMADD231PD  Y8, Y10, Y2
+	VFMADD231PD  Y9, Y11, Y6
+	VBROADCASTSD 24(SI), Y10
+	VBROADCASTSD 56(SI), Y11
+	VFMADD231PD  Y8, Y10, Y3
+	VFMADD231PD  Y9, Y11, Y7
+	ADDQ         $64, SI
+	ADDQ         $64, DI
+	SUBQ         $2, CX
+	CMPQ         CX, $2
+	JGE          loop
+
+tail:
+	TESTQ CX, CX
+	JZ    reduce
+	VMOVUPD      (DI), Y8
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VBROADCASTSD 8(SI), Y10
+	VFMADD231PD  Y8, Y10, Y1
+	VBROADCASTSD 16(SI), Y10
+	VFMADD231PD  Y8, Y10, Y2
+	VBROADCASTSD 24(SI), Y10
+	VFMADD231PD  Y8, Y10, Y3
+
+reduce:
+	VADDPD Y4, Y0, Y0
+	VADDPD Y5, Y1, Y1
+	VADDPD Y6, Y2, Y2
+	VADDPD Y7, Y3, Y3
+
+	VADDPD  (DX), Y0, Y0
+	VMOVUPD Y0, (DX)
+	ADDQ    R8, DX
+	VADDPD  (DX), Y1, Y1
+	VMOVUPD Y1, (DX)
+	ADDQ    R8, DX
+	VADDPD  (DX), Y2, Y2
+	VMOVUPD Y2, (DX)
+	ADDQ    R8, DX
+	VADDPD  (DX), Y3, Y3
+	VMOVUPD Y3, (DX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package blas
+
+// useFMAKernel is false off amd64; the portable register-tiled kernel
+// handles every micro-tile.
+const useFMAKernel = false
+
+func kernel4x4fma(kc int, ap, bp, ct *float64, ldc int) {
+	panic("blas: fma kernel unavailable")
+}

@@ -221,3 +221,143 @@ func BenchmarkParallelGemm256(b *testing.B) {
 		ParallelGemm(c, a, bb, 0)
 	}
 }
+
+// relDiff is the max elementwise |got-want| / max(1, |want|) — the packed
+// kernel reassociates the k loop (per-kc-block partial sums, FMA), so it is
+// compared to Naive in relative terms rather than bitwise.
+func relDiff(got, want *matrix.Dense) float64 {
+	var worst float64
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			w := want.At(i, j)
+			den := math.Abs(w)
+			if den < 1 {
+				den = 1
+			}
+			if d := math.Abs(got.At(i, j)-w) / den; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// Property: the packed kernel agrees with Naive within 1e-9 relative on
+// arbitrary ragged shapes — hitting every edge-masking path (m%mr, n%nr,
+// k%kcBlock remainders) across sizes that span one and many register
+// tiles, cache blocks and kc panels.
+func TestGemmPackedMatchesNaiveRagged(t *testing.T) {
+	f := func(ms, ns, ks uint8, seed uint16) bool {
+		m, n, k := int(ms)%97+1, int(ns)%89+1, int(ks)%101+1
+		a := matrix.Random(m, k, uint64(seed))
+		b := matrix.Random(k, n, uint64(seed)+1)
+		want := matrix.New(m, n)
+		Naive(want, a, b)
+		got := matrix.New(m, n)
+		Gemm(got, a, b)
+		return relDiff(got, want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	// Shapes crossing the mcBlock/kcBlock/ncBlock boundaries, where the
+	// packed loop nest takes multi-panel paths the small quick shapes miss.
+	for _, dims := range [][3]int{{129, 67, 257}, {256, 2049, 300}, {131, 137, 513}, {1, 1, 1000}, {300, 1, 300}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := matrix.Random(m, k, 5)
+		b := matrix.Random(k, n, 6)
+		want := matrix.New(m, n)
+		Naive(want, a, b)
+		got := matrix.New(m, n)
+		Gemm(got, a, b)
+		if d := relDiff(got, want); d > 1e-9 {
+			t.Fatalf("gemm(%d,%d,%d) relative error %g vs naive", m, n, k, d)
+		}
+	}
+}
+
+// Property: the packed kernel handles non-tight strided views of all three
+// operands (stride > cols) identically to dense copies.
+func TestGemmPackedOnStridedViews(t *testing.T) {
+	f := func(ms, ns, ks uint8, seed uint16) bool {
+		m, n, k := int(ms)%50+1, int(ns)%50+1, int(ks)%50+1
+		bigA := matrix.Random(m+7, k+9, uint64(seed))
+		bigB := matrix.Random(k+5, n+11, uint64(seed)+1)
+		bigC := matrix.New(m+3, n+6)
+		a := bigA.View(4, 5, m, k)
+		b := bigB.View(2, 8, k, n)
+		c := bigC.View(1, 2, m, n)
+		want := matrix.New(m, n)
+		Naive(want, a.Clone(), b.Clone())
+		Gemm(c, a, b)
+		if relDiff(c.Clone(), want) >= 1e-9 {
+			return false
+		}
+		// The packed writeback must stay inside the C view.
+		return bigC.At(0, 0) == 0 && bigC.At(m+2, n+5) == 0 && bigC.At(0, n+5) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The kernel must be bit-deterministic at every fixed worker count:
+// repeated runs of Gemm, and of ParallelGemm at each count, produce
+// identical bits (the serving layer's session-vs-oneshot equality and the
+// engine parity tests rely on this).
+func TestGemmDeterministicPerThreadCount(t *testing.T) {
+	m, n, k := 137, 129, 257
+	a := matrix.Random(m, k, 91)
+	b := matrix.Random(k, n, 92)
+	run := func(workers int) *matrix.Dense {
+		c := matrix.New(m, n)
+		if workers <= 1 {
+			Gemm(c, a, b)
+		} else {
+			ParallelGemm(c, a, b, workers)
+		}
+		return c
+	}
+	for _, workers := range []int{1, 2, 4} {
+		first := run(workers)
+		for rep := 0; rep < 3; rep++ {
+			again := run(workers)
+			if !matrix.Equal(first, again) {
+				t.Fatalf("workers=%d: repeated runs are not bit-identical", workers)
+			}
+		}
+	}
+}
+
+// ParallelGemm's small-problem cutoff must route through the packed path,
+// matching Gemm bitwise.
+func TestParallelGemmCutoffMatchesGemm(t *testing.T) {
+	m, n, k := 20, 20, 20 // below the 32³ cutoff
+	a := matrix.Random(m, k, 11)
+	b := matrix.Random(k, n, 12)
+	want := matrix.New(m, n)
+	Gemm(want, a, b)
+	got := matrix.New(m, n)
+	ParallelGemm(got, a, b, 8)
+	if !matrix.Equal(got, want) {
+		t.Fatal("cutoff path differs bitwise from Gemm")
+	}
+}
+
+// ScalarGemm (the pre-packing reference kernel, kept for benchmarking the
+// speedup) still agrees with Naive bitwise — it preserves the per-element
+// k-ascending association.
+func TestScalarGemmMatchesNaiveBitwise(t *testing.T) {
+	for _, dims := range [][3]int{{17, 19, 23}, {64, 64, 64}, {65, 70, 33}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := matrix.Random(m, k, uint64(m))
+		b := matrix.Random(k, n, uint64(n))
+		want := matrix.New(m, n)
+		Naive(want, a, b)
+		got := matrix.New(m, n)
+		ScalarGemm(got, a, b)
+		if !matrix.Equal(got, want) {
+			t.Fatalf("scalar gemm(%d,%d,%d) not bit-identical to naive", m, n, k)
+		}
+	}
+}

@@ -86,10 +86,13 @@ type Comm interface {
 	Pack(dst Buf, src *matrix.Dense)
 	// Unpack fills a tile from a wire buffer produced by Pack.
 	Unpack(dst *matrix.Dense, src Buf)
-	// Gemm performs the local update C += A·B: real arithmetic on the
-	// live transport, a compute-clock advance of 2·m·k·n flops on the
-	// virtual one.
-	Gemm(c, a, b *matrix.Dense)
+	// Gemm performs the local update C += A·B with the rank's intra-rank
+	// thread budget (the Go analog of OpenMP threads inside an MPI
+	// process; values ≤ 1 mean serial): real arithmetic over
+	// write-disjoint C row bands on the live transport, a compute-clock
+	// advance of 2·m·k·n flops scaled by the shared parallel-efficiency
+	// curve (hockney.Speedup) on the virtual one.
+	Gemm(c, a, b *matrix.Dense, threads int)
 }
 
 // CheckPack panics unless src's shape fills dst exactly — shared by the

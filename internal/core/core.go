@@ -51,6 +51,12 @@ type Options struct {
 	// Segments is the pipeline depth for the chain broadcast (ignored
 	// otherwise).
 	Segments int
+	// Threads is the per-rank thread budget for the local multiply — the
+	// Go analog of OpenMP threads inside each MPI process. Values ≤ 1
+	// mean serial (the default); the live transport splits each rank's
+	// Gemm over write-disjoint C row bands, the virtual ones scale the
+	// compute clock by the shared parallel-efficiency curve.
+	Threads int
 }
 
 func (o *Options) withDefaults() Options {
@@ -66,6 +72,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.OuterBlockSize == 0 {
 		out.OuterBlockSize = out.BlockSize
+	}
+	if out.Threads < 1 {
+		out.Threads = 1
 	}
 	return out
 }

@@ -173,6 +173,12 @@ func (s Spec) Key() string {
 		fmt.Fprintf(&b, "|B=%d|G=%dx%d", outer, s.Opts.Groups.I, s.Opts.Groups.J)
 	}
 	fmt.Fprintf(&b, "|bc=%s|seg=%d", bcast, seg)
+	// The per-rank thread budget changes what the execution runs (and the
+	// serving layer's core accounting), so it is part of the identity —
+	// but only when hybrid; serial specs keep their historical keys.
+	if s.Opts.Threads > 1 {
+		fmt.Fprintf(&b, "|t=%d", s.Opts.Threads)
+	}
 	for _, lv := range s.Levels {
 		fmt.Fprintf(&b, "|L%dx%d:%d", lv.I, lv.J, lv.BlockSize)
 	}
@@ -266,9 +272,9 @@ func Run(c comm.Comm, s Spec, aLoc, bLoc, cLoc *matrix.Dense) error {
 	case Multilevel:
 		return core.MultilevelHSUMMA(c, s.Opts, s.Levels, s.Opts.BlockSize, aLoc, bLoc, cLoc)
 	case Cannon:
-		return baseline.Cannon(c, s.Opts.Grid, s.Shape(), aLoc, bLoc, cLoc)
+		return baseline.Cannon(c, s.Opts.Grid, s.Shape(), s.Opts.Threads, aLoc, bLoc, cLoc)
 	case Fox:
-		return baseline.Fox(c, s.Opts.Grid, s.Shape(), s.Opts.Broadcast, aLoc, bLoc, cLoc)
+		return baseline.Fox(c, s.Opts.Grid, s.Shape(), s.Opts.Broadcast, s.Opts.Threads, aLoc, bLoc, cLoc)
 	case Auto:
 		return fmt.Errorf("engine: algorithm %q must be resolved by the tune planner before Run", s.Algorithm)
 	default:

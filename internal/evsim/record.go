@@ -262,16 +262,21 @@ func (c *rComm) Pack(dst comm.Buf, src *matrix.Dense) { comm.CheckPack(dst, src)
 // Unpack checks shapes; no elements move.
 func (c *rComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, dst) }
 
-// Gemm validates shapes and records the 2·m·k·n flops of the local update;
-// the replay advances the rank's compute state exactly as the goroutine
-// engine's Gemm does.
-func (c *rComm) Gemm(cm, a, b *matrix.Dense) {
+// Gemm validates shapes and records the 2·m·k·n flops of the local update
+// plus the rank's thread budget (the event's spare d field); the replay
+// advances the rank's compute state exactly as the goroutine engine's
+// Gemm does, including the hockney.Speedup(threads) division.
+func (c *rComm) Gemm(cm, a, b *matrix.Dense, threads int) {
 	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
 		panic(fmt.Sprintf("evsim: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
 			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	if threads < 0 {
+		threads = 0
+	}
 	c.p.push(event{comm: c.cs, kind: evGemm,
-		a: ck32("gemm rows", a.Rows), b: ck32("gemm cols", b.Cols), c: ck32("gemm inner dim", a.Cols)})
+		a: ck32("gemm rows", a.Rows), b: ck32("gemm cols", b.Cols), c: ck32("gemm inner dim", a.Cols),
+		d: ck32("gemm threads", threads)})
 }
 
 // Broadcast algorithm codes: events carry a byte, not the schedule name.

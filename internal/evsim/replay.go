@@ -205,7 +205,9 @@ func (w *World) advance(r int) bool {
 			case evGemm:
 				// Inlined doGemm fast path: the local update is the
 				// second most frequent event after collective arrivals.
-				flops := 2 * float64(ev.a) * float64(ev.b) * float64(ev.c)
+				// The Speedup division mirrors VComm.Gemm bit for bit
+				// (Speedup(1) = 1 exactly), keeping engine parity.
+				flops := 2 * float64(ev.a) * float64(ev.b) * float64(ev.c) / hockney.Speedup(int(ev.d))
 				if !w.overlap {
 					w.sim.ComputeRank(r, flops)
 				} else {

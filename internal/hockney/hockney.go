@@ -49,6 +49,28 @@ func (m Model) Compute(flops float64) float64 {
 	return flops * m.Gamma
 }
 
+// ThreadOverhead is the serial-fraction coefficient of the intra-rank
+// parallel-efficiency curve: Speedup(t) = t / (1 + ThreadOverhead·(t-1)),
+// an Amdahl-style model of the per-band packing redundancy and join cost
+// the threaded kernel pays (calibrated against cmd/hsumma-bench
+// -kernelbench; 0.03 gives Speedup(4) ≈ 3.67, the near-linear scaling the
+// packed kernel shows on write-disjoint row bands).
+const ThreadOverhead = 0.03
+
+// Speedup returns the modelled intra-rank speedup of the local GEMM when a
+// rank multiplies with t goroutine workers (the paper's OpenMP threads
+// inside each MPI process). t ≤ 1 returns exactly 1, so dividing a flop
+// count by Speedup(threads) is bitwise neutral for the default
+// single-threaded configuration — the invariant the virtual engines'
+// bit-parity tests rely on.
+func Speedup(t int) float64 {
+	if t <= 1 {
+		return 1
+	}
+	tf := float64(t)
+	return tf / (1 + ThreadOverhead*(tf-1))
+}
+
 // LatencyBandwidthRatio returns α/β in bytes: the message size at which the
 // latency and bandwidth terms are equal. The paper's minimum/maximum
 // condition (eq. 10–11) compares this ratio against 2nb/p.

@@ -73,5 +73,13 @@ func (t Transport) Unpack(dst *matrix.Dense, src comm.Buf) {
 	dst.Unpack(src.Data)
 }
 
-// Gemm performs the real local update C += A·B.
-func (t Transport) Gemm(c, a, b *matrix.Dense) { blas.Gemm(c, a, b) }
+// Gemm performs the real local update C += A·B: serial for threads ≤ 1,
+// goroutine-parallel over write-disjoint C row bands otherwise — each
+// rank's local multiply is the hybrid layer's OpenMP region.
+func (t Transport) Gemm(c, a, b *matrix.Dense, threads int) {
+	if threads <= 1 {
+		blas.Gemm(c, a, b)
+		return
+	}
+	blas.ParallelGemm(c, a, b, threads)
+}

@@ -132,8 +132,12 @@ type jsonMultiply struct {
 	OuterBlockSize int       `json:"outer_block_size,omitempty"`
 	Broadcast      string    `json:"broadcast,omitempty"`
 	Segments       int       `json:"segments,omitempty"`
-	A              []float64 `json:"a"`
-	B              []float64 `json:"b"`
+	// Threads is the per-rank thread budget (hybrid intra-rank
+	// parallelism); 0 and 1 mean serial ranks. The scheduler accounts the
+	// session as ranks × threads cores.
+	Threads int       `json:"threads,omitempty"`
+	A       []float64 `json:"a"`
+	B       []float64 `json:"b"`
 }
 
 // jsonResult is the JSON response of POST /multiply.
@@ -199,7 +203,7 @@ func (h *handler) parseJSON(r *http.Request) (*matrix.Dense, *matrix.Dense, tune
 	if len(req.B) != req.K*req.N {
 		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: b has %d elements, want k*n = %d", len(req.B), req.K*req.N)
 	}
-	rp, err := h.resolveParams(req.Procs, req.Alg, req.Grid, req.Groups, req.BlockSize, req.OuterBlockSize, req.Broadcast, req.Segments)
+	rp, err := h.resolveParams(req.Procs, req.Alg, req.Grid, req.Groups, req.BlockSize, req.OuterBlockSize, req.Broadcast, req.Segments, req.Threads)
 	if err != nil {
 		return nil, nil, tune.ResolveParams{}, err
 	}
@@ -209,7 +213,7 @@ func (h *handler) parseJSON(r *http.Request) (*matrix.Dense, *matrix.Dense, tune
 // parseRaw decodes the raw body: m*k float64s of A immediately followed by
 // k*n float64s of B, little-endian; the shape and config arrive as query
 // parameters (m, k, n, procs, algorithm, grid=SxT, groups, block_size,
-// outer_block_size, broadcast, segments).
+// outer_block_size, broadcast, segments, threads).
 func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.ResolveParams, error) {
 	q := r.URL.Query()
 	geti := func(name string) (int, error) {
@@ -257,6 +261,10 @@ func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.
 	if err != nil {
 		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad segments: %w", err)
 	}
+	threads, err := geti("threads")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad threads: %w", err)
+	}
 	var grid []int
 	if g := q.Get("grid"); g != "" {
 		parts := strings.Split(g, "x")
@@ -270,7 +278,7 @@ func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.
 		}
 		grid = []int{s, t}
 	}
-	rp, err := h.resolveParams(procs, q.Get("algorithm"), grid, groups, blockSize, outer, q.Get("broadcast"), segments)
+	rp, err := h.resolveParams(procs, q.Get("algorithm"), grid, groups, blockSize, outer, q.Get("broadcast"), segments, threads)
 	if err != nil {
 		return nil, nil, tune.ResolveParams{}, err
 	}
@@ -297,13 +305,17 @@ func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.
 
 // resolveParams assembles the shared resolution input from request knobs,
 // applying the handler's defaults.
-func (h *handler) resolveParams(procs int, alg string, grid []int, groups, blockSize, outer int, bcast string, segments int) (tune.ResolveParams, error) {
+func (h *handler) resolveParams(procs int, alg string, grid []int, groups, blockSize, outer int, bcast string, segments, threads int) (tune.ResolveParams, error) {
+	if threads < 0 {
+		return tune.ResolveParams{}, fmt.Errorf("serve: threads must be non-negative, have %d", threads)
+	}
 	rp := tune.ResolveParams{
 		Procs:          procs,
 		Groups:         groups,
 		BlockSize:      blockSize,
 		OuterBlockSize: outer,
 		Segments:       segments,
+		Threads:        threads,
 		Platform:       h.cfg.Platform,
 	}
 	if rp.Procs <= 0 {
@@ -438,9 +450,10 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	emit("hsumma_serve_rejected_total", "Multiply requests rejected by backpressure (503).", "counter", float64(m.Rejected))
 	emit("hsumma_serve_session_hits_total", "Requests routed to a resident session.", "counter", float64(m.SessionHits))
 	emit("hsumma_serve_session_misses_total", "Requests that had to spin up a session.", "counter", float64(m.SessionMisses))
-	emit("hsumma_serve_sessions_retired_total", "Sessions retired under the rank budget.", "counter", float64(m.SessionsRetired))
+	emit("hsumma_serve_sessions_retired_total", "Sessions retired under the core budget.", "counter", float64(m.SessionsRetired))
 	emit("hsumma_serve_sessions_live", "Resident sessions.", "gauge", float64(m.SessionsLive))
 	emit("hsumma_serve_ranks_live", "Resident ranks across all sessions.", "gauge", float64(m.RanksLive))
+	emit("hsumma_serve_cores_live", "Resident cores (ranks × threads) across all sessions — the budget unit.", "gauge", float64(m.CoresLive))
 	emit("hsumma_serve_queued", "Requests waiting in session queues.", "gauge", float64(m.Queued))
 	emit("hsumma_serve_in_flight", "Requests executing right now.", "gauge", float64(m.InFlight))
 	emit("hsumma_serve_plan_cache_hits_total", "Tune plan-cache hits.", "counter", float64(m.PlanCacheHits))

@@ -53,7 +53,7 @@ func TestHTTPMultiplyJSON(t *testing.T) {
 		t.Fatalf("result shape %dx%d (%d elements), want %dx%d", res.M, res.N, len(res.C), m, n)
 	}
 	got := matrix.FromSlice(m, n, res.C)
-	if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+	if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
 		t.Fatalf("HTTP product differs from oracle by %g", d)
 	}
 	if res.Stats.Messages == 0 || res.Stats.WallSeconds <= 0 {
@@ -94,7 +94,7 @@ func TestHTTPMultiplyRaw(t *testing.T) {
 	for i := range got.Data {
 		got.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 	}
-	if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+	if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
 		t.Fatalf("raw HTTP product differs from oracle by %g", d)
 	}
 	if h := resp.Header.Get("X-Hsumma-Stats"); !strings.Contains(h, "Messages") {

@@ -20,9 +20,16 @@ type Resolver func(tune.ResolveParams) (engine.Spec, error)
 
 // SchedulerConfig tunes the front door.
 type SchedulerConfig struct {
-	// RankBudget caps the total resident ranks across live sessions
-	// (default 256). A request needing more ranks than the whole budget is
-	// rejected with ErrOverloaded.
+	// CoreBudget caps the total resident cores across live sessions
+	// (default 256). Each session reserves ranks × threads cores — a
+	// hybrid session with 16 ranks × 4 threads costs 64 cores, the same as
+	// a flat 64-rank one — so the budget is the machine-capacity unit the
+	// operator actually provisions. A request needing more cores than the
+	// whole budget is rejected with ErrTooLarge.
+	CoreBudget int
+	// RankBudget is the legacy name for CoreBudget, honoured when
+	// CoreBudget is zero (the two were identical while every rank was
+	// single-threaded).
 	RankBudget int
 	// QueueDepth bounds each session's work queue (default 32); a full
 	// queue rejects with ErrOverloaded.
@@ -35,8 +42,11 @@ type SchedulerConfig struct {
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
-	if c.RankBudget <= 0 {
-		c.RankBudget = 256
+	if c.CoreBudget <= 0 {
+		c.CoreBudget = c.RankBudget
+	}
+	if c.CoreBudget <= 0 {
+		c.CoreBudget = 256
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
@@ -64,6 +74,9 @@ type Metrics struct {
 	SessionsRetired int64 `json:"sessions_retired"`
 	SessionsLive    int   `json:"sessions_live"`
 	RanksLive       int   `json:"ranks_live"`
+	// CoresLive is the budget unit: resident ranks × their thread counts.
+	// It equals RanksLive when every session is single-threaded.
+	CoresLive int `json:"cores_live"`
 	// Instantaneous load.
 	Queued   int64 `json:"queued"`
 	InFlight int64 `json:"in_flight"`
@@ -96,14 +109,15 @@ type Scheduler struct {
 	latN   int
 }
 
-// entry is one pooled session slot. The ranks are reserved against the
-// budget from the moment the entry is inserted (session construction
-// happens outside the scheduler lock; waiters block on ready). leases
-// counts requests that have been routed to the session but not yet
-// finished with it — retirement requires leases == 0, which closes the
-// race between routing and enqueueing.
+// entry is one pooled session slot. The cores (ranks × threads) are
+// reserved against the budget from the moment the entry is inserted
+// (session construction happens outside the scheduler lock; waiters block
+// on ready). leases counts requests that have been routed to the session
+// but not yet finished with it — retirement requires leases == 0, which
+// closes the race between routing and enqueueing.
 type entry struct {
 	ranks  int
+	cores  int
 	sess   *Session // nil until ready closes
 	err    error    // construction failure, set before ready closes
 	ready  chan struct{}
@@ -199,16 +213,21 @@ func (sc *Scheduler) route(reqShape matrix.Shape, spec engine.Spec) (*Session, f
 		e.sess.touch()
 		return e.sess, func() { sc.release(key, e) }, nil
 	}
-	need := spec.Opts.Grid.Size()
-	if need > sc.cfg.RankBudget {
+	ranks := spec.Opts.Grid.Size()
+	threads := spec.Opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	need := ranks * threads
+	if need > sc.cfg.CoreBudget {
 		sc.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: request needs %d ranks, budget is %d", ErrTooLarge, need, sc.cfg.RankBudget)
+		return nil, nil, fmt.Errorf("%w: request needs %d cores (%d ranks × %d threads), budget is %d", ErrTooLarge, need, ranks, threads, sc.cfg.CoreBudget)
 	}
 	// Retire idle, unleased sessions, oldest first, until the new one
 	// fits. leases == 0 guarantees no request sits between routing and
 	// enqueue, and Idle() that nothing is queued or running — so Close
 	// returns promptly.
-	for sc.ranksLiveLocked()+need > sc.cfg.RankBudget {
+	for sc.coresLiveLocked()+need > sc.cfg.CoreBudget {
 		vKey, victim := sc.oldestIdleLocked()
 		if victim == nil {
 			sc.mu.Unlock()
@@ -218,7 +237,7 @@ func (sc *Scheduler) route(reqShape matrix.Shape, spec engine.Spec) (*Session, f
 		victim.sess.Close()
 		sc.retired.Add(1)
 	}
-	e := &entry{ranks: need, ready: make(chan struct{}), leases: 1}
+	e := &entry{ranks: ranks, cores: need, ready: make(chan struct{}), leases: 1}
 	sc.entries[key] = e
 	sc.mu.Unlock()
 
@@ -256,11 +275,19 @@ func (sc *Scheduler) release(key string, e *entry) {
 }
 
 // ranksLiveLocked counts ranks reserved by live and in-construction
-// sessions.
+// sessions; coresLiveLocked counts the budget unit (ranks × threads).
 func (sc *Scheduler) ranksLiveLocked() int {
 	total := 0
 	for _, e := range sc.entries {
 		total += e.ranks
+	}
+	return total
+}
+
+func (sc *Scheduler) coresLiveLocked() int {
+	total := 0
+	for _, e := range sc.entries {
+		total += e.cores
 	}
 	return total
 }
@@ -326,6 +353,7 @@ func (sc *Scheduler) quantile(q float64) float64 {
 func (sc *Scheduler) Metrics() Metrics {
 	sc.mu.Lock()
 	ranks := sc.ranksLiveLocked()
+	cores := sc.coresLiveLocked()
 	var live int
 	var queued, inFlight int64
 	for _, e := range sc.entries {
@@ -350,6 +378,7 @@ func (sc *Scheduler) Metrics() Metrics {
 		SessionsRetired:   sc.retired.Load(),
 		SessionsLive:      live,
 		RanksLive:         ranks,
+		CoresLive:         cores,
 		Queued:            queued,
 		InFlight:          inFlight,
 		LatencyP50Seconds: sc.quantile(0.50),

@@ -25,7 +25,7 @@ func TestSchedulerShapeRouting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+		if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
 			t.Fatalf("wrong product: %g", d)
 		}
 	}
@@ -74,7 +74,7 @@ func TestSchedulerPaddedShapesDoNotCollide(t *testing.T) {
 		if err != nil {
 			t.Fatalf("m=%d: %v", m, err)
 		}
-		if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+		if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
 			t.Fatalf("m=%d: wrong product (%g)", m, d)
 		}
 	}
@@ -129,6 +129,66 @@ func TestSchedulerRankBudget(t *testing.T) {
 	}
 	if sc.Metrics().Errors == 0 {
 		t.Fatal("unservable request not counted as an error")
+	}
+}
+
+// TestSchedulerCoreBudgetHybrid checks the budget unit is cores, not
+// ranks: a hybrid session holds ranks × threads cores, CoresLive and
+// RanksLive diverge accordingly, and a request whose core need exceeds
+// the whole budget is rejected with ErrTooLarge even when its rank
+// count alone would fit.
+func TestSchedulerCoreBudgetHybrid(t *testing.T) {
+	sc := NewScheduler(SchedulerConfig{CoreBudget: 16})
+	defer sc.Close()
+
+	mul := func(n, procs, threads int) error {
+		a := matrix.Random(n, n, 1)
+		b := matrix.Random(n, n, 2)
+		got, _, err := sc.Multiply(a, b, tune.ResolveParams{Procs: procs, Threads: threads})
+		if err != nil {
+			return err
+		}
+		if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
+			t.Fatalf("n=%d procs=%d threads=%d: wrong product (%g)", n, procs, threads, d)
+		}
+		return nil
+	}
+
+	// 4 ranks × 2 threads = 8 cores resident.
+	if err := mul(32, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	m := sc.Metrics()
+	if m.RanksLive != 4 || m.CoresLive != 8 {
+		t.Fatalf("RanksLive/CoresLive = %d/%d, want 4/8", m.RanksLive, m.CoresLive)
+	}
+
+	// 4 ranks × 4 threads = 16 cores: does not fit next to the resident
+	// 8, so the idle hybrid session must retire to admit it.
+	if err := mul(48, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	m = sc.Metrics()
+	if m.SessionsRetired != 1 || m.CoresLive != 16 || m.RanksLive != 4 {
+		t.Fatalf("after retirement: retired=%d cores=%d ranks=%d, want 1/16/4",
+			m.SessionsRetired, m.CoresLive, m.RanksLive)
+	}
+
+	// 4 ranks fit the budget, but 4 ranks × 8 threads = 32 cores never
+	// will: non-retryable ErrTooLarge, not backpressure.
+	if err := mul(64, 4, 8); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-budget hybrid request: want ErrTooLarge, got %v", err)
+	}
+
+	// A serial request forces the full-budget hybrid session out, and for
+	// threads≤1 the historical accounting holds: cores == ranks.
+	if err := mul(32, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	m = sc.Metrics()
+	if m.SessionsRetired != 2 || m.CoresLive != 4 || m.RanksLive != 4 {
+		t.Fatalf("after serial request: retired=%d cores=%d ranks=%d, want 2/4/4",
+			m.SessionsRetired, m.CoresLive, m.RanksLive)
 	}
 }
 
@@ -240,7 +300,7 @@ func TestSchedulerGracefulDrain(t *testing.T) {
 	if r.err != nil {
 		t.Fatalf("in-flight request should survive Close, got %v", r.err)
 	}
-	if d := matrix.MaxAbsDiff(r.out, reference(a, b)); d != 0 {
+	if d := matrix.MaxAbsDiff(r.out, reference(a, b)); d > oracleTol {
 		t.Fatalf("in-flight result wrong: %g", d)
 	}
 	for i := 0; i < 2; i++ {
@@ -276,7 +336,7 @@ func TestSchedulerConcurrentMixedShapes(t *testing.T) {
 				errs <- err
 				return
 			}
-			if d := matrix.MaxAbsDiff(got, reference(a, b)); d != 0 {
+			if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
 				errs <- errors.New("wrong product under mixed concurrency")
 			}
 		}(i)

@@ -47,13 +47,13 @@ var (
 	// graceful drain while in-flight ones finish normally.
 	ErrClosed = errors.New("serve: closed")
 	// ErrOverloaded reports backpressure: a bounded queue was full or the
-	// rank budget could not admit a new session right now. Clients should
+	// core budget could not admit a new session right now. Clients should
 	// retry with backoff (the HTTP layer maps it to 503 + Retry-After).
 	ErrOverloaded = errors.New("serve: overloaded")
 	// ErrTooLarge reports a request that can never be admitted — it needs
-	// more ranks than the scheduler's whole budget — so retrying is
-	// pointless (the HTTP layer maps it to 400, not 503).
-	ErrTooLarge = errors.New("serve: request exceeds the rank budget")
+	// more cores (ranks × threads) than the scheduler's whole budget — so
+	// retrying is pointless (the HTTP layer maps it to 400, not 503).
+	ErrTooLarge = errors.New("serve: request exceeds the core budget")
 )
 
 // Stats reports one multiplication's execution statistics — the serving

@@ -216,7 +216,10 @@ func RunSpecOn(spec engine.Spec, vcfg simnet.VConfig, ex engine.Executor) (Resul
 	res := Result{
 		Total:   w.Total(),
 		Comm:    w.MaxCommTime(),
-		Compute: vcfg.Model.Compute(sh.Flops() / p),
+		// Intra-rank threads shorten the local multiplies by the shared
+		// efficiency curve; Speedup(1) is exactly 1, preserving serial
+		// results bitwise.
+		Compute: vcfg.Model.Compute(sh.Flops() / p / hockney.Speedup(spec.Opts.Threads)),
 		Engine:  resolved,
 		Shape:   sh,
 	}

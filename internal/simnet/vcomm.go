@@ -657,16 +657,20 @@ func (c *VComm) Pack(dst comm.Buf, src *matrix.Dense) { comm.CheckPack(dst, src)
 func (c *VComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, dst) }
 
 // Gemm advances the rank's compute state by the 2·m·k·n flops of the local
-// update C += A·B: on the communication clock normally, or on the dedicated
+// update C += A·B — divided by the intra-rank parallel-efficiency curve
+// hockney.Speedup(threads), the virtual model of the live transport's
+// row-band workers (Speedup(1) is exactly 1, so the division is bitwise
+// neutral for serial ranks and the engines' parity invariant holds
+// unchanged) — on the communication clock normally, or on the dedicated
 // compute timeline in overlap mode (double buffering with a communication
 // engine, the paper's §VI opportunity). Like the point-to-point calls it
 // touches only caller-owned state and takes no lock.
-func (c *VComm) Gemm(cm, a, b *matrix.Dense) {
+func (c *VComm) Gemm(cm, a, b *matrix.Dense, threads int) {
 	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
 		panic(fmt.Sprintf("simnet: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
 			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols)
+	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols) / hockney.Speedup(threads)
 	w := c.w
 	me := c.WorldRank()
 	if w.cfg.Overlap {

@@ -143,7 +143,12 @@ func (s *scorer) score(c Candidate) (comm, total float64) {
 		comm = q * (s.bcastStep(bc, q, tile) + (s.m.Alpha + tile*s.m.Beta))
 	}
 
-	compute := s.m.Compute(2 * M * N * K / p)
+	// Intra-rank threads shorten the local multiplies by the shared
+	// parallel-efficiency curve — the same factor the virtual engines
+	// charge, so analytic and simulated rankings agree on the hybrid
+	// trade-off. Speedup(1) is exactly 1, leaving serial scores bitwise
+	// unchanged.
+	compute := s.m.Compute(2 * M * N * K / p / hockney.Speedup(c.Threads))
 	if s.overlap {
 		total = comm
 		if compute > total {

@@ -94,6 +94,14 @@ func fingerprint(req Request) string {
 	if req.OuterBlockSize > 0 {
 		fmt.Fprintf(&b, "|B=%d", req.OuterBlockSize)
 	}
+	// The hybrid knobs change both the candidate space and the scores, so
+	// they join the identity; serial requests keep their historical keys.
+	if req.Threads > 0 {
+		fmt.Fprintf(&b, "|t=%d", req.Threads)
+	}
+	if req.CoreBudget > 0 {
+		fmt.Fprintf(&b, "|cores=%d", req.CoreBudget)
+	}
 	fmt.Fprintf(&b, "|algs=%v|bcasts=%v|exec=%s", req.Algorithms, req.Broadcasts, req.Executor)
 	return b.String()
 }
@@ -184,11 +192,12 @@ func (p *Planner) plan(req Request) (*Plan, error) {
 		n = req.Shape.N
 	}
 	return &Plan{
-		Platform:  req.Platform.Name,
-		Shape:     req.Shape,
-		N:         n,
-		P:         req.P,
-		Objective: req.Objective,
+		Platform:   req.Platform.Name,
+		Shape:      req.Shape,
+		N:          n,
+		P:          req.P,
+		CoreBudget: req.CoreBudget,
+		Objective:  req.Objective,
 		Best:      top[0],
 		Ranked:    top,
 		Scanned:   len(cands),

@@ -52,6 +52,11 @@ type ResolveParams struct {
 	Broadcast sched.Algorithm
 	// Segments is the chain-broadcast pipeline depth.
 	Segments int
+	// Threads is the per-rank thread budget for the local multiplies (the
+	// hybrid MPI+OpenMP knob). 0 or 1 keeps ranks serial; under
+	// engine.Auto, 0 lets the planner choose (currently 1 unless the
+	// request carries a core budget).
+	Threads int
 	// Platform names the machine the planner tunes for under
 	// engine.Auto (nil = the Grid'5000 preset). Ignored otherwise.
 	Platform *platform.Platform
@@ -72,6 +77,9 @@ func ResolveSpec(rp ResolveParams) (engine.Spec, error) {
 	}
 	if rp.Procs <= 0 {
 		return engine.Spec{}, fmt.Errorf("Procs must be positive")
+	}
+	if rp.Threads < 0 {
+		return engine.Spec{}, fmt.Errorf("Threads must be non-negative, have %d", rp.Threads)
 	}
 	if rp.Algorithm == engine.Auto {
 		planned, err := resolveAutoParams(rp)
@@ -100,6 +108,7 @@ func ResolveSpec(rp ResolveParams) (engine.Spec, error) {
 			OuterBlockSize: rp.OuterBlockSize,
 			Broadcast:      rp.Broadcast,
 			Segments:       rp.Segments,
+			Threads:        rp.Threads,
 		},
 		Levels: rp.Levels,
 	}
@@ -131,6 +140,7 @@ func resolveAutoParams(rp ResolveParams) (ResolveParams, error) {
 	pl, err := PlanFor(Request{
 		Platform: pf, Shape: rp.Shape, P: rp.Procs,
 		Grid: rp.Grid, BlockSize: rp.BlockSize,
+		Threads:      rp.Threads,
 		Quick:        true,
 		AnalyticOnly: rp.Procs > AutoProcs,
 	})
@@ -148,6 +158,9 @@ func resolveAutoParams(rp ResolveParams) (ResolveParams, error) {
 	rp.Broadcast = c.Broadcast
 	rp.Segments = c.Segments
 	rp.Levels = c.Levels
+	if c.Threads > 0 {
+		rp.Threads = c.Threads
+	}
 	return rp, nil
 }
 

@@ -63,6 +63,17 @@ type Request struct {
 	// power-of-two blocks are searched). The paper's G sweeps hold b
 	// fixed, so figure annotation pins it too.
 	BlockSize int
+	// Threads optionally pins the per-rank thread budget (the hybrid
+	// MPI+OpenMP knob). 0 leaves it to the search: 1 when no CoreBudget
+	// is given, the (ranks × threads) sweep otherwise.
+	Threads int
+	// CoreBudget, when positive, makes the planner trade grid size
+	// against intra-rank parallelism: instead of planning for exactly P
+	// ranks it enumerates (p = CoreBudget/t, t) splits for power-of-two
+	// thread counts t, every candidate consuming at most CoreBudget
+	// cores — the serving layer's accounting unit. P is ignored (a
+	// pinned Grid constrains p; a pinned Threads constrains t).
+	CoreBudget int
 	// OuterBlockSize optionally pins HSUMMA's B (otherwise b and its
 	// feasible multiples are searched; the paper sets B = b throughout).
 	OuterBlockSize int
@@ -134,6 +145,21 @@ func (r Request) validate() error {
 	if err := r.Shape.Validate(); err != nil {
 		return fmt.Errorf("tune: %w", err)
 	}
+	if r.CoreBudget > 0 {
+		// Under a core budget the rank count is searched, not pinned; a
+		// pinned grid (and/or thread count) must still fit the budget.
+		t := r.Threads
+		if t < 1 {
+			t = 1
+		}
+		if r.Grid != nil && r.Grid.Size()*t > r.CoreBudget {
+			return fmt.Errorf("tune: pinned grid %v × %d threads exceeds core budget %d", *r.Grid, t, r.CoreBudget)
+		}
+		if r.Threads > r.CoreBudget {
+			return fmt.Errorf("tune: pinned threads %d exceeds core budget %d", r.Threads, r.CoreBudget)
+		}
+		return nil
+	}
 	if r.P <= 0 {
 		return fmt.Errorf("tune: invalid processor count p=%d", r.P)
 	}
@@ -141,6 +167,41 @@ func (r Request) validate() error {
 		return fmt.Errorf("tune: pinned grid %v does not hold %d procs", *r.Grid, r.P)
 	}
 	return nil
+}
+
+// rankThreadPairs lists the (ranks, threads-per-rank) splits the search
+// covers. Without a CoreBudget there is exactly one: the requested P with
+// the pinned thread count (default 1). Under a CoreBudget every
+// power-of-two thread count is paired with the rank count that fills the
+// budget, so the planner can answer "64 cores: 64×1, 32×2, 16×4, …?" with
+// the cost model arbitrating grid-level communication against intra-rank
+// speedup.
+func rankThreadPairs(req Request) [][2]int {
+	if req.CoreBudget <= 0 {
+		t := req.Threads
+		if t < 1 {
+			t = 1
+		}
+		return [][2]int{{req.P, t}}
+	}
+	var out [][2]int
+	for t := 1; t <= req.CoreBudget; t *= 2 {
+		if req.Threads > 0 && t != req.Threads {
+			continue
+		}
+		p := req.CoreBudget / t
+		if req.Grid != nil {
+			if req.Grid.Size()*t > req.CoreBudget {
+				break
+			}
+			p = req.Grid.Size()
+		}
+		if p < 1 {
+			break
+		}
+		out = append(out, [2]int{p, t})
+	}
+	return out
 }
 
 // Candidate is one fully specified configuration the planner can score,
@@ -157,6 +218,19 @@ type Candidate struct {
 	Broadcast      sched.Algorithm `json:"broadcast,omitempty"`
 	Segments       int             `json:"segments,omitempty"`
 	Levels         []core.Level    `json:"levels,omitempty"`
+	// Threads is the per-rank thread budget (0 and 1 both mean serial);
+	// the candidate consumes Grid.Size() × max(1, Threads) cores.
+	Threads int `json:"threads,omitempty"`
+}
+
+// Cores returns the candidate's total core consumption — the quantity a
+// CoreBudget bounds and the serving scheduler leases.
+func (c Candidate) Cores() int {
+	t := c.Threads
+	if t < 1 {
+		t = 1
+	}
+	return c.Grid.Size() * t
 }
 
 // Spec resolves the candidate into the engine's transport-independent run
@@ -168,6 +242,7 @@ func (c Candidate) Spec(sh matrix.Shape) (engine.Spec, error) {
 		OuterBlockSize: c.OuterBlockSize,
 		Broadcast:      c.Broadcast,
 		Segments:       c.Segments,
+		Threads:        c.Threads,
 	}
 	if c.Algorithm == engine.HSUMMA {
 		h, err := topo.NewHier(c.Grid, c.GroupShape[0], c.GroupShape[1])
@@ -195,6 +270,9 @@ func (c Candidate) String() string {
 	}
 	if c.Broadcast != "" {
 		s += " bcast=" + string(c.Broadcast)
+	}
+	if c.Threads > 1 {
+		s += fmt.Sprintf(" t=%d", c.Threads)
 	}
 	return s
 }
@@ -238,10 +316,13 @@ type Plan struct {
 	// Shape is the *requested* GEMM problem; candidates that need padding
 	// are scored and simulated at their own (grid-dependent) execution
 	// shapes. N echoes the square shorthand (0 for rectangular problems).
-	Shape     matrix.Shape `json:"shape"`
-	N         int          `json:"n,omitempty"`
-	P         int          `json:"p"`
-	Objective Objective    `json:"objective"`
+	Shape matrix.Shape `json:"shape"`
+	N     int          `json:"n,omitempty"`
+	P     int          `json:"p"`
+	// CoreBudget echoes the request's core budget when the plan searched
+	// (ranks × threads) splits instead of a fixed P.
+	CoreBudget int       `json:"core_budget,omitempty"`
+	Objective  Objective `json:"objective"`
 	// Best is Ranked[0], repeated for convenience.
 	Best Scored `json:"best"`
 	// Ranked holds the stage-2 refinement set, best first; entries beyond
@@ -330,11 +411,35 @@ func Candidates(req Request) ([]Candidate, error) {
 		return nil, err
 	}
 	sh := req.Shape
-	grids := candidateGrids(req)
-	if len(grids) == 0 {
+	squareOnlySkipped := false
+	var out []Candidate
+	for _, pt := range rankThreadPairs(req) {
+		sub := req
+		sub.P, sub.Threads = pt[0], pt[1]
+		pair := pairCandidates(sub, sh, &squareOnlySkipped)
+		if sub.Threads > 1 {
+			for i := range pair {
+				pair[i].Threads = sub.Threads
+			}
+		}
+		out = append(out, pair...)
+	}
+	if len(out) == 0 {
+		if squareOnlySkipped {
+			return nil, fmt.Errorf("tune: no feasible candidate for shape %v p=%d: %w", sh, req.P, matrix.ErrSquareOnly)
+		}
+		if req.CoreBudget > 0 {
+			return nil, fmt.Errorf("tune: no feasible candidate for shape %v under core budget %d", sh, req.CoreBudget)
+		}
 		return nil, fmt.Errorf("tune: no process grid of %d ranks fits shape %v", req.P, sh)
 	}
-	squareOnlySkipped := false
+	return out, nil
+}
+
+// pairCandidates enumerates the configuration space for one (ranks,
+// threads) split — the per-grid algorithm/block/broadcast sweep.
+func pairCandidates(req Request, sh matrix.Shape, squareOnlySkipped *bool) []Candidate {
+	grids := candidateGrids(req)
 	var out []Candidate
 	for _, g := range grids {
 		bs := blockCandidates(sh, g, req.Quick)
@@ -382,7 +487,7 @@ func Candidates(req Request) ([]Candidate, error) {
 				// (a non-divisible n pads to the next multiple of q,
 				// exactly as the execution layer does).
 				if !sh.IsSquare() {
-					squareOnlySkipped = true
+					*squareOnlySkipped = true
 					continue
 				}
 				if g.S == g.T {
@@ -390,7 +495,7 @@ func Candidates(req Request) ([]Candidate, error) {
 				}
 			case engine.Fox:
 				if !sh.IsSquare() {
-					squareOnlySkipped = true
+					*squareOnlySkipped = true
 					continue
 				}
 				if g.S == g.T {
@@ -401,13 +506,7 @@ func Candidates(req Request) ([]Candidate, error) {
 			}
 		}
 	}
-	if len(out) == 0 {
-		if squareOnlySkipped {
-			return nil, fmt.Errorf("tune: no feasible candidate for shape %v p=%d: %w", sh, req.P, matrix.ErrSquareOnly)
-		}
-		return nil, fmt.Errorf("tune: no feasible candidate for shape %v p=%d", sh, req.P)
-	}
-	return out, nil
+	return out
 }
 
 // gridDivides reports the SUMMA-family layout constraint: every operand's

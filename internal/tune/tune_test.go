@@ -250,3 +250,99 @@ func TestCandidatePins(t *testing.T) {
 		}
 	}
 }
+
+// Under a core budget the enumeration must sweep (ranks × threads) splits:
+// every candidate fits the budget, more than one thread count appears, and
+// pinning Threads collapses the sweep to that value.
+func TestCoreBudgetEnumeratesRankThreadSplits(t *testing.T) {
+	req := Request{Platform: platform.Grid5000(), N: 1024, CoreBudget: 64, Quick: true}
+	cands, err := Candidates(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threadCounts := map[int]bool{}
+	for _, c := range cands {
+		if c.Cores() > req.CoreBudget {
+			t.Fatalf("candidate %s needs %d cores, budget is %d", c, c.Cores(), req.CoreBudget)
+		}
+		th := c.Threads
+		if th < 1 {
+			th = 1
+		}
+		threadCounts[th] = true
+		if c.Grid.Size()*th > req.CoreBudget {
+			t.Fatalf("candidate %s: %d ranks × %d threads exceeds budget", c, c.Grid.Size(), th)
+		}
+	}
+	if len(threadCounts) < 2 {
+		t.Fatalf("core-budget sweep produced only thread counts %v, want at least two splits", threadCounts)
+	}
+
+	pinned, err := Candidates(Request{Platform: platform.Grid5000(), N: 1024, CoreBudget: 64, Threads: 4, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pinned {
+		if c.Threads != 4 {
+			t.Fatalf("pinned Threads=4 produced candidate %s with t=%d", c, c.Threads)
+		}
+		if c.Grid.Size() != 16 {
+			t.Fatalf("64 cores / 4 threads should plan 16 ranks, candidate %s has %d", c, c.Grid.Size())
+		}
+	}
+}
+
+// PlanFor under a core budget must rank hybrid candidates and resolve to a
+// concrete (grid, threads) pair whose cores fit the budget; the plan echoes
+// the budget for display and JSON consumers.
+func TestPlanForCoreBudget(t *testing.T) {
+	pl, err := PlanFor(Request{
+		Platform: platform.Grid5000(), N: 1024, CoreBudget: 64,
+		Quick: true, AnalyticOnly: true, NoCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.CoreBudget != 64 {
+		t.Fatalf("plan echoes core budget %d, want 64", pl.CoreBudget)
+	}
+	best := pl.Best.Candidate
+	if best.Cores() > 64 {
+		t.Fatalf("best candidate %s needs %d cores, budget is 64", best, best.Cores())
+	}
+	// The winner's spec must carry the thread budget into execution.
+	spec, err := best.Spec(matrix.Square(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := best.Threads
+	if wantT < 1 {
+		wantT = 1
+	}
+	gotT := spec.Opts.Threads
+	if gotT < 1 {
+		gotT = 1
+	}
+	if gotT != wantT {
+		t.Fatalf("spec threads %d, candidate threads %d", gotT, wantT)
+	}
+}
+
+// The analytic scorer must reward intra-rank threads on compute-bound
+// problems: same grid, more threads, strictly lower total (and untouched
+// communication).
+func TestScorerThreadsSpeedup(t *testing.T) {
+	s := newScorer(matrix.Square(2048), platform.Grid5000().Model, false)
+	g := topo.Grid{S: 4, T: 4}
+	serial := Candidate{Algorithm: engine.SUMMA, Grid: g, BlockSize: 128, Broadcast: sched.Binomial}
+	hybrid := serial
+	hybrid.Threads = 4
+	commS, totalS := s.score(serial)
+	commH, totalH := s.score(hybrid)
+	if commS != commH {
+		t.Fatalf("threads changed communication cost: %g vs %g", commS, commH)
+	}
+	if totalH >= totalS {
+		t.Fatalf("4 threads did not lower total: %g vs %g", totalH, totalS)
+	}
+}

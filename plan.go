@@ -56,6 +56,13 @@ type PlanConfig struct {
 	Grid *[2]int
 	// BlockSize optionally pins the paper's b.
 	BlockSize int
+	// Threads optionally pins the per-rank thread budget (0 = searched
+	// under CoreBudget, 1 otherwise).
+	Threads int
+	// CoreBudget, when positive, makes the planner trade ranks against
+	// intra-rank threads: it enumerates (ranks = CoreBudget/t, t) splits
+	// for power-of-two t instead of planning for exactly Procs ranks.
+	CoreBudget int
 	// Algorithms restricts the searched algorithms (nil = SUMMA, HSUMMA,
 	// Cannon, Fox).
 	Algorithms []Algorithm
@@ -99,6 +106,8 @@ func (cfg PlanConfig) request() (tune.Request, error) {
 		P:            cfg.Procs,
 		Grid:         gp,
 		BlockSize:    cfg.BlockSize,
+		Threads:      cfg.Threads,
+		CoreBudget:   cfg.CoreBudget,
 		Algorithms:   cfg.Algorithms,
 		Broadcasts:   cfg.Broadcasts,
 		Objective:    cfg.Objective,
@@ -153,6 +162,7 @@ func resolveSimAuto(cfg SimConfig, shape Shape, procs int) (SimConfig, error) {
 	pl, err := tune.PlanFor(tune.Request{
 		Platform: pf, Shape: shape, P: procs,
 		Grid: gp, BlockSize: cfg.BlockSize,
+		Threads:      cfg.Threads,
 		Quick:        true,
 		AnalyticOnly: procs > autoProcs,
 		Contention:   cfg.Contention,
@@ -172,5 +182,8 @@ func resolveSimAuto(cfg SimConfig, shape Shape, procs int) (SimConfig, error) {
 	cfg.Broadcast = c.Broadcast
 	cfg.Segments = c.Segments
 	cfg.Levels = c.Levels
+	if c.Threads > 0 {
+		cfg.Threads = c.Threads
+	}
 	return cfg, nil
 }

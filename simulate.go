@@ -48,7 +48,12 @@ type SimConfig struct {
 	Levels    []Level
 	Broadcast sched.Algorithm
 	Segments  int
-	Machine   Machine
+	// Threads is the per-rank thread budget for the local multiplies (the
+	// hybrid MPI+OpenMP knob); the virtual engines charge compute at
+	// flops / Speedup(Threads). 0 and 1 both mean serial ranks and leave
+	// virtual times bitwise unchanged.
+	Threads int
+	Machine Machine
 	// Contention enables the platform's link-sharing model (needs
 	// Platform set) — an ablation beyond the paper's congestion-free
 	// assumption.
@@ -138,6 +143,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 		Procs: procs, Grid: cfg.Grid, Algorithm: alg,
 		Groups: cfg.Groups, BlockSize: cfg.BlockSize, OuterBlockSize: cfg.OuterBlockSize,
 		Levels: cfg.Levels, Broadcast: cfg.Broadcast, Segments: cfg.Segments,
+		Threads: cfg.Threads,
 	})
 	if err != nil {
 		return SimResult{}, err
