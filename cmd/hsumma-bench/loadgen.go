@@ -62,10 +62,36 @@ type loadgenReport struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 
+	// Server-side time decomposition of the verified requests, read back
+	// from each response's stats: queue wait, staging (pad + scatter +
+	// zero) and distributed execution.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	StageP50Ms     float64 `json:"stage_p50_ms"`
+	StageP99Ms     float64 `json:"stage_p99_ms"`
+	ExecuteP50Ms   float64 `json:"execute_p50_ms"`
+	ExecuteP99Ms   float64 `json:"execute_p99_ms"`
+
 	SessionBench sessionBenchReport `json:"session_vs_oneshot"`
+	TraceBench   traceBenchReport   `json:"traced_vs_untraced"`
 
 	GatePass bool   `json:"gate_pass"`
 	GateNote string `json:"gate_note,omitempty"`
+}
+
+// traceBenchReport records the traced vs untraced Multiply throughput
+// comparison — the "tracing costs nothing when off, little when on" gate.
+type traceBenchReport struct {
+	N           int     `json:"n"`
+	P           int     `json:"p"`
+	Iters       int     `json:"iters"`
+	UntracedRPS float64 `json:"untraced_rps"`
+	TracedRPS   float64 `json:"traced_rps"`
+	// Ratio is traced/untraced requests per second; the baseline's
+	// min_trace_ratio floor gates it.
+	Ratio float64 `json:"ratio"`
+	// MinRatio echoes the enforced floor (0 when no baseline was given).
+	MinRatio float64 `json:"min_ratio,omitempty"`
 }
 
 // sessionBenchReport records the warm-session vs one-shot comparison.
@@ -100,6 +126,9 @@ type loadgenBaseline struct {
 	// TargetThroughputRatio is the aspirational session-reuse target,
 	// recorded in the report for trajectory tracking.
 	TargetThroughputRatio float64 `json:"target_throughput_ratio"`
+	// MinTraceRatio is the enforced floor for traced vs untraced Multiply
+	// throughput (0 disables the gate).
+	MinTraceRatio float64 `json:"min_trace_ratio"`
 }
 
 func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, baselinePath string) {
@@ -170,6 +199,7 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 		requests, errCount, rejected, verified, badResult atomic.Int64
 		latMu                                             sync.Mutex
 		latencies                                         []float64
+		queueWaits, stages, executes                      []float64
 	)
 	client := &http.Client{Timeout: 60 * time.Second}
 	deadline := time.Now().Add(time.Duration(durationS * float64(time.Second)))
@@ -203,17 +233,21 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 					continue
 				}
 				lat := time.Since(t0).Seconds()
-				latMu.Lock()
-				latencies = append(latencies, lat)
-				latMu.Unlock()
 				var res struct {
-					M, N int
-					C    []float64
+					M, N  int
+					C     []float64
+					Stats serve.Stats
 				}
 				if err := json.Unmarshal(body, &res); err != nil || len(res.C) != p.shape.M*p.shape.N {
 					badResult.Add(1)
 					continue
 				}
+				latMu.Lock()
+				latencies = append(latencies, lat)
+				queueWaits = append(queueWaits, res.Stats.QueueSeconds)
+				stages = append(stages, res.Stats.SetupSeconds)
+				executes = append(executes, res.Stats.RunSeconds)
+				latMu.Unlock()
 				got := matrix.FromSlice(p.shape.M, p.shape.N, res.C)
 				if d := matrix.MaxAbsDiff(got, p.want); d > 1e-9 {
 					badResult.Add(1)
@@ -237,8 +271,12 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 		rep.P50Ms = 1000 * latencies[len(latencies)/2]
 		rep.P99Ms = 1000 * latencies[int(0.99*float64(len(latencies)-1))]
 	}
+	rep.QueueWaitP50Ms, rep.QueueWaitP99Ms = quantilesMs(queueWaits)
+	rep.StageP50Ms, rep.StageP99Ms = quantilesMs(stages)
+	rep.ExecuteP50Ms, rep.ExecuteP99Ms = quantilesMs(executes)
 
 	rep.SessionBench = runSessionBench(quick)
+	rep.TraceBench = runTraceBench(quick)
 
 	// Gate: zero verification failures, traffic actually flowed, and the
 	// warm session sustains the baseline's throughput-ratio floor.
@@ -263,6 +301,12 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 			rep.GateNote = fmt.Sprintf("session/oneshot throughput ratio %.3f below baseline floor %.3f",
 				rep.SessionBench.ThroughputRatio, base.MinThroughputRatio)
 		}
+		rep.TraceBench.MinRatio = base.MinTraceRatio
+		if base.MinTraceRatio > 0 && rep.TraceBench.Ratio < base.MinTraceRatio {
+			rep.GatePass = false
+			rep.GateNote = fmt.Sprintf("traced/untraced throughput ratio %.3f below baseline floor %.3f",
+				rep.TraceBench.Ratio, base.MinTraceRatio)
+		}
 	}
 
 	out := os.Stdout
@@ -284,10 +328,22 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 	fmt.Fprintf(os.Stderr, "session bench: one-shot %.2f req/s, warm session %.2f req/s (ratio %.3f; setup %.2fms -> %.2fms)\n",
 		rep.SessionBench.OneShotRPS, rep.SessionBench.SessionRPS, rep.SessionBench.ThroughputRatio,
 		rep.SessionBench.OneShotSetupMs, rep.SessionBench.SessionSetupMs)
+	fmt.Fprintf(os.Stderr, "trace bench: untraced %.2f req/s, traced %.2f req/s (ratio %.3f)\n",
+		rep.TraceBench.UntracedRPS, rep.TraceBench.TracedRPS, rep.TraceBench.Ratio)
 	if !rep.GatePass {
 		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: %s\n", rep.GateNote)
 		os.Exit(1)
 	}
+}
+
+// quantilesMs returns the p50 and p99 of the samples in milliseconds
+// (zeros when empty). Sorts in place.
+func quantilesMs(samples []float64) (p50, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(samples)
+	return 1000 * samples[len(samples)/2], 1000 * samples[int(0.99*float64(len(samples)-1))]
 }
 
 // hsummaReference computes the sequential oracle (blas.Naive through the
@@ -376,4 +432,55 @@ func runSessionBench(quick bool) sessionBenchReport {
 		rb.ThroughputRatio = 0
 	}
 	return rb
+}
+
+// runTraceBench measures untraced vs traced Multiply throughput on the
+// same configuration — the observability overhead gate. The untraced side
+// is the nil-recorder fast path every default run takes; the traced side
+// pays span recording on every communication call and local multiply.
+// Three alternating rounds are timed and the best ratio gated: round
+// noise on a shared CI host easily exceeds the real overhead, and a
+// genuine systematic regression depresses every round, not just the
+// unluckiest one.
+func runTraceBench(quick bool) traceBenchReport {
+	n, p, iters := 256, 16, 30
+	if quick {
+		n, p, iters = 128, 16, 30
+	}
+	cfg := hsumma.Config{Procs: p, Algorithm: hsumma.AlgHSUMMA}
+	a := hsumma.RandomMatrix(n, n, 3)
+	b := hsumma.RandomMatrix(n, n, 4)
+	if _, _, err := hsumma.Multiply(a, b, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tb := traceBenchReport{N: n, P: p, Iters: iters}
+	for round := 0; round < 3; round++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, _, err := hsumma.Multiply(a, b, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		untracedRPS := float64(iters) / time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, _, _, err := hsumma.MultiplyTraced(a, b, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		tracedRPS := float64(iters) / time.Since(t0).Seconds()
+
+		if untracedRPS <= 0 {
+			continue
+		}
+		if ratio := tracedRPS / untracedRPS; ratio > tb.Ratio {
+			tb.UntracedRPS, tb.TracedRPS, tb.Ratio = untracedRPS, tracedRPS, ratio
+		}
+	}
+	return tb
 }

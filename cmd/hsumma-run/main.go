@@ -66,6 +66,7 @@ func main() {
 		pf     = flag.String("platform", "grid5000", "machine preset: grid5000, bgp, exascale (sim timing; auto-planning target in both modes)")
 		seed   = flag.Uint64("seed", 42, "input matrix seed (live mode)")
 		eng    = flag.String("engine", "auto", "sim-mode virtual execution engine: goroutine, event, or auto (bit-identical results; event is ~10x faster on full-scale collective-only runs)")
+		trOut  = flag.String("trace", "", "write a per-rank phase span timeline (Chrome/Perfetto trace-event JSON) to this file")
 	)
 	flag.Parse()
 
@@ -116,7 +117,16 @@ func main() {
 			Platform:       &machine,
 		}
 		start := time.Now()
-		got, stats, err := hsumma.Multiply(a, bm, cfg)
+		var (
+			got   *hsumma.Matrix
+			stats hsumma.Stats
+			rec   *hsumma.Trace
+		)
+		if *trOut != "" {
+			got, stats, rec, err = hsumma.MultiplyTraced(a, bm, cfg)
+		} else {
+			got, stats, err = hsumma.Multiply(a, bm, cfg)
+		}
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "run failed:", err)
@@ -128,6 +138,16 @@ func main() {
 		fmt.Printf("messages sent  : %d\n", stats.Messages)
 		fmt.Printf("bytes moved    : %d\n", stats.Bytes)
 		fmt.Printf("max rank comm  : %.3gs\n", stats.MaxRankCommSeconds)
+		fmt.Printf("max rank gemm  : %.3gs\n", stats.GemmSeconds)
+		fmt.Printf("comm by phase  : %s\n", formatPhases(stats.CommSecondsByPhase))
+		fmt.Printf("busy imbalance : %.3g (max/mean rank busy time)\n", stats.BusyImbalance)
+		if rec != nil {
+			if err := writeTrace(*trOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written  : %s (%d ranks; open in Perfetto or chrome://tracing)\n", *trOut, rec.Ranks())
+		}
 
 		verify := time.Now()
 		want := hsumma.Reference(a, bm)
@@ -154,6 +174,7 @@ func main() {
 			Machine:        machine.Model,
 			Platform:       &machine,
 			Engine:         simEngine,
+			Trace:          *trOut != "",
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simulation failed:", err)
@@ -177,7 +198,48 @@ func main() {
 		fmt.Printf("messages sent  : %d\n", res.Messages)
 		fmt.Printf("bytes moved    : %d (identical to a live run of this config)\n", res.Bytes)
 		fmt.Printf("host wall time : %v\n", time.Since(start))
+		if res.Trace != nil {
+			if err := writeTrace(*trOut, res.Trace); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace written  : %s (%d ranks, virtual timestamps; open in Perfetto or chrome://tracing)\n", *trOut, res.Trace.Ranks())
+		}
 	}
+}
+
+// writeTrace dumps a recorded span timeline as Chrome trace-event JSON.
+func writeTrace(path string, rec *hsumma.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}
+
+// formatPhases renders the per-phase communication breakdown in a stable
+// phase order.
+func formatPhases(phases map[string]float64) string {
+	if len(phases) == 0 {
+		return "(none)"
+	}
+	var sb strings.Builder
+	for _, name := range []string{"scatter", "bcast", "shift", "p2p", "gemm", "gather"} {
+		if sec, ok := phases[name]; ok {
+			if sb.Len() > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %.3gs", name, sec)
+		}
+	}
+	return sb.String()
 }
 
 // shapeFromFlags resolves the -m/-n/-k trio into a validated GEMM shape:

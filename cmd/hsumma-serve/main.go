@@ -15,9 +15,18 @@
 //	                   /multiply?m=512&k=512&n=512&procs=16&threads=4
 //	GET  /plan       the autotuning planner's ranked plan:
 //	                   /plan?n=4096&p=256&platform=bgp
-//	GET  /metrics    scheduler + plan-cache counters (Prometheus format)
+//	GET  /metrics    scheduler + plan-cache counters, per-key latency
+//	                 histograms (Prometheus format)
 //	GET  /healthz    liveness
+//	POST /debug/trace      (only with -debug-trace) arm a one-shot span
+//	                       capture of the next multiply; responds with
+//	                       Chrome trace-event JSON
 //	GET  /debug/pprof/...  (only with -pprof) the Go runtime profiler
+//
+// The daemon logs one structured JSON record per request (log/slog):
+// request id, method, path, status, duration, and for multiplies the spec
+// key, shape and queue wait. -log-level picks the floor (debug also logs
+// /metrics and /healthz scrapes).
 //
 // Sessions are accounted in cores — ranks × per-rank threads — against the
 // core budget; -rank-budget remains as the pre-hybrid alias. Backpressure
@@ -31,7 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -52,10 +61,23 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 32, "per-session bounded queue depth")
 		procs      = flag.Int("default-procs", 16, "rank count for requests that do not pin one")
 		withPprof  = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
+		withTrace  = flag.Bool("debug-trace", false, "expose POST /debug/trace (one-shot span capture of the next multiply)")
+		logLevel   = flag.String("log-level", "info", "log floor: debug, info, warn or error")
 	)
 	flag.Parse()
 
-	hcfg := serve.HandlerConfig{DefaultProcs: *procs}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "hsumma-serve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	hcfg := serve.HandlerConfig{
+		DefaultProcs: *procs,
+		Logger:       logger,
+		EnableTrace:  *withTrace,
+	}
 	if *pfName != "" {
 		pf, err := platform.ByName(*pfName)
 		if err != nil {
@@ -97,7 +119,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		log.Printf("hsumma-serve: draining (in-flight requests finish, queued ones error out)")
+		logger.Info("draining", "note", "in-flight requests finish, queued ones error out")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
@@ -105,10 +127,18 @@ func main() {
 		close(done)
 	}()
 
-	log.Printf("hsumma-serve: listening on %s (core budget %d, queue depth %d, default procs %d, pprof %v)",
-		*addr, budget, *queueDepth, *procs, *withPprof)
+	logger.Info("listening",
+		"addr", *addr,
+		"core_budget", budget,
+		"queue_depth", *queueDepth,
+		"default_procs", *procs,
+		"pprof", *withPprof,
+		"debug_trace", *withTrace,
+		"log_level", level.String(),
+	)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listen failed", "error", err)
+		os.Exit(1)
 	}
 	<-done
 }

@@ -37,6 +37,16 @@ func main() {
 	fmt.Printf("traffic: %d messages, %d bytes, max per-rank comm %.3gs\n",
 		stats.Messages, stats.Bytes, stats.MaxRankCommSeconds)
 
+	// Per-phase breakdown: where the critical rank's communication time
+	// went, the largest per-rank time inside local multiplies, and the
+	// max/mean busy-time imbalance across ranks. (hsumma-run -trace dumps
+	// the full per-rank span timeline for Perfetto.)
+	for phase, sec := range stats.CommSecondsByPhase {
+		fmt.Printf("  comm phase %-6s: %.3gs\n", phase, sec)
+	}
+	fmt.Printf("  gemm (max rank) : %.3gs\n", stats.GemmSeconds)
+	fmt.Printf("  busy imbalance  : %.3g (max/mean)\n", stats.BusyImbalance)
+
 	// The same multiplication with plain SUMMA, for comparison.
 	_, flat, err := hsumma.Multiply(a, b, hsumma.Config{
 		Procs:     16,

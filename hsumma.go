@@ -35,6 +35,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sched"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/tune"
 )
 
@@ -204,6 +205,29 @@ type Stats struct {
 	// was paid once at NewSession, which is the session-reuse win these two
 	// fields exist to measure.
 	SetupSeconds float64
+	// GemmSeconds is the largest per-rank wall time spent inside local
+	// multiplies — the compute half of the paper's comm/compute breakdown.
+	GemmSeconds float64
+	// CommSecondsByPhase breaks the critical rank's communication time
+	// (MaxRankCommSeconds) down by operation phase — "bcast" (broadcast
+	// rounds), "shift" (SendRecv exchanges), "p2p" (everything else).
+	// Zero-valued phases are omitted; the entries sum to
+	// MaxRankCommSeconds.
+	CommSecondsByPhase map[string]float64
+	// BusyImbalance is max/mean per-rank busy time (communication plus
+	// local multiplies): 1.0 is a perfectly even run, and the gap above 1
+	// is wall time lost to the slowest rank.
+	BusyImbalance float64
+}
+
+// fromSummary fills the per-rank aggregate fields from an mpi.Summary.
+func (st *Stats) fromSummary(s mpi.Summary) {
+	st.Messages = s.Messages
+	st.Bytes = s.Bytes
+	st.MaxRankCommSeconds = s.MaxComm
+	st.GemmSeconds = s.MaxGemm
+	st.CommSecondsByPhase = trace.CommPhaseMap(s.CommByPhase)
+	st.BusyImbalance = s.Imbalance
 }
 
 // resolveSpec turns a user Config plus a problem shape into the engine's
@@ -265,32 +289,60 @@ func (cfg Config) resolveParams(shape Shape) (tune.ResolveParams, error) {
 // are zero-padded to the execution shape and the result is cropped —
 // any positive M, N, K runs.
 func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
+	out, st, _, err := multiply(a, b, cfg, false)
+	return out, st, err
+}
+
+// Trace is a per-run span recorder (re-exported from internal/trace): one
+// timeline per rank plus a host timeline, exportable as Chrome/Perfetto
+// trace-event JSON via WriteJSON.
+type Trace = trace.Recorder
+
+// MultiplyTraced is Multiply with phase tracing enabled: every broadcast
+// round, shift, point-to-point call and local multiply on every rank —
+// plus the host-side scatter and gather — is recorded as a span on the
+// returned Trace. The recorder only observes; the result is bit-identical
+// to an untraced Multiply of the same inputs.
+func MultiplyTraced(a, b *Matrix, cfg Config) (*Matrix, Stats, *Trace, error) {
+	return multiply(a, b, cfg, true)
+}
+
+func multiply(a, b *Matrix, cfg Config, traced bool) (*Matrix, Stats, *trace.Recorder, error) {
 	start := time.Now()
 	var st Stats
 	if a.Cols != b.Rows {
-		return nil, st, fmt.Errorf("hsumma: inner dimensions differ: A is %dx%d, B is %dx%d (need A columns == B rows)",
+		return nil, st, nil, fmt.Errorf("hsumma: inner dimensions differ: A is %dx%d, B is %dx%d (need A columns == B rows)",
 			a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	shape := Shape{M: a.Rows, N: b.Cols, K: a.Cols}
 	spec, grid, err := resolveSpec(shape, cfg)
 	if err != nil {
-		return nil, st, err
+		return nil, st, nil, err
 	}
 	es := spec.Opts.Shape // execution shape (padded when needed)
+	var rec *trace.Recorder
+	if traced {
+		rec = trace.New(grid.Size())
+	}
 
 	bmA, err := dist.NewBlockMap(es.M, es.K, grid)
 	if err != nil {
-		return nil, st, err
+		return nil, st, nil, err
 	}
 	bmB, err := dist.NewBlockMap(es.K, es.N, grid)
 	if err != nil {
-		return nil, st, err
+		return nil, st, nil, err
 	}
 	bmC, err := dist.NewBlockMap(es.M, es.N, grid)
 	if err != nil {
-		return nil, st, err
+		return nil, st, nil, err
 	}
+	scatterStart := time.Now()
 	aT, bT := bmA.Scatter(padTo(a, es.M, es.K)), bmB.Scatter(padTo(b, es.K, es.N))
+	if rec != nil {
+		rec.Host(trace.PhaseScatter, rec.Since(scatterStart), time.Since(scatterStart).Seconds(),
+			int64(8*(es.M*es.K+es.K*es.N)), 0)
+	}
 	cT := make([]*matrix.Dense, grid.Size())
 	for r := range cT {
 		cT[r] = matrix.New(bmC.LocalRows(), bmC.LocalCols())
@@ -303,7 +355,7 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 
 	var mu sync.Mutex
 	var algErr error
-	ranks, err := mpi.RunStats(grid.Size(), func(c *mpi.Comm) {
+	ranks, err := mpi.RunStatsTraced(grid.Size(), func(c *mpi.Comm) {
 		r := c.Rank()
 		if e := engine.Run(mpi.AsComm(c), spec, aT[r], bT[r], cT[r]); e != nil {
 			mu.Lock()
@@ -312,26 +364,25 @@ func Multiply(a, b *Matrix, cfg Config) (*Matrix, Stats, error) {
 			}
 			mu.Unlock()
 		}
-	})
+	}, rec)
 	if err != nil {
-		return nil, st, err
+		return nil, st, nil, err
 	}
 	if algErr != nil {
-		return nil, st, algErr
+		return nil, st, nil, algErr
 	}
-	for _, r := range ranks {
-		st.Messages += r.SentMessages
-		st.Bytes += r.SentBytes
-		if r.CommSeconds > st.MaxRankCommSeconds {
-			st.MaxRankCommSeconds = r.CommSeconds
-		}
-	}
+	st.fromSummary(mpi.Summarize(ranks))
+	gatherStart := time.Now()
 	out := bmC.Gather(cT)
 	if es.M != shape.M || es.N != shape.N {
 		out = out.View(0, 0, shape.M, shape.N).Clone()
 	}
+	if rec != nil {
+		rec.Host(trace.PhaseGather, rec.Since(gatherStart), time.Since(gatherStart).Seconds(),
+			int64(8*es.M*es.N), 0)
+	}
 	st.WallSeconds = time.Since(start).Seconds()
-	return out, st, nil
+	return out, st, rec, nil
 }
 
 // padTo embeds m in the top-left corner of a zeroed r×c matrix, or

@@ -64,6 +64,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // World owns the virtual clocks, the per-rank event rings and the replay
@@ -74,7 +75,8 @@ type World struct {
 	caches *simnet.SchedCache
 
 	stats       []simnet.VRankStats
-	computeDone []float64 // overlap mode: per-rank compute timeline
+	computeDone []float64       // overlap mode: per-rank compute timeline
+	rec         *trace.Recorder // cfg.Trace; nil = tracing disabled
 
 	prods []*producer
 	ranks []rankState
@@ -124,6 +126,7 @@ func NewWorld(p int, cfg simnet.VConfig) *World {
 		waiting:     make(map[msgKey]int32),
 		memoEnabled: cfg.LinkCost == nil,
 		overlap:     cfg.Overlap,
+		rec:         cfg.Trace,
 		memo:        make(map[memoKey]*memoEntry),
 	}
 	if cfg.Overlap {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/hockney"
 	"repro/internal/sched"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // This file is the consumer half of the engine: a single-threaded event
@@ -33,10 +34,12 @@ type rankState struct {
 	hasPending bool
 	pendingEv  event
 
-	// SendRecv state between its two halves: the caller's clock snapshot
-	// and the send direction's completion time.
-	srT0      float64
-	srSendEnd float64
+	// SendRecv state between its two halves: the caller's clock snapshot,
+	// the send direction's completion time, and (for the shift span) the
+	// send payload size.
+	srT0        float64
+	srSendEnd   float64
+	srSendElems int32
 }
 
 // msgKey identifies a point-to-point match: communicator identity, the
@@ -209,9 +212,13 @@ func (w *World) advance(r int) bool {
 				// (Speedup(1) = 1 exactly), keeping engine parity.
 				flops := 2 * float64(ev.a) * float64(ev.b) * float64(ev.c) / hockney.Speedup(int(ev.d))
 				if !w.overlap {
+					pre := w.sim.Clocks()[r]
 					w.sim.ComputeRank(r, flops)
+					if w.rec != nil {
+						w.rec.RankThreads(r, trace.PhaseGemm, pre, w.sim.Clocks()[r]-pre, int(ev.d))
+					}
 				} else {
-					w.doGemmOverlap(r, flops)
+					w.doGemmOverlap(r, flops, int(ev.d))
 				}
 			case evSend:
 				w.doSend(r, *ev)
@@ -240,13 +247,16 @@ func (w *World) advance(r int) bool {
 // doGemmOverlap advances the rank's dedicated compute timeline (double
 // buffering) — the same arithmetic, in the same order, as the goroutine
 // engine's Gemm in overlap mode.
-func (w *World) doGemmOverlap(me int, flops float64) {
+func (w *World) doGemmOverlap(me int, flops float64, threads int) {
 	dt := w.cfg.Model.Compute(flops)
 	start := w.computeDone[me]
 	if clk := w.sim.Clocks()[me]; clk > start {
 		start = clk
 	}
 	w.computeDone[me] = start + dt
+	if w.rec != nil {
+		w.rec.RankThreads(me, trace.PhaseGemm, start, dt, threads)
+	}
 }
 
 // doSend replays an eager send: the sender is occupied for the transfer
@@ -261,6 +271,9 @@ func (w *World) doSend(me int, ev event) {
 	w.sim.CommTimes()[me] += dt
 	w.stats[me].SentMessages++
 	w.stats[me].SentBytes += int64(hockney.BytesPerElement * int(ev.c))
+	if w.rec != nil {
+		w.rec.Rank(me, trace.PhaseP2P, t0, dt, int64(hockney.BytesPerElement*int(ev.c)), 1)
+	}
 	w.deliver(msgKey{cs: cs, src: ev.d, tag: ev.b, dst: int32(dstW)}, vMsg{elems: ev.c, clock: t0})
 }
 
@@ -274,6 +287,7 @@ func (w *World) doSRSend(me int, ev event) {
 	t0 := w.sim.Clocks()[me]
 	st.srT0 = t0
 	st.srSendEnd = t0 + w.sim.TransferTime(me, dstW, int(ev.c), len(cs.ranks))
+	st.srSendElems = ev.c
 	w.stats[me].SentMessages++
 	w.stats[me].SentBytes += int64(hockney.BytesPerElement * int(ev.c))
 	w.deliver(msgKey{cs: cs, src: ev.d, tag: ev.b, dst: int32(dstW)}, vMsg{elems: ev.c, clock: t0})
@@ -323,11 +337,15 @@ func (w *World) tryRecv(me int, ev event) bool {
 	}
 	srcW := cs.ranks[ev.a]
 	dt := w.sim.TransferTime(srcW, me, int(m.elems), 1)
-	end := w.sim.Clocks()[me]
+	pre := w.sim.Clocks()[me]
+	end := pre
 	if m.clock > end {
 		end = m.clock
 	}
 	w.sim.AdvanceComm(me, end+dt)
+	if w.rec != nil {
+		w.rec.Rank(me, trace.PhaseP2P, pre, end+dt-pre, int64(hockney.BytesPerElement*int(m.elems)), 1)
+	}
 	return true
 }
 
@@ -356,6 +374,10 @@ func (w *World) trySRRecv(me int, ev event) bool {
 		end = recvEnd
 	}
 	w.sim.AdvanceComm(me, end)
+	if w.rec != nil {
+		w.rec.Rank(me, trace.PhaseShift, st.srT0, end-st.srT0,
+			int64(hockney.BytesPerElement*int(st.srSendElems+m.elems)), 2)
+	}
 	return true
 }
 
@@ -465,6 +487,10 @@ func (w *World) execColl(cs *commState, g *gather) {
 					comm[cs.ranks[a.role]] += a.delta
 				}
 				w.applyTraffic(s, elems, cs.ranks)
+				// Memoised executions still emit one span per member —
+				// from the shared start clock to the replayed final —
+				// so span counts match the goroutine engine exactly.
+				w.emitCollSpans(s, elems, cs.ranks, nil, t0)
 				return
 			}
 			// Miss: execute once, capturing the outcome for the siblings.
@@ -487,11 +513,21 @@ func (w *World) execColl(cs *commState, g *gather) {
 			}
 			w.memo[k] = e
 			w.applyTraffic(s, elems, cs.ranks)
+			w.emitCollSpans(s, elems, cs.ranks, nil, t0)
 			return
+		}
+	}
+	var pre []float64
+	if w.rec != nil {
+		clocks := w.sim.Clocks()
+		pre = make([]float64, len(cs.ranks))
+		for i, m := range cs.ranks {
+			pre[i] = clocks[m]
 		}
 	}
 	w.sim.ExecOne(simnet.Collective{Sched: s, Members: cs.ranks, PayloadBytes: float64(elems)})
 	w.applyTraffic(s, elems, cs.ranks)
+	w.emitCollSpans(s, elems, cs.ranks, pre, 0)
 }
 
 // applyTraffic adds the collective's cached per-role traffic deltas to
@@ -502,5 +538,24 @@ func (w *World) applyTraffic(s *sched.Schedule, elems int, members []int) {
 		st := &w.stats[members[i]]
 		st.SentMessages += d.SentMessages
 		st.SentBytes += d.SentBytes
+	}
+}
+
+// emitCollSpans records one broadcast span per member after a collective
+// has advanced the clocks: from pre[i] (or the uniform start t0 on the
+// memo paths, where pre is nil) to the member's final clock. No-op when
+// tracing is off.
+func (w *World) emitCollSpans(s *sched.Schedule, elems int, members []int, pre []float64, t0 float64) {
+	if w.rec == nil {
+		return
+	}
+	clocks := w.sim.Clocks()
+	for i, d := range w.caches.Traffic(s, elems) {
+		m := members[i]
+		p0 := t0
+		if pre != nil {
+			p0 = pre[i]
+		}
+		w.rec.Rank(m, trace.PhaseBcast, p0, clocks[m]-p0, int64(hockney.BytesPerElement*elems), d.SentMessages)
 	}
 }

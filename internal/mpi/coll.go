@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Bcast broadcasts root's data to every rank of the communicator in place,
@@ -16,15 +17,21 @@ import (
 // segments is the pipeline depth for sched.Chain and is ignored by the
 // other algorithms (pass 1).
 func (c *Comm) Bcast(alg sched.Algorithm, root int, data []float64, segments int) {
-	start := time.Now()
-	defer c.trackComm(start)
 	p := c.Size()
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("mpi: bcast root %d outside communicator of %d", root, p))
 	}
 	if p == 1 {
+		// Trivial communicator: no transfers, no span — the virtual
+		// transports skip it the same way, keeping span streams aligned.
 		return
 	}
+	start := time.Now()
+	sentBefore := c.world.stats[c.WorldRank()].SentMessages
+	defer func() {
+		msgs := c.world.stats[c.WorldRank()].SentMessages - sentBefore
+		c.finishComm(start, trace.PhaseBcast, int64(8*len(data)), msgs)
+	}()
 	s, err := sched.NewBroadcast(alg, p, root, segments)
 	if err != nil {
 		panic(fmt.Sprintf("mpi: bcast: %v", err))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/trace"
 )
 
 // Comm is a communicator: an ordered group of ranks with an isolated message
@@ -32,16 +33,34 @@ func (c *Comm) WorldRank() int { return c.ranks[c.rank] }
 
 // trackComm accumulates wall-clock time spent inside communication calls
 // into the caller's stats slot — the runtime analogue of the paper's
-// separately reported "communication time".
+// separately reported "communication time". Calls without a more specific
+// phase (Split, the misc collectives) count as p2p and emit no span, so
+// span streams stay comparable across transports that lack those calls.
 func (c *Comm) trackComm(start time.Time) {
-	c.world.stats[c.WorldRank()].CommSeconds += time.Since(start).Seconds()
+	dt := time.Since(start).Seconds()
+	st := &c.world.stats[c.WorldRank()]
+	st.CommSeconds += dt
+	st.CommByPhase[trace.PhaseP2P] += dt
+}
+
+// finishComm is trackComm with a phase classification and, when the world
+// is tracing, a span on the caller's timeline.
+func (c *Comm) finishComm(start time.Time, ph trace.Phase, bytes, msgs int64) {
+	w := c.world
+	dt := time.Since(start).Seconds()
+	st := &w.stats[c.WorldRank()]
+	st.CommSeconds += dt
+	st.CommByPhase[ph] += dt
+	if w.rec != nil {
+		w.rec.Rank(c.WorldRank(), ph, start.Sub(w.epoch).Seconds(), dt, bytes, msgs)
+	}
 }
 
 // Send delivers a copy of data to dst (comm rank) under tag. It is eager:
 // it never blocks, and data may be reused immediately after it returns.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	start := time.Now()
-	defer c.trackComm(start)
+	defer c.finishComm(start, trace.PhaseP2P, int64(8*len(data)), 1)
 	c.send(dst, tag, data)
 }
 
@@ -66,7 +85,7 @@ func (c *Comm) send(dst, tag int, data []float64) {
 // size mismatch is a bug, not a runtime condition.
 func (c *Comm) Recv(src, tag int, buf []float64) {
 	start := time.Now()
-	defer c.trackComm(start)
+	defer c.finishComm(start, trace.PhaseP2P, int64(8*len(buf)), 1)
 	c.recv(src, tag, buf)
 }
 
@@ -88,7 +107,7 @@ func (c *Comm) recv(src, tag int, buf []float64) {
 // correct even if sends ever become synchronous.
 func (c *Comm) SendRecv(dst, sendTag int, sendData []float64, src, recvTag int, recvBuf []float64) {
 	start := time.Now()
-	defer c.trackComm(start)
+	defer c.finishComm(start, trace.PhaseShift, int64(8*(len(sendData)+len(recvBuf))), 2)
 	c.send(dst, sendTag, sendData)
 	c.recv(src, recvTag, recvBuf)
 }

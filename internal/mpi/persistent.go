@@ -1,8 +1,12 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // PersistentWorld keeps p rank goroutines resident so successive collective
@@ -28,6 +32,14 @@ type PersistentWorld struct {
 // Persistent starts p resident rank goroutines and returns the world that
 // drives them. Callers must Close it to release the goroutines.
 func Persistent(p int) (*PersistentWorld, error) {
+	return PersistentLabeled(p, nil)
+}
+
+// PersistentLabeled is Persistent with pprof labels applied to every
+// resident rank goroutine, so CPU profiles attribute rank work to the
+// session that owns it (the serving layer labels by spec key). Labels are
+// alternating key/value pairs; nil means unlabeled.
+func PersistentLabeled(p int, labels []string) (*PersistentWorld, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mpi: invalid world size %d", p)
 	}
@@ -36,9 +48,16 @@ func Persistent(p int) (*PersistentWorld, error) {
 		ch := make(chan *program)
 		pw.work[r] = ch
 		go func(r int, ch chan *program) {
-			for prog := range ch {
-				prog.execRank(r)
-				prog.done.Done()
+			loop := func(context.Context) {
+				for prog := range ch {
+					prog.execRank(r)
+					prog.done.Done()
+				}
+			}
+			if len(labels) > 0 {
+				pprof.Do(context.Background(), pprof.Labels(labels...), loop)
+			} else {
+				loop(context.Background())
 			}
 		}(r, ch)
 	}
@@ -53,6 +72,13 @@ func (pw *PersistentWorld) Size() int { return pw.size }
 // The program runs over a fresh world state, so successive programs (and
 // their communicator splits) are independent.
 func (pw *PersistentWorld) RunOn(fn func(c *Comm)) ([]RankStats, error) {
+	return pw.RunOnTraced(fn, nil)
+}
+
+// RunOnTraced is RunOn with an optional span recorder for this one
+// program — the hook behind the daemon's capture-next-request endpoint.
+// rec may be nil (tracing disabled).
+func (pw *PersistentWorld) RunOnTraced(fn func(c *Comm), rec *trace.Recorder) ([]RankStats, error) {
 	pw.runMu.Lock()
 	defer pw.runMu.Unlock()
 	pw.stateM.Lock()
@@ -62,6 +88,7 @@ func (pw *PersistentWorld) RunOn(fn func(c *Comm)) ([]RankStats, error) {
 		return nil, fmt.Errorf("mpi: RunOn on a closed PersistentWorld")
 	}
 	prog := newProgram(pw.size, fn)
+	prog.attachTrace(rec)
 	prog.done.Add(pw.size)
 	for r := 0; r < pw.size; r++ {
 		pw.work[r] <- prog

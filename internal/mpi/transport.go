@@ -1,10 +1,13 @@
 package mpi
 
 import (
+	"time"
+
 	"repro/internal/blas"
 	"repro/internal/comm"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Transport adapts a *Comm to the transport-agnostic comm.Comm interface:
@@ -75,11 +78,21 @@ func (t Transport) Unpack(dst *matrix.Dense, src comm.Buf) {
 
 // Gemm performs the real local update C += A·B: serial for threads ≤ 1,
 // goroutine-parallel over write-disjoint C row bands otherwise — each
-// rank's local multiply is the hybrid layer's OpenMP region.
+// rank's local multiply is the hybrid layer's OpenMP region. The time
+// spent here feeds the rank's GemmSeconds and, when tracing, a compute
+// span — the other half of the paper's comm/compute breakdown.
 func (t Transport) Gemm(c, a, b *matrix.Dense, threads int) {
+	start := time.Now()
 	if threads <= 1 {
 		blas.Gemm(c, a, b)
-		return
+	} else {
+		blas.ParallelGemm(c, a, b, threads)
 	}
-	blas.ParallelGemm(c, a, b, threads)
+	w := t.c.world
+	wr := t.c.WorldRank()
+	dt := time.Since(start).Seconds()
+	w.stats[wr].GemmSeconds += dt
+	if w.rec != nil {
+		w.rec.RankThreads(wr, trace.PhaseGemm, start.Sub(w.epoch).Seconds(), dt, threads)
+	}
 }

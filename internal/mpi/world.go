@@ -20,8 +20,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // World owns the mailboxes and shared coordination state for p ranks.
@@ -30,6 +32,11 @@ type World struct {
 	mailboxes []*mailbox
 	nextCID   atomic.Int64
 	stats     []RankStats // indexed by world rank; each rank writes only its own entry
+
+	// rec, when non-nil, collects per-rank phase spans; epoch is the
+	// timeline zero. Both are set once before ranks start.
+	rec   *trace.Recorder
+	epoch time.Time
 
 	mu       sync.Mutex
 	splits   map[splitKey]*splitGather
@@ -44,6 +51,55 @@ type RankStats struct {
 	SentMessages int64
 	SentBytes    int64 // payload bytes (8 per float64)
 	CommSeconds  float64
+	// CommByPhase splits CommSeconds by operation kind (bcast/shift/p2p
+	// entries are populated; the host-side scatter/gather slots stay zero).
+	CommByPhase [trace.NumPhases]float64
+	// GemmSeconds is time inside local multiplies (Transport.Gemm).
+	GemmSeconds float64
+}
+
+// Busy is the rank's total accounted time: communication plus compute.
+func (r RankStats) Busy() float64 { return r.CommSeconds + r.GemmSeconds }
+
+// Summary aggregates per-rank stats into the quantities Stats surfaces:
+// totals, the critical (max-comm) rank's phase breakdown, the slowest
+// local-compute time, and busy-time imbalance.
+type Summary struct {
+	Messages int64
+	Bytes    int64
+	MaxComm  float64
+	// CommByPhase is the phase breakdown of the critical rank (the one
+	// with MaxComm), so its entries sum to MaxComm.
+	CommByPhase [trace.NumPhases]float64
+	MaxGemm     float64
+	// Imbalance is max/mean per-rank busy time; 1.0 means perfectly even.
+	Imbalance float64
+}
+
+// Summarize reduces per-rank stats to a Summary.
+func Summarize(ranks []RankStats) Summary {
+	var s Summary
+	var sumBusy, maxBusy float64
+	for _, r := range ranks {
+		s.Messages += r.SentMessages
+		s.Bytes += r.SentBytes
+		if r.CommSeconds > s.MaxComm {
+			s.MaxComm = r.CommSeconds
+			s.CommByPhase = r.CommByPhase
+		}
+		if r.GemmSeconds > s.MaxGemm {
+			s.MaxGemm = r.GemmSeconds
+		}
+		b := r.Busy()
+		sumBusy += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	if mean := sumBusy / float64(len(ranks)); mean > 0 {
+		s.Imbalance = maxBusy / mean
+	}
+	return s
 }
 
 type splitKey struct {
@@ -136,10 +192,19 @@ func Run(p int, fn func(c *Comm)) error {
 
 // RunStats is Run plus the per-rank traffic statistics.
 func RunStats(p int, fn func(c *Comm)) ([]RankStats, error) {
+	return RunStatsTraced(p, fn, nil)
+}
+
+// RunStatsTraced is RunStats with an optional span recorder attached to
+// the world. rec may be nil (tracing disabled, zero extra cost); when
+// non-nil, every rank's communication and Gemm calls append spans on the
+// recorder's timeline, whose epoch becomes the world's time zero.
+func RunStatsTraced(p int, fn func(c *Comm), rec *trace.Recorder) ([]RankStats, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mpi: invalid world size %d", p)
 	}
 	prog := newProgram(p, fn)
+	prog.attachTrace(rec)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
@@ -188,6 +253,16 @@ func newProgram(p int, fn func(c *Comm)) *program {
 		ranks[i] = i
 	}
 	return &program{w: newWorld(p), fn: fn, ranks: ranks}
+}
+
+// attachTrace installs rec on the program's world before any rank runs.
+// A nil rec leaves tracing disabled.
+func (pr *program) attachTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	pr.w.rec = rec
+	pr.w.epoch = rec.Epoch()
 }
 
 // execRank runs the program on one rank, converting a panic into the

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// histBounds are the upper bounds (seconds) of the serve latency histogram
+// buckets — a 1-2.5-5 ladder from 1ms to 30s, wide enough to cover a
+// scatter of a 64×64 as well as a full-scale padded multiply.
+var histBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// histogram is one Prometheus-style cumulative histogram (counts per
+// upper-bound bucket, plus +Inf, sum and count). Hand-rolled: the repo is
+// stdlib-only.
+type histogram struct {
+	buckets []uint64 // len(histBounds)+1; last is +Inf
+	sum     float64
+	count   uint64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.buckets == nil {
+		h.buckets = make([]uint64, len(histBounds)+1)
+	}
+	i := sort.SearchFloat64s(histBounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// histogramVec groups histograms of one metric family by spec key.
+type histogramVec struct {
+	mu   sync.Mutex
+	name string
+	help string
+	byKey map[string]*histogram
+}
+
+func newHistogramVec(name, help string) *histogramVec {
+	return &histogramVec{name: name, help: help, byKey: make(map[string]*histogram)}
+}
+
+func (hv *histogramVec) observe(key string, v float64) {
+	hv.mu.Lock()
+	h := hv.byKey[key]
+	if h == nil {
+		h = &histogram{}
+		hv.byKey[key] = h
+	}
+	h.observe(v)
+	hv.mu.Unlock()
+}
+
+// write renders the family in Prometheus text exposition format, keys in
+// sorted order so scrapes are deterministic.
+func (hv *histogramVec) write(w io.Writer) {
+	hv.mu.Lock()
+	keys := make([]string, 0, len(hv.byKey))
+	for k := range hv.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type snap struct {
+		key string
+		h   histogram
+	}
+	snaps := make([]snap, 0, len(keys))
+	for _, k := range keys {
+		h := hv.byKey[k]
+		cp := *h
+		cp.buckets = append([]uint64(nil), h.buckets...)
+		snaps = append(snaps, snap{k, cp})
+	}
+	hv.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n", hv.name, hv.help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", hv.name)
+	for _, s := range snaps {
+		cum := uint64(0)
+		for i, b := range histBounds {
+			cum += s.h.buckets[i]
+			fmt.Fprintf(w, "%s_bucket{key=%q,le=\"%g\"} %d\n", hv.name, s.key, b, cum)
+		}
+		cum += s.h.buckets[len(histBounds)]
+		fmt.Fprintf(w, "%s_bucket{key=%q,le=\"+Inf\"} %d\n", hv.name, s.key, cum)
+		fmt.Fprintf(w, "%s_sum{key=%q} %g\n", hv.name, s.key, s.h.sum)
+		fmt.Fprintf(w, "%s_count{key=%q} %d\n", hv.name, s.key, s.h.count)
+	}
+}
+
+// quantile estimates the q-quantile (0..1) across all keys of the family
+// using the standard Prometheus linear interpolation within the owning
+// bucket — what the loadgen report and tests read back.
+func (hv *histogramVec) quantile(q float64) float64 {
+	hv.mu.Lock()
+	total := make([]uint64, len(histBounds)+1)
+	var count uint64
+	for _, h := range hv.byKey {
+		for i, b := range h.buckets {
+			total[i] += b
+		}
+		count += h.count
+	}
+	hv.mu.Unlock()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	cum := uint64(0)
+	for i, b := range total {
+		cum += b
+		if float64(cum) >= rank {
+			if i == len(histBounds) {
+				return histBounds[len(histBounds)-1] // +Inf bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			if b == 0 {
+				return histBounds[i]
+			}
+			frac := (rank - float64(cum-b)) / float64(b)
+			return lo + (histBounds[i]-lo)*math.Min(1, math.Max(0, frac))
+		}
+	}
+	return histBounds[len(histBounds)-1]
+}

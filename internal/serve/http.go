@@ -1,15 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -31,6 +34,15 @@ type HandlerConfig struct {
 	// MaxBodyBytes bounds request bodies (default 256 MiB — a 2048² pair
 	// of float64 operands is 64 MiB).
 	MaxBodyBytes int64
+	// Logger, when set, emits one structured log record per request
+	// (request id, method, path, status, duration, and — for multiplies —
+	// spec key, shape and queue wait). Responses carry the id back in
+	// X-Request-Id. Nil disables request logging.
+	Logger *slog.Logger
+	// EnableTrace guards POST /debug/trace, which arms a one-shot span
+	// capture of the next multiply. Off by default: a trace allocates a
+	// span timeline and names internal shapes, so the endpoint is opt-in.
+	EnableTrace bool
 }
 
 func (c HandlerConfig) withDefaults() HandlerConfig {
@@ -45,31 +57,117 @@ func (c HandlerConfig) withDefaults() HandlerConfig {
 
 // handler is the daemon's HTTP surface over one Scheduler.
 type handler struct {
-	sc  *Scheduler
-	cfg HandlerConfig
-	mux *http.ServeMux
+	sc     *Scheduler
+	cfg    HandlerConfig
+	mux    *http.ServeMux
+	reqSeq atomic.Int64
 }
 
 // NewHandler wires the serving endpoints over a scheduler:
 //
-//	POST /multiply  — one GEMM; JSON body or raw little-endian float64s
-//	GET  /plan      — the autotuning planner's ranked plan for a problem
-//	GET  /metrics   — scheduler + plan-cache counters, Prometheus format
-//	GET  /healthz   — liveness
+//	POST /multiply     — one GEMM; JSON body or raw little-endian float64s
+//	GET  /plan         — the autotuning planner's ranked plan for a problem
+//	GET  /metrics      — scheduler + plan-cache counters, Prometheus format
+//	GET  /healthz      — liveness
+//	POST /debug/trace  — (EnableTrace only) arm a one-shot span capture of
+//	                     the next multiply; responds with its Chrome
+//	                     trace-event JSON
 func NewHandler(sc *Scheduler, cfg HandlerConfig) http.Handler {
 	h := &handler{sc: sc, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /multiply", h.multiply)
 	h.mux.HandleFunc("GET /plan", h.plan)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("POST /debug/trace", h.debugTrace)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return h
 }
 
+// reqLogKey carries the per-request attribute sink handlers append to
+// (spec key, shape, queue wait) so the middleware can log one record per
+// request.
+type reqLogKey struct{}
+
+type reqLog struct{ attrs []slog.Attr }
+
+// logAttrs appends structured fields to the current request's log record;
+// a no-op when logging is disabled.
+func logAttrs(r *http.Request, attrs ...slog.Attr) {
+	if rl, ok := r.Context().Value(reqLogKey{}).(*reqLog); ok {
+		rl.attrs = append(rl.attrs, attrs...)
+	}
+}
+
+// statusWriter records the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
 func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
-	h.mux.ServeHTTP(w, r)
+	if h.cfg.Logger == nil {
+		h.mux.ServeHTTP(w, r)
+		return
+	}
+	id := fmt.Sprintf("%08x", h.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", id)
+	rl := &reqLog{}
+	r = r.WithContext(context.WithValue(r.Context(), reqLogKey{}, rl))
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	h.mux.ServeHTTP(sw, r)
+	level := slog.LevelInfo
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		level = slog.LevelDebug
+	}
+	attrs := append([]slog.Attr{
+		slog.String("req_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Float64("duration_s", time.Since(start).Seconds()),
+	}, rl.attrs...)
+	h.cfg.Logger.LogAttrs(r.Context(), level, "request", attrs...)
+}
+
+// debugTrace arms a one-shot trace capture and streams the next multiply's
+// span timeline as Chrome trace-event JSON. Guarded by EnableTrace; an
+// optional timeout query parameter (seconds, default 30) bounds the wait.
+func (h *handler) debugTrace(w http.ResponseWriter, r *http.Request) {
+	if !h.cfg.EnableTrace {
+		http.Error(w, "serve: trace capture disabled (start the daemon with -debug-trace)", http.StatusForbidden)
+		return
+	}
+	wait := 30 * time.Second
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec <= 0 {
+			httpError(w, fmt.Errorf("serve: bad timeout %q", v))
+			return
+		}
+		wait = time.Duration(sec * float64(time.Second))
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case rec := <-h.sc.ArmTrace():
+		if rec == nil {
+			http.Error(w, "serve: the traced request failed", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rec.WriteJSON(w)
+	case <-timer.C:
+		http.Error(w, "serve: no multiply arrived before the timeout (capture stays armed)", http.StatusGatewayTimeout)
+	case <-r.Context().Done():
+	}
 }
 
 // httpError maps serving errors onto status codes: backpressure and drain
@@ -172,9 +270,17 @@ func (h *handler) multiply(w http.ResponseWriter, r *http.Request) {
 	}
 	out, stats, err := h.sc.Multiply(a, b, rp)
 	if err != nil {
+		logAttrs(r, slog.String("outcome", "error"), slog.String("error", err.Error()))
 		httpError(w, err)
 		return
 	}
+	logAttrs(r,
+		slog.String("outcome", "ok"),
+		slog.String("spec_key", stats.SpecKey),
+		slog.String("shape", fmt.Sprintf("%dx%dx%d", a.Rows, b.Cols, a.Cols)),
+		slog.Float64("queue_wait_s", stats.QueueSeconds),
+		slog.Float64("execute_s", stats.RunSeconds),
+	)
 	if raw {
 		statsJSON, _ := json.Marshal(stats)
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -456,11 +562,18 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	emit("hsumma_serve_cores_live", "Resident cores (ranks × threads) across all sessions — the budget unit.", "gauge", float64(m.CoresLive))
 	emit("hsumma_serve_queued", "Requests waiting in session queues.", "gauge", float64(m.Queued))
 	emit("hsumma_serve_in_flight", "Requests executing right now.", "gauge", float64(m.InFlight))
+	emit("hsumma_serve_leases_active", "Requests holding a routing lease right now.", "gauge", float64(m.LeasesActive))
 	emit("hsumma_serve_plan_cache_hits_total", "Tune plan-cache hits.", "counter", float64(m.PlanCacheHits))
 	emit("hsumma_serve_plan_cache_misses_total", "Tune plan-cache misses.", "counter", float64(m.PlanCacheMisses))
+	emit("hsumma_serve_plan_sim_runs_total", "Stage-2 virtual runs the tune planner executed.", "counter", float64(m.PlanSimRuns))
+	emit("hsumma_serve_plan_refine_seconds_total", "Wall time spent inside the planner's stage-2 refinement.", "counter", m.PlanRefineSeconds)
 	emit("hsumma_serve_uptime_seconds", "Process uptime.", "gauge", time.Since(startTime).Seconds())
 	fmt.Fprintf(w, "# HELP hsumma_serve_latency_seconds Completed-request latency quantiles over a sliding window.\n")
 	fmt.Fprintf(w, "# TYPE hsumma_serve_latency_seconds summary\n")
 	fmt.Fprintf(w, "hsumma_serve_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50Seconds)
 	fmt.Fprintf(w, "hsumma_serve_latency_seconds{quantile=\"0.99\"} %g\n", m.LatencyP99Seconds)
+	h.sc.histQueue.write(w)
+	h.sc.histStage.write(w)
+	h.sc.histExec.write(w)
+	h.sc.histE2E.write(w)
 }

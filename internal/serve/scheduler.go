@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/matrix"
+	"repro/internal/trace"
 	"repro/internal/tune"
 )
 
@@ -84,10 +85,19 @@ type Metrics struct {
 	// first request completes).
 	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
 	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+	// LeasesActive counts requests currently holding a routing lease — a
+	// session reserved between routing and the end of its enqueue, the
+	// window retirement must not touch.
+	LeasesActive int64 `json:"leases_active"`
 	// Plan-cache counters from the shared tune planner: session keys are
 	// resolved through it, so serving workloads surface its reuse here.
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	// PlanSimRuns and PlanRefineSeconds expose the planner's stage-2
+	// refinement cost: virtual runs executed and cumulative wall time
+	// spent inside them.
+	PlanSimRuns       int64   `json:"plan_sim_runs"`
+	PlanRefineSeconds float64 `json:"plan_refine_seconds"`
 }
 
 // Scheduler is the admission-controlled front door: it keys requests by
@@ -103,10 +113,27 @@ type Scheduler struct {
 	requests, completed, errors, rejected atomic.Int64
 	hits, misses, retired                 atomic.Int64
 
+	// Latency histograms per spec key: queue wait, staging, distributed
+	// execution, and end-to-end — the serve-layer time decomposition
+	// /metrics exports.
+	histQueue, histStage, histExec, histE2E *histogramVec
+
+	// armedTrace, when non-nil, captures the next completed request's span
+	// timeline (POST /debug/trace). One-shot: the capturing request swaps
+	// it back to nil.
+	armedTrace atomic.Pointer[traceCapture]
+
 	latMu  sync.Mutex
 	lat    []float64
 	latIdx int
 	latN   int
+}
+
+// traceCapture is a one-shot mailbox for an armed trace: the next request
+// to complete (successfully or not) delivers its recorder — nil on
+// failure — exactly once.
+type traceCapture struct {
+	ch chan *trace.Recorder // buffered, capacity 1
 }
 
 // entry is one pooled session slot. The cores (ranks × threads) are
@@ -128,10 +155,29 @@ type entry struct {
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	cfg = cfg.withDefaults()
 	return &Scheduler{
-		cfg:     cfg,
-		entries: make(map[string]*entry),
-		lat:     make([]float64, cfg.LatencyWindow),
+		cfg:       cfg,
+		entries:   make(map[string]*entry),
+		lat:       make([]float64, cfg.LatencyWindow),
+		histQueue: newHistogramVec("hsumma_serve_queue_wait_seconds", "Time requests waited on the session queue before staging."),
+		histStage: newHistogramVec("hsumma_serve_stage_seconds", "Operand padding, scatter and output-zeroing time per request."),
+		histExec:  newHistogramVec("hsumma_serve_execute_seconds", "Distributed execution time per request (resident world run)."),
+		histE2E:   newHistogramVec("hsumma_serve_request_seconds", "End-to-end request time: queue + stage + run + gather."),
 	}
+}
+
+// ArmTrace arms a one-shot span-timeline capture: the next request routed
+// after arming runs traced, and the returned channel delivers its recorder
+// (nil if that request failed). A second arm while one is pending returns
+// the pending capture's channel.
+func (sc *Scheduler) ArmTrace() <-chan *trace.Recorder {
+	tc := &traceCapture{ch: make(chan *trace.Recorder, 1)}
+	if !sc.armedTrace.CompareAndSwap(nil, tc) {
+		if cur := sc.armedTrace.Load(); cur != nil {
+			return cur.ch
+		}
+		sc.armedTrace.Store(tc)
+	}
+	return tc.ch
 }
 
 // Multiply serves one request: A (M×K) · B (K×N) under the given pinned
@@ -158,7 +204,21 @@ func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matri
 		sc.countFailure(err)
 		return nil, Stats{}, err
 	}
-	out, stats, err := sess.TryMultiply(a, b)
+	// Claim a pending one-shot trace capture, if any, before executing so
+	// exactly one request records it.
+	capture := sc.armedTrace.Swap(nil)
+	var out *matrix.Dense
+	var stats Stats
+	if capture != nil {
+		var rec *trace.Recorder
+		out, stats, rec, err = sess.TryMultiplyTraced(a, b)
+		if err != nil {
+			rec = nil
+		}
+		capture.ch <- rec
+	} else {
+		out, stats, err = sess.TryMultiply(a, b)
+	}
 	release()
 	if err != nil {
 		sc.countFailure(err)
@@ -166,6 +226,10 @@ func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matri
 	}
 	sc.completed.Add(1)
 	sc.recordLatency(stats.WallSeconds)
+	sc.histQueue.observe(stats.SpecKey, stats.QueueSeconds)
+	sc.histStage.observe(stats.SpecKey, stats.SetupSeconds)
+	sc.histExec.observe(stats.SpecKey, stats.RunSeconds)
+	sc.histE2E.observe(stats.SpecKey, stats.WallSeconds)
 	return out, stats, nil
 }
 
@@ -355,8 +419,9 @@ func (sc *Scheduler) Metrics() Metrics {
 	ranks := sc.ranksLiveLocked()
 	cores := sc.coresLiveLocked()
 	var live int
-	var queued, inFlight int64
+	var queued, inFlight, leases int64
 	for _, e := range sc.entries {
+		leases += int64(e.leases)
 		if e.sess == nil {
 			continue
 		}
@@ -383,8 +448,11 @@ func (sc *Scheduler) Metrics() Metrics {
 		InFlight:          inFlight,
 		LatencyP50Seconds: sc.quantile(0.50),
 		LatencyP99Seconds: sc.quantile(0.99),
+		LeasesActive:      leases,
 		PlanCacheHits:     ps.CacheHits,
 		PlanCacheMisses:   ps.CacheMisses,
+		PlanSimRuns:       ps.SimRuns,
+		PlanRefineSeconds: ps.RefineTime().Seconds(),
 	}
 }
 

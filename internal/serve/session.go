@@ -27,8 +27,10 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // Typed serving errors, reported via errors.Is through every layer
@@ -76,6 +79,23 @@ type Stats struct {
 	// tile allocation. Warm sessions skip that second group entirely, which
 	// is exactly the amortisation this package exists for.
 	SetupSeconds float64
+	// QueueSeconds is the time the request waited behind earlier work on
+	// the session queue before staging began.
+	QueueSeconds float64
+	// RunSeconds is the distributed execution itself — the resident world
+	// run, excluding queueing, staging and gather.
+	RunSeconds float64
+	// GemmSeconds is the largest per-rank time inside local multiplies.
+	GemmSeconds float64
+	// CommSecondsByPhase breaks the critical rank's communication time
+	// down by phase ("bcast", "shift", "p2p"); entries sum to
+	// MaxRankCommSeconds.
+	CommSecondsByPhase map[string]float64
+	// BusyImbalance is max/mean per-rank busy (comm + gemm) time.
+	BusyImbalance float64
+	// SpecKey is the execution-shape key of the session that served the
+	// request — the label the serve histograms and pprof samples carry.
+	SpecKey string
 }
 
 // SessionConfig tunes a session's queueing behaviour.
@@ -121,6 +141,10 @@ type Session struct {
 type job struct {
 	a, b  *matrix.Dense
 	start time.Time
+	// traced asks execute to record a span timeline for this one request
+	// (the daemon's /debug/trace capture); rec holds it afterwards.
+	traced bool
+	rec    *trace.Recorder
 
 	out   *matrix.Dense
 	stats Stats
@@ -165,7 +189,11 @@ func NewSession(reqShape matrix.Shape, spec engine.Spec, cfg SessionConfig) (*Se
 	if err != nil {
 		return nil, err
 	}
-	world, err := mpi.Persistent(grid.Size())
+	// Label the resident rank goroutines (and the session runner below)
+	// with the spec key so pprof profiles attribute samples per served
+	// shape.
+	labels := []string{"hsumma_spec", spec.Key()}
+	world, err := mpi.PersistentLabeled(grid.Size(), labels)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +223,7 @@ func NewSession(reqShape matrix.Shape, spec engine.Spec, cfg SessionConfig) (*Se
 		s.padC = matrix.New(es.M, es.N)
 	}
 	s.touch()
-	go s.run()
+	go pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { s.run() })
 	return s, nil
 }
 
@@ -243,29 +271,42 @@ func (s *Session) Executing() bool {
 // requests drain (the session queue serialises concurrent callers). The
 // operands must match the session's problem shape exactly.
 func (s *Session) Multiply(a, b *matrix.Dense) (*matrix.Dense, Stats, error) {
-	return s.submit(a, b, true)
+	return s.submit(a, b, true, false)
 }
 
 // TryMultiply is Multiply with backpressure instead of blocking: a full
 // session queue returns ErrOverloaded immediately. The scheduler's
 // admission path uses it.
 func (s *Session) TryMultiply(a, b *matrix.Dense) (*matrix.Dense, Stats, error) {
-	return s.submit(a, b, false)
+	return s.submit(a, b, false, false)
 }
 
-func (s *Session) submit(a, b *matrix.Dense, block bool) (*matrix.Dense, Stats, error) {
+// TryMultiplyTraced is TryMultiply plus a per-rank span timeline for this
+// one request — the daemon's /debug/trace capture path. Tracing is
+// per-job: concurrent untraced requests on the same session pay nothing.
+func (s *Session) TryMultiplyTraced(a, b *matrix.Dense) (*matrix.Dense, Stats, *trace.Recorder, error) {
+	out, st, rec, err := s.submitTraced(a, b, false, true)
+	return out, st, rec, err
+}
+
+func (s *Session) submit(a, b *matrix.Dense, block, traced bool) (*matrix.Dense, Stats, error) {
+	out, st, _, err := s.submitTraced(a, b, block, traced)
+	return out, st, err
+}
+
+func (s *Session) submitTraced(a, b *matrix.Dense, block, traced bool) (*matrix.Dense, Stats, *trace.Recorder, error) {
 	if a.Rows != s.req.M || a.Cols != s.req.K || b.Rows != s.req.K || b.Cols != s.req.N {
-		return nil, Stats{}, fmt.Errorf("serve: operands %dx%d · %dx%d do not match session shape %v",
+		return nil, Stats{}, nil, fmt.Errorf("serve: operands %dx%d · %dx%d do not match session shape %v",
 			a.Rows, a.Cols, b.Rows, b.Cols, s.req)
 	}
-	j := &job{a: a, b: b, start: time.Now(), done: make(chan struct{})}
+	j := &job{a: a, b: b, start: time.Now(), traced: traced, done: make(chan struct{})}
 
 	// Reserve a queue slot under the lock so a concurrent Close knows
 	// exactly how many jobs its drain must fail.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, Stats{}, ErrClosed
+		return nil, Stats{}, nil, ErrClosed
 	}
 	if !block {
 		select {
@@ -274,7 +315,7 @@ func (s *Session) submit(a, b *matrix.Dense, block bool) (*matrix.Dense, Stats, 
 			s.mu.Unlock()
 		default:
 			s.mu.Unlock()
-			return nil, Stats{}, ErrOverloaded
+			return nil, Stats{}, nil, ErrOverloaded
 		}
 	} else {
 		s.pending++
@@ -284,7 +325,7 @@ func (s *Session) submit(a, b *matrix.Dense, block bool) (*matrix.Dense, Stats, 
 		s.jobs <- j
 	}
 	<-j.done
-	return j.out, j.stats, j.err
+	return j.out, j.stats, j.rec, j.err
 }
 
 // run is the session's runner goroutine: it executes queued jobs one at a
@@ -343,8 +384,12 @@ func (s *Session) execute(j *job) {
 		s.beforeRun()
 	}
 	s.touch()
+	if j.traced {
+		j.rec = trace.New(s.world.Size())
+	}
 
 	setupStart := time.Now()
+	j.stats.QueueSeconds = setupStart.Sub(j.start).Seconds()
 	ga := j.a
 	if s.padA != nil {
 		// The pad fringe was zeroed at allocation and only the request
@@ -363,10 +408,16 @@ func (s *Session) execute(j *job) {
 		t.Zero()
 	}
 	setup := time.Since(setupStart)
+	if j.rec != nil {
+		es := s.spec.Shape()
+		j.rec.Host(trace.PhaseScatter, j.rec.Since(setupStart), setup.Seconds(),
+			int64(8*(es.M*es.K+es.K*es.N)), 0)
+	}
 
 	var mu sync.Mutex
 	var algErr error
-	ranks, err := s.world.RunOn(func(c *mpi.Comm) {
+	runStart := time.Now()
+	ranks, err := s.world.RunOnTraced(func(c *mpi.Comm) {
 		r := c.Rank()
 		if e := engine.Run(mpi.AsComm(c), s.spec, s.aT[r], s.bT[r], s.cT[r]); e != nil {
 			mu.Lock()
@@ -375,7 +426,8 @@ func (s *Session) execute(j *job) {
 			}
 			mu.Unlock()
 		}
-	})
+	}, j.rec)
+	j.stats.RunSeconds = time.Since(runStart).Seconds()
 	if err == nil {
 		err = algErr
 	}
@@ -383,13 +435,15 @@ func (s *Session) execute(j *job) {
 		j.finish(err)
 		return
 	}
-	for _, r := range ranks {
-		j.stats.Messages += r.SentMessages
-		j.stats.Bytes += r.SentBytes
-		if r.CommSeconds > j.stats.MaxRankCommSeconds {
-			j.stats.MaxRankCommSeconds = r.CommSeconds
-		}
-	}
+	sum := mpi.Summarize(ranks)
+	j.stats.Messages = sum.Messages
+	j.stats.Bytes = sum.Bytes
+	j.stats.MaxRankCommSeconds = sum.MaxComm
+	j.stats.GemmSeconds = sum.MaxGemm
+	j.stats.CommSecondsByPhase = trace.CommPhaseMap(sum.CommByPhase)
+	j.stats.BusyImbalance = sum.Imbalance
+	j.stats.SpecKey = s.key
+	gatherStart := time.Now()
 	var out *matrix.Dense
 	if s.padC != nil {
 		// Gather into the reused padded buffer and clone only the crop the
@@ -400,6 +454,10 @@ func (s *Session) execute(j *job) {
 		// The gathered matrix IS the caller's result; this allocation is
 		// inherent.
 		out = s.bmC.Gather(s.cT)
+	}
+	if j.rec != nil {
+		j.rec.Host(trace.PhaseGather, j.rec.Since(gatherStart),
+			time.Since(gatherStart).Seconds(), int64(8*s.req.M*s.req.N), 0)
 	}
 	j.out = out
 	j.stats.SetupSeconds = setup.Seconds()

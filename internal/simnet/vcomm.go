@@ -10,6 +10,7 @@ import (
 	"repro/internal/hockney"
 	"repro/internal/matrix"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // This file implements the virtual transport: a full SPMD runtime whose
@@ -76,6 +77,11 @@ type VConfig struct {
 	// instead of the communication clock, and Total reports the later of
 	// the two. The paper's implementation is non-overlapped (§VI).
 	Overlap bool
+	// Trace, when non-nil, records one span per operation per rank on the
+	// virtual timeline — the same span stream the live transport emits, at
+	// virtual timestamps. It observes clocks only and never alters them,
+	// so traced and untraced runs are bit-identical.
+	Trace *trace.Recorder
 }
 
 // VRankStats counts the traffic one virtual rank generated, mirroring
@@ -368,6 +374,9 @@ func (c *VComm) Send(dst, tag int, data comm.Buf) {
 	w.sim.comm[me] += dt
 	w.stats[me].SentMessages++
 	w.stats[me].SentBytes += int64(hockney.BytesPerElement * data.N)
+	if rec := w.cfg.Trace; rec != nil {
+		rec.Rank(me, trace.PhaseP2P, t0, dt, int64(hockney.BytesPerElement*data.N), 1)
+	}
 	w.mailboxes[dstW].put(vMessage{cid: c.cid, src: c.rank, tag: tag, elems: data.N, clock: t0})
 }
 
@@ -383,12 +392,16 @@ func (c *VComm) Recv(src, tag int, buf comm.Buf) {
 			buf.N, m.elems, src, tag))
 	}
 	dt := w.transferTime(c.ranks[src], me, m.elems, 1)
-	end := w.sim.clocks[me]
+	pre := w.sim.clocks[me]
+	end := pre
 	if m.clock > end {
 		end = m.clock
 	}
 	end += dt
 	w.advanceComm(me, end)
+	if rec := w.cfg.Trace; rec != nil {
+		rec.Rank(me, trace.PhaseP2P, pre, end-pre, int64(hockney.BytesPerElement*m.elems), 1)
+	}
 }
 
 // SendRecv performs the full-duplex shift primitive: both directions
@@ -421,6 +434,9 @@ func (c *VComm) SendRecv(dst, sendTag int, send comm.Buf, src, recvTag int, recv
 		end = recvEnd
 	}
 	w.advanceComm(me, end)
+	if rec := w.cfg.Trace; rec != nil {
+		rec.Rank(me, trace.PhaseShift, t0, end-t0, int64(hockney.BytesPerElement*(send.N+recv.N)), 2)
+	}
 }
 
 // advanceComm moves a world rank's clock forward to end, accounting the
@@ -498,11 +514,26 @@ func (c *VComm) Bcast(alg sched.Algorithm, root int, data comm.Buf, segments int
 	cg.arrived++
 	if cg.arrived == p {
 		s := w.schedule(alg, p, root, segments)
+		// The executing member owns every member's clock here (they are
+		// parked on this shard's condition variable), so it may snapshot
+		// pre-clocks and emit the members' broadcast spans.
+		var pre []float64
+		if rec := w.cfg.Trace; rec != nil {
+			pre = make([]float64, p)
+			for i, m := range c.ranks {
+				pre[i] = w.sim.clocks[m]
+			}
+		}
 		w.sim.ExecOne(Collective{Sched: s, Members: c.ranks, PayloadBytes: float64(data.N)})
 		for i, d := range w.caches.Traffic(s, data.N) {
 			st := &w.stats[c.ranks[i]]
 			st.SentMessages += d.SentMessages
 			st.SentBytes += d.SentBytes
+			if rec := w.cfg.Trace; rec != nil {
+				m := c.ranks[i]
+				rec.Rank(m, trace.PhaseBcast, pre[i], w.sim.clocks[m]-pre[i],
+					int64(hockney.BytesPerElement*data.N), d.SentMessages)
+			}
 		}
 		cg.done = true
 		shard.cond.Broadcast()
@@ -680,7 +711,14 @@ func (c *VComm) Gemm(cm, a, b *matrix.Dense, threads int) {
 			start = clk
 		}
 		w.computeDone[me] = start + dt
+		if rec := w.cfg.Trace; rec != nil {
+			rec.RankThreads(me, trace.PhaseGemm, start, dt, threads)
+		}
 	} else {
+		pre := w.sim.clocks[me]
 		w.sim.ComputeRanks([]int{me}, flops)
+		if rec := w.cfg.Trace; rec != nil {
+			rec.RankThreads(me, trace.PhaseGemm, pre, w.sim.clocks[me]-pre, threads)
+		}
 	}
 }

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSONValidChromeTrace(t *testing.T) {
+	r := New(2)
+	r.Host(PhaseScatter, 0, 0.001, 1024, 0)
+	r.Rank(0, PhaseBcast, 0.001, 0.002, 512, 3)
+	r.Rank(1, PhaseBcast, 0.001, 0.004, 512, 1)
+	r.RankThreads(0, PhaseGemm, 0.003, 0.010, 4)
+	r.Rank(1, PhaseShift, 0.005, 0.001, 256, 2)
+	r.Host(PhaseGather, 0.015, 0.002, 2048, 0)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var xPerTid = map[int]int{}
+	meta := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			xPerTid[ev.Tid]++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("negative ts/dur in event %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	// Both ranks and the host timeline must have complete events, and
+	// every timeline a thread_name metadata record.
+	for _, tid := range []int{-1, 0, 1} {
+		if xPerTid[tid] == 0 {
+			t.Fatalf("no X events for tid %d (have %v)", tid, xPerTid)
+		}
+	}
+	if meta != 3 {
+		t.Fatalf("%d thread_name metadata events, want 3", meta)
+	}
+}
+
+func TestCountsAndSpans(t *testing.T) {
+	r := New(2)
+	r.Rank(0, PhaseBcast, 0, 1, 8, 1)
+	r.Rank(0, PhaseBcast, 1, 1, 8, 1)
+	r.Rank(1, PhaseGemm, 0, 2, 0, 0)
+	r.Host(PhaseScatter, 0, 0.5, 64, 0)
+	counts := r.Counts()
+	if counts[CountKey{Rank: 0, Phase: PhaseBcast}] != 2 {
+		t.Fatalf("rank 0 bcast count = %d, want 2", counts[CountKey{Rank: 0, Phase: PhaseBcast}])
+	}
+	if counts[CountKey{Rank: HostRank, Phase: PhaseScatter}] != 1 {
+		t.Fatalf("host scatter count = %d, want 1", counts[CountKey{Rank: HostRank, Phase: PhaseScatter}])
+	}
+	if got := len(r.Spans()); got != 4 {
+		t.Fatalf("Spans() returned %d spans, want 4", got)
+	}
+}
+
+func TestCommPhaseMapOmitsZeroPhases(t *testing.T) {
+	var sec [NumPhases]float64
+	sec[PhaseBcast] = 1.5
+	sec[PhaseGemm] = 0.25
+	m := CommPhaseMap(sec)
+	if len(m) != 2 || m["bcast"] != 1.5 || m["gemm"] != 0.25 {
+		t.Fatalf("CommPhaseMap = %v, want {bcast:1.5 gemm:0.25}", m)
+	}
+}

@@ -81,6 +81,9 @@ func (s *Session) Multiply(a, b *Matrix) (*Matrix, Stats, error) {
 		MaxRankCommSeconds: st.MaxRankCommSeconds,
 		WallSeconds:        st.WallSeconds,
 		SetupSeconds:       st.SetupSeconds,
+		GemmSeconds:        st.GemmSeconds,
+		CommSecondsByPhase: st.CommSecondsByPhase,
+		BusyImbalance:      st.BusyImbalance,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/simalg"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Machine is the Hockney platform model (α latency, β reciprocal bandwidth
@@ -69,6 +70,10 @@ type SimConfig struct {
 	// engine for collective-only algorithms without overlap, where it is
 	// roughly an order of magnitude faster at full scale.
 	Engine Engine
+	// Trace records per-rank phase spans on the virtual timeline; the
+	// recorder is returned in SimResult.Trace. Tracing only observes the
+	// clocks: simulated times are bit-identical either way.
+	Trace bool
 }
 
 // SimResult reports simulated execution and communication times in
@@ -97,6 +102,9 @@ type SimResult struct {
 	// shape rounded up to the algorithm's divisibility constraints,
 	// exactly what a live run of this configuration executes.
 	Shape Shape
+	// Trace holds the per-rank span timeline when SimConfig.Trace was
+	// set (virtual timestamps); nil otherwise.
+	Trace *Trace
 }
 
 // Simulate executes the configured algorithm — the same implementation,
@@ -155,6 +163,9 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 		}
 		vcfg.Contention = simnet.ContentionFor(*cfg.Platform, grid.Size(), true)
 	}
+	if cfg.Trace {
+		vcfg.Trace = trace.New(grid.Size())
+	}
 	res, stats, err := simalg.RunSpecOn(spec, vcfg, cfg.Engine)
 	if err != nil {
 		return SimResult{}, err
@@ -166,7 +177,7 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 	out := SimResult{
 		Total: res.Total, Comm: res.Comm, Compute: res.Compute,
 		Groups: usedG, Algorithm: spec.Algorithm, Engine: res.Engine,
-		Shape: res.Shape,
+		Shape: res.Shape, Trace: vcfg.Trace,
 	}
 	// Cannon and Fox work on whole tiles; echoing the defaulted b would
 	// suggest it mattered.

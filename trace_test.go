@@ -1,0 +1,184 @@
+package hsumma
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestPhaseStatsConsistency checks the always-on per-phase aggregation:
+// the phase breakdown must sum to the critical rank's communication time,
+// local multiplies must be timed, and the busy-imbalance ratio is max/mean
+// so it can never drop below 1.
+func TestPhaseStatsConsistency(t *testing.T) {
+	n := 64
+	a := RandomMatrix(n, n, 11)
+	b := RandomMatrix(n, n, 12)
+	_, st, err := Multiply(a, b, Config{Procs: 4, Algorithm: AlgHSUMMA, BlockSize: 16, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, sec := range st.CommSecondsByPhase {
+		sum += sec
+	}
+	if math.Abs(sum-st.MaxRankCommSeconds) > 1e-9+1e-9*st.MaxRankCommSeconds {
+		t.Fatalf("phase breakdown sums to %g, MaxRankCommSeconds is %g", sum, st.MaxRankCommSeconds)
+	}
+	if st.GemmSeconds <= 0 {
+		t.Fatalf("GemmSeconds = %g, want > 0", st.GemmSeconds)
+	}
+	if st.BusyImbalance < 1 {
+		t.Fatalf("BusyImbalance = %g, want >= 1", st.BusyImbalance)
+	}
+	if _, ok := st.CommSecondsByPhase["bcast"]; !ok {
+		t.Fatalf("HSUMMA phase breakdown %v has no bcast entry", st.CommSecondsByPhase)
+	}
+}
+
+// TestMultiplyTracedMatchesUntraced is the zero-cost-when-disabled
+// contract's correctness half: tracing must only observe the run, so the
+// traced product is bit-identical to the untraced one.
+func TestMultiplyTracedMatchesUntraced(t *testing.T) {
+	n := 48
+	a := RandomMatrix(n, n, 21)
+	b := RandomMatrix(n, n, 22)
+	cfg := Config{Procs: 4, Algorithm: AlgHSUMMA, BlockSize: 8, Groups: 2}
+	plain, stPlain, err := Multiply(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, stTraced, rec, err := MultiplyTraced(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(plain, traced); d != 0 {
+		t.Fatalf("traced result differs from untraced by %g, want bit-identical", d)
+	}
+	if stPlain.Messages != stTraced.Messages || stPlain.Bytes != stTraced.Bytes {
+		t.Fatalf("traced traffic %d msgs/%d bytes, untraced %d/%d",
+			stTraced.Messages, stTraced.Bytes, stPlain.Messages, stPlain.Bytes)
+	}
+	if rec == nil {
+		t.Fatal("MultiplyTraced returned a nil recorder")
+	}
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	seenGemm, seenHost := false, false
+	for _, sp := range spans {
+		if sp.Phase == trace.PhaseGemm {
+			seenGemm = true
+		}
+		if sp.Rank == trace.HostRank {
+			seenHost = true
+		}
+	}
+	if !seenGemm || !seenHost {
+		t.Fatalf("trace missing expected spans (gemm=%v, host=%v)", seenGemm, seenHost)
+	}
+}
+
+// TestSimulateTraceBitIdentical checks the virtual half of the contract:
+// enabling tracing must not move a single virtual clock.
+func TestSimulateTraceBitIdentical(t *testing.T) {
+	for _, eng := range []Engine{EngineGoroutine, EngineEvent} {
+		base := SimConfig{
+			N: 256, Procs: 16, Algorithm: AlgHSUMMA, Groups: 4, BlockSize: 32,
+			Machine: PlatformGrid5000().Model, Engine: eng,
+		}
+		plain, err := Simulate(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracedCfg := base
+		tracedCfg.Trace = true
+		traced, err := Simulate(tracedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Total != traced.Total || plain.Comm != traced.Comm {
+			t.Fatalf("%v: tracing moved the virtual clocks: total %v -> %v, comm %v -> %v",
+				eng, plain.Total, traced.Total, plain.Comm, traced.Comm)
+		}
+		if plain.Messages != traced.Messages || plain.Bytes != traced.Bytes {
+			t.Fatalf("%v: tracing changed traffic", eng)
+		}
+		if traced.Trace == nil {
+			t.Fatalf("%v: SimConfig.Trace set but SimResult.Trace is nil", eng)
+		}
+		if plain.Trace != nil {
+			t.Fatalf("%v: untraced run returned a recorder", eng)
+		}
+	}
+}
+
+// TestSpanCountParityLiveVsVirtual pins the structural invariant behind
+// the whole tracing design: a live run and a virtual run of the same
+// configuration execute the same communication schedule, so they must
+// record the same number of spans per (rank, phase) — for every algorithm
+// and on both virtual engines. Durations differ (wall vs Hockney time);
+// the span structure may not.
+func TestSpanCountParityLiveVsVirtual(t *testing.T) {
+	n := 64
+	a := RandomMatrix(n, n, 31)
+	b := RandomMatrix(n, n, 32)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"summa", Config{Procs: 4, Algorithm: AlgSUMMA, BlockSize: 16}},
+		{"hsumma", Config{Procs: 4, Algorithm: AlgHSUMMA, BlockSize: 16, Groups: 2}},
+		{"multilevel", Config{Procs: 4, Algorithm: AlgMultilevel, BlockSize: 16,
+			Levels: []Level{{I: 2, J: 2, BlockSize: 16}}}},
+		{"cannon", Config{Procs: 4, Algorithm: AlgCannon}},
+		{"fox", Config{Procs: 4, Algorithm: AlgFox}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, rec, err := MultiplyTraced(a, b, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := rankCounts(rec)
+			sim := SimConfig{
+				N: n, Procs: tc.cfg.Procs, Algorithm: tc.cfg.Algorithm,
+				Groups: tc.cfg.Groups, BlockSize: tc.cfg.BlockSize,
+				Levels:  tc.cfg.Levels,
+				Machine: PlatformGrid5000().Model, Trace: true,
+			}
+			for _, eng := range []Engine{EngineGoroutine, EngineEvent} {
+				sim.Engine = eng
+				res, err := Simulate(sim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				virt := rankCounts(res.Trace)
+				if len(virt) != len(live) {
+					t.Fatalf("%v: %d (rank,phase) buckets, live has %d\nlive: %v\nvirt: %v",
+						eng, len(virt), len(live), live, virt)
+				}
+				for key, want := range live {
+					if got := virt[key]; got != want {
+						t.Fatalf("%v: rank %d phase %v: %d spans, live recorded %d",
+							eng, key.Rank, key.Phase, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// rankCounts projects a recorder's span counts onto rank-owned spans only
+// (the host timeline exists only on the live path by design).
+func rankCounts(rec *Trace) map[trace.CountKey]int {
+	out := make(map[trace.CountKey]int)
+	for key, n := range rec.Counts() {
+		if key.Rank >= 0 {
+			out[key] = n
+		}
+	}
+	return out
+}
