@@ -24,13 +24,14 @@
 //	hsumma-bench -kernelbench -out BENCH_kernel.json -baseline ci/bench-kernel-baseline.json
 //
 // The -loadgen mode drives a hsumma-serve daemon (or an in-process server
-// when -url is empty) with concurrent mixed-shape traffic, verifies every
-// response against the sequential reference, benchmarks warm-session vs
-// one-shot throughput, and writes BENCH_serve.json (the serve-smoke CI
+// when -url is empty) with a matrix of named traffic scenarios — steady,
+// mix, burst, overload and drain — verifies every response against the
+// sequential reference, benchmarks warm-session vs one-shot and pipelined
+// vs serial throughput, and writes BENCH_serve.json (the serve-smoke CI
 // gate):
 //
 //	hsumma-bench -loadgen -url http://localhost:8080 -duration 5 -conc 4 \
-//	    -out BENCH_serve.json -baseline ci/bench-serve-baseline.json
+//	    -scenarios all -out BENCH_serve.json -baseline ci/bench-serve-baseline.json
 package main
 
 import (
@@ -56,6 +57,7 @@ func main() {
 		url          = flag.String("url", "", "loadgen: daemon base URL (empty = start an in-process server)")
 		duration     = flag.Float64("duration", 5, "loadgen: traffic duration in seconds")
 		conc         = flag.Int("conc", 4, "loadgen: concurrent client workers")
+		scenarios    = flag.String("scenarios", "all", "loadgen: comma-separated scenario list (steady,mix,burst,overload,drain) or all")
 	)
 	flag.Parse()
 
@@ -68,7 +70,7 @@ func main() {
 		return
 	}
 	if *loadgen {
-		runLoadgen(*url, *duration, *conc, *quick, *out, *baseline)
+		runLoadgen(*url, *duration, *conc, *quick, *out, *baseline, *scenarios)
 		return
 	}
 

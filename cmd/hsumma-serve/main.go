@@ -28,6 +28,11 @@
 // key, shape and queue wait. -log-level picks the floor (debug also logs
 // /metrics and /healthz scrapes).
 //
+// Each session runs a two-stage pipeline — operand staging overlapped with
+// distributed execution — and coalesces queued same-A requests into one
+// multi-right-hand-side execution; -pipeline-depth 1 -max-batch 1 restores
+// the serial pre-pipelining path bit-for-bit.
+//
 // Sessions are accounted in cores — ranks × per-rank threads — against the
 // core budget; -rank-budget remains as the pre-hybrid alias. Backpressure
 // (bounded session queues, core budget) surfaces as 503 with Retry-After;
@@ -59,6 +64,9 @@ func main() {
 		coreBudget = flag.Int("core-budget", 0, "max resident cores (ranks × threads) across all sessions (default 256)")
 		rankBudget = flag.Int("rank-budget", 0, "alias for -core-budget from before hybrid sessions existed")
 		queueDepth = flag.Int("queue-depth", 32, "per-session bounded queue depth")
+		pipeDepth  = flag.Int("pipeline-depth", 0, "staged buffer sets per session: 2+ overlaps staging with execution, 1 = serial pre-pipelining path (default 2)")
+		maxBatch   = flag.Int("max-batch", 0, "max same-A requests coalesced into one multi-RHS execution, 1 = no batching (default 8)")
+		batchWin   = flag.Duration("batch-window", 0, "extra wait for same-A arrivals before executing a non-full batch (0 = coalesce only what is already queued)")
 		procs      = flag.Int("default-procs", 16, "rank count for requests that do not pin one")
 		withPprof  = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
 		withTrace  = flag.Bool("debug-trace", false, "expose POST /debug/trace (one-shot span capture of the next multiply)")
@@ -95,8 +103,11 @@ func main() {
 		budget = 256
 	}
 	sched := serve.NewScheduler(serve.SchedulerConfig{
-		CoreBudget: budget,
-		QueueDepth: *queueDepth,
+		CoreBudget:    budget,
+		QueueDepth:    *queueDepth,
+		PipelineDepth: *pipeDepth,
+		MaxBatch:      *maxBatch,
+		BatchWindow:   *batchWin,
 	})
 	handler := serve.NewHandler(sched, hcfg)
 	if *withPprof {
@@ -131,6 +142,9 @@ func main() {
 		"addr", *addr,
 		"core_budget", budget,
 		"queue_depth", *queueDepth,
+		"pipeline_depth", *pipeDepth,
+		"max_batch", *maxBatch,
+		"batch_window", batchWin.String(),
 		"default_procs", *procs,
 		"pprof", *withPprof,
 		"debug_trace", *withTrace,

@@ -218,6 +218,87 @@ func (m *BlockMap) checkTiles(tiles []*matrix.Dense) {
 	}
 }
 
+// checkRegion validates that the region rooted at (r0,c0) with the given
+// extent lies inside the global matrix.
+func (m *BlockMap) checkRegion(r0, c0, rows, cols int) {
+	if r0 < 0 || c0 < 0 || rows < 0 || cols < 0 || r0+rows > m.rows || c0+cols > m.cols {
+		panic(fmt.Sprintf("dist: region (%d,%d)+%dx%d outside %dx%d matrix", r0, c0, rows, cols, m.rows, m.cols))
+	}
+}
+
+// ScatterPart copies src into the global region rooted at (r0,c0): each
+// rank's tile receives the part of src it owns, and every tile element
+// outside the region keeps its current value. Combined with zero-initialised
+// tiles this replaces the pad-copy-then-ScatterInto staging dance — the
+// request-shaped operand lands directly in the padded tiles and the fringe
+// stays zero — and placing parts at successive column offsets is how the
+// serving layer concatenates the B operands of a coalesced batch.
+func (m *BlockMap) ScatterPart(tiles []*matrix.Dense, src *matrix.Dense, r0, c0 int) {
+	m.checkTiles(tiles)
+	m.checkRegion(r0, c0, src.Rows, src.Cols)
+	for r, t := range tiles {
+		if t.Rows == 0 || t.Cols == 0 {
+			continue
+		}
+		i, j := m.grid.Coords(r)
+		rs, cs := m.rowStart(i), m.colStart(j)
+		ri0, ri1 := max(r0, rs), min(r0+src.Rows, rs+t.Rows)
+		ci0, ci1 := max(c0, cs), min(c0+src.Cols, cs+t.Cols)
+		if ri0 >= ri1 || ci0 >= ci1 {
+			continue
+		}
+		t.View(ri0-rs, ci0-cs, ri1-ri0, ci1-ci0).
+			CopyFrom(src.View(ri0-r0, ci0-c0, ri1-ri0, ci1-ci0))
+	}
+}
+
+// GatherPart fills dst from the global region rooted at (r0,c0) — the
+// inverse of ScatterPart, and the serving layer's crop-free gather: a
+// padded result's request-shaped corner (or one batched request's column
+// slice of C) is read straight out of the tiles without materialising the
+// full padded matrix.
+func (m *BlockMap) GatherPart(dst *matrix.Dense, tiles []*matrix.Dense, r0, c0 int) {
+	m.checkTiles(tiles)
+	m.checkRegion(r0, c0, dst.Rows, dst.Cols)
+	for r, t := range tiles {
+		if t.Rows == 0 || t.Cols == 0 {
+			continue
+		}
+		i, j := m.grid.Coords(r)
+		rs, cs := m.rowStart(i), m.colStart(j)
+		ri0, ri1 := max(r0, rs), min(r0+dst.Rows, rs+t.Rows)
+		ci0, ci1 := max(c0, cs), min(c0+dst.Cols, cs+t.Cols)
+		if ri0 >= ri1 || ci0 >= ci1 {
+			continue
+		}
+		dst.View(ri0-r0, ci0-c0, ri1-ri0, ci1-ci0).
+			CopyFrom(t.View(ri0-rs, ci0-cs, ri1-ri0, ci1-ci0))
+	}
+}
+
+// ScatterCols scatters the column concatenation [parts[0] parts[1] …],
+// rooted at the global origin, into the tiles: part p lands at column
+// offset Σ(cols of parts[0..p-1]). All parts must share a row count and
+// the concatenation must fit the map; trailing pad columns are untouched.
+func (m *BlockMap) ScatterCols(tiles []*matrix.Dense, parts []*matrix.Dense) {
+	c0 := 0
+	for _, p := range parts {
+		m.ScatterPart(tiles, p, 0, c0)
+		c0 += p.Cols
+	}
+}
+
+// GatherCols splits the leading global columns back into the caller's
+// parts — the inverse of ScatterCols, used to hand each request of a
+// coalesced batch its own slice of the batched C.
+func (m *BlockMap) GatherCols(parts []*matrix.Dense, tiles []*matrix.Dense) {
+	c0 := 0
+	for _, p := range parts {
+		m.GatherPart(p, tiles, 0, c0)
+		c0 += p.Cols
+	}
+}
+
 // Gather reassembles the global matrix from per-rank tiles (the inverse of
 // Scatter).
 func (m *BlockMap) Gather(tiles []*matrix.Dense) *matrix.Dense {

@@ -1,0 +1,130 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/topo"
+)
+
+// zeroTiles allocates zero-filled tiles for every rank of the map.
+func zeroTiles(m *BlockMap) []*matrix.Dense {
+	tiles := make([]*matrix.Dense, m.Grid().Size())
+	for r := range tiles {
+		tr, tc := m.TileShape(r)
+		tiles[r] = matrix.New(tr, tc)
+	}
+	return tiles
+}
+
+func TestScatterPartFullRegionMatchesScatter(t *testing.T) {
+	for _, c := range []struct{ rows, cols, s, tt int }{
+		{8, 12, 2, 4}, {7, 9, 3, 2}, {16, 16, 4, 4},
+	} {
+		m, err := NewBlockMap(c.rows, c.cols, topo.Grid{S: c.s, T: c.tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := matrix.Random(c.rows, c.cols, 7)
+		tiles := zeroTiles(m)
+		m.ScatterPart(tiles, a, 0, 0)
+		want := m.Scatter(a)
+		for r := range tiles {
+			if !matrix.Equal(tiles[r], want[r]) {
+				t.Fatalf("%dx%d over %dx%d: ScatterPart full region differs from Scatter at rank %d", c.rows, c.cols, c.s, c.tt, r)
+			}
+		}
+	}
+}
+
+func TestScatterPartPreservesFringe(t *testing.T) {
+	// 10x12 map over a ragged 3x2 grid; the part occupies a corner region,
+	// everything outside it must keep its sentinel value.
+	m, err := NewBlockMap(10, 12, topo.Grid{S: 3, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := make([]*matrix.Dense, m.Grid().Size())
+	for r := range tiles {
+		tr, tc := m.TileShape(r)
+		tiles[r] = matrix.New(tr, tc)
+		for i := 0; i < tr; i++ {
+			for j := 0; j < tc; j++ {
+				tiles[r].Set(i, j, -1)
+			}
+		}
+	}
+	part := matrix.Random(6, 5, 3)
+	const r0, c0 = 2, 4
+	m.ScatterPart(tiles, part, r0, c0)
+
+	got := m.Gather(tiles)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 12; j++ {
+			want := -1.0
+			if i >= r0 && i < r0+part.Rows && j >= c0 && j < c0+part.Cols {
+				want = part.At(i-r0, j-c0)
+			}
+			if got.At(i, j) != want {
+				t.Fatalf("element (%d,%d) = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+
+	// GatherPart reads the region straight back.
+	back := matrix.New(part.Rows, part.Cols)
+	m.GatherPart(back, tiles, r0, c0)
+	if !matrix.Equal(back, part) {
+		t.Fatal("GatherPart(ScatterPart) != identity")
+	}
+}
+
+func TestScatterColsRoundTrip(t *testing.T) {
+	// Three parts of different widths concatenated into a wider padded map:
+	// round-trips exactly, and the trailing pad columns stay zero.
+	parts := []*matrix.Dense{
+		matrix.Random(9, 3, 1),
+		matrix.Random(9, 5, 2),
+		matrix.Random(9, 2, 3),
+	}
+	m, err := NewBlockMap(9, 12, topo.Grid{S: 3, T: 2}) // 10 used cols + 2 pad
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := zeroTiles(m)
+	m.ScatterCols(tiles, parts)
+
+	back := []*matrix.Dense{
+		matrix.New(9, 3), matrix.New(9, 5), matrix.New(9, 2),
+	}
+	m.GatherCols(back, tiles)
+	for p := range parts {
+		if !matrix.Equal(back[p], parts[p]) {
+			t.Fatalf("part %d: GatherCols(ScatterCols) != identity", p)
+		}
+	}
+
+	// The two pad columns past the concatenation were never written.
+	full := m.Gather(tiles)
+	for i := 0; i < 9; i++ {
+		for j := 10; j < 12; j++ {
+			if full.At(i, j) != 0 {
+				t.Fatalf("pad element (%d,%d) = %v, want 0", i, j, full.At(i, j))
+			}
+		}
+	}
+}
+
+func TestScatterPartRegionBounds(t *testing.T) {
+	m, err := NewBlockMap(8, 8, topo.Grid{S: 2, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := zeroTiles(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range region did not panic")
+		}
+	}()
+	m.ScatterPart(tiles, matrix.Random(4, 4, 1), 6, 6)
+}

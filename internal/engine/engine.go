@@ -245,6 +245,24 @@ func (s Spec) Padded() (Spec, error) {
 	return s, nil
 }
 
+// WithRHS returns the spec re-padded for a right-hand side n columns wide:
+// the global N is replaced (M and K kept) and the result padded back to the
+// algorithm's divisibility constraints. The serving layer's multi-RHS
+// batching runs k coalesced same-A requests as one multiply of N' = k·N_req
+// through it — valid for the SUMMA family because no block constraint binds
+// N, only N ≡ 0 (mod T). Square-only algorithms (Cannon, Fox) reject the
+// now-rectangular shape, which is exactly the cannot-batch signal.
+func (s Spec) WithRHS(n int) (Spec, error) {
+	if n <= 0 {
+		return Spec{}, fmt.Errorf("engine: WithRHS: invalid width %d", n)
+	}
+	sh := s.Shape()
+	sh.N = n
+	s.Opts.Shape = sh
+	s.Opts.N = 0
+	return s.Padded()
+}
+
 // ceilMult rounds v up to the next multiple of m.
 func ceilMult(v, m int) int { return (v + m - 1) / m * m }
 

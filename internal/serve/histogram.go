@@ -16,42 +16,135 @@ var histBounds = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// batchBounds are the upper bounds of the batch-size histogram: batch sizes
+// are small integers, so each power of two up to the default MaxBatch and a
+// little headroom gets its own bucket.
+var batchBounds = []float64{1, 2, 4, 8, 16, 32}
+
 // histogram is one Prometheus-style cumulative histogram (counts per
 // upper-bound bucket, plus +Inf, sum and count). Hand-rolled: the repo is
-// stdlib-only.
+// stdlib-only. A nil bounds slice means the latency ladder (histBounds).
 type histogram struct {
-	buckets []uint64 // len(histBounds)+1; last is +Inf
+	bounds  []float64
+	buckets []uint64 // len(bounds)+1; last is +Inf
 	sum     float64
 	count   uint64
 }
 
 func (h *histogram) observe(v float64) {
-	if h.buckets == nil {
-		h.buckets = make([]uint64, len(histBounds)+1)
+	if h.bounds == nil {
+		h.bounds = histBounds
 	}
-	i := sort.SearchFloat64s(histBounds, v)
+	if h.buckets == nil {
+		h.buckets = make([]uint64, len(h.bounds)+1)
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i]++
 	h.sum += v
 	h.count++
 }
 
+// quantile estimates the q-quantile (0..1) with the standard Prometheus
+// linear interpolation inside the owning bucket.
+func (h *histogram) quantile(q float64) float64 {
+	return bucketQuantile(h.bounds, h.buckets, h.count, q)
+}
+
+// bucketQuantile is the shared quantile estimator over cumulative-histogram
+// buckets — the one implementation behind /metrics-derived quantiles, the
+// scheduler's per-key families and the loadgen's reported percentiles, so
+// they agree by construction.
+func bucketQuantile(bounds []float64, buckets []uint64, count uint64, q float64) float64 {
+	if count == 0 || len(buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	cum := uint64(0)
+	for i, b := range buckets {
+		cum += b
+		if float64(cum) >= rank {
+			if i == len(bounds) {
+				return bounds[len(bounds)-1] // +Inf bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			if b == 0 {
+				return bounds[i]
+			}
+			frac := (rank - float64(cum-b)) / float64(b)
+			return lo + (bounds[i]-lo)*math.Min(1, math.Max(0, frac))
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Histogram is the exported, concurrency-safe face of the serve histogram:
+// the loadgen observes per-request latencies into one and reads back the
+// same bucket-interpolated quantiles /metrics computes, instead of keeping
+// a private sort-based copy that could drift.
+type Histogram struct {
+	mu sync.Mutex
+	h  histogram
+}
+
+// NewHistogram returns an empty histogram over the serve latency buckets
+// (1ms..30s).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.observe(v)
+	h.mu.Unlock()
+}
+
+// Quantile estimates the q-quantile (0..1) of the observed values.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.quantile(q)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.sum
+}
+
 // histogramVec groups histograms of one metric family by spec key.
 type histogramVec struct {
-	mu   sync.Mutex
-	name string
-	help string
-	byKey map[string]*histogram
+	mu     sync.Mutex
+	name   string
+	help   string
+	bounds []float64
+	byKey  map[string]*histogram
 }
 
 func newHistogramVec(name, help string) *histogramVec {
-	return &histogramVec{name: name, help: help, byKey: make(map[string]*histogram)}
+	return &histogramVec{name: name, help: help, bounds: histBounds, byKey: make(map[string]*histogram)}
+}
+
+// newHistogramVecBounds is newHistogramVec with custom bucket bounds (the
+// batch-size family counts integers, not seconds).
+func newHistogramVecBounds(name, help string, bounds []float64) *histogramVec {
+	return &histogramVec{name: name, help: help, bounds: bounds, byKey: make(map[string]*histogram)}
 }
 
 func (hv *histogramVec) observe(key string, v float64) {
 	hv.mu.Lock()
 	h := hv.byKey[key]
 	if h == nil {
-		h = &histogram{}
+		h = &histogram{bounds: hv.bounds}
 		hv.byKey[key] = h
 	}
 	h.observe(v)
@@ -84,23 +177,34 @@ func (hv *histogramVec) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE %s histogram\n", hv.name)
 	for _, s := range snaps {
 		cum := uint64(0)
-		for i, b := range histBounds {
+		for i, b := range hv.bounds {
 			cum += s.h.buckets[i]
 			fmt.Fprintf(w, "%s_bucket{key=%q,le=\"%g\"} %d\n", hv.name, s.key, b, cum)
 		}
-		cum += s.h.buckets[len(histBounds)]
+		cum += s.h.buckets[len(hv.bounds)]
 		fmt.Fprintf(w, "%s_bucket{key=%q,le=\"+Inf\"} %d\n", hv.name, s.key, cum)
 		fmt.Fprintf(w, "%s_sum{key=%q} %g\n", hv.name, s.key, s.h.sum)
 		fmt.Fprintf(w, "%s_count{key=%q} %d\n", hv.name, s.key, s.h.count)
 	}
 }
 
-// quantile estimates the q-quantile (0..1) across all keys of the family
-// using the standard Prometheus linear interpolation within the owning
-// bucket — what the loadgen report and tests read back.
+// totals returns the family-wide observation sum and count.
+func (hv *histogramVec) totals() (float64, uint64) {
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	var sum float64
+	var count uint64
+	for _, h := range hv.byKey {
+		sum += h.sum
+		count += h.count
+	}
+	return sum, count
+}
+
+// quantile estimates the q-quantile (0..1) across all keys of the family.
 func (hv *histogramVec) quantile(q float64) float64 {
 	hv.mu.Lock()
-	total := make([]uint64, len(histBounds)+1)
+	total := make([]uint64, len(hv.bounds)+1)
 	var count uint64
 	for _, h := range hv.byKey {
 		for i, b := range h.buckets {
@@ -109,27 +213,5 @@ func (hv *histogramVec) quantile(q float64) float64 {
 		count += h.count
 	}
 	hv.mu.Unlock()
-	if count == 0 {
-		return 0
-	}
-	rank := q * float64(count)
-	cum := uint64(0)
-	for i, b := range total {
-		cum += b
-		if float64(cum) >= rank {
-			if i == len(histBounds) {
-				return histBounds[len(histBounds)-1] // +Inf bucket: clamp
-			}
-			lo := 0.0
-			if i > 0 {
-				lo = histBounds[i-1]
-			}
-			if b == 0 {
-				return histBounds[i]
-			}
-			frac := (rank - float64(cum-b)) / float64(b)
-			return lo + (histBounds[i]-lo)*math.Min(1, math.Max(0, frac))
-		}
-	}
-	return histBounds[len(histBounds)-1]
+	return bucketQuantile(hv.bounds, total, count, q)
 }

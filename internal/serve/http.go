@@ -280,6 +280,8 @@ func (h *handler) multiply(w http.ResponseWriter, r *http.Request) {
 		slog.String("shape", fmt.Sprintf("%dx%dx%d", a.Rows, b.Cols, a.Cols)),
 		slog.Float64("queue_wait_s", stats.QueueSeconds),
 		slog.Float64("execute_s", stats.RunSeconds),
+		slog.Int("batch_size", stats.BatchSize),
+		slog.Int("pipeline_occupancy", stats.PipelineOccupancy),
 	)
 	if raw {
 		statsJSON, _ := json.Marshal(stats)
@@ -567,6 +569,8 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	emit("hsumma_serve_plan_cache_misses_total", "Tune plan-cache misses.", "counter", float64(m.PlanCacheMisses))
 	emit("hsumma_serve_plan_sim_runs_total", "Stage-2 virtual runs the tune planner executed.", "counter", float64(m.PlanSimRuns))
 	emit("hsumma_serve_plan_refine_seconds_total", "Wall time spent inside the planner's stage-2 refinement.", "counter", m.PlanRefineSeconds)
+	emit("hsumma_serve_pipeline_overlap_seconds_total", "Staging time that overlapped an execution (double-buffering win).", "counter", m.PipelineOverlapSeconds)
+	emit("hsumma_serve_batch_size_mean", "Mean coalesced batch size across completed requests.", "gauge", m.BatchSizeMean)
 	emit("hsumma_serve_uptime_seconds", "Process uptime.", "gauge", time.Since(startTime).Seconds())
 	fmt.Fprintf(w, "# HELP hsumma_serve_latency_seconds Completed-request latency quantiles over a sliding window.\n")
 	fmt.Fprintf(w, "# TYPE hsumma_serve_latency_seconds summary\n")
@@ -576,4 +580,5 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	h.sc.histStage.write(w)
 	h.sc.histExec.write(w)
 	h.sc.histE2E.write(w)
+	h.sc.histBatch.write(w)
 }

@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/matrix"
+	"repro/internal/tune"
+)
+
+// serialConfig selects the strictly serial PR-7-equivalent runner.
+var serialConfig = SessionConfig{PipelineDepth: 1, MaxBatch: 1}
+
+// newSessionPair builds a pipelined session and its serial twin over the
+// same resolved spec.
+func newSessionPair(t *testing.T, shape matrix.Shape, rp tune.ResolveParams, piped SessionConfig) (*Session, *Session) {
+	t.Helper()
+	rp.Shape = shape
+	spec, err := tune.ResolveSpec(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSession(shape, spec, piped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(shape, spec, serialConfig)
+	if err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+// TestPipelinedBitIdenticalToSerial locks in the tentpole's correctness
+// contract: the double-buffered staging path produces bit-for-bit the same
+// result as the serial runner, for divisible and padded shapes alike.
+func TestPipelinedBitIdenticalToSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		shape matrix.Shape
+	}{
+		{"divisible", matrix.Square(32)},
+		{"padded", matrix.Shape{M: 30, N: 26, K: 22}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			piped, serial := newSessionPair(t, tc.shape, tune.ResolveParams{Procs: 4}, SessionConfig{})
+			defer piped.Close()
+			defer serial.Close()
+			for i := 0; i < 4; i++ {
+				a := matrix.Random(tc.shape.M, tc.shape.K, uint64(100+i))
+				b := matrix.Random(tc.shape.K, tc.shape.N, uint64(200+i))
+				got, _, err := piped.Multiply(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := serial.Multiply(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := matrix.MaxAbsDiff(got, want); d != 0 {
+					t.Fatalf("call %d: pipelined differs from serial by %g (want bit-identical)", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCoalescingBitIdentical forces a deterministic coalesced batch
+// through the beforeStage hook and checks each request's slice of the
+// batched product is bit-identical to the serial runner's unbatched result.
+// Multi-RHS batching preserves bitwise results because C[i,j] is a
+// K-ordered dot product independent of neighbouring columns: the kernel's
+// accumulation order depends only on K, which batching does not change.
+func TestBatchCoalescingBitIdentical(t *testing.T) {
+	shape := matrix.Shape{M: 30, N: 26, K: 22} // padded: fringe invariants in play
+	rp := tune.ResolveParams{Procs: 4}
+	rp.Shape = shape
+	spec, err := tune.ResolveSpec(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := NewSession(shape, spec, SessionConfig{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer piped.Close()
+	serial, err := NewSession(shape, spec, serialConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+
+	// Gate the stager: it parks with the first job in hand until stageGate
+	// admits the staging pass, so the queue fills deterministically behind
+	// the lead.
+	stageGate := make(chan struct{})
+	piped.beforeStage = func() { <-stageGate }
+
+	a := matrix.Random(shape.M, shape.K, 1)
+	bs := make([]*matrix.Dense, 3)
+	for i := range bs {
+		bs[i] = matrix.Random(shape.K, shape.N, uint64(2+i))
+	}
+
+	type result struct {
+		out   *matrix.Dense
+		stats Stats
+		err   error
+	}
+	results := make([]result, len(bs))
+	var wg sync.WaitGroup
+	for i, b := range bs {
+		wg.Add(1)
+		go func(i int, b *matrix.Dense) {
+			defer wg.Done()
+			out, st, err := piped.Multiply(a, b)
+			results[i] = result{out, st, err}
+		}(i, b)
+	}
+	// The stager holds the first request as its parked lead; wait until the
+	// other two actually sit in the jobs channel (QueueLen would count a
+	// sender that reserved a slot but has not finished its send), then
+	// admit the staging pass: the stager must coalesce all three into one
+	// batch (they share A by pointer).
+	for len(piped.jobs) < len(bs)-1 || piped.QueueLen() < len(bs) {
+		time.Sleep(time.Millisecond)
+	}
+	stageGate <- struct{}{}
+	close(stageGate) // admit all further passes
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.stats.BatchSize != len(bs) {
+			t.Fatalf("request %d: BatchSize = %d, want %d", i, r.stats.BatchSize, len(bs))
+		}
+		want, _, err := serial.Multiply(a, bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(r.out, want); d != 0 {
+			t.Fatalf("request %d: batched result differs from unbatched by %g (want bit-identical)", i, d)
+		}
+	}
+	if mb := piped.Calls(); mb != int64(len(bs)) {
+		t.Fatalf("Calls() = %d, want %d", mb, len(bs))
+	}
+}
+
+// TestPipelinedSchedulerMixedShapesRace pushes concurrent mixed-shape
+// traffic — including a padded and an exact shape that share one spec key
+// but must not share a session — through a pipelined, batching scheduler
+// and checks every result bit-identical to an unpipelined session oracle.
+// Run under -race this doubles as the pipeline's data-race test.
+func TestPipelinedSchedulerMixedShapesRace(t *testing.T) {
+	shapes := []struct {
+		shape matrix.Shape
+		rp    tune.ResolveParams
+	}{
+		// 16³ and 15×16×16 resolve to the same padded execution shape (and
+		// spec key) with BlockSize 4 on a 2x2 grid.
+		{matrix.Square(16), tune.ResolveParams{Procs: 4, BlockSize: 4}},
+		{matrix.Shape{M: 15, N: 16, K: 16}, tune.ResolveParams{Procs: 4, BlockSize: 4}},
+		{matrix.Shape{M: 24, N: 24, K: 24}, tune.ResolveParams{Procs: 4}},
+	}
+
+	// Oracle: serial sessions, one per shape, exercised before the
+	// concurrent phase.
+	type workload struct {
+		shape matrix.Shape
+		rp    tune.ResolveParams
+		a, b  *matrix.Dense
+		want  *matrix.Dense
+	}
+	var work []workload
+	for si, sh := range shapes {
+		rp := sh.rp
+		rp.Shape = sh.shape
+		spec, err := tune.ResolveSpec(rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := NewSession(sh.shape, spec, serialConfig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two operand pairs per shape; the first A is shared across both so
+		// same-key batching can engage under concurrency.
+		a0 := matrix.Random(sh.shape.M, sh.shape.K, uint64(1000+si))
+		for v := 0; v < 2; v++ {
+			b := matrix.Random(sh.shape.K, sh.shape.N, uint64(2000+10*si+v))
+			want, _, err := oracle.Multiply(a0, b)
+			if err != nil {
+				oracle.Close()
+				t.Fatal(err)
+			}
+			work = append(work, workload{sh.shape, sh.rp, a0, b, want})
+		}
+		oracle.Close()
+	}
+
+	sc := NewScheduler(SchedulerConfig{CoreBudget: 64, QueueDepth: 64})
+	defer sc.Close()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for it := 0; it < 6; it++ {
+				wl := work[(seed+it)%len(work)]
+				rp := wl.rp
+				out, _, err := sc.Multiply(wl.a, wl.b, rp)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if d := matrix.MaxAbsDiff(out, wl.want); d != 0 {
+					errCh <- &mismatchError{d}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// The same-spec-key shapes must still occupy distinct sessions.
+	keys := map[string]bool{}
+	for _, s := range sc.Sessions() {
+		keys[s.Key()+"|"+s.Shape().String()] = true
+	}
+	if len(keys) < 3 {
+		t.Fatalf("expected ≥3 distinct sessions, have %v", keys)
+	}
+}
+
+type mismatchError struct{ d float64 }
+
+func (e *mismatchError) Error() string { return "result differs from oracle (bitwise)" }
+
+// TestIdleAccountsStagedWork locks in the scheduler-safety satellite: a
+// request staged in the pipeline handoff (not yet executing) keeps the
+// session non-idle, so LRU retirement can never reap it mid-flight.
+func TestIdleAccountsStagedWork(t *testing.T) {
+	shape := matrix.Square(16)
+	rp := tune.ResolveParams{Procs: 4}
+	rp.Shape = shape
+	spec, err := tune.ResolveSpec(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(shape, spec, SessionConfig{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{}, 4)
+	sess.beforeRun = func() {
+		started <- struct{}{}
+		<-gate
+	}
+
+	res := make(chan error, 2)
+	a := matrix.Random(16, 16, 1)
+	b := matrix.Random(16, 16, 2)
+	go func() { _, _, err := sess.Multiply(a, b); res <- err }()
+	<-started // first request executing (parked in beforeRun)
+	go func() { _, _, err := sess.Multiply(a, b); res <- err }()
+	// Wait for the second request to leave the queue and sit staged in the
+	// pipeline: queued-or-staged stays 1 while the channel itself is empty.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sess.mu.Lock()
+		staged := sess.stagedN
+		sess.mu.Unlock()
+		if staged >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the staged state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sess.Idle() {
+		t.Fatal("Idle() = true with a request staged in the pipeline handoff")
+	}
+	if sess.QueueLen() < 1 {
+		t.Fatalf("QueueLen() = %d, want ≥1 (staged request must count)", sess.QueueLen())
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-res; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With everything complete the session settles idle again.
+	for !sess.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("session never returned to idle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSquareOnlySpecsNeverBatch checks the cannot-batch fallback: a
+// square-only algorithm (Cannon) serves same-A concurrent requests
+// correctly with BatchSize pinned to 1.
+func TestSquareOnlySpecsNeverBatch(t *testing.T) {
+	shape := matrix.Square(16)
+	spec, err := tune.ResolveSpec(tune.ResolveParams{
+		Shape: shape, Procs: 4, Algorithm: engine.Cannon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(shape, spec, SessionConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.batchable {
+		t.Fatal("square-only spec marked batchable")
+	}
+	a := matrix.Random(16, 16, 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := matrix.Random(16, 16, uint64(10+i))
+			out, st, err := sess.Multiply(a, b)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if st.BatchSize != 1 {
+				errs <- &mismatchError{float64(st.BatchSize)}
+				return
+			}
+			if d := matrix.MaxAbsDiff(out, reference(a, b)); d > oracleTol {
+				errs <- &mismatchError{d}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

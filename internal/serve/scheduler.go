@@ -32,9 +32,17 @@ type SchedulerConfig struct {
 	// CoreBudget is zero (the two were identical while every rank was
 	// single-threaded).
 	RankBudget int
-	// QueueDepth bounds each session's work queue (default 32); a full
-	// queue rejects with ErrOverloaded.
+	// QueueDepth bounds each session's admission window (default 32); a
+	// full window rejects with ErrOverloaded.
 	QueueDepth int
+	// PipelineDepth, MaxBatch and BatchWindow are handed to every session
+	// (see SessionConfig): staging buffer sets per session (0 → 2, double
+	// buffering; 1 → serial), maximum same-A requests coalesced into one
+	// execution (0 → 8; 1 → no batching), and how long a stager waits for
+	// further coalescible arrivals (0 → opportunistic only).
+	PipelineDepth int
+	MaxBatch      int
+	BatchWindow   time.Duration
 	// LatencyWindow is the sliding sample window for the p50/p99 latency
 	// quantiles (default 1024 completed requests).
 	LatencyWindow int
@@ -85,6 +93,11 @@ type Metrics struct {
 	// first request completes).
 	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
 	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+	// Pipeline/batching telemetry: mean coalesced batch size across
+	// completed requests (1.0 when batching never engages) and cumulative
+	// staging time that overlapped an execution (the double-buffering win).
+	BatchSizeMean          float64 `json:"batch_size_mean"`
+	PipelineOverlapSeconds float64 `json:"pipeline_overlap_seconds"`
 	// LeasesActive counts requests currently holding a routing lease — a
 	// session reserved between routing and the end of its enqueue, the
 	// window retirement must not touch.
@@ -115,8 +128,12 @@ type Scheduler struct {
 
 	// Latency histograms per spec key: queue wait, staging, distributed
 	// execution, and end-to-end — the serve-layer time decomposition
-	// /metrics exports.
+	// /metrics exports — plus the coalesced batch-size distribution and
+	// the cumulative stage/execute overlap counter.
 	histQueue, histStage, histExec, histE2E *histogramVec
+	histBatch                               *histogramVec
+	overlapMu                               sync.Mutex
+	overlapSec                              float64
 
 	// armedTrace, when non-nil, captures the next completed request's span
 	// timeline (POST /debug/trace). One-shot: the capturing request swaps
@@ -162,6 +179,7 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		histStage: newHistogramVec("hsumma_serve_stage_seconds", "Operand padding, scatter and output-zeroing time per request."),
 		histExec:  newHistogramVec("hsumma_serve_execute_seconds", "Distributed execution time per request (resident world run)."),
 		histE2E:   newHistogramVec("hsumma_serve_request_seconds", "End-to-end request time: queue + stage + run + gather."),
+		histBatch: newHistogramVecBounds("hsumma_serve_batch_size", "Coalesced same-A requests per execution, observed once per request.", batchBounds),
 	}
 }
 
@@ -230,6 +248,12 @@ func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matri
 	sc.histStage.observe(stats.SpecKey, stats.SetupSeconds)
 	sc.histExec.observe(stats.SpecKey, stats.RunSeconds)
 	sc.histE2E.observe(stats.SpecKey, stats.WallSeconds)
+	sc.histBatch.observe(stats.SpecKey, float64(stats.BatchSize))
+	if stats.OverlapSeconds > 0 {
+		sc.overlapMu.Lock()
+		sc.overlapSec += stats.OverlapSeconds
+		sc.overlapMu.Unlock()
+	}
 	return out, stats, nil
 }
 
@@ -308,7 +332,12 @@ func (sc *Scheduler) route(reqShape matrix.Shape, spec engine.Spec) (*Session, f
 	// Build the session off the lock: spawning the world and zeroing the
 	// staging buffers can be arbitrarily large, and other shapes' requests
 	// must keep flowing meanwhile.
-	sess, err := NewSession(reqShape, spec, SessionConfig{QueueDepth: sc.cfg.QueueDepth})
+	sess, err := NewSession(reqShape, spec, SessionConfig{
+		QueueDepth:    sc.cfg.QueueDepth,
+		PipelineDepth: sc.cfg.PipelineDepth,
+		MaxBatch:      sc.cfg.MaxBatch,
+		BatchWindow:   sc.cfg.BatchWindow,
+	})
 	sc.mu.Lock()
 	if err == nil && sc.closed {
 		// The scheduler drained while this session was being built (Close
@@ -432,6 +461,10 @@ func (sc *Scheduler) Metrics() Metrics {
 		}
 	}
 	sc.mu.Unlock()
+	var batchMean float64
+	if sum, count := sc.histBatch.totals(); count > 0 {
+		batchMean = sum / float64(count)
+	}
 	ps := tune.Stats()
 	return Metrics{
 		Requests:          sc.requests.Load(),
@@ -448,6 +481,12 @@ func (sc *Scheduler) Metrics() Metrics {
 		InFlight:          inFlight,
 		LatencyP50Seconds: sc.quantile(0.50),
 		LatencyP99Seconds: sc.quantile(0.99),
+		BatchSizeMean:     batchMean,
+		PipelineOverlapSeconds: func() float64 {
+			sc.overlapMu.Lock()
+			defer sc.overlapMu.Unlock()
+			return sc.overlapSec
+		}(),
 		LeasesActive:      leases,
 		PlanCacheHits:     ps.CacheHits,
 		PlanCacheMisses:   ps.CacheMisses,

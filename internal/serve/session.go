@@ -9,10 +9,13 @@
 //
 //   - Session: a persistent mpi world whose rank goroutines stay resident
 //     and loop on a per-session work queue, pinned to one resolved
-//     execution spec. Block maps, scatter tiles and padded operand buffers
-//     are built once and reused, so a repeat multiply of the same shape
-//     pays data movement and compute only — no spawn, no plan, no map
-//     construction, no tile allocation.
+//     execution spec. Block maps and scatter tiles are built once and
+//     reused, so a repeat multiply of the same shape pays data movement and
+//     compute only — no spawn, no plan, no map construction, no tile
+//     allocation. The runner is a two-stage pipeline: a stager scatters
+//     request i+1's operands into a second buffer set while the ranks
+//     compute request i (double buffering), and queued requests that share
+//     the A operand are coalesced into one batched multi-RHS execution.
 //
 //   - Scheduler: the admission-controlled front door. Requests are keyed by
 //     their execution-shape key (engine.Spec.Key) and routed to a pool of
@@ -64,7 +67,9 @@ var (
 // decomposition that makes the session-reuse win measurable.
 type Stats struct {
 	// Messages and Bytes are rank-traffic totals, identical to what a
-	// one-shot run of the same spec reports.
+	// one-shot run of the same spec reports. Requests served as part of a
+	// coalesced batch report the whole batched run's traffic (the run is
+	// shared; per-request attribution would be fiction).
 	Messages int64
 	Bytes    int64
 	// MaxRankCommSeconds is the largest per-rank wall time spent inside
@@ -73,17 +78,19 @@ type Stats struct {
 	// WallSeconds is the end-to-end request time: queue wait + setup +
 	// distributed run + gather.
 	WallSeconds float64
-	// SetupSeconds is the pre-run data-staging time the caller paid on this
-	// request: operand padding + scatter + output-tile zeroing, plus — on
-	// the one-shot path only — spec resolution, block-map construction and
-	// tile allocation. Warm sessions skip that second group entirely, which
-	// is exactly the amortisation this package exists for.
+	// SetupSeconds is the pre-run data-staging time paid on this request:
+	// operand scatter + output-tile zeroing (shared across a batch), plus —
+	// on the one-shot path only — spec resolution, block-map construction
+	// and tile allocation. Warm sessions skip that second group entirely,
+	// and the pipelined runner overlaps this stage with the previous
+	// request's execution.
 	SetupSeconds float64
 	// QueueSeconds is the time the request waited behind earlier work on
 	// the session queue before staging began.
 	QueueSeconds float64
 	// RunSeconds is the distributed execution itself — the resident world
-	// run, excluding queueing, staging and gather.
+	// run (of the whole batch, when coalesced), excluding queueing, staging
+	// and gather.
 	RunSeconds float64
 	// GemmSeconds is the largest per-rank time inside local multiplies.
 	GemmSeconds float64
@@ -96,53 +103,133 @@ type Stats struct {
 	// SpecKey is the execution-shape key of the session that served the
 	// request — the label the serve histograms and pprof samples carry.
 	SpecKey string
+	// BatchSize is the number of same-A requests coalesced into the single
+	// execution that served this request (1 = unbatched).
+	BatchSize int
+	// OverlapSeconds is this request's share of staging time that ran
+	// concurrently with another request's execution — the double-buffering
+	// win, measured (0 on the serial path).
+	OverlapSeconds float64
+	// PipelineOccupancy is the number of requests resident in the session
+	// (executing + staged + queued) when this request's execution began.
+	PipelineOccupancy int
 }
 
-// SessionConfig tunes a session's queueing behaviour.
+// SessionConfig tunes a session's queueing and pipelining behaviour. The
+// zero value means "serving defaults": QueueDepth 32, double-buffered
+// staging (PipelineDepth 2) and opportunistic batching up to 8 requests.
+// PipelineDepth:1 together with MaxBatch:1 selects the strictly serial
+// stage→execute→gather runner, bit-identical to the pre-pipelining layer.
 type SessionConfig struct {
-	// QueueDepth bounds the session's work queue (default 32). Submit
-	// blocks when the queue is full; TrySubmit returns ErrOverloaded.
+	// QueueDepth bounds the session's admission window — requests queued or
+	// staged but not yet executing (default 32). Submit blocks when it is
+	// full; TrySubmit returns ErrOverloaded.
 	QueueDepth int
+	// PipelineDepth is the number of staging buffer sets the runner ping-
+	// pongs between. 0 defaults to 2 (double buffering: stage request i+1
+	// while request i executes); 1 disables pipelining entirely and runs
+	// the serial single-goroutine path.
+	PipelineDepth int
+	// MaxBatch caps how many queued same-A requests the stager coalesces
+	// into one multi-RHS execution. 0 defaults to 8; 1 disables batching.
+	// Batching needs the algorithm to accept a widened RHS, so square-only
+	// specs (Cannon, Fox) never batch regardless of this knob.
+	MaxBatch int
+	// BatchWindow is how long the stager, holding a batch smaller than
+	// MaxBatch with an empty queue, waits for further coalescible arrivals
+	// before staging what it has. 0 (the default) coalesces only requests
+	// already queued — no added latency.
+	BatchWindow time.Duration
+}
+
+// batchPlan is the distribution state for one batch width: the spec
+// re-padded for N' = k·N_req and the B/C block maps of that widened shape.
+// The A-side map is width-independent and lives on the session.
+type batchPlan struct {
+	spec     engine.Spec
+	bmB, bmC *dist.BlockMap
+}
+
+// bufset is one staging buffer set the pipeline ping-pongs between: the
+// A tiles plus, per batch width, the B/C tiles of that width's plan.
+// Buffers are allocated on first use and owned by whichever pipeline stage
+// holds the set (possession moves through channels, so no locking).
+type bufset struct {
+	aT  []*matrix.Dense
+	rhs map[int]*rhsBufs
+}
+
+// rhsBufs holds the RHS-side tiles for one batch width.
+type rhsBufs struct {
+	bT, cT []*matrix.Dense
+}
+
+// staged is a fully staged batch in flight between the stager and the
+// executor.
+type staged struct {
+	bs   *bufset
+	rb   *rhsBufs
+	plan *batchPlan
+	jobs []*job
+	rec  *trace.Recorder
 }
 
 // Session is a persistent execution context for one resolved spec: a
-// resident mpi world plus the reusable data-staging state (block maps,
-// scatter tiles, padded buffers). Concurrent Multiply calls are serialised
-// by the session queue; Close drains it gracefully (the in-flight request
-// finishes, queued ones fail with ErrClosed).
+// resident mpi world plus the reusable data-staging state (block maps and
+// per-pipeline-slot scatter tiles). Concurrent Multiply calls are admitted
+// through the session queue and served in arrival order; the pipelined
+// runner overlaps one request's staging with another's execution and may
+// coalesce same-A requests into one batched run. Close drains gracefully
+// (the in-flight batch finishes, queued and staged-but-unexecuted requests
+// fail with ErrClosed).
 type Session struct {
 	spec engine.Spec
 	req  matrix.Shape // requested (pre-padding) problem shape
 	key  string
 
-	world            *mpi.PersistentWorld
-	bmA, bmB, bmC    *dist.BlockMap
-	aT, bT, cT       []*matrix.Dense
-	padA, padB, padC *matrix.Dense // nil when the request shape needs no padding
+	world *mpi.PersistentWorld
+	bmA   *dist.BlockMap
+	base  *batchPlan // width-1 plan: the session's own spec and B/C maps
 
-	jobs chan *job
-	quit chan struct{}
-	done chan struct{} // closed when the runner exits
+	// plans caches the re-padded spec and maps per batch width. Only the
+	// staging goroutine touches it, so no lock is needed.
+	plans     map[int]*batchPlan
+	batchable bool
+
+	depth    int // admission window (QueueDepth)
+	maxBatch int
+	window   time.Duration
+
+	jobs    chan *job
+	free    chan *bufset // staging buffer sets not currently holding work
+	handoff chan *staged // staged batches awaiting execution
+	quit    chan struct{}
+	done    chan struct{} // closed when the runner exits
 
 	mu       sync.Mutex
 	closed   bool
-	pending  int  // jobs reserved for the queue but not yet taken by the runner
-	inFlight bool // a job is currently executing
+	pending  int  // jobs reserved for the queue but not yet taken by the stager
+	stagedN  int  // jobs taken by the stager (staging or staged) but not executing
+	inFlight bool // a batch is currently executing
 
-	calls    atomic.Int64
-	lastUsed atomic.Int64 // unix nanos; scheduler retirement order
+	calls     atomic.Int64
+	lastUsed  atomic.Int64 // unix nanos; scheduler retirement order
+	execStart atomic.Int64 // unix nanos of the running execution, 0 when idle
 
-	// beforeRun, when set, is invoked by the runner before executing each
-	// job — a test hook for making queue states deterministic.
-	beforeRun func()
+	// beforeRun, when set, is invoked before executing each batch;
+	// beforeStage before each staging pass. Test hooks for making queue and
+	// pipeline states deterministic.
+	beforeRun   func()
+	beforeStage func()
 }
 
 // job is one queued multiplication.
 type job struct {
 	a, b  *matrix.Dense
 	start time.Time
-	// traced asks execute to record a span timeline for this one request
-	// (the daemon's /debug/trace capture); rec holds it afterwards.
+	// traced asks the runner to record a span timeline for this one request
+	// (the daemon's /debug/trace capture); rec holds it afterwards. Traced
+	// jobs coalesced into one batch share the batch's recorder.
 	traced bool
 	rec    *trace.Recorder
 
@@ -177,6 +264,14 @@ func NewSession(reqShape matrix.Shape, spec engine.Spec, cfg SessionConfig) (*Se
 	if depth <= 0 {
 		depth = 32
 	}
+	pd := cfg.PipelineDepth
+	if pd <= 0 {
+		pd = 2
+	}
+	mb := cfg.MaxBatch
+	if mb <= 0 {
+		mb = 8
+	}
 	bmA, err := dist.NewBlockMap(es.M, es.K, grid)
 	if err != nil {
 		return nil, err
@@ -189,7 +284,7 @@ func NewSession(reqShape matrix.Shape, spec engine.Spec, cfg SessionConfig) (*Se
 	if err != nil {
 		return nil, err
 	}
-	// Label the resident rank goroutines (and the session runner below)
+	// Label the resident rank goroutines (and the runner goroutines below)
 	// with the spec key so pprof profiles attribute samples per served
 	// shape.
 	labels := []string{"hsumma_spec", spec.Key()}
@@ -199,31 +294,37 @@ func NewSession(reqShape matrix.Shape, spec engine.Spec, cfg SessionConfig) (*Se
 	}
 	s := &Session{
 		spec: spec, req: reqShape, key: spec.Key(),
-		world: world, bmA: bmA, bmB: bmB, bmC: bmC,
-		jobs: make(chan *job, depth),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		world: world, bmA: bmA,
+		base:  &batchPlan{spec: spec, bmB: bmB, bmC: bmC},
+		plans: make(map[int]*batchPlan),
+		depth: depth, maxBatch: mb, window: cfg.BatchWindow,
+		jobs:    make(chan *job, depth),
+		free:    make(chan *bufset, pd),
+		handoff: make(chan *staged, pd),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
-	alloc := func(bm *dist.BlockMap) []*matrix.Dense {
-		tiles := make([]*matrix.Dense, grid.Size())
-		for r := range tiles {
-			tr, tc := bm.TileShape(r)
-			tiles[r] = matrix.New(tr, tc)
+	// Batching needs the algorithm to accept a widened RHS; probe once.
+	if mb > 1 {
+		if _, err := spec.WithRHS(2 * reqShape.N); err == nil {
+			s.batchable = true
 		}
-		return tiles
 	}
-	s.aT, s.bT, s.cT = alloc(bmA), alloc(bmB), alloc(bmC)
-	if es.M != reqShape.M || es.K != reqShape.K {
-		s.padA = matrix.New(es.M, es.K)
-	}
-	if es.K != reqShape.K || es.N != reqShape.N {
-		s.padB = matrix.New(es.K, es.N)
-	}
-	if es.M != reqShape.M || es.N != reqShape.N {
-		s.padC = matrix.New(es.M, es.N)
+	// The first buffer set is allocated eagerly so a cold session's first
+	// request pays scatter only (matching the historical construction
+	// cost); further sets allocate on first use.
+	first := &bufset{}
+	s.ensureBufs(first, s.base, 1)
+	s.free <- first
+	for i := 1; i < pd; i++ {
+		s.free <- &bufset{}
 	}
 	s.touch()
-	go pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { s.run() })
+	runner := s.runSerial
+	if pd > 1 {
+		runner = s.runPipelined
+	}
+	go pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { runner() })
 	return s, nil
 }
 
@@ -244,12 +345,14 @@ func (s *Session) Ranks() int { return s.world.Size() }
 // Calls returns the number of completed multiplications.
 func (s *Session) Calls() int64 { return s.calls.Load() }
 
-// Idle reports whether the session has no queued and no in-flight work —
-// the precondition for the scheduler to retire it.
+// Idle reports whether the session has no queued, no staged and no
+// in-flight work — the precondition for the scheduler to retire it. A
+// request sitting staged in the pipeline handoff counts as work: retiring
+// the session then would drop it.
 func (s *Session) Idle() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pending == 0 && !s.inFlight
+	return s.pending == 0 && s.stagedN == 0 && !s.inFlight
 }
 
 // LastUsed returns the time of the session's most recent activity.
@@ -257,8 +360,13 @@ func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) 
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
-// QueueLen returns the number of queued (not yet started) requests.
-func (s *Session) QueueLen() int { return len(s.jobs) }
+// QueueLen returns the number of admitted requests that have not started
+// executing — queued plus staged-in-pipeline.
+func (s *Session) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending + s.stagedN
+}
 
 // Executing reports whether a request is running right now.
 func (s *Session) Executing() bool {
@@ -268,14 +376,15 @@ func (s *Session) Executing() bool {
 }
 
 // Multiply computes A·B on the resident session, blocking while earlier
-// requests drain (the session queue serialises concurrent callers). The
-// operands must match the session's problem shape exactly.
+// requests drain (the session pipeline serves concurrent callers in
+// arrival order). The operands must match the session's problem shape
+// exactly.
 func (s *Session) Multiply(a, b *matrix.Dense) (*matrix.Dense, Stats, error) {
 	return s.submit(a, b, true, false)
 }
 
 // TryMultiply is Multiply with backpressure instead of blocking: a full
-// session queue returns ErrOverloaded immediately. The scheduler's
+// admission window returns ErrOverloaded immediately. The scheduler's
 // admission path uses it.
 func (s *Session) TryMultiply(a, b *matrix.Dense) (*matrix.Dense, Stats, error) {
 	return s.submit(a, b, false, false)
@@ -302,21 +411,22 @@ func (s *Session) submitTraced(a, b *matrix.Dense, block, traced bool) (*matrix.
 	j := &job{a: a, b: b, start: time.Now(), traced: traced, done: make(chan struct{})}
 
 	// Reserve a queue slot under the lock so a concurrent Close knows
-	// exactly how many jobs its drain must fail.
+	// exactly how many jobs its drain must fail. The admission window spans
+	// queued and staged work: the stager empties the channel into the
+	// pipeline, so channel occupancy alone is not the backlog.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, Stats{}, nil, ErrClosed
 	}
 	if !block {
-		select {
-		case s.jobs <- j:
-			s.pending++
-			s.mu.Unlock()
-		default:
+		if s.pending+s.stagedN >= s.depth {
 			s.mu.Unlock()
 			return nil, Stats{}, nil, ErrOverloaded
 		}
+		s.pending++
+		s.mu.Unlock()
+		s.jobs <- j // admission reserved above; cannot block past depth
 	} else {
 		s.pending++
 		s.mu.Unlock()
@@ -328,33 +438,451 @@ func (s *Session) submitTraced(a, b *matrix.Dense, block, traced bool) (*matrix.
 	return j.out, j.stats, j.rec, j.err
 }
 
-// run is the session's runner goroutine: it executes queued jobs one at a
-// time until Close, then drains the queue with ErrClosed.
-func (s *Session) run() {
+// runSerial is the unpipelined runner (PipelineDepth 1): one goroutine
+// stages, executes and gathers each batch in sequence — the historical
+// request path, kept for bit-for-bit comparability and as the no-overlap
+// baseline the loadgen measures the pipeline against.
+func (s *Session) runSerial() {
 	defer close(s.done)
+	var held *job
 	for {
 		// Check quit first so a Close issued while a job was executing
 		// deterministically drains the queue instead of racing it against
 		// the next queued job.
 		select {
 		case <-s.quit:
+			s.failHeld(held)
 			s.drain()
+			return
+		default:
+		}
+		var lead *job
+		if held != nil {
+			lead, held = held, nil
+		} else {
+			select {
+			case <-s.quit:
+				s.drain()
+				return
+			case j := <-s.jobs:
+				s.take(j)
+				lead = j
+			}
+		}
+		// The hook runs with the lead in hand (never before the first job
+		// arrives) so tests can gate batch formation deterministically.
+		if s.beforeStage != nil {
+			s.beforeStage()
+		}
+		var batch []*job
+		batch, held = s.collect(lead)
+		bs := <-s.free
+		st := s.stage(bs, batch)
+		if st == nil {
+			s.free <- bs
+			continue
+		}
+		s.executeBatch(st)
+	}
+}
+
+// runPipelined runs the two-stage pipeline: a stager goroutine scatters
+// operands into free buffer sets and hands staged batches to an executor
+// goroutine, so staging of request i+1 overlaps execution of request i.
+func (s *Session) runPipelined() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.stageLoop() }()
+	go func() { defer wg.Done(); s.executeLoop() }()
+	wg.Wait()
+	// Both loops exited on quit: fail whatever was staged but never
+	// executed, then everything still queued or reserved.
+	s.drainHandoff()
+	s.drain()
+}
+
+// take moves one job from the queue into the pipeline's accounting.
+func (s *Session) take(j *job) {
+	s.mu.Lock()
+	s.pending--
+	s.stagedN++
+	s.mu.Unlock()
+}
+
+// stageLoop is the pipeline's first stage: acquire a free buffer set, take
+// the next request, coalesce compatible followers, stage the batch and
+// hand it to the executor.
+func (s *Session) stageLoop() {
+	var held *job
+	for {
+		// A free buffer set first: parking here holds no jobs, so Close
+		// while the pipeline is saturated fails nothing spuriously.
+		var bs *bufset
+		select {
+		case <-s.quit:
+			s.failHeld(held)
+			return
+		case bs = <-s.free:
+		}
+		var lead *job
+		if held != nil {
+			lead, held = held, nil
+		} else {
+			select {
+			case <-s.quit:
+				return
+			case j := <-s.jobs:
+				s.take(j)
+				lead = j
+			}
+		}
+		// The hook runs with the lead in hand (never before the first job
+		// arrives) so tests can gate batch formation deterministically.
+		if s.beforeStage != nil {
+			s.beforeStage()
+		}
+		var batch []*job
+		batch, held = s.collect(lead)
+		st := s.stage(bs, batch)
+		if st == nil {
+			s.free <- bs
+			continue
+		}
+		select {
+		case <-s.quit:
+			s.finishBatch(batch, ErrClosed, true)
+			s.failHeld(held)
+			return
+		case s.handoff <- st:
+		}
+	}
+}
+
+// executeLoop is the pipeline's second stage: run staged batches on the
+// resident world and gather results. Quit is checked first so a Close
+// issued mid-execution deterministically fails later staged batches
+// instead of racing them.
+func (s *Session) executeLoop() {
+	for {
+		select {
+		case <-s.quit:
 			return
 		default:
 		}
 		select {
 		case <-s.quit:
-			s.drain()
 			return
+		case st := <-s.handoff:
+			s.executeBatch(st)
+		}
+	}
+}
+
+// collect coalesces queued requests behind lead that share its A operand
+// into one batch (FIFO order preserved). A request with a different A ends
+// the batch and is returned as the next batch's lead. With BatchWindow set
+// the stager waits up to the window for further arrivals while below
+// MaxBatch and the queue is empty.
+func (s *Session) collect(lead *job) (batch []*job, held *job) {
+	batch = []*job{lead}
+	if !s.batchable || s.maxBatch <= 1 {
+		return batch, nil
+	}
+	var deadline <-chan time.Time
+	for len(batch) < s.maxBatch {
+		select {
 		case j := <-s.jobs:
-			s.mu.Lock()
-			s.pending--
-			s.inFlight = true
-			s.mu.Unlock()
-			s.execute(j)
-			s.mu.Lock()
-			s.inFlight = false
-			s.mu.Unlock()
+			s.take(j)
+			if !sameOperand(j.a, lead.a) {
+				return batch, j
+			}
+			batch = append(batch, j)
+		default:
+			if s.window <= 0 {
+				return batch, nil
+			}
+			if deadline == nil {
+				t := time.NewTimer(s.window)
+				defer t.Stop()
+				deadline = t.C
+			}
+			select {
+			case j := <-s.jobs:
+				s.take(j)
+				if !sameOperand(j.a, lead.a) {
+					return batch, j
+				}
+				batch = append(batch, j)
+			case <-deadline:
+				return batch, nil
+			case <-s.quit:
+				// Let the caller's quit handling fail the batch.
+				return batch, nil
+			}
+		}
+	}
+	return batch, nil
+}
+
+// sameOperand reports whether two operands are the same matrix: the same
+// backing storage (the scheduler-free fast path for callers reusing one A
+// across requests), or equal element-wise — an O(M·K) check, trivial next
+// to the 2·M·N·K flops a missed coalescing opportunity would leave on the
+// table. NaN-bearing operands never compare equal and thus never batch.
+func sameOperand(x, y *matrix.Dense) bool {
+	if x == y {
+		return true
+	}
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		return false
+	}
+	if x.Rows == 0 || x.Cols == 0 {
+		return true
+	}
+	if &x.Data[0] == &y.Data[0] && x.Stride == y.Stride {
+		return true
+	}
+	for i := 0; i < x.Rows; i++ {
+		xr := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		yr := y.Data[i*y.Stride : i*y.Stride+y.Cols]
+		for c := range xr {
+			if xr[c] != yr[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// plan returns the batchPlan for a batch of width k, building and caching
+// it on first use. Only the staging goroutine calls it.
+func (s *Session) plan(k int) (*batchPlan, error) {
+	if k <= 1 {
+		return s.base, nil
+	}
+	if p, ok := s.plans[k]; ok {
+		return p, nil
+	}
+	spec, err := s.spec.WithRHS(k * s.req.N)
+	if err != nil {
+		return nil, err
+	}
+	es := spec.Shape()
+	grid := spec.Opts.Grid
+	bmB, err := dist.NewBlockMap(es.K, es.N, grid)
+	if err != nil {
+		return nil, err
+	}
+	bmC, err := dist.NewBlockMap(es.M, es.N, grid)
+	if err != nil {
+		return nil, err
+	}
+	p := &batchPlan{spec: spec, bmB: bmB, bmC: bmC}
+	s.plans[k] = p
+	return p, nil
+}
+
+// ensureBufs returns the buffer set's RHS tiles for width k, allocating
+// the A tiles and the width's B/C tiles on first use. Tiles are zeroed at
+// allocation; ScatterPart rewrites exactly the request region every time,
+// so the zero pad fringe is preserved across reuses.
+func (s *Session) ensureBufs(bs *bufset, plan *batchPlan, k int) *rhsBufs {
+	if bs.aT == nil {
+		bs.aT = allocTiles(s.bmA)
+	}
+	if bs.rhs == nil {
+		bs.rhs = make(map[int]*rhsBufs)
+	}
+	rb, ok := bs.rhs[k]
+	if !ok {
+		rb = &rhsBufs{bT: allocTiles(plan.bmB), cT: allocTiles(plan.bmC)}
+		bs.rhs[k] = rb
+	}
+	return rb
+}
+
+func allocTiles(bm *dist.BlockMap) []*matrix.Dense {
+	tiles := make([]*matrix.Dense, bm.Grid().Size())
+	for r := range tiles {
+		tr, tc := bm.TileShape(r)
+		tiles[r] = matrix.New(tr, tc)
+	}
+	return tiles
+}
+
+// stage scatters a batch's operands into the buffer set: A once (shared),
+// each request's B at its column offset, C zeroed. Returns nil after
+// failing the batch if no execution plan exists for the width (impossible
+// for widths collect admits, kept as a guard).
+func (s *Session) stage(bs *bufset, batch []*job) *staged {
+	k := len(batch)
+	plan, err := s.plan(k)
+	if err != nil {
+		s.finishBatch(batch, err, true)
+		return nil
+	}
+	stageStart := time.Now()
+	var rec *trace.Recorder
+	for _, j := range batch {
+		j.stats.QueueSeconds = stageStart.Sub(j.start).Seconds()
+		if j.traced {
+			if rec == nil {
+				rec = trace.New(s.world.Size())
+			}
+			j.rec = rec
+		}
+	}
+	rb := s.ensureBufs(bs, plan, k)
+	s.bmA.ScatterPart(bs.aT, batch[0].a, 0, 0)
+	for i, j := range batch {
+		plan.bmB.ScatterPart(rb.bT, j.b, 0, i*s.req.N)
+	}
+	for _, t := range rb.cT {
+		t.Zero()
+	}
+	setup := time.Since(stageStart)
+	if rec != nil {
+		es := plan.spec.Shape()
+		rec.Host(trace.PhaseScatter, rec.Since(stageStart), setup.Seconds(),
+			int64(8*(es.M*es.K+es.K*es.N)), 0)
+	}
+	// The double-buffering win, measured: staging time spent while another
+	// request's execution was in flight, attributed evenly across the
+	// batch.
+	var perJob float64
+	if es := s.execStart.Load(); es != 0 {
+		begin := stageStart.UnixNano()
+		if es > begin {
+			begin = es
+		}
+		if end := time.Now().UnixNano(); end > begin {
+			perJob = float64(end-begin) / 1e9 / float64(k)
+		}
+	}
+	for _, j := range batch {
+		j.stats.SetupSeconds = setup.Seconds()
+		j.stats.OverlapSeconds = perJob
+	}
+	s.touch()
+	return &staged{bs: bs, rb: rb, plan: plan, jobs: batch, rec: rec}
+}
+
+// executeBatch runs a staged batch on the resident world, gathers each
+// request's column slice of the batched C, and returns the buffer set to
+// the free pool.
+func (s *Session) executeBatch(st *staged) {
+	k := len(st.jobs)
+	s.mu.Lock()
+	s.stagedN -= k
+	s.inFlight = true
+	occupancy := k + s.stagedN + s.pending
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inFlight = false
+		s.mu.Unlock()
+	}()
+	if s.beforeRun != nil {
+		s.beforeRun()
+	}
+	s.touch()
+
+	var mu sync.Mutex
+	var algErr error
+	s.execStart.Store(time.Now().UnixNano())
+	runStart := time.Now()
+	ranks, err := s.world.RunOnTraced(func(c *mpi.Comm) {
+		r := c.Rank()
+		if e := engine.Run(mpi.AsComm(c), st.plan.spec, st.bs.aT[r], st.rb.bT[r], st.rb.cT[r]); e != nil {
+			mu.Lock()
+			if algErr == nil {
+				algErr = e
+			}
+			mu.Unlock()
+		}
+	}, st.rec)
+	runSec := time.Since(runStart).Seconds()
+	s.execStart.Store(0)
+	if err == nil {
+		err = algErr
+	}
+	if err != nil {
+		s.finishBatch(st.jobs, err, false)
+		s.free <- st.bs
+		return
+	}
+	sum := mpi.Summarize(ranks)
+	gatherStart := time.Now()
+	for i, j := range st.jobs {
+		j.stats.Messages = sum.Messages
+		j.stats.Bytes = sum.Bytes
+		j.stats.MaxRankCommSeconds = sum.MaxComm
+		j.stats.GemmSeconds = sum.MaxGemm
+		j.stats.CommSecondsByPhase = trace.CommPhaseMap(sum.CommByPhase)
+		j.stats.BusyImbalance = sum.Imbalance
+		j.stats.SpecKey = s.key
+		j.stats.RunSeconds = runSec
+		j.stats.BatchSize = k
+		j.stats.PipelineOccupancy = occupancy
+		// Each request's product is its own column slice of the batched C;
+		// GatherPart reads the request-shaped region straight out of the
+		// tiles (the padded fringe is never materialised).
+		out := matrix.New(s.req.M, s.req.N)
+		st.plan.bmC.GatherPart(out, st.rb.cT, 0, i*s.req.N)
+		j.out = out
+	}
+	if st.rec != nil {
+		st.rec.Host(trace.PhaseGather, st.rec.Since(gatherStart),
+			time.Since(gatherStart).Seconds(), int64(8*k*s.req.M*s.req.N), 0)
+	}
+	// Release the buffer set before completing the jobs: results live in
+	// fresh per-request matrices, and an early release lets the stager
+	// begin the next scatter that much sooner.
+	s.free <- st.bs
+	for _, j := range st.jobs {
+		j.stats.WallSeconds = time.Since(j.start).Seconds()
+		j.finish(nil)
+	}
+	s.calls.Add(int64(k))
+	s.touch()
+}
+
+// finishBatch fails every job of a batch; adjustStaged is set when the
+// jobs still count as staged (not yet handed to executeBatch, which does
+// its own accounting).
+func (s *Session) finishBatch(batch []*job, err error, adjustStaged bool) {
+	if adjustStaged {
+		s.mu.Lock()
+		s.stagedN -= len(batch)
+		s.mu.Unlock()
+	}
+	for _, j := range batch {
+		j.finish(err)
+	}
+}
+
+// failHeld fails a job the stager pulled off the queue as a prospective
+// next-batch lead when quit arrives before it could be staged.
+func (s *Session) failHeld(j *job) {
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stagedN--
+	s.mu.Unlock()
+	j.finish(ErrClosed)
+}
+
+// drainHandoff fails batches that were staged but never picked up by the
+// executor before quit.
+func (s *Session) drainHandoff() {
+	for {
+		select {
+		case st := <-s.handoff:
+			s.finishBatch(st.jobs, ErrClosed, true)
+		default:
+			return
 		}
 	}
 }
@@ -377,99 +905,10 @@ func (s *Session) drain() {
 	}
 }
 
-// execute stages one job's operands through the reused buffers, runs the
-// resident world, and gathers the (cropped) product.
-func (s *Session) execute(j *job) {
-	if s.beforeRun != nil {
-		s.beforeRun()
-	}
-	s.touch()
-	if j.traced {
-		j.rec = trace.New(s.world.Size())
-	}
-
-	setupStart := time.Now()
-	j.stats.QueueSeconds = setupStart.Sub(j.start).Seconds()
-	ga := j.a
-	if s.padA != nil {
-		// The pad fringe was zeroed at allocation and only the request
-		// region is ever rewritten, so zero-padding is preserved.
-		s.padA.View(0, 0, s.req.M, s.req.K).CopyFrom(j.a)
-		ga = s.padA
-	}
-	gb := j.b
-	if s.padB != nil {
-		s.padB.View(0, 0, s.req.K, s.req.N).CopyFrom(j.b)
-		gb = s.padB
-	}
-	s.bmA.ScatterInto(s.aT, ga)
-	s.bmB.ScatterInto(s.bT, gb)
-	for _, t := range s.cT {
-		t.Zero()
-	}
-	setup := time.Since(setupStart)
-	if j.rec != nil {
-		es := s.spec.Shape()
-		j.rec.Host(trace.PhaseScatter, j.rec.Since(setupStart), setup.Seconds(),
-			int64(8*(es.M*es.K+es.K*es.N)), 0)
-	}
-
-	var mu sync.Mutex
-	var algErr error
-	runStart := time.Now()
-	ranks, err := s.world.RunOnTraced(func(c *mpi.Comm) {
-		r := c.Rank()
-		if e := engine.Run(mpi.AsComm(c), s.spec, s.aT[r], s.bT[r], s.cT[r]); e != nil {
-			mu.Lock()
-			if algErr == nil {
-				algErr = e
-			}
-			mu.Unlock()
-		}
-	}, j.rec)
-	j.stats.RunSeconds = time.Since(runStart).Seconds()
-	if err == nil {
-		err = algErr
-	}
-	if err != nil {
-		j.finish(err)
-		return
-	}
-	sum := mpi.Summarize(ranks)
-	j.stats.Messages = sum.Messages
-	j.stats.Bytes = sum.Bytes
-	j.stats.MaxRankCommSeconds = sum.MaxComm
-	j.stats.GemmSeconds = sum.MaxGemm
-	j.stats.CommSecondsByPhase = trace.CommPhaseMap(sum.CommByPhase)
-	j.stats.BusyImbalance = sum.Imbalance
-	j.stats.SpecKey = s.key
-	gatherStart := time.Now()
-	var out *matrix.Dense
-	if s.padC != nil {
-		// Gather into the reused padded buffer and clone only the crop the
-		// caller keeps.
-		s.bmC.GatherInto(s.padC, s.cT)
-		out = s.padC.View(0, 0, s.req.M, s.req.N).Clone()
-	} else {
-		// The gathered matrix IS the caller's result; this allocation is
-		// inherent.
-		out = s.bmC.Gather(s.cT)
-	}
-	if j.rec != nil {
-		j.rec.Host(trace.PhaseGather, j.rec.Since(gatherStart),
-			time.Since(gatherStart).Seconds(), int64(8*s.req.M*s.req.N), 0)
-	}
-	j.out = out
-	j.stats.SetupSeconds = setup.Seconds()
-	j.stats.WallSeconds = time.Since(j.start).Seconds()
-	s.calls.Add(1)
-	s.touch()
-	j.finish(nil)
-}
-
-// Close stops the session: the in-flight request (if any) finishes, queued
-// requests fail with ErrClosed, and the resident world is released. It is
-// idempotent and safe to call concurrently with Multiply.
+// Close stops the session: the in-flight batch (if any) finishes, queued
+// and staged-but-unexecuted requests fail with ErrClosed, and the resident
+// world is released. It is idempotent and safe to call concurrently with
+// Multiply.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
