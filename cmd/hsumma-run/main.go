@@ -55,7 +55,7 @@ func main() {
 		m      = flag.Int("m", 0, "result rows M for rectangular GEMM C(M×N) += A(M×K)·B(K×N); 0 = n")
 		k      = flag.Int("k", 0, "contraction dimension K; 0 = n")
 		p      = flag.Int("p", 16, "number of ranks")
-		alg    = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox, auto")
+		alg    = flag.String("alg", "hsumma", "algorithm: summa, hsumma, multilevel, cannon, fox, strassen, auto")
 		auto   = flag.Bool("auto", false, "let the planner pick the configuration (same as -alg auto)")
 		G      = flag.Int("G", 0, "HSUMMA group count (0 = closest feasible to sqrt(p))")
 		b      = flag.Int("b", 0, "block size b (0 = auto via the shared default rule)")
@@ -63,6 +63,10 @@ func main() {
 		bcast  = flag.String("bcast", "binomial", "broadcast: binomial, vandegeijn, flat, binary, chain")
 		thr    = flag.Int("threads", 1, "per-rank thread budget for local multiplies (hybrid intra-rank parallelism)")
 		levels = flag.String("levels", "", "multilevel hierarchy, outermost first, e.g. 2x2:64,2x2:32 (IxJ:blocksize); empty degenerates to SUMMA")
+		sLvl   = flag.Int("strassen-levels", 0, "strassen quadrant recursion depth (0 = one level)")
+		sGrp   = flag.Int("strassen-groups", 0, "strassen HSUMMA-bottom group count (0 = SUMMA bottom)")
+		sLoc   = flag.Bool("local-strassen", false, "run the rank-local sub-cubic Strassen kernel under any algorithm")
+		sCut   = flag.Int("strassen-cutoff", 0, "local Strassen kernel recursion cutoff (0 = blas default)")
 		pf     = flag.String("platform", "grid5000", "machine preset: grid5000, bgp, exascale (sim timing; auto-planning target in both modes)")
 		seed   = flag.Uint64("seed", 42, "input matrix seed (live mode)")
 		eng    = flag.String("engine", "auto", "sim-mode virtual execution engine: goroutine, event, or auto (bit-identical results; event is ~10x faster on full-scale collective-only runs)")
@@ -106,15 +110,19 @@ func main() {
 		a := hsumma.RandomMatrix(shape.M, shape.K, *seed)
 		bm := hsumma.RandomMatrix(shape.K, shape.N, *seed+1)
 		cfg := hsumma.Config{
-			Procs:          *p,
-			Algorithm:      hsumma.Algorithm(*alg),
-			Groups:         *G,
-			BlockSize:      *b,
-			OuterBlockSize: *outer,
-			Levels:         levelList,
-			Broadcast:      bcastAlg,
-			Threads:        *thr,
-			Platform:       &machine,
+			Procs:               *p,
+			Algorithm:           hsumma.Algorithm(*alg),
+			Groups:              *G,
+			BlockSize:           *b,
+			OuterBlockSize:      *outer,
+			Levels:              levelList,
+			Broadcast:           bcastAlg,
+			Threads:             *thr,
+			StrassenLevels:      *sLvl,
+			StrassenInnerGroups: *sGrp,
+			LocalStrassen:       *sLoc,
+			StrassenCutoff:      *sCut,
+			Platform:            &machine,
 		}
 		start := time.Now()
 		var (
@@ -162,19 +170,23 @@ func main() {
 	case "sim":
 		start := time.Now()
 		res, err := hsumma.Simulate(hsumma.SimConfig{
-			Shape:          shape,
-			Procs:          *p,
-			Algorithm:      hsumma.Algorithm(*alg),
-			Groups:         *G,
-			BlockSize:      *b,
-			OuterBlockSize: *outer,
-			Levels:         levelList,
-			Broadcast:      bcastAlg,
-			Threads:        *thr,
-			Machine:        machine.Model,
-			Platform:       &machine,
-			Engine:         simEngine,
-			Trace:          *trOut != "",
+			Shape:               shape,
+			Procs:               *p,
+			Algorithm:           hsumma.Algorithm(*alg),
+			Groups:              *G,
+			BlockSize:           *b,
+			OuterBlockSize:      *outer,
+			Levels:              levelList,
+			Broadcast:           bcastAlg,
+			Threads:             *thr,
+			StrassenLevels:      *sLvl,
+			StrassenInnerGroups: *sGrp,
+			LocalStrassen:       *sLoc,
+			StrassenCutoff:      *sCut,
+			Machine:             machine.Model,
+			Platform:            &machine,
+			Engine:              simEngine,
+			Trace:               *trOut != "",
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simulation failed:", err)

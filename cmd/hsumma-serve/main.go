@@ -42,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/hockney"
 	"repro/internal/platform"
 	"repro/internal/serve"
 )
@@ -68,6 +70,7 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "max same-A requests coalesced into one multi-RHS execution, 1 = no batching (default 8)")
 		batchWin   = flag.Duration("batch-window", 0, "extra wait for same-A arrivals before executing a non-full batch (0 = coalesce only what is already queued)")
 		procs      = flag.Int("default-procs", 16, "rank count for requests that do not pin one")
+		kernCalib  = flag.String("kernel-calib", "", "BENCH_kernel.json path: calibrate the planner's intra-rank speedup curve from the host's measured thread scaling (empty = the 3% default serial fraction)")
 		withPprof  = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
 		withTrace  = flag.Bool("debug-trace", false, "expose POST /debug/trace (one-shot span capture of the next multiply)")
 		logLevel   = flag.String("log-level", "info", "log floor: debug, info, warn or error")
@@ -80,6 +83,19 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *kernCalib != "" {
+		fit, err := calibrateThreads(*kernCalib)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hsumma-serve: -kernel-calib: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Info("thread scaling calibrated",
+			"source", *kernCalib,
+			"serial_fraction", fit,
+			"default", hockney.DefaultThreadOverhead,
+		)
+	}
 
 	hcfg := serve.HandlerConfig{
 		DefaultProcs: *procs,
@@ -155,4 +171,43 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+}
+
+// calibrateThreads fits the planner's intra-rank speedup curve from a
+// BENCH_kernel.json produced on this host (cmd/hsumma-bench -kernelbench):
+// the measured scaling_vs_1t points replace the default 3% serial fraction,
+// so auto-planned thread budgets reflect what the host's cores actually
+// deliver. Serial configurations are unaffected (Speedup(1) stays exactly 1).
+func calibrateThreads(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rep struct {
+		Shapes []struct {
+			Threaded []struct {
+				Threads int     `json:"threads"`
+				Scaling float64 `json:"scaling_vs_1t"`
+			} `json:"threaded"`
+		} `json:"shapes"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	scaling := map[int]float64{}
+	counts := map[int]int{}
+	for _, sh := range rep.Shapes {
+		for _, th := range sh.Threaded {
+			scaling[th.Threads] += th.Scaling
+			counts[th.Threads]++
+		}
+	}
+	for t := range scaling {
+		scaling[t] /= float64(counts[t])
+	}
+	fit, ok := hockney.CalibrateFromScaling(scaling)
+	if !ok {
+		return 0, fmt.Errorf("%s carries no usable scaling_vs_1t points (threads > 1)", path)
+	}
+	return fit, nil
 }

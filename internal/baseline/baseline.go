@@ -44,9 +44,9 @@ func squareGridOf(c comm.Comm, g topo.Grid, sh matrix.Shape) (q, n int, err erro
 // skewing alignment (row i of A rotated left by i, column j of B rotated up
 // by j), q iterations of local multiply followed by a single-step rotation
 // of A leftwards and B upwards. Local tiles are (n/q)×(n/q); aLoc and bLoc
-// are not modified (the rotations work on copies). threads is the per-rank
-// budget for the local multiplies (≤ 1 = serial).
-func Cannon(c comm.Comm, g topo.Grid, sh matrix.Shape, threads int, aLoc, bLoc, cLoc *matrix.Dense) error {
+// are not modified (the rotations work on copies). x describes the local
+// multiplies' execution (threads, optional Strassen kernel).
+func Cannon(c comm.Comm, g topo.Grid, sh matrix.Shape, x comm.Exec, aLoc, bLoc, cLoc *matrix.Dense) error {
 	q, n, err := squareGridOf(c, g, sh)
 	if err != nil {
 		return err
@@ -59,7 +59,7 @@ func Cannon(c comm.Comm, g topo.Grid, sh matrix.Shape, threads int, aLoc, bLoc, 
 	a := c.CloneTile(aLoc)
 	b := c.CloneTile(bLoc)
 	if q == 1 {
-		c.Gemm(cLoc, a, b, threads)
+		c.Gemm(cLoc, a, b, x)
 		return nil
 	}
 	aw := c.NewBuf(tile * tile)
@@ -82,7 +82,7 @@ func Cannon(c comm.Comm, g topo.Grid, sh matrix.Shape, threads int, aLoc, bLoc, 
 		rot(b, bw, dst, src, 1)
 	}
 	for step := 0; step < q; step++ {
-		c.Gemm(cLoc, a, b, threads)
+		c.Gemm(cLoc, a, b, x)
 		if step == q-1 {
 			break
 		}
@@ -97,9 +97,9 @@ func Cannon(c comm.Comm, g topo.Grid, sh matrix.Shape, threads int, aLoc, bLoc, 
 // at step k the tile A_{i,(i+k) mod q} is broadcast along each process row,
 // multiplied with the local B, and B rolls upwards one step. bcastAlg
 // selects the broadcast schedule (the original paper assumed a hypercube
-// broadcast; any algorithm from internal/sched works). threads is the
-// per-rank budget for the local multiplies (≤ 1 = serial).
-func Fox(c comm.Comm, g topo.Grid, sh matrix.Shape, bcastAlg sched.Algorithm, threads int, aLoc, bLoc, cLoc *matrix.Dense) error {
+// broadcast; any algorithm from internal/sched works). x describes the
+// local multiplies' execution (threads, optional Strassen kernel).
+func Fox(c comm.Comm, g topo.Grid, sh matrix.Shape, bcastAlg sched.Algorithm, x comm.Exec, aLoc, bLoc, cLoc *matrix.Dense) error {
 	q, n, err := squareGridOf(c, g, sh)
 	if err != nil {
 		return err
@@ -115,7 +115,7 @@ func Fox(c comm.Comm, g topo.Grid, sh matrix.Shape, bcastAlg sched.Algorithm, th
 	rowComm := c.Split(i, j)
 	b := c.CloneTile(bLoc)
 	if q == 1 {
-		c.Gemm(cLoc, aLoc, b, threads)
+		c.Gemm(cLoc, aLoc, b, x)
 		return nil
 	}
 	aPanel := c.NewTile(tile, tile)
@@ -128,7 +128,7 @@ func Fox(c comm.Comm, g topo.Grid, sh matrix.Shape, bcastAlg sched.Algorithm, th
 		}
 		rowComm.Bcast(bcastAlg, root, aw, 1)
 		c.Unpack(aPanel, aw)
-		c.Gemm(cLoc, aPanel, b, threads)
+		c.Gemm(cLoc, aPanel, b, x)
 		if k == q-1 {
 			break
 		}

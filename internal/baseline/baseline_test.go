@@ -52,7 +52,7 @@ func TestCannonSizes(t *testing.T) {
 		c := c
 		t.Run(fmt.Sprintf("q%d_n%d", c.q, c.n), func(t *testing.T) {
 			runSquare(t, c.q, c.n, func(cm comm.Comm, g topo.Grid, sh matrix.Shape, a, b, c *matrix.Dense) error {
-				return Cannon(cm, g, sh, 1, a, b, c)
+				return Cannon(cm, g, sh, comm.Serial, a, b, c)
 			})
 		})
 	}
@@ -60,7 +60,7 @@ func TestCannonSizes(t *testing.T) {
 
 func TestFoxSizes(t *testing.T) {
 	fox := func(cm comm.Comm, g topo.Grid, sh matrix.Shape, a, b, c *matrix.Dense) error {
-		return Fox(cm, g, sh, sched.Binomial, 1, a, b, c)
+		return Fox(cm, g, sh, sched.Binomial, comm.Serial, a, b, c)
 	}
 	for _, c := range []struct{ q, n int }{{1, 4}, {2, 8}, {3, 9}, {4, 16}} {
 		c := c
@@ -72,7 +72,7 @@ func TestFoxSizes(t *testing.T) {
 
 func TestFoxVanDeGeijnBroadcast(t *testing.T) {
 	fox := func(cm comm.Comm, g topo.Grid, sh matrix.Shape, a, b, c *matrix.Dense) error {
-		return Fox(cm, g, sh, sched.VanDeGeijn, 1, a, b, c)
+		return Fox(cm, g, sh, sched.VanDeGeijn, comm.Serial, a, b, c)
 	}
 	runSquare(t, 4, 16, fox)
 }
@@ -86,7 +86,7 @@ func TestCannonAccumulates(t *testing.T) {
 	c0 := matrix.Random(n, n, 3)
 	aT, bT, cT := bm.Scatter(a), bm.Scatter(b), bm.Scatter(c0)
 	if err := mpi.Run(g.Size(), func(c *mpi.Comm) {
-		if e := Cannon(mpi.AsComm(c), g, matrix.Square(n), 1, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
+		if e := Cannon(mpi.AsComm(c), g, matrix.Square(n), comm.Serial, aT[c.Rank()], bT[c.Rank()], cT[c.Rank()]); e != nil {
 			panic(e)
 		}
 	}); err != nil {
@@ -103,10 +103,10 @@ func TestNonSquareGridRejected(t *testing.T) {
 	g := topo.Grid{S: 2, T: 4}
 	err := mpi.Run(8, func(c *mpi.Comm) {
 		tile := matrix.New(4, 2)
-		if e := Cannon(mpi.AsComm(c), g, matrix.Square(8), 1, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Cannon(mpi.AsComm(c), g, matrix.Square(8), comm.Serial, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("non-square grid accepted by Cannon")
 		}
-		if e := Fox(mpi.AsComm(c), g, matrix.Square(8), sched.Binomial, 1, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Fox(mpi.AsComm(c), g, matrix.Square(8), sched.Binomial, comm.Serial, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("non-square grid accepted by Fox")
 		}
 	})
@@ -119,7 +119,7 @@ func TestIndivisibleNRejected(t *testing.T) {
 	g := topo.Grid{S: 2, T: 2}
 	err := mpi.Run(4, func(c *mpi.Comm) {
 		tile := matrix.New(3, 3)
-		if e := Cannon(mpi.AsComm(c), g, matrix.Square(7), 1, tile, tile.Clone(), tile.Clone()); e == nil {
+		if e := Cannon(mpi.AsComm(c), g, matrix.Square(7), comm.Serial, tile, tile.Clone(), tile.Clone()); e == nil {
 			panic("n=7 over q=2 accepted")
 		}
 	})
@@ -139,10 +139,10 @@ func TestCannonFoxAgree(t *testing.T) {
 	results := make([]*matrix.Dense, 2)
 	for idx, algo := range []func(comm.Comm, topo.Grid, matrix.Shape, *matrix.Dense, *matrix.Dense, *matrix.Dense) error{
 		func(cm comm.Comm, g topo.Grid, sh matrix.Shape, x, y, z *matrix.Dense) error {
-			return Cannon(cm, g, sh, 1, x, y, z)
+			return Cannon(cm, g, sh, comm.Serial, x, y, z)
 		},
 		func(cm comm.Comm, g topo.Grid, sh matrix.Shape, x, y, z *matrix.Dense) error {
-			return Fox(cm, g, sh, sched.Binomial, 2, x, y, z)
+			return Fox(cm, g, sh, sched.Binomial, comm.Threaded(2), x, y, z)
 		},
 	} {
 		aT, bT := bm.Scatter(a), bm.Scatter(b)

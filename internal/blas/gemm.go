@@ -246,15 +246,21 @@ func gemmRows(c, a, b *matrix.Dense, i0, i1 int) {
 // goroutines (GOMAXPROCS when workers <= 0). Workers own disjoint row bands
 // of C, so no synchronisation beyond the final join is needed, and the band
 // partition depends only on (rows, workers) — repeated runs at a fixed
-// worker count are bit-identical.
+// worker count are bit-identical. Band boundaries land on multiples of the
+// mc packing block so a worker never starts mid-panel: a straddled mc panel
+// would be packed twice, once by each neighbour.
 func ParallelGemm(c, a, b *matrix.Dense, workers int) {
 	checkGemmShapes(c, a, b)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rows := a.Rows
-	if workers > rows {
-		workers = rows
+	// Partition whole mc blocks, not rows: worker w takes blocks
+	// [w·blocks/workers, (w+1)·blocks/workers), the same balanced split as
+	// before but quantised to the packing granularity.
+	blocks := (rows + mcBlock - 1) / mcBlock
+	if workers > blocks {
+		workers = blocks
 	}
 	if workers <= 1 || rows*b.Cols*a.Cols < 32*32*32 {
 		gemmRows(c, a, b, 0, rows)
@@ -262,9 +268,12 @@ func ParallelGemm(c, a, b *matrix.Dense, workers int) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		i0 := w * rows / workers
-		i1 := (w + 1) * rows / workers
-		if i0 == i1 {
+		i0 := w * blocks / workers * mcBlock
+		i1 := (w + 1) * blocks / workers * mcBlock
+		if i1 > rows {
+			i1 = rows
+		}
+		if i0 >= i1 {
 			continue
 		}
 		wg.Add(1)

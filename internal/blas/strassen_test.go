@@ -1,0 +1,156 @@
+package blas
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// relTol is the acceptance tolerance for Strassen vs the packed reference:
+// Strassen reassociates the arithmetic, so bit equality is not expected.
+const relTol = 1e-9
+
+func assertClose(t *testing.T, got, want *matrix.Dense, ctx string) {
+	t.Helper()
+	diff := matrix.MaxAbsDiff(got, want)
+	scale := want.FrobeniusNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	if diff/scale > relTol {
+		t.Fatalf("%s: relative error %g exceeds %g", ctx, diff/scale, relTol)
+	}
+}
+
+// TestStrassenGemmPropertyGrid validates C += A·B against the packed
+// reference over ragged, non-divisible and rectangular shapes, with a
+// nonzero initial C so the accumulate contract is exercised.
+func TestStrassenGemmPropertyGrid(t *testing.T) {
+	shapes := [][3]int{
+		{64, 64, 64},    // even power of two
+		{96, 96, 96},    // divisible but not a power of two
+		{65, 65, 65},    // odd at the top level
+		{100, 60, 84},   // rectangular, even
+		{97, 61, 85},    // rectangular, odd everywhere
+		{33, 129, 65},   // ragged: every level pads
+		{128, 16, 128},  // one dim below any cutoff
+		{1, 77, 77},     // degenerate row
+		{130, 258, 514}, // pad-and-crop style near-round
+	}
+	cutoffs := []int{8, 16, 32}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := matrix.Random(m, k, 11)
+		b := matrix.Random(k, n, 22)
+		c0 := matrix.Random(m, n, 33)
+		want := c0.Clone()
+		Gemm(want, a, b)
+		for _, cut := range cutoffs {
+			got := c0.Clone()
+			StrassenGemm(got, a, b, cut, 1)
+			assertClose(t, got, want, "strassen")
+		}
+	}
+}
+
+// TestStrassenGemmViews runs Strassen on strided views (submatrices of a
+// larger allocation), the shape the distributed quadrant code hands it.
+func TestStrassenGemmViews(t *testing.T) {
+	big := matrix.Random(200, 200, 7)
+	a := big.View(3, 5, 90, 70)
+	b := matrix.Random(210, 210, 8).View(0, 1, 70, 110)
+	c := matrix.New(120, 120).View(10, 5, 90, 110)
+	want := c.Clone()
+	Gemm(want, a, b)
+	StrassenGemm(c, a, b, 16, 1)
+	assertClose(t, c, want, "strassen on views")
+}
+
+// TestStrassenThresholdBoundary checks sizes just below, at and just above
+// the cutoff: at or below the cutoff the packed path runs verbatim
+// (bit-identical to Gemm); above it the recursion engages and stays within
+// tolerance.
+func TestStrassenThresholdBoundary(t *testing.T) {
+	const cut = 64
+	for _, n := range []int{cut - 1, cut, cut + 1, 2 * cut} {
+		a := matrix.Random(n, n, 1)
+		b := matrix.Random(n, n, 2)
+		want := matrix.New(n, n)
+		Gemm(want, a, b)
+		got := matrix.New(n, n)
+		StrassenGemm(got, a, b, cut, 1)
+		if n <= cut {
+			if !matrix.Equal(got, want) {
+				t.Fatalf("n=%d ≤ cutoff %d must take the packed path bit-identically", n, cut)
+			}
+			continue
+		}
+		assertClose(t, got, want, "above cutoff")
+	}
+}
+
+// TestStrassenThreadDeterminism: the combine stage applies contributions in
+// fixed product order regardless of worker count, so every thread count
+// yields the same bits.
+func TestStrassenThreadDeterminism(t *testing.T) {
+	a := matrix.Random(130, 140, 3)
+	b := matrix.Random(140, 150, 4)
+	ref := matrix.New(130, 150)
+	StrassenGemm(ref, a, b, 32, 1)
+	for _, th := range []int{2, 3, 4, 7, 16} {
+		got := matrix.New(130, 150)
+		StrassenGemm(got, a, b, 32, th)
+		if !matrix.Equal(got, ref) {
+			t.Fatalf("threads=%d differs from serial bits", th)
+		}
+		// And repeated runs at the same count are stable.
+		again := matrix.New(130, 150)
+		StrassenGemm(again, a, b, 32, th)
+		if !matrix.Equal(again, got) {
+			t.Fatalf("threads=%d not deterministic across runs", th)
+		}
+	}
+}
+
+// TestStrassenFlops pins the recursion accounting: at or below the cutoff
+// the count is exactly 2mnk, one level up it is 7 sub-multiplies plus the
+// 5+5+12 quadrant adds.
+func TestStrassenFlops(t *testing.T) {
+	if got, want := StrassenFlops(64, 64, 64, 64), FlopsGemm(64, 64, 64); got != want {
+		t.Fatalf("base case: got %g want %g", got, want)
+	}
+	q := 64.0 * 64
+	want := 7*FlopsGemm(64, 64, 64) + 22*q
+	if got := StrassenFlops(128, 128, 128, 64); got != want {
+		t.Fatalf("one level: got %g want %g", got, want)
+	}
+	// Odd dims round each quadrant up.
+	q = 64.0 * 64
+	want = 7*FlopsGemm(64, 64, 64) + 22*q
+	if got := StrassenFlops(127, 127, 127, 64); got != want {
+		t.Fatalf("odd one level: got %g want %g", got, want)
+	}
+	// Cutoff ≤ 0 selects the default.
+	if StrassenFlops(512, 512, 512, 0) != StrassenFlops(512, 512, 512, DefaultStrassenCutoff) {
+		t.Fatal("cutoff 0 must mean the default")
+	}
+}
+
+// TestParallelGemmBandAlignment: band boundaries must be multiples of the
+// mc packing block (so straddled panels are never packed twice) and the
+// threaded result must stay bit-identical to the serial kernel.
+func TestParallelGemmBandAlignment(t *testing.T) {
+	for _, rows := range []int{128, 200, 257, 1000} {
+		a := matrix.Random(rows, 90, 5)
+		b := matrix.Random(90, 70, 6)
+		want := matrix.New(rows, 70)
+		Gemm(want, a, b)
+		for _, w := range []int{2, 3, 4, 9} {
+			got := matrix.New(rows, 70)
+			ParallelGemm(got, a, b, w)
+			if !matrix.Equal(got, want) {
+				t.Fatalf("rows=%d workers=%d differs from serial", rows, w)
+			}
+		}
+	}
+}

@@ -30,9 +30,44 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 )
+
+// Exec describes how a rank executes its local multiplies: the intra-rank
+// thread budget (the Go analog of OpenMP threads inside an MPI process;
+// values ≤ 1 mean serial) and the optional sub-cubic local kernel. It
+// travels with every Gemm call so all three transports — live, goroutine
+// virtual and event virtual — agree on both the arithmetic performed and
+// the flop count charged.
+type Exec struct {
+	// Threads is the rank's goroutine budget for the local multiply.
+	Threads int
+	// Strassen selects blas.StrassenGemm as the local kernel; the virtual
+	// transports then charge blas.StrassenFlops instead of 2·m·n·k.
+	Strassen bool
+	// Cutoff is the Strassen recursion cutoff (≤ 0 selects the blas
+	// default); ignored unless Strassen is set.
+	Cutoff int
+}
+
+// Serial is the default execution: one thread, classic kernel.
+var Serial = Exec{Threads: 1}
+
+// Threaded returns a classic-kernel Exec with the given thread budget.
+func Threaded(t int) Exec { return Exec{Threads: t} }
+
+// Flops returns the flop count this execution charges for an m×k by k×n
+// local multiply: blas.StrassenFlops under the sub-cubic kernel, the
+// conventional 2·m·n·k otherwise — evaluated in exactly the historical
+// association order, so non-Strassen virtual times stay bit-identical.
+func (x Exec) Flops(m, n, k int) float64 {
+	if x.Strassen {
+		return blas.StrassenFlops(m, n, k, x.Cutoff)
+	}
+	return blas.FlopsGemm(m, n, k)
+}
 
 // Buf is a wire buffer of matrix elements. Under the live transport Data
 // holds the elements (len(Data) == N); under a virtual transport Data is
@@ -86,13 +121,17 @@ type Comm interface {
 	Pack(dst Buf, src *matrix.Dense)
 	// Unpack fills a tile from a wire buffer produced by Pack.
 	Unpack(dst *matrix.Dense, src Buf)
-	// Gemm performs the local update C += A·B with the rank's intra-rank
-	// thread budget (the Go analog of OpenMP threads inside an MPI
-	// process; values ≤ 1 mean serial): real arithmetic over
-	// write-disjoint C row bands on the live transport, a compute-clock
-	// advance of 2·m·k·n flops scaled by the shared parallel-efficiency
-	// curve (hockney.Speedup) on the virtual one.
-	Gemm(c, a, b *matrix.Dense, threads int)
+	// Gemm performs the local update C += A·B under the given execution
+	// descriptor: real arithmetic (packed, threaded or Strassen per x) on
+	// the live transport, a compute-clock advance of x.Flops(m,n,k) scaled
+	// by the shared parallel-efficiency curve (hockney.Speedup) on the
+	// virtual ones.
+	Gemm(c, a, b *matrix.Dense, x Exec)
+	// Axpy performs the local element-wise update Y += alpha·X over tiles
+	// of equal shape — the quadrant add/sub primitive of the distributed
+	// Strassen algorithm. Live transports do real arithmetic; virtual ones
+	// charge rows·cols flops (one add per element) on the compute clock.
+	Axpy(alpha float64, x, y *matrix.Dense)
 }
 
 // CheckPack panics unless src's shape fills dst exactly — shared by the

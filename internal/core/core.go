@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/comm"
 	"repro/internal/matrix"
 	"repro/internal/sched"
 	"repro/internal/topo"
@@ -57,6 +58,24 @@ type Options struct {
 	// Gemm over write-disjoint C row bands, the virtual ones scale the
 	// compute clock by the shared parallel-efficiency curve.
 	Threads int
+	// LocalStrassen selects the sub-cubic Strassen kernel for every
+	// rank-local multiply (blas.StrassenGemm on the live transport; the
+	// virtual ones charge blas.StrassenFlops). Orthogonal to the
+	// algorithm: any distributed schedule can run a sub-cubic local
+	// kernel. Note Strassen reassociates the arithmetic — results match
+	// the classic kernel to relative tolerance, not bit for bit.
+	LocalStrassen bool
+	// StrassenCutoff is the local Strassen recursion cutoff (≤ 0 selects
+	// the blas default); ignored unless LocalStrassen is set.
+	StrassenCutoff int
+	// StrassenLevels is the inter-rank quadrant recursion depth of the
+	// Strassen algorithm (0 means one level); ignored by the other
+	// algorithms.
+	StrassenLevels int
+	// StrassenInnerGroups selects the bottom algorithm the Strassen
+	// recursion hands each sub-grid problem to: 0 runs SUMMA, > 0 runs
+	// HSUMMA with that group count factored onto the bottom sub-grid.
+	StrassenInnerGroups int
 }
 
 func (o *Options) withDefaults() Options {
@@ -77,6 +96,11 @@ func (o *Options) withDefaults() Options {
 		out.Threads = 1
 	}
 	return out
+}
+
+// Exec returns the execution descriptor every local multiply runs under.
+func (o Options) Exec() comm.Exec {
+	return comm.Exec{Threads: o.Threads, Strassen: o.LocalStrassen, Cutoff: o.StrassenCutoff}
 }
 
 // tiles returns the per-rank tile extents of the three operands on the

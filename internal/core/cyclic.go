@@ -78,7 +78,7 @@ func CyclicSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) erro
 		// the block rows congruent to i mod s, in the same local
 		// order), and likewise for columns, so the update is a plain
 		// local GEMM exactly as in the checkerboard layout.
-		c.Gemm(cLoc, aPanel, bPanel, o.Threads)
+		c.Gemm(cLoc, aPanel, bPanel, o.Exec())
 	}
 	return nil
 }

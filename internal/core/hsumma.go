@@ -105,7 +105,7 @@ func HSUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 			}
 			colComm.Bcast(o.Broadcast, iio, bBuf, o.Segments)
 			c.Unpack(bPanel, bBuf)
-			c.Gemm(cLoc, aPanel, bPanel, o.Threads)
+			c.Gemm(cLoc, aPanel, bPanel, o.Exec())
 		}
 	}
 	return nil

@@ -142,7 +142,7 @@ func MultilevelHSUMMA(c comm.Comm, opts Options, levels []Level, innerBlock int,
 			c.Unpack(bBufs[k], bWire[k])
 		}
 		if k == nLevels-1 {
-			c.Gemm(cLoc, aBufs[k], bBufs[k], o.Threads)
+			c.Gemm(cLoc, aBufs[k], bBufs[k], o.Exec())
 			return
 		}
 		for sub := 0; sub < w/widths[k+1]; sub++ {

@@ -60,7 +60,7 @@ func SUMMA(c comm.Comm, opts Options, aLoc, bLoc, cLoc *matrix.Dense) error {
 		colComm.Bcast(o.Broadcast, ownerRow, bBuf, o.Segments)
 		c.Unpack(bPanel, bBuf)
 		// Local rank-b update.
-		c.Gemm(cLoc, aPanel, bPanel, o.Threads)
+		c.Gemm(cLoc, aPanel, bPanel, o.Exec())
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/blas"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -21,13 +22,18 @@ import (
 // Algorithm names a distributed multiplication algorithm.
 type Algorithm string
 
-// The five distributed algorithms.
+// The six distributed algorithms.
 const (
 	SUMMA      Algorithm = "summa"
 	HSUMMA     Algorithm = "hsumma"
 	Multilevel Algorithm = "multilevel"
 	Cannon     Algorithm = "cannon"
 	Fox        Algorithm = "fox"
+	// Strassen is the sub-cubic quadrant recursion over the grid
+	// (core.Strassen): StrassenLevels rounds of 2×2 grid splitting,
+	// bottoming out in SUMMA (or HSUMMA with StrassenInnerGroups) on the
+	// sub-grids. Square-only at the inter-rank level, like Cannon and Fox.
+	Strassen Algorithm = "strassen"
 )
 
 // Auto is the planner-resolved pseudo-algorithm: a Spec never reaches Run
@@ -39,7 +45,7 @@ const Auto Algorithm = "auto"
 
 // Algorithms lists every dispatchable algorithm, for sweeps and tests.
 func Algorithms() []Algorithm {
-	return []Algorithm{SUMMA, HSUMMA, Multilevel, Cannon, Fox}
+	return []Algorithm{SUMMA, HSUMMA, Multilevel, Cannon, Fox, Strassen}
 }
 
 // AlgorithmByName maps a user-facing name (case-insensitive) to an
@@ -47,10 +53,10 @@ func Algorithms() []Algorithm {
 // that parses algorithm names shares this table.
 func AlgorithmByName(name string) (Algorithm, error) {
 	switch a := Algorithm(strings.ToLower(name)); a {
-	case SUMMA, HSUMMA, Multilevel, Cannon, Fox, Auto:
+	case SUMMA, HSUMMA, Multilevel, Cannon, Fox, Strassen, Auto:
 		return a, nil
 	}
-	return "", fmt.Errorf("engine: unknown algorithm %q (have summa, hsumma, multilevel, cannon, fox, auto)", name)
+	return "", fmt.Errorf("engine: unknown algorithm %q (have summa, hsumma, multilevel, cannon, fox, strassen, auto)", name)
 }
 
 // Executor names a virtual execution engine for simulated runs. The live
@@ -172,7 +178,25 @@ func (s Spec) Key() string {
 		}
 		fmt.Fprintf(&b, "|B=%d|G=%dx%d", outer, s.Opts.Groups.I, s.Opts.Groups.J)
 	}
+	if s.Algorithm == Strassen {
+		// Levels are canonicalised (≤ 0 means one level); the inner-group
+		// count and HSUMMA outer block are keyed only when they bind.
+		fmt.Fprintf(&b, "|sl=%d", core.StrassenLevelsOf(s.Opts.StrassenLevels))
+		if s.Opts.StrassenInnerGroups > 0 {
+			outer := s.Opts.OuterBlockSize
+			if outer == 0 {
+				outer = s.Opts.BlockSize
+			}
+			fmt.Fprintf(&b, "|sg=%d|B=%d", s.Opts.StrassenInnerGroups, outer)
+		}
+	}
 	fmt.Fprintf(&b, "|bc=%s|seg=%d", bcast, seg)
+	// The sub-cubic local kernel changes the arithmetic every rank runs
+	// (and its virtual flop accounting), so it is part of the identity for
+	// every algorithm; the cutoff is canonicalised through the blas rule.
+	if s.Opts.LocalStrassen {
+		fmt.Fprintf(&b, "|ls=%d", blas.StrassenCutoff(s.Opts.StrassenCutoff))
+	}
 	// The per-rank thread budget changes what the execution runs (and the
 	// serving layer's core accounting), so it is part of the identity —
 	// but only when hybrid; serial specs keep their historical keys.
@@ -210,6 +234,28 @@ func (s Spec) PaddedShape() (matrix.Shape, error) {
 			return sh, nil // the baseline reports the grid restriction
 		}
 		return matrix.Square(ceilMult(sh.N, g.S)), nil
+	case Strassen:
+		// Square-only, like Cannon/Fox — pad-and-crop handles near-square,
+		// and a genuinely rectangular request is rejected here (which is
+		// also the serving layer's cannot-batch signal via WithRHS).
+		if !sh.IsSquare() {
+			return matrix.Shape{}, fmt.Errorf("engine: %s: shape %v: %w", s.Algorithm, sh, matrix.ErrSquareOnly)
+		}
+		if g.S != g.T {
+			return sh, nil // the algorithm reports the grid restriction
+		}
+		// The bottom SUMMA/HSUMMA needs its pivot panels inside one
+		// sub-grid row/column: with tile size n/S invariant across levels,
+		// unit·S | n suffices at every depth (2^levels | S implies
+		// 2^levels | n for free).
+		unit := s.Opts.BlockSize
+		if s.Opts.StrassenInnerGroups > 0 && s.Opts.OuterBlockSize > unit {
+			unit = s.Opts.OuterBlockSize
+		}
+		if unit <= 0 {
+			return sh, nil // block validation happens in the algorithm
+		}
+		return matrix.Square(ceilMult(sh.N, unit*g.S)), nil
 	case SUMMA, HSUMMA, Multilevel:
 		// The K padding unit: panels of the widest level must live in one
 		// grid row and one grid column, so K must be a multiple of
@@ -290,9 +336,11 @@ func Run(c comm.Comm, s Spec, aLoc, bLoc, cLoc *matrix.Dense) error {
 	case Multilevel:
 		return core.MultilevelHSUMMA(c, s.Opts, s.Levels, s.Opts.BlockSize, aLoc, bLoc, cLoc)
 	case Cannon:
-		return baseline.Cannon(c, s.Opts.Grid, s.Shape(), s.Opts.Threads, aLoc, bLoc, cLoc)
+		return baseline.Cannon(c, s.Opts.Grid, s.Shape(), s.Opts.Exec(), aLoc, bLoc, cLoc)
 	case Fox:
-		return baseline.Fox(c, s.Opts.Grid, s.Shape(), s.Opts.Broadcast, s.Opts.Threads, aLoc, bLoc, cLoc)
+		return baseline.Fox(c, s.Opts.Grid, s.Shape(), s.Opts.Broadcast, s.Opts.Exec(), aLoc, bLoc, cLoc)
+	case Strassen:
+		return core.Strassen(c, s.Opts, aLoc, bLoc, cLoc)
 	case Auto:
 		return fmt.Errorf("engine: algorithm %q must be resolved by the tune planner before Run", s.Algorithm)
 	default:

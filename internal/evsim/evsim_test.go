@@ -176,7 +176,7 @@ func TestSingleRankWorld(t *testing.T) {
 	w := NewWorld(1, testCfg())
 	err := w.Run(func(c comm.Comm) {
 		c.Bcast(sched.Binomial, 0, c.NewBuf(5), 1)
-		c.Gemm(c.NewTile(4, 4), c.NewTile(4, 4), c.NewTile(4, 4), 1)
+		c.Gemm(c.NewTile(4, 4), c.NewTile(4, 4), c.NewTile(4, 4), comm.Serial)
 	})
 	if err != nil {
 		t.Fatal(err)

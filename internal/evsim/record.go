@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/blas"
 	"repro/internal/comm"
 	"repro/internal/matrix"
 	"repro/internal/sched"
@@ -262,21 +263,51 @@ func (c *rComm) Pack(dst comm.Buf, src *matrix.Dense) { comm.CheckPack(dst, src)
 // Unpack checks shapes; no elements move.
 func (c *rComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, dst) }
 
-// Gemm validates shapes and records the 2·m·k·n flops of the local update
-// plus the rank's thread budget (the event's spare d field); the replay
-// advances the rank's compute state exactly as the goroutine engine's
-// Gemm does, including the hockney.Speedup(threads) division.
-func (c *rComm) Gemm(cm, a, b *matrix.Dense, threads int) {
+// Gemm validates shapes and records the local update's dimensions plus the
+// execution descriptor packed into the event's spare d field: the low 16
+// bits carry the thread budget, the high bits the Strassen cutoff (zero
+// for the classic kernel — so for every non-Strassen program d equals the
+// thread count exactly as it always has, and historical recordings replay
+// bit-identically). The replay advances the rank's compute state exactly
+// as the goroutine engine's Gemm does, including the
+// hockney.Speedup(threads) division.
+func (c *rComm) Gemm(cm, a, b *matrix.Dense, x comm.Exec) {
 	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
 		panic(fmt.Sprintf("evsim: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
 			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	threads := x.Threads
 	if threads < 0 {
 		threads = 0
 	}
+	if threads >= 1<<16 {
+		panic(fmt.Sprintf("evsim: gemm threads %d does not fit the packed event field", threads))
+	}
+	d := int32(threads)
+	if x.Strassen {
+		// Resolve the cutoff before recording: the replay must charge the
+		// exact recursion the live kernel runs.
+		cut := blas.StrassenCutoff(x.Cutoff)
+		if cut >= 1<<15 {
+			panic(fmt.Sprintf("evsim: strassen cutoff %d does not fit the packed event field", cut))
+		}
+		d |= int32(cut) << 16
+	}
 	c.p.push(event{comm: c.cs, kind: evGemm,
 		a: ck32("gemm rows", a.Rows), b: ck32("gemm cols", b.Cols), c: ck32("gemm inner dim", a.Cols),
-		d: ck32("gemm threads", threads)})
+		d: d})
+}
+
+// Axpy validates shapes and records the element-wise update Y += alpha·X;
+// the replay charges rows·cols flops, mirroring the goroutine engine. The
+// scalar itself is timing-irrelevant and is not recorded.
+func (c *rComm) Axpy(alpha float64, x, y *matrix.Dense) {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		panic(fmt.Sprintf("evsim: axpy shape mismatch Y(%dx%d) += %g*X(%dx%d)",
+			y.Rows, y.Cols, alpha, x.Rows, x.Cols))
+	}
+	c.p.push(event{comm: c.cs, kind: evAxpy,
+		a: ck32("axpy rows", x.Rows), b: ck32("axpy cols", x.Cols)})
 }
 
 // Broadcast algorithm codes: events carry a byte, not the schedule name.

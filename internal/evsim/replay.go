@@ -3,6 +3,7 @@ package evsim
 import (
 	"fmt"
 
+	"repro/internal/blas"
 	"repro/internal/hockney"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -208,17 +209,34 @@ func (w *World) advance(r int) bool {
 			case evGemm:
 				// Inlined doGemm fast path: the local update is the
 				// second most frequent event after collective arrivals.
-				// The Speedup division mirrors VComm.Gemm bit for bit
-				// (Speedup(1) = 1 exactly), keeping engine parity.
-				flops := 2 * float64(ev.a) * float64(ev.b) * float64(ev.c) / hockney.Speedup(int(ev.d))
+				// The d field packs threads | strassenCutoff<<16; a zero
+				// cutoff is the classic kernel, where the expression below
+				// mirrors VComm.Gemm (and the historical replay) bit for
+				// bit — Speedup(1) = 1 exactly — keeping engine parity.
+				threads := int(ev.d & 0xffff)
+				var flops float64
+				if cut := int(ev.d >> 16); cut > 0 {
+					flops = blas.StrassenFlops(int(ev.a), int(ev.b), int(ev.c), cut) / hockney.Speedup(threads)
+				} else {
+					flops = 2 * float64(ev.a) * float64(ev.b) * float64(ev.c) / hockney.Speedup(threads)
+				}
 				if !w.overlap {
 					pre := w.sim.Clocks()[r]
 					w.sim.ComputeRank(r, flops)
 					if w.rec != nil {
-						w.rec.RankThreads(r, trace.PhaseGemm, pre, w.sim.Clocks()[r]-pre, int(ev.d))
+						w.rec.RankThreads(r, trace.PhaseGemm, pre, w.sim.Clocks()[r]-pre, threads)
 					}
 				} else {
-					w.doGemmOverlap(r, flops, int(ev.d))
+					w.doGemmOverlap(r, flops, threads)
+				}
+			case evAxpy:
+				// One add per element, no Speedup, no trace span — the
+				// goroutine engine's Axpy bit for bit.
+				flops := float64(ev.a) * float64(ev.b)
+				if !w.overlap {
+					w.sim.ComputeRank(r, flops)
+				} else {
+					w.doAxpyOverlap(r, flops)
 				}
 			case evSend:
 				w.doSend(r, *ev)
@@ -257,6 +275,17 @@ func (w *World) doGemmOverlap(me int, flops float64, threads int) {
 	if w.rec != nil {
 		w.rec.RankThreads(me, trace.PhaseGemm, start, dt, threads)
 	}
+}
+
+// doAxpyOverlap advances the rank's dedicated compute timeline by an
+// axpy's flops — doGemmOverlap without the trace span.
+func (w *World) doAxpyOverlap(me int, flops float64) {
+	dt := w.cfg.Model.Compute(flops)
+	start := w.computeDone[me]
+	if clk := w.sim.Clocks()[me]; clk > start {
+		start = clk
+	}
+	w.computeDone[me] = start + dt
 }
 
 // doSend replays an eager send: the sender is occupied for the transfer

@@ -29,6 +29,8 @@ const (
 //	evSRSend: a=dst   b=sendTag  c=elems  d=caller's comm rank
 //	evSRRecv: a=src   b=recvTag  c=elems
 //	evGemm:   a=C rows (A rows)  b=C cols (B cols)  c=inner dim (A cols)
+//	          d=threads | strassenCutoff<<16 (cutoff 0 = classic kernel)
+//	evAxpy:   a=rows  b=cols
 type event struct {
 	comm       *commState
 	a, b, c, d int32
@@ -43,6 +45,7 @@ const (
 	evSRSend
 	evSRRecv
 	evGemm
+	evAxpy
 )
 
 // ring is the single-producer/single-consumer event queue of one rank.

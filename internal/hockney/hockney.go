@@ -7,7 +7,11 @@
 // like.
 package hockney
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
 
 // BytesPerElement is the wire size of one matrix element (float64).
 const BytesPerElement = 8
@@ -49,13 +53,61 @@ func (m Model) Compute(flops float64) float64 {
 	return flops * m.Gamma
 }
 
-// ThreadOverhead is the serial-fraction coefficient of the intra-rank
-// parallel-efficiency curve: Speedup(t) = t / (1 + ThreadOverhead·(t-1)),
+// DefaultThreadOverhead is the uncalibrated serial-fraction coefficient of
+// the intra-rank parallel-efficiency curve: Speedup(t) = t / (1 + s·(t−1)),
 // an Amdahl-style model of the per-band packing redundancy and join cost
-// the threaded kernel pays (calibrated against cmd/hsumma-bench
-// -kernelbench; 0.03 gives Speedup(4) ≈ 3.67, the near-linear scaling the
-// packed kernel shows on write-disjoint row bands).
-const ThreadOverhead = 0.03
+// the threaded kernel pays. 0.03 gives Speedup(4) ≈ 3.67, the near-linear
+// scaling the packed kernel shows on write-disjoint row bands; hosts that
+// have run cmd/hsumma-bench -kernelbench can replace it with the measured
+// fit via CalibrateFromScaling.
+const DefaultThreadOverhead = 0.03
+
+// threadOverhead holds the active serial fraction as float64 bits, so the
+// planner (which calls Speedup from concurrent stage-2 refinements) never
+// races a calibration performed at daemon startup.
+var threadOverhead atomic.Uint64
+
+func init() { threadOverhead.Store(math.Float64bits(DefaultThreadOverhead)) }
+
+// ThreadOverhead returns the serial fraction Speedup currently models —
+// DefaultThreadOverhead unless SetThreadOverhead/CalibrateFromScaling
+// replaced it.
+func ThreadOverhead() float64 { return math.Float64frombits(threadOverhead.Load()) }
+
+// SetThreadOverhead replaces the modelled serial fraction, clamped to
+// [0, 1] (0 = perfect scaling, 1 = no scaling at all). NaN is ignored.
+func SetThreadOverhead(s float64) {
+	if math.IsNaN(s) {
+		return
+	}
+	threadOverhead.Store(math.Float64bits(math.Min(1, math.Max(0, s))))
+}
+
+// CalibrateFromScaling fits the serial fraction from measured intra-rank
+// scaling points — thread count t mapped to the observed speedup S over
+// one thread, kernelbench's scaling_vs_1t. Inverting the Amdahl curve
+// gives one estimate s = (t/S − 1)/(t − 1) per point; the fit is the mean
+// over the usable points (t > 1 with positive speedup), clamped to [0, 1]
+// and installed via SetThreadOverhead. With no usable point the overhead
+// is left untouched (the 3% default stays) and ok is false. Speedup(1)
+// remains exactly 1 under any calibration — serial paths stay
+// bit-identical.
+func CalibrateFromScaling(points map[int]float64) (fit float64, ok bool) {
+	var sum float64
+	var n int
+	for t, s := range points {
+		if t <= 1 || s <= 0 {
+			continue
+		}
+		sum += (float64(t)/s - 1) / float64(t-1)
+		n++
+	}
+	if n == 0 {
+		return ThreadOverhead(), false
+	}
+	SetThreadOverhead(sum / float64(n))
+	return ThreadOverhead(), true
+}
 
 // Speedup returns the modelled intra-rank speedup of the local GEMM when a
 // rank multiplies with t goroutine workers (the paper's OpenMP threads
@@ -68,7 +120,7 @@ func Speedup(t int) float64 {
 		return 1
 	}
 	tf := float64(t)
-	return tf / (1 + ThreadOverhead*(tf-1))
+	return tf / (1 + ThreadOverhead()*(tf-1))
 }
 
 // LatencyBandwidthRatio returns α/β in bytes: the message size at which the

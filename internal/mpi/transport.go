@@ -76,23 +76,39 @@ func (t Transport) Unpack(dst *matrix.Dense, src comm.Buf) {
 	dst.Unpack(src.Data)
 }
 
-// Gemm performs the real local update C += A·B: serial for threads ≤ 1,
-// goroutine-parallel over write-disjoint C row bands otherwise — each
-// rank's local multiply is the hybrid layer's OpenMP region. The time
-// spent here feeds the rank's GemmSeconds and, when tracing, a compute
-// span — the other half of the paper's comm/compute breakdown.
-func (t Transport) Gemm(c, a, b *matrix.Dense, threads int) {
+// Gemm performs the real local update C += A·B per the execution
+// descriptor: the packed kernel serially for x.Threads ≤ 1,
+// goroutine-parallel over write-disjoint C row bands otherwise, or the
+// sub-cubic Strassen kernel when x.Strassen — each rank's local multiply
+// is the hybrid layer's OpenMP region. The time spent here feeds the
+// rank's GemmSeconds and, when tracing, a compute span — the other half
+// of the paper's comm/compute breakdown.
+func (t Transport) Gemm(c, a, b *matrix.Dense, x comm.Exec) {
 	start := time.Now()
-	if threads <= 1 {
+	switch {
+	case x.Strassen:
+		blas.StrassenGemm(c, a, b, x.Cutoff, x.Threads)
+	case x.Threads <= 1:
 		blas.Gemm(c, a, b)
-	} else {
-		blas.ParallelGemm(c, a, b, threads)
+	default:
+		blas.ParallelGemm(c, a, b, x.Threads)
 	}
 	w := t.c.world
 	wr := t.c.WorldRank()
 	dt := time.Since(start).Seconds()
 	w.stats[wr].GemmSeconds += dt
 	if w.rec != nil {
-		w.rec.RankThreads(wr, trace.PhaseGemm, start.Sub(w.epoch).Seconds(), dt, threads)
+		w.rec.RankThreads(wr, trace.PhaseGemm, start.Sub(w.epoch).Seconds(), dt, x.Threads)
 	}
+}
+
+// Axpy performs the real element-wise update Y += alpha·X; the time counts
+// toward GemmSeconds (it is local compute). No trace span is emitted — the
+// virtual transports emit none either, keeping span-count parity.
+func (t Transport) Axpy(alpha float64, x, y *matrix.Dense) {
+	start := time.Now()
+	blas.Axpy(alpha, x, y)
+	w := t.c.world
+	wr := t.c.WorldRank()
+	w.stats[wr].GemmSeconds += time.Since(start).Seconds()
 }

@@ -225,17 +225,25 @@ type jsonMultiply struct {
 	Alg   string `json:"algorithm,omitempty"`
 	Grid  []int  `json:"grid,omitempty"`
 	// Groups is HSUMMA's G; BlockSize/OuterBlockSize the paper's b/B.
-	Groups         int       `json:"groups,omitempty"`
-	BlockSize      int       `json:"block_size,omitempty"`
-	OuterBlockSize int       `json:"outer_block_size,omitempty"`
-	Broadcast      string    `json:"broadcast,omitempty"`
-	Segments       int       `json:"segments,omitempty"`
+	Groups         int    `json:"groups,omitempty"`
+	BlockSize      int    `json:"block_size,omitempty"`
+	OuterBlockSize int    `json:"outer_block_size,omitempty"`
+	Broadcast      string `json:"broadcast,omitempty"`
+	Segments       int    `json:"segments,omitempty"`
 	// Threads is the per-rank thread budget (hybrid intra-rank
 	// parallelism); 0 and 1 mean serial ranks. The scheduler accounts the
 	// session as ranks × threads cores.
-	Threads int       `json:"threads,omitempty"`
-	A       []float64 `json:"a"`
-	B       []float64 `json:"b"`
+	Threads int `json:"threads,omitempty"`
+	// StrassenLevels/StrassenInnerGroups configure the strassen
+	// algorithm's recursion depth and HSUMMA bottom; LocalStrassen and
+	// StrassenCutoff select the rank-local sub-cubic kernel under any
+	// algorithm.
+	StrassenLevels      int       `json:"strassen_levels,omitempty"`
+	StrassenInnerGroups int       `json:"strassen_inner_groups,omitempty"`
+	LocalStrassen       bool      `json:"local_strassen,omitempty"`
+	StrassenCutoff      int       `json:"strassen_cutoff,omitempty"`
+	A                   []float64 `json:"a"`
+	B                   []float64 `json:"b"`
 }
 
 // jsonResult is the JSON response of POST /multiply.
@@ -311,7 +319,15 @@ func (h *handler) parseJSON(r *http.Request) (*matrix.Dense, *matrix.Dense, tune
 	if len(req.B) != req.K*req.N {
 		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: b has %d elements, want k*n = %d", len(req.B), req.K*req.N)
 	}
-	rp, err := h.resolveParams(req.Procs, req.Alg, req.Grid, req.Groups, req.BlockSize, req.OuterBlockSize, req.Broadcast, req.Segments, req.Threads)
+	rp, err := h.resolveParams(reqKnobs{
+		procs: req.Procs, alg: req.Alg, grid: req.Grid,
+		groups: req.Groups, blockSize: req.BlockSize, outer: req.OuterBlockSize,
+		bcast: req.Broadcast, segments: req.Segments, threads: req.Threads,
+		strassenLevels:      req.StrassenLevels,
+		strassenInnerGroups: req.StrassenInnerGroups,
+		localStrassen:       req.LocalStrassen,
+		strassenCutoff:      req.StrassenCutoff,
+	})
 	if err != nil {
 		return nil, nil, tune.ResolveParams{}, err
 	}
@@ -321,7 +337,8 @@ func (h *handler) parseJSON(r *http.Request) (*matrix.Dense, *matrix.Dense, tune
 // parseRaw decodes the raw body: m*k float64s of A immediately followed by
 // k*n float64s of B, little-endian; the shape and config arrive as query
 // parameters (m, k, n, procs, algorithm, grid=SxT, groups, block_size,
-// outer_block_size, broadcast, segments, threads).
+// outer_block_size, broadcast, segments, threads, strassen_levels,
+// strassen_inner_groups, local_strassen, strassen_cutoff).
 func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.ResolveParams, error) {
 	q := r.URL.Query()
 	geti := func(name string) (int, error) {
@@ -373,6 +390,25 @@ func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.
 	if err != nil {
 		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad threads: %w", err)
 	}
+	strassenLevels, err := geti("strassen_levels")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad strassen_levels: %w", err)
+	}
+	strassenGroups, err := geti("strassen_inner_groups")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad strassen_inner_groups: %w", err)
+	}
+	strassenCutoff, err := geti("strassen_cutoff")
+	if err != nil {
+		return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad strassen_cutoff: %w", err)
+	}
+	localStrassen := false
+	if v := q.Get("local_strassen"); v != "" {
+		localStrassen, err = strconv.ParseBool(v)
+		if err != nil {
+			return nil, nil, tune.ResolveParams{}, fmt.Errorf("serve: bad local_strassen: %w", err)
+		}
+	}
 	var grid []int
 	if g := q.Get("grid"); g != "" {
 		parts := strings.Split(g, "x")
@@ -386,7 +422,15 @@ func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.
 		}
 		grid = []int{s, t}
 	}
-	rp, err := h.resolveParams(procs, q.Get("algorithm"), grid, groups, blockSize, outer, q.Get("broadcast"), segments, threads)
+	rp, err := h.resolveParams(reqKnobs{
+		procs: procs, alg: q.Get("algorithm"), grid: grid,
+		groups: groups, blockSize: blockSize, outer: outer,
+		bcast: q.Get("broadcast"), segments: segments, threads: threads,
+		strassenLevels:      strassenLevels,
+		strassenInnerGroups: strassenGroups,
+		localStrassen:       localStrassen,
+		strassenCutoff:      strassenCutoff,
+	})
 	if err != nil {
 		return nil, nil, tune.ResolveParams{}, err
 	}
@@ -411,42 +455,62 @@ func (h *handler) parseRaw(r *http.Request) (*matrix.Dense, *matrix.Dense, tune.
 	return a, b, rp, nil
 }
 
+// reqKnobs carries the configuration knobs of one multiply request in
+// wire form, before name resolution; both body formats (JSON fields,
+// raw-body query parameters) decode into it.
+type reqKnobs struct {
+	procs                    int
+	alg                      string
+	grid                     []int
+	groups, blockSize, outer int
+	bcast                    string
+	segments, threads        int
+	strassenLevels           int
+	strassenInnerGroups      int
+	localStrassen            bool
+	strassenCutoff           int
+}
+
 // resolveParams assembles the shared resolution input from request knobs,
 // applying the handler's defaults.
-func (h *handler) resolveParams(procs int, alg string, grid []int, groups, blockSize, outer int, bcast string, segments, threads int) (tune.ResolveParams, error) {
-	if threads < 0 {
-		return tune.ResolveParams{}, fmt.Errorf("serve: threads must be non-negative, have %d", threads)
+func (h *handler) resolveParams(kn reqKnobs) (tune.ResolveParams, error) {
+	if kn.threads < 0 {
+		return tune.ResolveParams{}, fmt.Errorf("serve: threads must be non-negative, have %d", kn.threads)
 	}
 	rp := tune.ResolveParams{
-		Procs:          procs,
-		Groups:         groups,
-		BlockSize:      blockSize,
-		OuterBlockSize: outer,
-		Segments:       segments,
-		Threads:        threads,
-		Platform:       h.cfg.Platform,
+		Procs:               kn.procs,
+		Groups:              kn.groups,
+		BlockSize:           kn.blockSize,
+		OuterBlockSize:      kn.outer,
+		Segments:            kn.segments,
+		Threads:             kn.threads,
+		StrassenLevels:      kn.strassenLevels,
+		StrassenInnerGroups: kn.strassenInnerGroups,
+		LocalStrassen:       kn.localStrassen,
+		StrassenCutoff:      kn.strassenCutoff,
+		Platform:            h.cfg.Platform,
 	}
 	if rp.Procs <= 0 {
 		rp.Procs = h.cfg.DefaultProcs
 	}
-	if alg != "" {
-		a, err := engine.AlgorithmByName(alg)
+	if kn.alg != "" {
+		a, err := engine.AlgorithmByName(kn.alg)
 		if err != nil {
 			return tune.ResolveParams{}, err
 		}
 		rp.Algorithm = a
 	}
-	if len(grid) == 2 {
-		g, err := topo.NewGrid(grid[0], grid[1])
+	if len(kn.grid) == 2 {
+		g, err := topo.NewGrid(kn.grid[0], kn.grid[1])
 		if err != nil {
 			return tune.ResolveParams{}, err
 		}
 		rp.Grid = &g
-	} else if len(grid) != 0 {
-		return tune.ResolveParams{}, fmt.Errorf("serve: grid must be [S, T], have %v", grid)
+	} else if len(kn.grid) != 0 {
+		return tune.ResolveParams{}, fmt.Errorf("serve: grid must be [S, T], have %v", kn.grid)
 	}
-	if bcast != "" {
-		b, err := sched.ByName(bcast)
+	if kn.bcast != "" {
+		b, err := sched.ByName(kn.bcast)
 		if err != nil {
 			return tune.ResolveParams{}, err
 		}

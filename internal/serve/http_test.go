@@ -61,6 +61,43 @@ func TestHTTPMultiplyJSON(t *testing.T) {
 	}
 }
 
+// TestHTTPMultiplyStrassen drives a JSON strassen request — with the
+// sub-cubic local kernel on — end to end through the request parser, the
+// scheduler and the quadrant recursion.
+func TestHTTPMultiplyStrassen(t *testing.T) {
+	srv, _ := newTestServer(t)
+	n := 16
+	a := matrix.Random(n, n, 5)
+	b := matrix.Random(n, n, 6)
+	body, _ := json.Marshal(map[string]any{
+		"m": n, "n": n, "k": n, "procs": 4, "algorithm": "strassen",
+		"block_size": 4, "local_strassen": true, "strassen_cutoff": 4,
+		"a": a.Pack(nil), "b": b.Pack(nil),
+	})
+	resp, err := http.Post(srv.URL+"/multiply", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var res jsonResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	got := matrix.FromSlice(n, n, res.C)
+	if d := matrix.MaxAbsDiff(got, reference(a, b)); d > oracleTol {
+		t.Fatalf("strassen HTTP product differs from oracle by %g", d)
+	}
+	// A batched run would be wrong here (the recursion is square-only) —
+	// the session must have served it unbatched.
+	if res.Stats.BatchSize != 1 {
+		t.Fatalf("strassen request batched: BatchSize = %d", res.Stats.BatchSize)
+	}
+}
+
 // TestHTTPMultiplyRaw round-trips the little-endian binary body format.
 func TestHTTPMultiplyRaw(t *testing.T) {
 	srv, _ := newTestServer(t)

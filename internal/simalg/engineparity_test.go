@@ -93,6 +93,12 @@ func paritySpecs(t *testing.T) map[string]engine.Spec {
 		"cannon": {Algorithm: engine.Cannon, Opts: core.Options{N: n, Grid: g}},
 		"fox": {Algorithm: engine.Fox, Opts: core.Options{
 			N: n, Grid: g, Broadcast: sched.VanDeGeijn}},
+		"strassen": {Algorithm: engine.Strassen, Opts: core.Options{
+			N: n, Grid: g, BlockSize: 8,
+			LocalStrassen: true, StrassenCutoff: 8}},
+		"strassen_hsumma": {Algorithm: engine.Strassen, Opts: core.Options{
+			N: n, Grid: g, BlockSize: 8, StrassenLevels: 1,
+			StrassenInnerGroups: 2, Threads: 2}},
 	}
 }
 

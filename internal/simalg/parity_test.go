@@ -41,11 +41,16 @@ func liveStats(t *testing.T, cfg Config, alg engine.Algorithm) []mpi.RankStats {
 		Algorithm: alg,
 		Opts: core.Options{
 			N: cfg.N, Grid: g,
-			BlockSize:      cfg.BlockSize,
-			OuterBlockSize: cfg.OuterBlockSize,
-			Groups:         cfg.Groups,
-			Broadcast:      cfg.Bcast,
-			Segments:       cfg.Segments,
+			BlockSize:           cfg.BlockSize,
+			OuterBlockSize:      cfg.OuterBlockSize,
+			Groups:              cfg.Groups,
+			Broadcast:           cfg.Bcast,
+			Segments:            cfg.Segments,
+			Threads:             cfg.Threads,
+			LocalStrassen:       cfg.LocalStrassen,
+			StrassenCutoff:      cfg.StrassenCutoff,
+			StrassenLevels:      cfg.StrassenLevels,
+			StrassenInnerGroups: cfg.StrassenInnerGroups,
 		},
 		Levels: cfg.Levels,
 	}
@@ -95,6 +100,12 @@ func TestLiveSimTrafficParity(t *testing.T) {
 		{"cannon", engine.Cannon, Config{N: 16, Grid: g, Machine: machine}},
 		{"fox", engine.Fox, Config{N: 16, Grid: g, Machine: machine}},
 		{"fox_vandegeijn", engine.Fox, Config{N: 16, Grid: g, Bcast: sched.VanDeGeijn, Machine: machine}},
+		// Strassen's quadrant staging + bottom SUMMA/HSUMMA: the p2p stage
+		// and combine traffic must match message for message, byte for byte.
+		{"strassen", engine.Strassen, Config{N: 32, Grid: g, BlockSize: 2, Machine: machine}},
+		{"strassen_l2", engine.Strassen, Config{N: 32, Grid: g, BlockSize: 4, StrassenLevels: 2, Machine: machine}},
+		{"strassen_hsumma_local", engine.Strassen, Config{N: 32, Grid: g, BlockSize: 2,
+			StrassenInnerGroups: 2, LocalStrassen: true, StrassenCutoff: 8, Machine: machine}},
 	}
 	for _, c := range cases {
 		c := c

@@ -40,7 +40,17 @@ type Config struct {
 	Levels   []core.Level
 	Bcast    sched.Algorithm
 	Segments int
-	Machine  hockney.Model
+	// Threads is the per-rank thread budget for the local multiply.
+	Threads int
+	// LocalStrassen selects the sub-cubic rank-local kernel (with
+	// StrassenCutoff) for any algorithm; StrassenLevels and
+	// StrassenInnerGroups configure the distributed Strassen recursion
+	// (see core.Options).
+	LocalStrassen       bool
+	StrassenCutoff      int
+	StrassenLevels      int
+	StrassenInnerGroups int
+	Machine             hockney.Model
 	// Contention is the optional link-sharing model (nil = none, the
 	// paper's assumption). It is applied per collective round and per
 	// point-to-point transfer.
@@ -107,6 +117,12 @@ func Fox(cfg Config) (Result, error) {
 	return res, err
 }
 
+// Strassen simulates the distributed Strassen quadrant recursion.
+func Strassen(cfg Config) (Result, error) {
+	res, _, err := RunStats(cfg, engine.Strassen)
+	return res, err
+}
+
 // RunStats executes the given algorithm on the virtual communicator and
 // returns the simulated times plus the per-rank traffic counters — the
 // quantities the live runtime reports through mpi.RunStats, enabling
@@ -116,11 +132,16 @@ func RunStats(cfg Config, alg engine.Algorithm) (Result, []simnet.VRankStats, er
 		Algorithm: alg,
 		Opts: core.Options{
 			Shape: cfg.Shape, N: cfg.N, Grid: cfg.Grid,
-			BlockSize:      cfg.BlockSize,
-			OuterBlockSize: cfg.OuterBlockSize,
-			Groups:         cfg.Groups,
-			Broadcast:      cfg.Bcast,
-			Segments:       cfg.Segments,
+			BlockSize:           cfg.BlockSize,
+			OuterBlockSize:      cfg.OuterBlockSize,
+			Groups:              cfg.Groups,
+			Broadcast:           cfg.Bcast,
+			Segments:            cfg.Segments,
+			Threads:             cfg.Threads,
+			LocalStrassen:       cfg.LocalStrassen,
+			StrassenCutoff:      cfg.StrassenCutoff,
+			StrassenLevels:      cfg.StrassenLevels,
+			StrassenInnerGroups: cfg.StrassenInnerGroups,
 		},
 		Levels: cfg.Levels,
 	}
@@ -214,8 +235,8 @@ func RunSpecOn(spec engine.Spec, vcfg simnet.VConfig, ex engine.Executor) (Resul
 	}
 	p := float64(g.Size())
 	res := Result{
-		Total:   w.Total(),
-		Comm:    w.MaxCommTime(),
+		Total: w.Total(),
+		Comm:  w.MaxCommTime(),
 		// Intra-rank threads shorten the local multiplies by the shared
 		// efficiency curve; Speedup(1) is exactly 1, preserving serial
 		// results bitwise.

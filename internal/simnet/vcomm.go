@@ -687,21 +687,40 @@ func (c *VComm) Pack(dst comm.Buf, src *matrix.Dense) { comm.CheckPack(dst, src)
 // Unpack checks shapes; no elements move.
 func (c *VComm) Unpack(dst *matrix.Dense, src comm.Buf) { comm.CheckPack(src, dst) }
 
-// Gemm advances the rank's compute state by the 2·m·k·n flops of the local
-// update C += A·B — divided by the intra-rank parallel-efficiency curve
-// hockney.Speedup(threads), the virtual model of the live transport's
+// Gemm advances the rank's compute state by the local update's flop count
+// — x.Flops(m,n,k): 2·m·k·n classically, blas.StrassenFlops under the
+// sub-cubic kernel — divided by the intra-rank parallel-efficiency curve
+// hockney.Speedup(x.Threads), the virtual model of the live transport's
 // row-band workers (Speedup(1) is exactly 1, so the division is bitwise
 // neutral for serial ranks and the engines' parity invariant holds
 // unchanged) — on the communication clock normally, or on the dedicated
 // compute timeline in overlap mode (double buffering with a communication
 // engine, the paper's §VI opportunity). Like the point-to-point calls it
 // touches only caller-owned state and takes no lock.
-func (c *VComm) Gemm(cm, a, b *matrix.Dense, threads int) {
+func (c *VComm) Gemm(cm, a, b *matrix.Dense, x comm.Exec) {
 	if a.Cols != b.Rows || cm.Rows != a.Rows || cm.Cols != b.Cols {
 		panic(fmt.Sprintf("simnet: gemm shape mismatch C(%dx%d) += A(%dx%d)*B(%dx%d)",
 			cm.Rows, cm.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	flops := 2 * float64(a.Rows) * float64(b.Cols) * float64(a.Cols) / hockney.Speedup(threads)
+	flops := x.Flops(a.Rows, b.Cols, a.Cols) / hockney.Speedup(x.Threads)
+	c.charge(flops, x.Threads, true)
+}
+
+// Axpy advances the rank's compute state by rows·cols flops (one add per
+// element) — the virtual cost of the element-wise update Y += alpha·X. No
+// trace span: the live transport emits none for Axpy either.
+func (c *VComm) Axpy(alpha float64, x, y *matrix.Dense) {
+	if x.Rows != y.Rows || x.Cols != y.Cols {
+		panic(fmt.Sprintf("simnet: axpy shape mismatch Y(%dx%d) += %g*X(%dx%d)",
+			y.Rows, y.Cols, alpha, x.Rows, x.Cols))
+	}
+	c.charge(float64(x.Rows)*float64(x.Cols), 0, false)
+}
+
+// charge advances the caller's compute state by flops: the communication
+// clock normally, the dedicated compute timeline in overlap mode. span
+// selects whether a Gemm trace span is emitted.
+func (c *VComm) charge(flops float64, threads int, span bool) {
 	w := c.w
 	me := c.WorldRank()
 	if w.cfg.Overlap {
@@ -711,13 +730,13 @@ func (c *VComm) Gemm(cm, a, b *matrix.Dense, threads int) {
 			start = clk
 		}
 		w.computeDone[me] = start + dt
-		if rec := w.cfg.Trace; rec != nil {
+		if rec := w.cfg.Trace; rec != nil && span {
 			rec.RankThreads(me, trace.PhaseGemm, start, dt, threads)
 		}
 	} else {
 		pre := w.sim.clocks[me]
 		w.sim.ComputeRanks([]int{me}, flops)
-		if rec := w.cfg.Trace; rec != nil {
+		if rec := w.cfg.Trace; rec != nil && span {
 			rec.RankThreads(me, trace.PhaseGemm, pre, w.sim.clocks[me]-pre, threads)
 		}
 	}

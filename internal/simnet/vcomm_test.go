@@ -66,7 +66,7 @@ func TestVCommDeterministic(t *testing.T) {
 			prev := (c.Rank() + c.Size() - 1) % c.Size()
 			c.SendRecv(next, 9, c.NewBuf(77), prev, 9, c.NewBuf(77))
 			if c.Rank()%2 == 0 {
-				c.Gemm(c.NewTile(4, 4), c.NewTile(4, 8), c.NewTile(8, 4), 1)
+				c.Gemm(c.NewTile(4, 4), c.NewTile(4, 8), c.NewTile(8, 4), comm.Serial)
 			}
 		})
 		if err != nil {
@@ -144,7 +144,7 @@ func TestVCommGemmOverlap(t *testing.T) {
 	w := NewVWorld(2, VConfig{Model: vModel, Overlap: true})
 	err := w.Run(func(c *VComm) {
 		c.Bcast(sched.Binomial, 0, c.NewBuf(100), 1)
-		c.Gemm(c.NewTile(10, 10), c.NewTile(10, 10), c.NewTile(10, 10), 2)
+		c.Gemm(c.NewTile(10, 10), c.NewTile(10, 10), c.NewTile(10, 10), comm.Threaded(2))
 	})
 	if err != nil {
 		t.Fatal(err)

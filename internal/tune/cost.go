@@ -7,6 +7,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/topo"
 )
 
 // scorer evaluates candidates with the closed-form broadcast models of
@@ -141,14 +142,28 @@ func (s *scorer) score(c Candidate) (comm, total float64) {
 		q := S
 		tile := N * N / p
 		comm = q * (s.bcastStep(bc, q, tile) + (s.m.Alpha + tile*s.m.Beta))
+
+	case engine.Strassen:
+		comm = s.strassenComm(c, sh)
 	}
 
 	// Intra-rank threads shorten the local multiplies by the shared
 	// parallel-efficiency curve — the same factor the virtual engines
 	// charge, so analytic and simulated rankings agree on the hybrid
 	// trade-off. Speedup(1) is exactly 1, leaving serial scores bitwise
-	// unchanged.
-	compute := s.m.Compute(2 * M * N * K / p / hockney.Speedup(c.Threads))
+	// unchanged. Candidates running sub-cubic arithmetic (the strassen
+	// algorithm and/or the local kernel) charge the flops the virtual
+	// transports would — the historical 2MNK/p expression is kept bitwise
+	// intact for everything else.
+	var compute float64
+	switch {
+	case c.Algorithm == engine.Strassen:
+		compute = s.strassenCompute(c, sh)
+	case c.LocalStrassen:
+		compute = s.localKernelCompute(c, sh)
+	default:
+		compute = s.m.Compute(2 * M * N * K / p / hockney.Speedup(c.Threads))
+	}
 	if s.overlap {
 		total = comm
 		if compute > total {
@@ -158,4 +173,133 @@ func (s *scorer) score(c Candidate) (comm, total float64) {
 		total = comm + compute
 	}
 	return comm, total
+}
+
+// exec returns the execution descriptor the candidate's local multiplies
+// run under — the same value the transports charge flops through.
+func candExec(c Candidate) core.Options {
+	return core.Options{Threads: c.Threads, LocalStrassen: c.LocalStrassen, StrassenCutoff: c.StrassenCutoff}
+}
+
+// strassenLevelTraffic derives the per-level per-rank communication of the
+// quadrant recursion from the same product table the execution walks
+// (core.StrassenProducts): the critical-path rank's staged-term and
+// contribution messages, and its axpy element count (operand assembly plus
+// C combination). Every message carries one tile (n/s)² at every level.
+func strassenLevelTraffic() (maxMsgs, maxAxpys int) {
+	var msgs, axpys [4]int
+	for _, p := range core.StrassenProducts() {
+		for _, operand := range [][]core.StrassenTerm{p.A, p.B} {
+			for _, t := range operand {
+				if t.Q != p.Host {
+					msgs[t.Q]++    // staged send
+					msgs[p.Host]++ // staged receive
+				}
+			}
+			axpys[p.Host] += len(operand) - 1 // first term is a copy
+		}
+		for _, t := range p.C {
+			if t.Q != p.Host {
+				msgs[p.Host]++ // contribution send
+				msgs[t.Q]++    // contribution receive
+			}
+			axpys[t.Q]++ // every contribution lands as one axpy
+		}
+	}
+	for q := 0; q < 4; q++ {
+		if msgs[q] > maxMsgs {
+			maxMsgs = msgs[q]
+		}
+		if axpys[q] > maxAxpys {
+			maxAxpys = axpys[q]
+		}
+	}
+	return maxMsgs, maxAxpys
+}
+
+// strassenComm models the quadrant recursion's communication: per level
+// the critical-path rank exchanges tile-sized staging and contribution
+// messages, each quadrant then computes its (up to two) hosted products
+// sequentially — cost(l) = level + 2·cost(l−1) — bottoming out in the
+// SUMMA (or HSUMMA) closed form on the sub-grid.
+func (s *scorer) strassenComm(c Candidate, sh matrix.Shape) float64 {
+	levels := core.StrassenLevelsOf(c.StrassenLevels)
+	div := 1 << levels
+	if c.Grid.S != c.Grid.T || c.Grid.S%div != 0 || sh.N%div != 0 {
+		return 0 // infeasible candidates never reach scoring via enumeration
+	}
+	tile := float64(sh.N) / float64(c.Grid.S)
+	elems := tile * tile
+	msgs, _ := strassenLevelTraffic()
+	level := float64(msgs) * (s.m.Alpha + elems*s.m.Beta)
+
+	sub := topo.Grid{S: c.Grid.S / div, T: c.Grid.S / div}
+	var bottom float64
+	if sub.Size() > 1 {
+		params := model.RectParams{
+			Shape: matrix.Square(sh.N / div), Grid: sub, B: c.BlockSize,
+			Machine: s.m, Bcast: s.bcast(c.Broadcast, c.Segments),
+		}
+		if G := c.StrassenInnerGroups; G > 0 {
+			if h, err := topo.FactorGroups(sub, G); err == nil {
+				bottom = model.HSUMMARect(params, h.I, h.J, c.OuterBlockSize).Comm()
+			} else {
+				bottom = model.SUMMARect(params).Comm()
+			}
+		} else {
+			bottom = model.SUMMARect(params).Comm()
+		}
+	}
+	comm := bottom
+	for l := 0; l < levels; l++ {
+		comm = level + 2*comm
+	}
+	return comm
+}
+
+// strassenCompute models the quadrant recursion's critical-path flops the
+// way the virtual transports charge them: 2^levels sequential bottom
+// problems of n/2^levels on the sub-grid — each K/b rank-b local updates
+// through the candidate's execution descriptor (sub-cubic when the local
+// kernel is on) — plus the per-level quadrant add/sub arithmetic, which is
+// never thread-accelerated (matching comm.Axpy on every transport).
+func (s *scorer) strassenCompute(c Candidate, sh matrix.Shape) float64 {
+	levels := core.StrassenLevelsOf(c.StrassenLevels)
+	div := 1 << levels
+	if c.Grid.S%div != 0 || sh.N%div != 0 || c.BlockSize <= 0 {
+		return 0
+	}
+	x := candExec(c).Exec()
+	tile := sh.N / c.Grid.S // per-rank tile edge, invariant across levels
+	steps := float64(sh.N/div) / float64(c.BlockSize)
+	gemm := steps * x.Flops(tile, tile, c.BlockSize)
+	_, axpys := strassenLevelTraffic()
+	axpy := float64(axpys) * float64(tile) * float64(tile)
+	gf, af := gemm, 0.0
+	for l := 0; l < levels; l++ {
+		gf, af = 2*gf, axpy+2*af
+	}
+	return s.m.Compute(gf/hockney.Speedup(c.Threads) + af)
+}
+
+// localKernelCompute charges a classic algorithm's local multiplies
+// through the sub-cubic kernel descriptor: the same per-step flop counts
+// the virtual transports record, so the analytic ranking sees the local
+// kernel's win exactly where the simulation does.
+func (s *scorer) localKernelCompute(c Candidate, sh matrix.Shape) float64 {
+	x := candExec(c).Exec()
+	var flops float64
+	switch c.Algorithm {
+	case engine.Cannon, engine.Fox:
+		q := c.Grid.S
+		t := sh.N / q
+		flops = float64(q) * x.Flops(t, t, t)
+	default: // SUMMA family: K/b rank-b updates of the (M/S)×(N/T) tile
+		b := c.BlockSize
+		if b <= 0 {
+			b = 1
+		}
+		flops = float64(sh.K/b) * x.Flops(sh.M/c.Grid.S, sh.N/c.Grid.T, b)
+	}
+	return s.m.Compute(flops / hockney.Speedup(c.Threads))
 }

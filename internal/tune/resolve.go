@@ -57,6 +57,13 @@ type ResolveParams struct {
 	// engine.Auto, 0 lets the planner choose (currently 1 unless the
 	// request carries a core budget).
 	Threads int
+	// StrassenLevels is the strassen algorithm's quadrant recursion depth
+	// (0 = one level); StrassenInnerGroups > 0 selects an HSUMMA bottom.
+	StrassenLevels, StrassenInnerGroups int
+	// LocalStrassen runs the sub-cubic rank-local kernel under any
+	// algorithm; StrassenCutoff is its recursion cutoff (0 = blas default).
+	LocalStrassen  bool
+	StrassenCutoff int
 	// Platform names the machine the planner tunes for under
 	// engine.Auto (nil = the Grid'5000 preset). Ignored otherwise.
 	Platform *platform.Platform
@@ -104,11 +111,15 @@ func ResolveSpec(rp ResolveParams) (engine.Spec, error) {
 		Algorithm: rp.Algorithm,
 		Opts: core.Options{
 			Shape: rp.Shape, Grid: grid,
-			BlockSize:      rp.BlockSize,
-			OuterBlockSize: rp.OuterBlockSize,
-			Broadcast:      rp.Broadcast,
-			Segments:       rp.Segments,
-			Threads:        rp.Threads,
+			BlockSize:           rp.BlockSize,
+			OuterBlockSize:      rp.OuterBlockSize,
+			Broadcast:           rp.Broadcast,
+			Segments:            rp.Segments,
+			Threads:             rp.Threads,
+			StrassenLevels:      rp.StrassenLevels,
+			StrassenInnerGroups: rp.StrassenInnerGroups,
+			LocalStrassen:       rp.LocalStrassen,
+			StrassenCutoff:      rp.StrassenCutoff,
 		},
 		Levels: rp.Levels,
 	}
@@ -161,6 +172,10 @@ func resolveAutoParams(rp ResolveParams) (ResolveParams, error) {
 	if c.Threads > 0 {
 		rp.Threads = c.Threads
 	}
+	rp.StrassenLevels = c.StrassenLevels
+	rp.StrassenInnerGroups = c.StrassenInnerGroups
+	rp.LocalStrassen = c.LocalStrassen
+	rp.StrassenCutoff = c.StrassenCutoff
 	return rp, nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/matrix"
@@ -128,7 +129,7 @@ func (r Request) withDefaults() Request {
 		r.TopK = 8
 	}
 	if len(r.Algorithms) == 0 {
-		r.Algorithms = []engine.Algorithm{engine.SUMMA, engine.HSUMMA, engine.Cannon, engine.Fox}
+		r.Algorithms = []engine.Algorithm{engine.SUMMA, engine.HSUMMA, engine.Cannon, engine.Fox, engine.Strassen}
 	}
 	if len(r.Broadcasts) == 0 {
 		r.Broadcasts = []sched.Algorithm{sched.Binomial, sched.VanDeGeijn}
@@ -221,6 +222,15 @@ type Candidate struct {
 	// Threads is the per-rank thread budget (0 and 1 both mean serial);
 	// the candidate consumes Grid.Size() × max(1, Threads) cores.
 	Threads int `json:"threads,omitempty"`
+	// StrassenLevels is the quadrant recursion depth for the strassen
+	// algorithm (0 = one level); StrassenInnerGroups > 0 selects an HSUMMA
+	// bottom with that group count.
+	StrassenLevels      int `json:"strassen_levels,omitempty"`
+	StrassenInnerGroups int `json:"strassen_inner_groups,omitempty"`
+	// LocalStrassen runs the sub-cubic rank-local kernel (any algorithm);
+	// StrassenCutoff is its recursion cutoff (0 = blas default).
+	LocalStrassen  bool `json:"local_strassen,omitempty"`
+	StrassenCutoff int  `json:"strassen_cutoff,omitempty"`
 }
 
 // Cores returns the candidate's total core consumption — the quantity a
@@ -238,11 +248,15 @@ func (c Candidate) Cores() int {
 func (c Candidate) Spec(sh matrix.Shape) (engine.Spec, error) {
 	opts := core.Options{
 		Shape: sh, Grid: c.Grid,
-		BlockSize:      c.BlockSize,
-		OuterBlockSize: c.OuterBlockSize,
-		Broadcast:      c.Broadcast,
-		Segments:       c.Segments,
-		Threads:        c.Threads,
+		BlockSize:           c.BlockSize,
+		OuterBlockSize:      c.OuterBlockSize,
+		Broadcast:           c.Broadcast,
+		Segments:            c.Segments,
+		Threads:             c.Threads,
+		StrassenLevels:      c.StrassenLevels,
+		StrassenInnerGroups: c.StrassenInnerGroups,
+		LocalStrassen:       c.LocalStrassen,
+		StrassenCutoff:      c.StrassenCutoff,
 	}
 	if c.Algorithm == engine.HSUMMA {
 		h, err := topo.NewHier(c.Grid, c.GroupShape[0], c.GroupShape[1])
@@ -273,6 +287,15 @@ func (c Candidate) String() string {
 	}
 	if c.Threads > 1 {
 		s += fmt.Sprintf(" t=%d", c.Threads)
+	}
+	if c.Algorithm == engine.Strassen {
+		s += fmt.Sprintf(" sl=%d", core.StrassenLevelsOf(c.StrassenLevels))
+		if c.StrassenInnerGroups > 0 {
+			s += fmt.Sprintf(" sg=%d", c.StrassenInnerGroups)
+		}
+	}
+	if c.LocalStrassen {
+		s += " local-strassen"
 	}
 	return s
 }
@@ -503,8 +526,99 @@ func pairCandidates(req Request, sh matrix.Shape, squareOnlySkipped *bool) []Can
 						out = append(out, Candidate{Algorithm: alg, Grid: g, Broadcast: bc})
 					}
 				}
+			case engine.Strassen:
+				if !sh.IsSquare() {
+					*squareOnlySkipped = true
+					continue
+				}
+				out = append(out, strassenCandidates(req, g)...)
 			}
 		}
+	}
+	return append(out, localKernelVariants(sh, out)...)
+}
+
+// strassenCandidates proposes the distributed Strassen configurations for
+// one grid: square grids with an even side only, one recursion level (two
+// in full mode when the grid quarters), block sizes feasible for the
+// bottom sub-grid problem, and — in full mode — an HSUMMA bottom at G=4.
+// The binomial broadcast suffices for the bottom collectives in quick
+// mode; full mode sweeps the requested broadcasts like every other
+// candidate family.
+func strassenCandidates(req Request, g topo.Grid) []Candidate {
+	if g.S != g.T || g.S%2 != 0 {
+		return nil
+	}
+	levels := []int{1}
+	if !req.Quick && g.S%4 == 0 {
+		levels = append(levels, 2)
+	}
+	bcasts := req.Broadcasts
+	if req.Quick {
+		bcasts = bcasts[:1]
+	}
+	var out []Candidate
+	for _, l := range levels {
+		div := 1 << l
+		if req.Shape.N%div != 0 {
+			continue
+		}
+		// Blocks are constrained by the bottom problem: size n/2^l on an
+		// (s/2^l)² sub-grid — the per-rank extents equal the full problem's
+		// n/s, so the same feasibility rule applies at every depth.
+		sub := topo.Grid{S: g.S / div, T: g.S / div}
+		subShape := matrix.Square(req.Shape.N / div)
+		bs := blockCandidates(subShape, sub, req.Quick)
+		if req.BlockSize > 0 {
+			if (req.Shape.N/div/sub.S)%req.BlockSize != 0 {
+				continue
+			}
+			bs = []int{req.BlockSize}
+		}
+		groups := []int{0}
+		if !req.Quick && sub.Size() >= 4 {
+			groups = append(groups, 4)
+		}
+		for _, b := range bs {
+			for _, G := range groups {
+				for _, bc := range bcasts {
+					out = append(out, Candidate{
+						Algorithm: engine.Strassen, Grid: g, BlockSize: b,
+						Broadcast: bc, StrassenLevels: l, StrassenInnerGroups: G,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// localKernelVariants duplicates candidates with the sub-cubic rank-local
+// kernel enabled — but only where the kernel can actually win: every
+// dimension of the rank-local multiplies (tile extents and the panel
+// width) must exceed the Strassen crossover, otherwise StrassenGemm falls
+// straight through to the classic kernel and the variant would only
+// double the search space.
+func localKernelVariants(sh matrix.Shape, cands []Candidate) []Candidate {
+	var out []Candidate
+	for _, c := range cands {
+		minDim := minTileExtent(sh, c.Grid)
+		if c.Algorithm == engine.Strassen {
+			div := 1 << core.StrassenLevelsOf(c.StrassenLevels)
+			minDim = sh.N / c.Grid.S // tile extent, invariant across levels
+			if sh.N%div != 0 {
+				continue
+			}
+		}
+		if c.BlockSize > 0 && c.BlockSize < minDim {
+			minDim = c.BlockSize
+		}
+		if minDim <= blas.DefaultStrassenCutoff {
+			continue
+		}
+		v := c
+		v.LocalStrassen = true
+		out = append(out, v)
 	}
 	return out
 }

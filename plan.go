@@ -64,7 +64,7 @@ type PlanConfig struct {
 	// for power-of-two t instead of planning for exactly Procs ranks.
 	CoreBudget int
 	// Algorithms restricts the searched algorithms (nil = SUMMA, HSUMMA,
-	// Cannon, Fox).
+	// Cannon, Fox, Strassen).
 	Algorithms []Algorithm
 	// Broadcasts restricts the broadcast variants (nil = binomial,
 	// Van de Geijn, and in full mode binary).
@@ -185,5 +185,9 @@ func resolveSimAuto(cfg SimConfig, shape Shape, procs int) (SimConfig, error) {
 	if c.Threads > 0 {
 		cfg.Threads = c.Threads
 	}
+	cfg.StrassenLevels = c.StrassenLevels
+	cfg.StrassenInnerGroups = c.StrassenInnerGroups
+	cfg.LocalStrassen = c.LocalStrassen
+	cfg.StrassenCutoff = c.StrassenCutoff
 	return cfg, nil
 }

@@ -54,7 +54,15 @@ type SimConfig struct {
 	// flops / Speedup(Threads). 0 and 1 both mean serial ranks and leave
 	// virtual times bitwise unchanged.
 	Threads int
-	Machine Machine
+	// StrassenLevels and StrassenInnerGroups configure AlgStrassen's
+	// quadrant recursion depth and HSUMMA bottom, exactly as in Config.
+	StrassenLevels, StrassenInnerGroups int
+	// LocalStrassen runs the rank-local sub-cubic kernel under any
+	// algorithm; the virtual engines charge its reduced flop count.
+	// StrassenCutoff is the kernel's recursion cutoff (0 = blas default).
+	LocalStrassen  bool
+	StrassenCutoff int
+	Machine        Machine
 	// Contention enables the platform's link-sharing model (needs
 	// Platform set) — an ablation beyond the paper's congestion-free
 	// assumption.
@@ -151,7 +159,9 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 		Procs: procs, Grid: cfg.Grid, Algorithm: alg,
 		Groups: cfg.Groups, BlockSize: cfg.BlockSize, OuterBlockSize: cfg.OuterBlockSize,
 		Levels: cfg.Levels, Broadcast: cfg.Broadcast, Segments: cfg.Segments,
-		Threads: cfg.Threads,
+		Threads:        cfg.Threads,
+		StrassenLevels: cfg.StrassenLevels, StrassenInnerGroups: cfg.StrassenInnerGroups,
+		LocalStrassen: cfg.LocalStrassen, StrassenCutoff: cfg.StrassenCutoff,
 	})
 	if err != nil {
 		return SimResult{}, err
