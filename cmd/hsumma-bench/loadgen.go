@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,10 @@ type scenarioReport struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
+	// ModelDriftP50 is the median measured/predicted cost ratio across the
+	// scenario's verified responses (0 when none carried a prediction) —
+	// the plan-fidelity signal, per traffic class.
+	ModelDriftP50 float64 `json:"model_drift_p50"`
 
 	Pass bool   `json:"pass"`
 	Note string `json:"note,omitempty"`
@@ -116,6 +121,7 @@ type loadgenReport struct {
 
 	SessionBench  sessionBenchReport  `json:"session_vs_oneshot"`
 	TraceBench    traceBenchReport    `json:"traced_vs_untraced"`
+	SampledBench  sampledBenchReport  `json:"sampled_vs_unsampled"`
 	PipelineBench pipelineBenchReport `json:"pipelined_vs_serial"`
 	// PipelineRatio mirrors PipelineBench.Ratio at the top level for easy
 	// extraction; the baseline's min_pipeline_ratio floor gates it.
@@ -135,6 +141,26 @@ type traceBenchReport struct {
 	TracedRPS   float64 `json:"traced_rps"`
 	// Ratio is traced/untraced requests per second; the baseline's
 	// min_trace_ratio floor gates it.
+	Ratio float64 `json:"ratio"`
+	// MinRatio echoes the enforced floor (0 when no baseline was given).
+	MinRatio float64 `json:"min_ratio,omitempty"`
+}
+
+// sampledBenchReport records the flight-recorder overhead comparison:
+// identical scheduler traffic with TraceSampleN enabled vs disabled. Only
+// 1 in N requests pays span recording, so the floor sits with the traced
+// gate at 0.95 — sampling must stay pay-for-what-you-use.
+type sampledBenchReport struct {
+	N       int `json:"n"`
+	P       int `json:"p"`
+	Iters   int `json:"iters"`
+	SampleN int `json:"sample_n"`
+	// UnsampledRPS is the TraceSampleN=0 scheduler; SampledRPS runs the
+	// same traffic with 1-in-SampleN flight recording on.
+	UnsampledRPS float64 `json:"unsampled_rps"`
+	SampledRPS   float64 `json:"sampled_rps"`
+	// Ratio is sampled/unsampled requests per second; the baseline's
+	// min_sampled_trace_ratio floor gates it.
 	Ratio float64 `json:"ratio"`
 	// MinRatio echoes the enforced floor (0 when no baseline was given).
 	MinRatio float64 `json:"min_ratio,omitempty"`
@@ -198,6 +224,9 @@ type loadgenBaseline struct {
 	// MinTraceRatio is the enforced floor for traced vs untraced Multiply
 	// throughput (0 disables the gate).
 	MinTraceRatio float64 `json:"min_trace_ratio"`
+	// MinSampledTraceRatio is the enforced floor for scheduler throughput
+	// with 1-in-N flight-recorder sampling on vs off (0 disables the gate).
+	MinSampledTraceRatio float64 `json:"min_sampled_trace_ratio"`
 	// MinPipelineRatio is the enforced floor for pipelined+batched vs
 	// serial scheduler throughput (0 disables the gate).
 	MinPipelineRatio float64 `json:"min_pipeline_ratio"`
@@ -205,6 +234,32 @@ type loadgenBaseline struct {
 
 // allScenarios is the canonical scenario order.
 var allScenarios = []string{"steady", "mix", "burst", "overload", "drain"}
+
+// driftAgg collects per-request measured/predicted ratios for a
+// scenario's model_drift_p50.
+type driftAgg struct {
+	mu sync.Mutex
+	v  []float64
+}
+
+func (d *driftAgg) add(r float64) {
+	if r > 0 {
+		d.mu.Lock()
+		d.v = append(d.v, r)
+		d.mu.Unlock()
+	}
+}
+
+func (d *driftAgg) p50() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), d.v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
 
 // prepared is one pre-built request: marshalled body plus the reference
 // product every response is verified against.
@@ -350,6 +405,7 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 
 	rep.SessionBench = runSessionBench(quick)
 	rep.TraceBench = runTraceBench(quick)
+	rep.SampledBench = runSampledBench(quick)
 	rep.PipelineBench = runPipelineBench(quick)
 	rep.PipelineRatio = rep.PipelineBench.Ratio
 
@@ -387,6 +443,12 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 			rep.GateNote = fmt.Sprintf("traced/untraced throughput ratio %.3f below baseline floor %.3f",
 				rep.TraceBench.Ratio, base.MinTraceRatio)
 		}
+		rep.SampledBench.MinRatio = base.MinSampledTraceRatio
+		if rep.GatePass && base.MinSampledTraceRatio > 0 && rep.SampledBench.Ratio < base.MinSampledTraceRatio {
+			rep.GatePass = false
+			rep.GateNote = fmt.Sprintf("sampled/unsampled throughput ratio %.3f below baseline floor %.3f",
+				rep.SampledBench.Ratio, base.MinSampledTraceRatio)
+		}
 		rep.PipelineBench.MinRatio = base.MinPipelineRatio
 		if rep.GatePass && base.MinPipelineRatio > 0 && rep.PipelineRatio < base.MinPipelineRatio {
 			rep.GatePass = false
@@ -416,6 +478,8 @@ func runLoadgen(url string, durationS float64, conc int, quick bool, outPath, ba
 		rep.SessionBench.OneShotSetupMs, rep.SessionBench.SessionSetupMs)
 	fmt.Fprintf(os.Stderr, "trace bench: untraced %.2f req/s, traced %.2f req/s (ratio %.3f)\n",
 		rep.TraceBench.UntracedRPS, rep.TraceBench.TracedRPS, rep.TraceBench.Ratio)
+	fmt.Fprintf(os.Stderr, "sampled bench: unsampled %.2f req/s, 1-in-%d sampled %.2f req/s (ratio %.3f)\n",
+		rep.SampledBench.UnsampledRPS, rep.SampledBench.SampleN, rep.SampledBench.SampledRPS, rep.SampledBench.Ratio)
 	fmt.Fprintf(os.Stderr, "pipeline bench: serial %.2f req/s, pipelined %.2f req/s (ratio %.3f; mean batch %.2f, overlap %.3fs)\n",
 		rep.PipelineBench.SerialRPS, rep.PipelineBench.PipelinedRPS, rep.PipelineRatio,
 		rep.PipelineBench.BatchSizeMean, rep.PipelineBench.OverlapSeconds)
@@ -475,6 +539,7 @@ func driveHTTP(name, url string, preps []prepared, conc int, seconds float64, bu
 	)
 	var requests, errCount, rejected, verified, badResult atomic.Int64
 	lat := serve.NewHistogram()
+	var drift driftAgg
 	client := &http.Client{Timeout: 60 * time.Second}
 	start := time.Now()
 	deadline := start.Add(time.Duration(seconds * float64(time.Second)))
@@ -524,6 +589,7 @@ func driveHTTP(name, url string, preps []prepared, conc int, seconds float64, bu
 					continue
 				}
 				lat.Observe(latS)
+				drift.add(res.Stats.ModelDriftRatio)
 				agg.lat.Observe(latS)
 				agg.queue.Observe(res.Stats.QueueSeconds)
 				agg.stage.Observe(res.Stats.SetupSeconds)
@@ -542,15 +608,16 @@ func driveHTTP(name, url string, preps []prepared, conc int, seconds float64, bu
 
 	sr := scenarioReport{
 		Name: name, Mode: "http",
-		DurationS:   elapsed,
-		Concurrency: conc,
-		Requests:    requests.Load(),
-		Errors:      errCount.Load(),
-		Rejected:    rejected.Load(),
-		Verified:    verified.Load(),
-		BadResult:   badResult.Load(),
-		P50Ms:       1000 * lat.Quantile(0.5),
-		P99Ms:       1000 * lat.Quantile(0.99),
+		DurationS:     elapsed,
+		Concurrency:   conc,
+		Requests:      requests.Load(),
+		Errors:        errCount.Load(),
+		Rejected:      rejected.Load(),
+		Verified:      verified.Load(),
+		BadResult:     badResult.Load(),
+		P50Ms:         1000 * lat.Quantile(0.5),
+		P99Ms:         1000 * lat.Quantile(0.99),
+		ModelDriftP50: drift.p50(),
 	}
 	for _, p := range preps {
 		if len(sr.Shapes) == 0 || sr.Shapes[len(sr.Shapes)-1] != p.shape.String() {
@@ -613,6 +680,7 @@ func runOverloadScenario(quick bool, durationS float64) scenarioReport {
 	seconds := math.Min(2, math.Max(0.5, durationS/3))
 	var requests, errCount, rejected, verified, badResult atomic.Int64
 	lat := serve.NewHistogram()
+	var drift driftAgg
 	start := time.Now()
 	deadline := start.Add(time.Duration(seconds * float64(time.Second)))
 	var wg sync.WaitGroup
@@ -623,7 +691,7 @@ func runOverloadScenario(quick bool, durationS float64) scenarioReport {
 			for i := w; time.Now().Before(deadline); i++ {
 				p := pairs[i%len(pairs)]
 				t0 := time.Now()
-				out, _, err := sc.Multiply(p.a, p.b, rp)
+				out, st, err := sc.Multiply(p.a, p.b, rp)
 				requests.Add(1)
 				switch {
 				case errors.Is(err, serve.ErrOverloaded):
@@ -635,6 +703,7 @@ func runOverloadScenario(quick bool, durationS float64) scenarioReport {
 					badResult.Add(1)
 				default:
 					lat.Observe(time.Since(t0).Seconds())
+					drift.add(st.ModelDriftRatio)
 					verified.Add(1)
 				}
 			}
@@ -645,16 +714,17 @@ func runOverloadScenario(quick bool, durationS float64) scenarioReport {
 
 	sr := scenarioReport{
 		Name: "overload", Mode: "inproc",
-		DurationS:   elapsed,
-		Concurrency: conc,
-		Shapes:      []string{shape.String()},
-		Requests:    requests.Load(),
-		Errors:      errCount.Load(),
-		Rejected:    rejected.Load(),
-		Verified:    verified.Load(),
-		BadResult:   badResult.Load(),
-		P50Ms:       1000 * lat.Quantile(0.5),
-		P99Ms:       1000 * lat.Quantile(0.99),
+		DurationS:     elapsed,
+		Concurrency:   conc,
+		Shapes:        []string{shape.String()},
+		Requests:      requests.Load(),
+		Errors:        errCount.Load(),
+		Rejected:      rejected.Load(),
+		Verified:      verified.Load(),
+		BadResult:     badResult.Load(),
+		P50Ms:         1000 * lat.Quantile(0.5),
+		P99Ms:         1000 * lat.Quantile(0.99),
+		ModelDriftP50: drift.p50(),
 	}
 	if elapsed > 0 {
 		sr.ThroughputRPS = float64(sr.Verified) / elapsed
@@ -690,6 +760,7 @@ func runDrainScenario(quick bool) scenarioReport {
 	conc := 6
 	var requests, errCount, rejected, verified, badResult, closedClean atomic.Int64
 	lat := serve.NewHistogram()
+	var drift driftAgg
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < conc; w++ {
@@ -699,7 +770,7 @@ func runDrainScenario(quick bool) scenarioReport {
 			for i := w; ; i++ {
 				p := pairs[i%len(pairs)]
 				t0 := time.Now()
-				out, _, err := sc.Multiply(p.a, p.b, rp)
+				out, st, err := sc.Multiply(p.a, p.b, rp)
 				requests.Add(1)
 				switch {
 				case errors.Is(err, serve.ErrClosed):
@@ -714,6 +785,7 @@ func runDrainScenario(quick bool) scenarioReport {
 					badResult.Add(1)
 				default:
 					lat.Observe(time.Since(t0).Seconds())
+					drift.add(st.ModelDriftRatio)
 					verified.Add(1)
 				}
 			}
@@ -727,17 +799,18 @@ func runDrainScenario(quick bool) scenarioReport {
 
 	sr := scenarioReport{
 		Name: "drain", Mode: "inproc",
-		DurationS:   elapsed,
-		Concurrency: conc,
-		Shapes:      []string{shape.String()},
-		Requests:    requests.Load(),
-		Errors:      errCount.Load(),
-		Rejected:    rejected.Load(),
-		Verified:    verified.Load(),
-		BadResult:   badResult.Load(),
-		ClosedClean: closedClean.Load(),
-		P50Ms:       1000 * lat.Quantile(0.5),
-		P99Ms:       1000 * lat.Quantile(0.99),
+		DurationS:     elapsed,
+		Concurrency:   conc,
+		Shapes:        []string{shape.String()},
+		Requests:      requests.Load(),
+		Errors:        errCount.Load(),
+		Rejected:      rejected.Load(),
+		Verified:      verified.Load(),
+		BadResult:     badResult.Load(),
+		ClosedClean:   closedClean.Load(),
+		P50Ms:         1000 * lat.Quantile(0.5),
+		P99Ms:         1000 * lat.Quantile(0.99),
+		ModelDriftP50: drift.p50(),
 	}
 	if elapsed > 0 {
 		sr.ThroughputRPS = float64(sr.Verified) / elapsed
@@ -977,4 +1050,67 @@ func runTraceBench(quick bool) traceBenchReport {
 		}
 	}
 	return tb
+}
+
+// runSampledBench measures scheduler throughput with the flight recorder's
+// 1-in-N sampling on vs off — the "always-on tracing stays
+// pay-for-what-you-use" gate. Identical warmed traffic drives two
+// schedulers differing only in TraceSampleN; like runTraceBench, three
+// alternating rounds are timed and the best ratio gated, because
+// shared-host round noise dwarfs the real 1-in-N recording cost.
+func runSampledBench(quick bool) sampledBenchReport {
+	n, p, iters, sampleN := 256, 16, 30, 4
+	if quick {
+		n, p, iters, sampleN = 128, 16, 30, 4
+	}
+	rp := tune.ResolveParams{Procs: p, Algorithm: engine.HSUMMA}
+	a := matrix.Random(n, n, 51)
+	b := matrix.Random(n, n, 52)
+	want := matrix.New(n, n)
+	hsummaReference(want, a, b)
+
+	measure := func(sc *serve.Scheduler) float64 {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			out, _, err := sc.Multiply(a, b, rp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sampled bench:", err)
+				os.Exit(1)
+			}
+			if matrix.MaxAbsDiff(out, want) > 1e-9 {
+				fmt.Fprintln(os.Stderr, "sampled bench: result verification failed")
+				os.Exit(1)
+			}
+		}
+		return float64(iters) / time.Since(t0).Seconds()
+	}
+
+	plain := serve.NewScheduler(serve.SchedulerConfig{CoreBudget: 64, QueueDepth: 8})
+	defer plain.Close()
+	sampled := serve.NewScheduler(serve.SchedulerConfig{
+		CoreBudget: 64, QueueDepth: 8, TraceSampleN: sampleN,
+	})
+	defer sampled.Close()
+	// Warm both sessions (world spin-up, plan and buffer caches).
+	measureWarm := func(sc *serve.Scheduler) {
+		if _, _, err := sc.Multiply(a, b, rp); err != nil {
+			fmt.Fprintln(os.Stderr, "sampled bench:", err)
+			os.Exit(1)
+		}
+	}
+	measureWarm(plain)
+	measureWarm(sampled)
+
+	sb := sampledBenchReport{N: n, P: p, Iters: iters, SampleN: sampleN}
+	for round := 0; round < 3; round++ {
+		unsampledRPS := measure(plain)
+		sampledRPS := measure(sampled)
+		if unsampledRPS <= 0 {
+			continue
+		}
+		if ratio := sampledRPS / unsampledRPS; ratio > sb.Ratio {
+			sb.UnsampledRPS, sb.SampledRPS, sb.Ratio = unsampledRPS, sampledRPS, ratio
+		}
+	}
+	return sb
 }

@@ -71,6 +71,7 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "input matrix seed (live mode)")
 		eng    = flag.String("engine", "auto", "sim-mode virtual execution engine: goroutine, event, or auto (bit-identical results; event is ~10x faster on full-scale collective-only runs)")
 		trOut  = flag.String("trace", "", "write a per-rank phase span timeline (Chrome/Perfetto trace-event JSON) to this file")
+		crit   = flag.Bool("critpath", false, "trace the run and print the critical-path report: gating rank/phase, per-rank busy/wait split, top blocking edges")
 	)
 	flag.Parse()
 
@@ -130,7 +131,7 @@ func main() {
 			stats hsumma.Stats
 			rec   *hsumma.Trace
 		)
-		if *trOut != "" {
+		if *trOut != "" || *crit {
 			got, stats, rec, err = hsumma.MultiplyTraced(a, bm, cfg)
 		} else {
 			got, stats, err = hsumma.Multiply(a, bm, cfg)
@@ -149,12 +150,15 @@ func main() {
 		fmt.Printf("max rank gemm  : %.3gs\n", stats.GemmSeconds)
 		fmt.Printf("comm by phase  : %s\n", formatPhases(stats.CommSecondsByPhase))
 		fmt.Printf("busy imbalance : %.3g (max/mean rank busy time)\n", stats.BusyImbalance)
-		if rec != nil {
+		if rec != nil && *trOut != "" {
 			if err := writeTrace(*trOut, rec); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			fmt.Printf("trace written  : %s (%d ranks; open in Perfetto or chrome://tracing)\n", *trOut, rec.Ranks())
+		}
+		if *crit {
+			fmt.Print(hsumma.CriticalPath(rec).Format())
 		}
 
 		verify := time.Now()
@@ -186,7 +190,7 @@ func main() {
 			Machine:             machine.Model,
 			Platform:            &machine,
 			Engine:              simEngine,
-			Trace:               *trOut != "",
+			Trace:               *trOut != "" || *crit,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simulation failed:", err)
@@ -210,12 +214,15 @@ func main() {
 		fmt.Printf("messages sent  : %d\n", res.Messages)
 		fmt.Printf("bytes moved    : %d (identical to a live run of this config)\n", res.Bytes)
 		fmt.Printf("host wall time : %v\n", time.Since(start))
-		if res.Trace != nil {
+		if res.Trace != nil && *trOut != "" {
 			if err := writeTrace(*trOut, res.Trace); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			fmt.Printf("trace written  : %s (%d ranks, virtual timestamps; open in Perfetto or chrome://tracing)\n", *trOut, res.Trace.Ranks())
+		}
+		if *crit {
+			fmt.Print(hsumma.CriticalPath(res.Trace).Format())
 		}
 	}
 }

@@ -21,6 +21,11 @@
 //	POST /debug/trace      (only with -debug-trace) arm a one-shot span
 //	                       capture of the next multiply; responds with
 //	                       Chrome trace-event JSON
+//	GET  /debug/traces     (only with -trace-sample) the flight recorder's
+//	                       sampled captures; /debug/traces/{id} fetches one
+//	                       as Chrome trace-event JSON
+//	GET  /debug/critpath   (only with -trace-sample) critical-path report
+//	                       over the newest sampled capture
 //	GET  /debug/pprof/...  (only with -pprof) the Go runtime profiler
 //
 // The daemon logs one structured JSON record per request (log/slog):
@@ -73,6 +78,10 @@ func main() {
 		kernCalib  = flag.String("kernel-calib", "", "BENCH_kernel.json path: calibrate the planner's intra-rank speedup curve from the host's measured thread scaling (empty = the 3% default serial fraction)")
 		withPprof  = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/")
 		withTrace  = flag.Bool("debug-trace", false, "expose POST /debug/trace (one-shot span capture of the next multiply)")
+		traceEvery = flag.Int("trace-sample", 0, "flight recorder: sample 1 in N multiplies into a bounded trace ring served at /debug/traces (0 = off)")
+		traceRing  = flag.Int("trace-ring", 0, "flight-recorder ring capacity (default 16 captures)")
+		driftRepl  = flag.Bool("drift-replan", false, "invalidate a shape's memoised plan when its measured/predicted cost drifts persistently past -drift-threshold")
+		driftThr   = flag.Float64("drift-threshold", 0, "sustained measured/predicted ratio (or inverse) that marks a plan stale (default 2.0)")
 		logLevel   = flag.String("log-level", "info", "log floor: debug, info, warn or error")
 	)
 	flag.Parse()
@@ -119,11 +128,15 @@ func main() {
 		budget = 256
 	}
 	sched := serve.NewScheduler(serve.SchedulerConfig{
-		CoreBudget:    budget,
-		QueueDepth:    *queueDepth,
-		PipelineDepth: *pipeDepth,
-		MaxBatch:      *maxBatch,
-		BatchWindow:   *batchWin,
+		CoreBudget:     budget,
+		QueueDepth:     *queueDepth,
+		PipelineDepth:  *pipeDepth,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWin,
+		TraceSampleN:   *traceEvery,
+		TraceRingSize:  *traceRing,
+		DriftReplan:    *driftRepl,
+		DriftThreshold: *driftThr,
 	})
 	handler := serve.NewHandler(sched, hcfg)
 	if *withPprof {
@@ -164,6 +177,8 @@ func main() {
 		"default_procs", *procs,
 		"pprof", *withPprof,
 		"debug_trace", *withTrace,
+		"trace_sample", *traceEvery,
+		"drift_replan", *driftRepl,
 		"log_level", level.String(),
 	)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -21,7 +21,9 @@ func main() {
 	// Live mode: 16 ranks arranged 4×4, split into G=4 groups of 2×2 —
 	// the paper's two-level hierarchy. Every rank runs as a goroutine and
 	// exchanges real matrix panels through the message-passing runtime.
-	c, stats, err := hsumma.Multiply(a, b, hsumma.Config{
+	// MultiplyTraced additionally records the per-rank span timeline, so
+	// we can attribute the wall clock afterwards.
+	c, stats, rec, err := hsumma.MultiplyTraced(a, b, hsumma.Config{
 		Procs:     16,
 		Algorithm: hsumma.AlgHSUMMA,
 		Groups:    4,
@@ -37,15 +39,42 @@ func main() {
 	fmt.Printf("traffic: %d messages, %d bytes, max per-rank comm %.3gs\n",
 		stats.Messages, stats.Bytes, stats.MaxRankCommSeconds)
 
-	// Per-phase breakdown: where the critical rank's communication time
-	// went, the largest per-rank time inside local multiplies, and the
-	// max/mean busy-time imbalance across ranks. (hsumma-run -trace dumps
-	// the full per-rank span timeline for Perfetto.)
+	// Plan fidelity: every resolved run carries the cost model's per-phase
+	// prediction next to what the critical rank actually measured. A ratio
+	// near 1 means the planner's model describes this machine; sustained
+	// drift is what hsumma-serve's -drift-replan acts on. (Predictions are
+	// evaluated for the configured platform model — Grid'5000 here — so on
+	// a laptop the *ratios between phases* carry the signal.)
+	fmt.Println("predicted vs measured (critical rank), per phase:")
+	measured := map[string]float64{}
 	for phase, sec := range stats.CommSecondsByPhase {
-		fmt.Printf("  comm phase %-6s: %.3gs\n", phase, sec)
+		measured[phase] = sec
+	}
+	measured["gemm"] = stats.GemmSeconds
+	for _, phase := range []string{"scatter", "bcast", "shift", "p2p", "gemm", "gather"} {
+		pred, okP := stats.PredictedSecondsByPhase[phase]
+		meas, okM := measured[phase]
+		if !okP && !okM {
+			continue
+		}
+		fmt.Printf("  %-7s predicted %10.3gs   measured %10.3gs\n", phase, pred, meas)
 	}
 	fmt.Printf("  gemm (max rank) : %.3gs\n", stats.GemmSeconds)
 	fmt.Printf("  busy imbalance  : %.3g (max/mean)\n", stats.BusyImbalance)
+
+	// Critical-path attribution over the recorded timeline: which rank
+	// gated the wall clock, and in which phase it spent that time.
+	// (hsumma-run -critpath prints the full report, including the busy/wait
+	// table and the top blocking edges; -trace dumps the raw spans for
+	// Perfetto.)
+	if rep := hsumma.CriticalPath(rec); rep != nil {
+		gate := fmt.Sprintf("rank %d", rep.GatingRank)
+		if rep.GatingRank == -1 {
+			gate = "the host (gather)"
+		}
+		fmt.Printf("critical path: %s gates the %.3gs wall, dominated by %s (%.3gs)\n",
+			gate, rep.WallSeconds, rep.GatingPhase, rep.GatingPhaseSeconds)
+	}
 
 	// The same multiplication with plain SUMMA, for comparison.
 	_, flat, err := hsumma.Multiply(a, b, hsumma.Config{

@@ -243,6 +243,15 @@ type Stats struct {
 	// local multiplies): 1.0 is a perfectly even run, and the gap above 1
 	// is wall time lost to the slowest rank.
 	BusyImbalance float64
+	// PredictedSecondsByPhase is the tune model's closed-form per-phase
+	// prediction for the resolved execution (bcast/shift/p2p/gemm), the
+	// yardstick CommSecondsByPhase and GemmSeconds can be audited against:
+	// measured/predicted ratios near 1 mean the plan's cost model still
+	// describes this machine. Predictions are evaluated for the planner's
+	// target platform (Config.Platform, default Grid'5000) — on other
+	// hardware the *ratios between phases* remain meaningful even when the
+	// absolute seconds do not.
+	PredictedSecondsByPhase map[string]float64
 }
 
 // fromSummary fills the per-rank aggregate fields from an mpi.Summary.
@@ -336,6 +345,21 @@ func MultiplyTraced(a, b *Matrix, cfg Config) (*Matrix, Stats, *Trace, error) {
 	return multiply(a, b, cfg, true)
 }
 
+// CriticalPathReport is the per-run critical-path attribution (re-exported
+// from internal/trace): which rank and phase gate wall time, each rank's
+// busy/wait split, and the top cross-rank blocking edges.
+type CriticalPathReport = trace.CriticalPathReport
+
+// CriticalPath analyses a recorded timeline — live (MultiplyTraced) or
+// virtual (SimResult.Trace) — and reports what gates the run's wall time.
+// Returns nil for a nil or empty recorder.
+func CriticalPath(rec *Trace) *CriticalPathReport {
+	if rec == nil {
+		return nil
+	}
+	return trace.CriticalPath(rec.Spans())
+}
+
 func multiply(a, b *Matrix, cfg Config, traced bool) (*Matrix, Stats, *trace.Recorder, error) {
 	start := time.Now()
 	var st Stats
@@ -349,6 +373,7 @@ func multiply(a, b *Matrix, cfg Config, traced bool) (*Matrix, Stats, *trace.Rec
 		return nil, st, nil, err
 	}
 	es := spec.Opts.Shape // execution shape (padded when needed)
+	st.PredictedSecondsByPhase = spec.Predicted
 	var rec *trace.Recorder
 	if traced {
 		rec = trace.New(grid.Size())

@@ -131,6 +131,15 @@ type Spec struct {
 	// Levels configures Multilevel (outermost first); the inner block is
 	// Opts.BlockSize.
 	Levels []core.Level
+	// Predicted is the planner's closed-form per-phase prediction for this
+	// execution in seconds, keyed by trace phase name (bcast/shift/p2p for
+	// communication, gemm for compute). tune.ResolveSpec attaches it on
+	// every resolution — pinned and Auto alike — so measured Stats can be
+	// audited against what the model promised. Advisory observability
+	// metadata only: it never enters Key(), never changes what Run
+	// executes, and survives Padded()/WithRHS() untouched (a widened batch
+	// keeps the original request's prediction).
+	Predicted map[string]float64
 }
 
 // Shape returns the spec's resolved global GEMM shape: Opts.Shape, or the

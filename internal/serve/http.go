@@ -20,6 +20,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/tune"
 )
 
@@ -72,12 +73,19 @@ type handler struct {
 //	POST /debug/trace  — (EnableTrace only) arm a one-shot span capture of
 //	                     the next multiply; responds with its Chrome
 //	                     trace-event JSON
+//	GET  /debug/traces      — (sampling only) the flight recorder's capture
+//	                          ring, newest first
+//	GET  /debug/traces/{id} — one sampled capture as Chrome trace-event JSON
+//	GET  /debug/critpath    — critical-path report over the newest capture
 func NewHandler(sc *Scheduler, cfg HandlerConfig) http.Handler {
 	h := &handler{sc: sc, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /multiply", h.multiply)
 	h.mux.HandleFunc("GET /plan", h.plan)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("POST /debug/trace", h.debugTrace)
+	h.mux.HandleFunc("GET /debug/traces", h.debugTraces)
+	h.mux.HandleFunc("GET /debug/traces/{id}", h.debugTraceByID)
+	h.mux.HandleFunc("GET /debug/critpath", h.debugCritPath)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -168,6 +176,63 @@ func (h *handler) debugTrace(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: no multiply arrived before the timeout (capture stays armed)", http.StatusGatewayTimeout)
 	case <-r.Context().Done():
 	}
+}
+
+// requireSampling guards the flight-recorder endpoints: they only exist
+// when the daemon samples traces (-trace-sample), mirroring the
+// EnableTrace opt-in of the one-shot capture.
+func (h *handler) requireSampling(w http.ResponseWriter) bool {
+	if !h.sc.TraceSampling() {
+		http.Error(w, "serve: flight recorder disabled (start the daemon with -trace-sample N)", http.StatusForbidden)
+		return false
+	}
+	return true
+}
+
+// debugTraces lists the flight recorder's sampled captures, newest first.
+func (h *handler) debugTraces(w http.ResponseWriter, r *http.Request) {
+	if !h.requireSampling(w) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Traces []FlightSummary `json:"traces"`
+	}{Traces: h.sc.FlightList()})
+}
+
+// debugTraceByID streams one sampled capture as Chrome trace-event JSON.
+func (h *handler) debugTraceByID(w http.ResponseWriter, r *http.Request) {
+	if !h.requireSampling(w) {
+		return
+	}
+	id := r.PathValue("id")
+	rec := h.sc.FlightGet(id)
+	if rec == nil {
+		http.Error(w, fmt.Sprintf("serve: no sampled trace %q (evicted or never captured)", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rec.WriteJSON(w)
+}
+
+// debugCritPath serves the critical-path report over the newest sampled
+// capture: which rank and phase gate wall time, the per-rank busy/wait
+// split, and the top blocking edges.
+func (h *handler) debugCritPath(w http.ResponseWriter, r *http.Request) {
+	if !h.requireSampling(w) {
+		return
+	}
+	id, spans := h.sc.FlightLast()
+	if len(spans) == 0 {
+		http.Error(w, "serve: no sampled trace captured yet", http.StatusNotFound)
+		return
+	}
+	rep := trace.CriticalPath(spans)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		TraceID string                    `json:"trace_id"`
+		Report  *trace.CriticalPathReport `json:"report"`
+	}{TraceID: id, Report: rep})
 }
 
 // httpError maps serving errors onto status codes: backpressure and drain
@@ -290,7 +355,13 @@ func (h *handler) multiply(w http.ResponseWriter, r *http.Request) {
 		slog.Float64("execute_s", stats.RunSeconds),
 		slog.Int("batch_size", stats.BatchSize),
 		slog.Int("pipeline_occupancy", stats.PipelineOccupancy),
+		slog.Float64("model_drift", stats.ModelDriftRatio),
 	)
+	if stats.TraceID != "" {
+		// Present exactly when the request was sampled into the flight
+		// recorder: the id joins this log record to GET /debug/traces/{id}.
+		logAttrs(r, slog.String("trace_id", stats.TraceID))
+	}
 	if raw {
 		statsJSON, _ := json.Marshal(stats)
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -635,6 +706,9 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	emit("hsumma_serve_plan_refine_seconds_total", "Wall time spent inside the planner's stage-2 refinement.", "counter", m.PlanRefineSeconds)
 	emit("hsumma_serve_pipeline_overlap_seconds_total", "Staging time that overlapped an execution (double-buffering win).", "counter", m.PipelineOverlapSeconds)
 	emit("hsumma_serve_batch_size_mean", "Mean coalesced batch size across completed requests.", "gauge", m.BatchSizeMean)
+	emit("hsumma_serve_plan_stale_total", "Requests whose sustained measured/predicted drift marked their plan stale.", "counter", float64(m.PlanStale))
+	emit("hsumma_serve_trace_sampled_total", "Requests sampled into the flight recorder.", "counter", float64(m.TraceSampled))
+	emit("hsumma_serve_model_drift_p50", "Median measured/predicted cost ratio across completed requests (1.0 = plan model exact).", "gauge", m.ModelDriftP50)
 	emit("hsumma_serve_uptime_seconds", "Process uptime.", "gauge", time.Since(startTime).Seconds())
 	fmt.Fprintf(w, "# HELP hsumma_serve_latency_seconds Completed-request latency quantiles over a sliding window.\n")
 	fmt.Fprintf(w, "# TYPE hsumma_serve_latency_seconds summary\n")
@@ -645,4 +719,5 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	h.sc.histExec.write(w)
 	h.sc.histE2E.write(w)
 	h.sc.histBatch.write(w)
+	h.sc.histDrift.write(w)
 }

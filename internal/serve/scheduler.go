@@ -48,6 +48,26 @@ type SchedulerConfig struct {
 	LatencyWindow int
 	// Resolve overrides the spec resolution (default tune.ResolveSpec).
 	Resolve Resolver
+	// TraceSampleN enables the flight recorder: 1 in every N completed
+	// requests runs traced and lands in the capture ring (GET
+	// /debug/traces). 0 disables sampling; unsampled requests follow the
+	// exact untraced execution path.
+	TraceSampleN int
+	// TraceRingSize bounds the flight-recorder ring (default 16 captures;
+	// the oldest is evicted).
+	TraceRingSize int
+	// DriftReplan, when set, invalidates the memoised plan of an
+	// engine.Auto request's shape once its measured/predicted cost ratio
+	// drifts persistently past DriftThreshold — the next request for the
+	// shape replans from current calibration instead of reusing the stale
+	// cached pick.
+	DriftReplan bool
+	// DriftThreshold is the sustained measured/predicted ratio (or its
+	// inverse) that marks a plan stale (default 2.0; must exceed 1).
+	DriftThreshold float64
+	// DriftMinSamples is how many completed requests a spec key needs
+	// before its drift EWMA can mark the plan stale (default 8).
+	DriftMinSamples int
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -111,6 +131,14 @@ type Metrics struct {
 	// spent inside them.
 	PlanSimRuns       int64   `json:"plan_sim_runs"`
 	PlanRefineSeconds float64 `json:"plan_refine_seconds"`
+	// Plan-fidelity telemetry: requests whose sustained measured/predicted
+	// drift marked their plan stale, and requests sampled into the flight
+	// recorder.
+	PlanStale    int64 `json:"plan_stale"`
+	TraceSampled int64 `json:"trace_sampled"`
+	// ModelDriftP50 is the median measured/predicted cost ratio across all
+	// completed requests that carried a prediction (1.0 = model exact).
+	ModelDriftP50 float64 `json:"model_drift_p50"`
 }
 
 // Scheduler is the admission-controlled front door: it keys requests by
@@ -139,6 +167,16 @@ type Scheduler struct {
 	// timeline (POST /debug/trace). One-shot: the capturing request swaps
 	// it back to nil.
 	armedTrace atomic.Pointer[traceCapture]
+
+	// Plan-fidelity machinery: the per-spec-key drift EWMAs, the ratio
+	// histogram keyed by phase name, and the sampled-trace ring. sampleSeq
+	// drives the 1-in-N flight-recorder sampling.
+	drift        *driftTracker
+	histDrift    *histogramVec
+	flight       *flightRecorder
+	sampleSeq    atomic.Int64
+	planStale    atomic.Int64
+	traceSampled atomic.Int64
 
 	latMu  sync.Mutex
 	lat    []float64
@@ -180,6 +218,9 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		histExec:  newHistogramVec("hsumma_serve_execute_seconds", "Distributed execution time per request (resident world run)."),
 		histE2E:   newHistogramVec("hsumma_serve_request_seconds", "End-to-end request time: queue + stage + run + gather."),
 		histBatch: newHistogramVecBounds("hsumma_serve_batch_size", "Coalesced same-A requests per execution, observed once per request.", batchBounds),
+		histDrift: newHistogramVecBounds("hsumma_serve_model_drift_ratio", "Measured/predicted cost ratio per phase (key is the phase name; 1.0 = plan model exact).", driftBounds),
+		drift:     newDriftTracker(cfg.DriftThreshold, cfg.DriftMinSamples),
+		flight:    newFlightRecorder(cfg.TraceRingSize),
 	}
 }
 
@@ -223,17 +264,27 @@ func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matri
 		return nil, Stats{}, err
 	}
 	// Claim a pending one-shot trace capture, if any, before executing so
-	// exactly one request records it.
+	// exactly one request records it; independently, the flight recorder
+	// samples 1 in every TraceSampleN requests. Either reason runs the
+	// request traced (one recorder serves both); with neither, the request
+	// takes the exact untraced execution path — sampling off costs nothing.
 	capture := sc.armedTrace.Swap(nil)
+	sampled := sc.cfg.TraceSampleN > 0 && sc.sampleSeq.Add(1)%int64(sc.cfg.TraceSampleN) == 0
 	var out *matrix.Dense
 	var stats Stats
-	if capture != nil {
+	if capture != nil || sampled {
 		var rec *trace.Recorder
 		out, stats, rec, err = sess.TryMultiplyTraced(a, b)
 		if err != nil {
 			rec = nil
 		}
-		capture.ch <- rec
+		if capture != nil {
+			capture.ch <- rec
+		}
+		if sampled && rec != nil {
+			stats.TraceID = sc.flight.add(stats.SpecKey, rp.Shape, stats.WallSeconds, rec)
+			sc.traceSampled.Add(1)
+		}
 	} else {
 		out, stats, err = sess.TryMultiply(a, b)
 	}
@@ -243,6 +294,7 @@ func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matri
 		return nil, stats, err
 	}
 	sc.completed.Add(1)
+	sc.observeDrift(&stats, rp)
 	sc.recordLatency(stats.WallSeconds)
 	sc.histQueue.observe(stats.SpecKey, stats.QueueSeconds)
 	sc.histStage.observe(stats.SpecKey, stats.SetupSeconds)
@@ -255,6 +307,34 @@ func (sc *Scheduler) Multiply(a, b *matrix.Dense, rp tune.ResolveParams) (*matri
 		sc.overlapMu.Unlock()
 	}
 	return out, stats, nil
+}
+
+// observeDrift folds one completed request into the plan-fidelity
+// tracker: per-phase measured/predicted ratios into the drift histogram
+// and the spec key's EWMA, the all-phase ratio onto the request's stats,
+// and — when sustained drift marks the plan stale and replanning is
+// enabled — the invalidation of the shape's memoised plan. Only implicit
+// engine.Auto requests replan: pinned specs have no planner choice to
+// revisit, and only Auto resolutions populate the plan cache.
+func (sc *Scheduler) observeDrift(stats *Stats, rp tune.ResolveParams) {
+	if len(stats.PredictedSecondsByPhase) == 0 {
+		return
+	}
+	measured := measuredPhases(*stats)
+	for ph, p := range stats.PredictedSecondsByPhase {
+		if m, ok := measured[ph]; ok && p > 0 && m > 0 {
+			sc.histDrift.observe(ph, m/p)
+		}
+	}
+	ratio, stale := sc.drift.observe(stats.SpecKey, stats.PredictedSecondsByPhase, measured)
+	stats.ModelDriftRatio = ratio
+	if !stale {
+		return
+	}
+	sc.planStale.Add(1)
+	if sc.cfg.DriftReplan && rp.Algorithm == engine.Auto {
+		tune.InvalidatePlan(tune.AutoRequest(rp))
+	}
 }
 
 // countFailure splits backpressure rejections (a healthy, retryable
@@ -492,8 +572,37 @@ func (sc *Scheduler) Metrics() Metrics {
 		PlanCacheMisses:   ps.CacheMisses,
 		PlanSimRuns:       ps.SimRuns,
 		PlanRefineSeconds: ps.RefineTime().Seconds(),
+		PlanStale:         sc.planStale.Load(),
+		TraceSampled:      sc.traceSampled.Load(),
+		ModelDriftP50:     sc.histDrift.quantile(0.5),
 	}
 }
+
+// FlightList returns the flight recorder's capture summaries, newest
+// first (GET /debug/traces).
+func (sc *Scheduler) FlightList() []FlightSummary { return sc.flight.list() }
+
+// FlightGet returns one capture's recorder by id (nil when unknown or
+// evicted).
+func (sc *Scheduler) FlightGet(id string) *trace.Recorder {
+	if e := sc.flight.get(id); e != nil {
+		return e.Rec
+	}
+	return nil
+}
+
+// FlightLast returns the newest capture's spans and its id ("" when the
+// ring is empty) — the timeline GET /debug/critpath analyses.
+func (sc *Scheduler) FlightLast() (string, []trace.Span) {
+	e := sc.flight.last()
+	if e == nil {
+		return "", nil
+	}
+	return e.ID, e.Rec.Spans()
+}
+
+// TraceSampling reports whether the flight recorder is enabled.
+func (sc *Scheduler) TraceSampling() bool { return sc.cfg.TraceSampleN > 0 }
 
 // Close drains the scheduler: new requests fail with ErrClosed, each
 // session's in-flight request finishes, queued requests receive ErrClosed,

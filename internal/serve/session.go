@@ -113,6 +113,20 @@ type Stats struct {
 	// PipelineOccupancy is the number of requests resident in the session
 	// (executing + staged + queued) when this request's execution began.
 	PipelineOccupancy int
+	// PredictedSecondsByPhase is the tuner's closed-form per-phase cost
+	// prediction for the session's resolved spec, evaluated for the plan's
+	// target platform. Comparing it against the measured CommSecondsByPhase
+	// and GemmSeconds is the serving layer's plan-fidelity signal.
+	PredictedSecondsByPhase map[string]float64
+	// ModelDriftRatio is measured/predicted total seconds for the phases
+	// the model predicted (0 when no prediction was available). Maintained
+	// by the scheduler's drift tracker; 1.0 means the plan's cost model
+	// matched reality exactly.
+	ModelDriftRatio float64
+	// TraceID names the flight-recorder capture this request was sampled
+	// into (empty when the request was not sampled). The same id appears in
+	// the request log record and at GET /debug/traces/{id}.
+	TraceID string
 }
 
 // SessionConfig tunes a session's queueing and pipelining behaviour. The
@@ -822,6 +836,7 @@ func (s *Session) executeBatch(st *staged) {
 		j.stats.CommSecondsByPhase = trace.CommPhaseMap(sum.CommByPhase)
 		j.stats.BusyImbalance = sum.Imbalance
 		j.stats.SpecKey = s.key
+		j.stats.PredictedSecondsByPhase = s.spec.Predicted
 		j.stats.RunSeconds = runSec
 		j.stats.BatchSize = k
 		j.stats.PipelineOccupancy = occupancy

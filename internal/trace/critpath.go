@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the critical-path analysis over a recorded timeline: given
+// the spans of one run, which rank's work gates the wall clock, how much
+// of each rank's time is busy versus waiting, and which cross-rank
+// dependencies plausibly caused the gating rank's idle gaps. It is pure
+// span arithmetic — no knowledge of the algorithms — so it applies
+// identically to live traces and to both virtual engines' timelines.
+
+// RankActivity is one rank's busy/wait split over the run.
+type RankActivity struct {
+	// Rank is the timeline (HostRank for the host scatter/gather lane).
+	Rank int `json:"rank"`
+	// BusySeconds is the summed duration of the rank's spans.
+	BusySeconds float64 `json:"busy_seconds"`
+	// WaitSeconds is wall − busy: time the rank spent blocked on other
+	// ranks (or idle before its first / after its last span).
+	WaitSeconds float64 `json:"wait_seconds"`
+	// PhaseSeconds is the rank's busy time decomposed by phase name.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+}
+
+// BlockingEdge attributes one idle gap on the gating rank to the span —
+// on another rank — that ended closest before the gap closed: the event
+// whose completion plausibly released the gating rank.
+type BlockingEdge struct {
+	// FromRank/FromPhase identify the releasing span.
+	FromRank  int    `json:"from_rank"`
+	FromPhase string `json:"from_phase"`
+	// ToPhase is the phase the gating rank entered when the gap closed.
+	ToPhase string `json:"to_phase"`
+	// GapStart/GapEnd bound the idle interval on the run timeline.
+	GapStart float64 `json:"gap_start"`
+	GapEnd   float64 `json:"gap_end"`
+	// WaitSeconds is the gap's length.
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+// CriticalPathReport is the per-run attribution: what gates wall time.
+type CriticalPathReport struct {
+	// WallSeconds is the latest span end over every timeline (host
+	// included) — the run's critical-path length on the trace's clock.
+	WallSeconds float64 `json:"wall_seconds"`
+	// GatingRank owns the span that ends last (HostRank when the host
+	// gather closes the run, as on the live path).
+	GatingRank int `json:"gating_rank"`
+	// GatingPhase is the dominant phase (largest summed duration) on the
+	// gating rank; GatingPhaseSeconds is its total there.
+	GatingPhase        string  `json:"gating_phase"`
+	GatingPhaseSeconds float64 `json:"gating_phase_seconds"`
+	// Ranks is the per-timeline busy/wait split, ordered by rank (host
+	// lane first when present).
+	Ranks []RankActivity `json:"ranks"`
+	// BlockingEdges are the gating rank's idle gaps, largest first,
+	// attributed to the cross-rank span whose end released each one.
+	BlockingEdges []BlockingEdge `json:"blocking_edges,omitempty"`
+}
+
+// RankPhaseSeconds sums span durations per (rank, phase name) over the
+// compute ranks. Host-lane spans (Rank == HostRank) are excluded: the
+// host's scatter/gather brackets the distributed run and would double-
+// count against the per-rank phase totals the transports report.
+func RankPhaseSeconds(spans []Span) map[int]map[string]float64 {
+	out := make(map[int]map[string]float64)
+	for _, s := range spans {
+		if s.Rank == HostRank {
+			continue
+		}
+		m := out[s.Rank]
+		if m == nil {
+			m = make(map[string]float64)
+			out[s.Rank] = m
+		}
+		m[s.Phase.String()] += s.Dur
+	}
+	return out
+}
+
+// CriticalPath analyses one run's spans (as returned by Recorder.Spans)
+// and reports what gates wall time. A nil report is returned for an
+// empty timeline.
+func CriticalPath(spans []Span) *CriticalPathReport {
+	if len(spans) == 0 {
+		return nil
+	}
+	// Wall and gating span: the latest end over every timeline.
+	rep := &CriticalPathReport{}
+	byRank := make(map[int][]Span)
+	gate := spans[0]
+	for _, s := range spans {
+		byRank[s.Rank] = append(byRank[s.Rank], s)
+		if end := s.Start + s.Dur; end > rep.WallSeconds {
+			rep.WallSeconds = end
+			gate = s
+		}
+	}
+	rep.GatingRank = gate.Rank
+
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks) // HostRank (-1) sorts first
+	for _, r := range ranks {
+		act := RankActivity{Rank: r, PhaseSeconds: make(map[string]float64)}
+		for _, s := range byRank[r] {
+			act.BusySeconds += s.Dur
+			act.PhaseSeconds[s.Phase.String()] += s.Dur
+		}
+		if act.WaitSeconds = rep.WallSeconds - act.BusySeconds; act.WaitSeconds < 0 {
+			act.WaitSeconds = 0
+		}
+		rep.Ranks = append(rep.Ranks, act)
+	}
+
+	// Dominant phase on the gating rank.
+	for ph, sec := range rankPhase(byRank[rep.GatingRank]) {
+		if sec > rep.GatingPhaseSeconds {
+			rep.GatingPhase, rep.GatingPhaseSeconds = ph, sec
+		}
+	}
+
+	rep.BlockingEdges = blockingEdges(byRank, rep.GatingRank)
+	return rep
+}
+
+func rankPhase(spans []Span) map[string]float64 {
+	m := make(map[string]float64)
+	for _, s := range spans {
+		m[s.Phase.String()] += s.Dur
+	}
+	return m
+}
+
+// blockingEdges finds the idle gaps on the gating rank's timeline and
+// attributes each to the other-rank span ending latest at or before the
+// gap's close — the completion that plausibly unblocked it. Gaps below
+// 1% of the rank's busiest span are noise and dropped.
+func blockingEdges(byRank map[int][]Span, gating int) []BlockingEdge {
+	own := append([]Span(nil), byRank[gating]...)
+	if len(own) == 0 {
+		return nil
+	}
+	sort.Slice(own, func(i, j int) bool { return own[i].Start < own[j].Start })
+	var maxDur float64
+	for _, s := range own {
+		if s.Dur > maxDur {
+			maxDur = s.Dur
+		}
+	}
+	floor := maxDur * 0.01
+	var edges []BlockingEdge
+	cursor := own[0].Start // idle before the first span has no releaser in-trace
+	for _, s := range own {
+		if gap := s.Start - cursor; gap > floor && gap > 0 {
+			e := BlockingEdge{ToPhase: s.Phase.String(), GapStart: cursor, GapEnd: s.Start, WaitSeconds: gap}
+			if from, ok := releaser(byRank, gating, s.Start); ok {
+				e.FromRank, e.FromPhase = from.Rank, from.Phase.String()
+				edges = append(edges, e)
+			}
+		}
+		if end := s.Start + s.Dur; end > cursor {
+			cursor = end
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].WaitSeconds > edges[j].WaitSeconds })
+	const topK = 8
+	if len(edges) > topK {
+		edges = edges[:topK]
+	}
+	return edges
+}
+
+// releaser finds the span on a rank other than gating whose end is
+// latest while not after t (with a hair of slack for clock skew between
+// rank timelines on the live path).
+func releaser(byRank map[int][]Span, gating int, t float64) (Span, bool) {
+	const slack = 1e-9
+	var best Span
+	bestEnd := -1.0
+	for r, spans := range byRank {
+		if r == gating {
+			continue
+		}
+		for _, s := range spans {
+			if end := s.Start + s.Dur; end <= t+slack && end > bestEnd {
+				bestEnd, best = end, s
+			}
+		}
+	}
+	return best, bestEnd >= 0
+}
+
+// Format renders the report as the fixed-width text block hsumma-run
+// -critpath prints.
+func (r *CriticalPathReport) Format() string {
+	if r == nil {
+		return "critical path: no spans recorded\n"
+	}
+	var b strings.Builder
+	gr := fmt.Sprintf("rank %d", r.GatingRank)
+	if r.GatingRank == HostRank {
+		gr = "host"
+	}
+	fmt.Fprintf(&b, "critical path: %s gates wall %.3fms (dominant phase %s, %.3fms)\n",
+		gr, r.WallSeconds*1e3, r.GatingPhase, r.GatingPhaseSeconds*1e3)
+	fmt.Fprintf(&b, "%6s %12s %12s %6s\n", "rank", "busy(ms)", "wait(ms)", "busy%")
+	for _, a := range r.Ranks {
+		name := fmt.Sprintf("%d", a.Rank)
+		if a.Rank == HostRank {
+			name = "host"
+		}
+		pct := 0.0
+		if r.WallSeconds > 0 {
+			pct = 100 * a.BusySeconds / r.WallSeconds
+		}
+		fmt.Fprintf(&b, "%6s %12.3f %12.3f %5.1f%%\n", name, a.BusySeconds*1e3, a.WaitSeconds*1e3, pct)
+	}
+	if len(r.BlockingEdges) > 0 {
+		fmt.Fprintf(&b, "top blocking edges (gating rank %s):\n", gr)
+		for _, e := range r.BlockingEdges {
+			fmt.Fprintf(&b, "  rank %d %s -> %s: wait %.3fms (%.3f..%.3fms)\n",
+				e.FromRank, e.FromPhase, e.ToPhase, e.WaitSeconds*1e3, e.GapStart*1e3, e.GapEnd*1e3)
+		}
+	}
+	return b.String()
+}

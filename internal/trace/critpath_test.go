@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCriticalPathAttribution drives CriticalPath with a hand-built
+// timeline where every quantity is known in closed form: rank 1 works
+// 2ms, idles 2ms waiting on rank 0's broadcast, then works 4ms more and
+// ends the run.
+func TestCriticalPathAttribution(t *testing.T) {
+	spans := []Span{
+		{Rank: 0, Phase: PhaseBcast, Start: 0, Dur: 0.004},
+		{Rank: 1, Phase: PhaseGemm, Start: 0, Dur: 0.002},
+		{Rank: 1, Phase: PhaseGemm, Start: 0.004, Dur: 0.004},
+	}
+	rep := CriticalPath(spans)
+	if rep == nil {
+		t.Fatal("CriticalPath returned nil for a non-empty timeline")
+	}
+	if math.Abs(rep.WallSeconds-0.008) > 1e-12 {
+		t.Fatalf("WallSeconds = %v, want 0.008", rep.WallSeconds)
+	}
+	if rep.GatingRank != 1 {
+		t.Fatalf("GatingRank = %d, want 1", rep.GatingRank)
+	}
+	if rep.GatingPhase != "gemm" || math.Abs(rep.GatingPhaseSeconds-0.006) > 1e-12 {
+		t.Fatalf("gating phase = %s/%v, want gemm/0.006", rep.GatingPhase, rep.GatingPhaseSeconds)
+	}
+	if len(rep.Ranks) != 2 {
+		t.Fatalf("Ranks has %d entries, want 2", len(rep.Ranks))
+	}
+	// Ordered by rank; busy + wait must always equal wall.
+	for _, a := range rep.Ranks {
+		if math.Abs(a.BusySeconds+a.WaitSeconds-rep.WallSeconds) > 1e-12 {
+			t.Fatalf("rank %d: busy %v + wait %v != wall %v", a.Rank, a.BusySeconds, a.WaitSeconds, rep.WallSeconds)
+		}
+	}
+	if r1 := rep.Ranks[1]; math.Abs(r1.BusySeconds-0.006) > 1e-12 || math.Abs(r1.WaitSeconds-0.002) > 1e-12 {
+		t.Fatalf("rank 1 busy/wait = %v/%v, want 0.006/0.002", r1.BusySeconds, r1.WaitSeconds)
+	}
+	// The 2ms idle gap closes at t=4ms, exactly when rank 0's broadcast
+	// ends — the edge must attribute the wait to that span.
+	if len(rep.BlockingEdges) != 1 {
+		t.Fatalf("BlockingEdges = %+v, want exactly one", rep.BlockingEdges)
+	}
+	e := rep.BlockingEdges[0]
+	if e.FromRank != 0 || e.FromPhase != "bcast" || e.ToPhase != "gemm" {
+		t.Fatalf("edge = %+v, want rank 0 bcast -> gemm", e)
+	}
+	if math.Abs(e.WaitSeconds-0.002) > 1e-12 {
+		t.Fatalf("edge wait = %v, want 0.002", e.WaitSeconds)
+	}
+}
+
+// TestCriticalPathHostGates covers the live-path shape: the host gather
+// ends last, so the host lane gates the wall clock.
+func TestCriticalPathHostGates(t *testing.T) {
+	spans := []Span{
+		{Rank: HostRank, Phase: PhaseScatter, Start: 0, Dur: 0.001},
+		{Rank: 0, Phase: PhaseGemm, Start: 0.001, Dur: 0.005},
+		{Rank: HostRank, Phase: PhaseGather, Start: 0.006, Dur: 0.002},
+	}
+	rep := CriticalPath(spans)
+	if rep.GatingRank != HostRank {
+		t.Fatalf("GatingRank = %d, want host (%d)", rep.GatingRank, HostRank)
+	}
+	if math.Abs(rep.WallSeconds-0.008) > 1e-12 {
+		t.Fatalf("WallSeconds = %v, want 0.008", rep.WallSeconds)
+	}
+	if rep.GatingPhase != "gather" {
+		t.Fatalf("GatingPhase = %s, want gather", rep.GatingPhase)
+	}
+	// The host lane must sort first in the per-rank table.
+	if rep.Ranks[0].Rank != HostRank {
+		t.Fatalf("first rank row = %d, want host lane", rep.Ranks[0].Rank)
+	}
+	if !strings.Contains(rep.Format(), "host gates wall") {
+		t.Fatalf("Format() missing host gating line:\n%s", rep.Format())
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if rep := CriticalPath(nil); rep != nil {
+		t.Fatalf("CriticalPath(nil) = %+v, want nil", rep)
+	}
+	var rep *CriticalPathReport
+	if got := rep.Format(); got != "critical path: no spans recorded\n" {
+		t.Fatalf("nil Format() = %q", got)
+	}
+}
+
+// TestCriticalPathOnRecorder exercises the real entry point: a recorder's
+// Spans() feed, wall equal to the latest end across host and ranks.
+func TestCriticalPathOnRecorder(t *testing.T) {
+	r := New(2)
+	r.Host(PhaseScatter, 0, 0.001, 64, 0)
+	r.Rank(0, PhaseBcast, 0.001, 0.002, 32, 1)
+	r.Rank(1, PhaseGemm, 0.001, 0.006, 0, 0)
+	r.Host(PhaseGather, 0.007, 0.001, 64, 0)
+	rep := CriticalPath(r.Spans())
+	if math.Abs(rep.WallSeconds-0.008) > 1e-12 {
+		t.Fatalf("WallSeconds = %v, want 0.008", rep.WallSeconds)
+	}
+	if rep.GatingRank != HostRank {
+		t.Fatalf("GatingRank = %d, want host", rep.GatingRank)
+	}
+	if len(rep.Ranks) != 3 {
+		t.Fatalf("Ranks has %d rows, want 3 (host + 2 ranks)", len(rep.Ranks))
+	}
+	out := rep.Format()
+	for _, want := range []string{"critical path:", "busy(ms)", "host"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// RankPhaseSeconds must exclude the host lane: its scatter/gather brackets
+// the run and would double-count against the transports' per-rank stats.
+func TestRankPhaseSecondsExcludesHost(t *testing.T) {
+	r := New(1)
+	r.Host(PhaseScatter, 0, 0.5, 64, 0)
+	r.Rank(0, PhaseBcast, 0, 1, 8, 1)
+	r.Rank(0, PhaseGemm, 1, 2, 0, 0)
+	r.Host(PhaseGather, 3, 0.5, 64, 0)
+	got := RankPhaseSeconds(r.Spans())
+	if len(got) != 1 {
+		t.Fatalf("RankPhaseSeconds covers ranks %v, want only rank 0", got)
+	}
+	if got[0]["bcast"] != 1 || got[0]["gemm"] != 2 {
+		t.Fatalf("rank 0 phases = %v, want bcast:1 gemm:2", got[0])
+	}
+	if _, ok := got[HostRank]; ok {
+		t.Fatal("host lane leaked into RankPhaseSeconds")
+	}
+}
+
+// A zero-rank recorder is legal (host-only timeline) and must flow
+// through Spans/Counts/CriticalPath without panicking.
+func TestZeroRankRecorder(t *testing.T) {
+	r := New(0)
+	if r.Ranks() != 0 {
+		t.Fatalf("Ranks() = %d, want 0", r.Ranks())
+	}
+	if got := len(r.Spans()); got != 0 {
+		t.Fatalf("empty zero-rank recorder has %d spans", got)
+	}
+	if rep := CriticalPath(r.Spans()); rep != nil {
+		t.Fatalf("CriticalPath over empty recorder = %+v, want nil", rep)
+	}
+	r.Host(PhaseScatter, 0, 0.001, 8, 0)
+	if got := r.Counts()[CountKey{Rank: HostRank, Phase: PhaseScatter}]; got != 1 {
+		t.Fatalf("host scatter count = %d, want 1", got)
+	}
+	rep := CriticalPath(r.Spans())
+	if rep == nil || rep.GatingRank != HostRank {
+		t.Fatalf("host-only critical path = %+v, want host-gated report", rep)
+	}
+}

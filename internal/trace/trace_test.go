@@ -82,6 +82,41 @@ func TestCountsAndSpans(t *testing.T) {
 	}
 }
 
+// A recorder with no spans still writes a valid Chrome trace document —
+// thread_name metadata for the rank timelines and an empty event list is
+// what Perfetto expects for an idle capture.
+func TestWriteJSONEmptyRecorder(t *testing.T) {
+	r := New(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty recorder produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "M" {
+			t.Fatalf("empty recorder emitted a non-metadata event: %v", ev)
+		}
+	}
+
+	// The degenerate zero-rank, zero-span recorder must also parse.
+	buf.Reset()
+	if err := New(0).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("zero-rank recorder produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("zero-rank recorder emitted %d events, want 0", len(doc.TraceEvents))
+	}
+}
+
 func TestCommPhaseMapOmitsZeroPhases(t *testing.T) {
 	var sec [NumPhases]float64
 	sec[PhaseBcast] = 1.5

@@ -282,6 +282,103 @@ func (s *scorer) strassenCompute(c Candidate, sh matrix.Shape) float64 {
 	return s.m.Compute(gf/hockney.Speedup(c.Threads) + af)
 }
 
+// predictPhases decomposes the candidate's closed-form cost onto the
+// trace phase vocabulary: the comm term split across bcast / shift / p2p
+// exactly as the transports would record it (SUMMA-family traffic is all
+// broadcast rounds, Cannon all SendRecv shifts, Fox broadcasts plus a
+// roll shift per step, Strassen p2p quadrant staging around a broadcast
+// bottom), and the compute term under "gemm". Zero phases are omitted.
+// The per-phase sums reproduce score()'s comm and compute up to floating-
+// point association — the formulas are the same, only factored per phase
+// — so a plan's prediction and its ranking never disagree on what the
+// model said. This is the denominator of the serving layer's
+// measured/predicted drift tracking, so it must stay in lockstep with
+// score(): the fidelity tests compare it against traced virtual runs.
+func (s *scorer) predictPhases(c Candidate) map[string]float64 {
+	sh := s.execShape(c)
+	N := float64(sh.N)
+	p := float64(c.Grid.Size())
+	S := float64(c.Grid.S)
+
+	var bcast, shift, p2p float64
+	switch c.Algorithm {
+	case engine.SUMMA, engine.HSUMMA, engine.Multilevel:
+		bcast, _ = s.score(c) // single-phase: the whole comm term is broadcast
+	case engine.Cannon:
+		comm, _ := s.score(c)
+		shift = comm
+	case engine.Fox:
+		bc := s.bcast(c.Broadcast, c.Segments)
+		q := S
+		tile := N * N / p
+		bcast = q * s.bcastStep(bc, q, tile)
+		shift = q * (s.m.Alpha + tile*s.m.Beta)
+	case engine.Strassen:
+		bcast, p2p = s.strassenCommSplit(c, sh)
+	}
+
+	var gemm float64
+	switch {
+	case c.Algorithm == engine.Strassen:
+		gemm = s.strassenCompute(c, sh)
+	case c.LocalStrassen:
+		gemm = s.localKernelCompute(c, sh)
+	default:
+		gemm = s.m.Compute(2 * float64(sh.M) * N * float64(sh.K) / p / hockney.Speedup(c.Threads))
+	}
+
+	out := make(map[string]float64, 3)
+	for _, ph := range []struct {
+		name string
+		sec  float64
+	}{{"bcast", bcast}, {"shift", shift}, {"p2p", p2p}, {"gemm", gemm}} {
+		if ph.sec > 0 {
+			out[ph.name] = ph.sec
+		}
+	}
+	return out
+}
+
+// strassenCommSplit is strassenComm with the per-level quadrant staging
+// (point-to-point sends) separated from the bottom SUMMA/HSUMMA term
+// (broadcast rounds): the recursion comm(l) = level + 2·comm(l−1) folds
+// to p2p(l) = level + 2·p2p(l−1) over a bottom that doubles per level.
+func (s *scorer) strassenCommSplit(c Candidate, sh matrix.Shape) (bcast, p2p float64) {
+	levels := core.StrassenLevelsOf(c.StrassenLevels)
+	div := 1 << levels
+	if c.Grid.S != c.Grid.T || c.Grid.S%div != 0 || sh.N%div != 0 {
+		return 0, 0
+	}
+	tile := float64(sh.N) / float64(c.Grid.S)
+	elems := tile * tile
+	msgs, _ := strassenLevelTraffic()
+	level := float64(msgs) * (s.m.Alpha + elems*s.m.Beta)
+
+	sub := topo.Grid{S: c.Grid.S / div, T: c.Grid.S / div}
+	var bottom float64
+	if sub.Size() > 1 {
+		params := model.RectParams{
+			Shape: matrix.Square(sh.N / div), Grid: sub, B: c.BlockSize,
+			Machine: s.m, Bcast: s.bcast(c.Broadcast, c.Segments),
+		}
+		if G := c.StrassenInnerGroups; G > 0 {
+			if h, err := topo.FactorGroups(sub, G); err == nil {
+				bottom = model.HSUMMARect(params, h.I, h.J, c.OuterBlockSize).Comm()
+			} else {
+				bottom = model.SUMMARect(params).Comm()
+			}
+		} else {
+			bottom = model.SUMMARect(params).Comm()
+		}
+	}
+	bcast = bottom
+	for l := 0; l < levels; l++ {
+		p2p = level + 2*p2p
+		bcast = 2 * bcast
+	}
+	return bcast, p2p
+}
+
 // localKernelCompute charges a classic algorithm's local multiplies
 // through the sub-cubic kernel descriptor: the same per-step flop counts
 // the virtual transports record, so the analytic ranking sees the local

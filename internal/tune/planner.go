@@ -141,6 +141,24 @@ func (p *Planner) Plan(req Request) (*Plan, error) {
 	return copyPlan(plan), nil
 }
 
+// Invalidate drops the memoised plan for req, returning whether one was
+// cached. The serving layer's drift tracker calls it (through the
+// package-level wrapper) when a spec's measured/predicted ratio drifts
+// persistently: the next request for the shape replans from current
+// calibration instead of serving the stale cached pick.
+func (p *Planner) Invalidate(req Request) bool {
+	req = req.withDefaults()
+	key := fingerprint(req)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.cache[key]
+	delete(p.cache, key)
+	return ok
+}
+
+// InvalidatePlan drops the shared default planner's memoised plan for req.
+func InvalidatePlan(req Request) bool { return defaultPlanner.Invalidate(req) }
+
 // copyPlan returns a caller-owned copy: the Ranked slice is duplicated so
 // a caller re-sorting or editing its plan cannot corrupt the cached one.
 func copyPlan(pl *Plan) *Plan {
@@ -171,6 +189,13 @@ func (p *Planner) plan(req Request) (*Plan, error) {
 		top = top[:req.TopK]
 	}
 	top = append([]Scored(nil), top...)
+	// Attach the per-phase model decomposition to the refinement set only
+	// (not all thousands of scanned candidates): these are the entries a
+	// plan surfaces, and the winner's map is what the execution spec — and
+	// the serving drift tracker — carries forward.
+	for i := range top {
+		top[i].PredictedSecondsByPhase = sc.predictPhases(top[i].Candidate)
+	}
 
 	// Stage 2: parallel virtual runs over the stage-1 winners — the
 	// authoritative ranking, including contention and overlap if asked.
@@ -198,11 +223,11 @@ func (p *Planner) plan(req Request) (*Plan, error) {
 		P:          req.P,
 		CoreBudget: req.CoreBudget,
 		Objective:  req.Objective,
-		Best:      top[0],
-		Ranked:    top,
-		Scanned:   len(cands),
-		Simulated: simulated,
-		Engine:    string(req.Executor), // normalised by withDefaults
+		Best:       top[0],
+		Ranked:     top,
+		Scanned:    len(cands),
+		Simulated:  simulated,
+		Engine:     string(req.Executor), // normalised by withDefaults
 	}, nil
 }
 

@@ -136,6 +136,14 @@ func ResolveSpec(rp ResolveParams) (engine.Spec, error) {
 	if err != nil {
 		return engine.Spec{}, err
 	}
+	// Attach the model's per-phase prediction for the resolved execution —
+	// pinned requests included, so the serving layer's drift tracking
+	// always has a denominator. Advisory metadata: never part of Spec.Key.
+	pf := platform.Grid5000()
+	if rp.Platform != nil {
+		pf = *rp.Platform
+	}
+	spec.Predicted = PredictPhases(spec, pf)
 	return spec, nil
 }
 
@@ -144,17 +152,7 @@ func ResolveSpec(rp ResolveParams) (engine.Spec, error) {
 // explicit Grid and BlockSize settings as constraints. Plans are memoised,
 // so a serving workload pays the search once per distinct shape.
 func resolveAutoParams(rp ResolveParams) (ResolveParams, error) {
-	pf := platform.Grid5000()
-	if rp.Platform != nil {
-		pf = *rp.Platform
-	}
-	pl, err := PlanFor(Request{
-		Platform: pf, Shape: rp.Shape, P: rp.Procs,
-		Grid: rp.Grid, BlockSize: rp.BlockSize,
-		Threads:      rp.Threads,
-		Quick:        true,
-		AnalyticOnly: rp.Procs > AutoProcs,
-	})
+	pl, err := PlanFor(AutoRequest(rp))
 	if err != nil {
 		return ResolveParams{}, err
 	}
@@ -177,6 +175,25 @@ func resolveAutoParams(rp ResolveParams) (ResolveParams, error) {
 	rp.LocalStrassen = c.LocalStrassen
 	rp.StrassenCutoff = c.StrassenCutoff
 	return rp, nil
+}
+
+// AutoRequest is the exact planner Request the implicit-Auto resolution
+// path builds for rp — exported so callers that need to act on the same
+// cache entry (the serving drift tracker invalidating a stale memoised
+// plan via InvalidatePlan) address it by construction rather than by
+// duplicating the Request recipe.
+func AutoRequest(rp ResolveParams) Request {
+	pf := platform.Grid5000()
+	if rp.Platform != nil {
+		pf = *rp.Platform
+	}
+	return Request{
+		Platform: pf, Shape: rp.Shape, P: rp.Procs,
+		Grid: rp.Grid, BlockSize: rp.BlockSize,
+		Threads:      rp.Threads,
+		Quick:        true,
+		AnalyticOnly: rp.Procs > AutoProcs,
+	}
 }
 
 func resolveGrid(rp ResolveParams) (topo.Grid, error) {

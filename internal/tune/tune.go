@@ -308,6 +308,12 @@ type Scored struct {
 	ModelTotal float64 `json:"model_total_s"`
 	SimComm    float64 `json:"sim_comm_s,omitempty"`
 	SimTotal   float64 `json:"sim_total_s,omitempty"`
+	// PredictedSecondsByPhase is the closed-form cost decomposed onto the
+	// trace phase vocabulary (bcast/shift/p2p for comm, gemm for compute);
+	// the comm phases sum to ModelComm up to floating-point association.
+	// It is the measured-vs-predicted denominator the serving layer's
+	// drift tracking audits.
+	PredictedSecondsByPhase map[string]float64 `json:"predicted_seconds_by_phase,omitempty"`
 	// Refined reports whether the stage-2 virtual run was performed.
 	Refined bool `json:"refined"`
 	// Engine records which virtual execution engine scored the candidate
@@ -361,6 +367,36 @@ type Plan struct {
 	Engine string `json:"engine,omitempty"`
 	// FromCache reports that this plan was served from the plan cache.
 	FromCache bool `json:"from_cache,omitempty"`
+}
+
+// PredictPhases evaluates the closed-form per-phase prediction for a
+// resolved spec on a platform — the same decomposition the planner
+// attaches to its ranked candidates, reachable for pinned (non-Auto)
+// requests too so every resolved execution carries a model prediction
+// for the drift tracker to audit. Call it on a padded spec; the scorer
+// re-pads idempotently. Cost: a handful of closed-form evaluations,
+// microseconds.
+func PredictPhases(spec engine.Spec, pf platform.Platform) map[string]float64 {
+	c := Candidate{
+		Algorithm:           spec.Algorithm,
+		Grid:                spec.Opts.Grid,
+		BlockSize:           spec.Opts.BlockSize,
+		OuterBlockSize:      spec.Opts.OuterBlockSize,
+		Broadcast:           spec.Opts.Broadcast,
+		Segments:            spec.Opts.Segments,
+		Levels:              spec.Levels,
+		Threads:             spec.Opts.Threads,
+		StrassenLevels:      spec.Opts.StrassenLevels,
+		StrassenInnerGroups: spec.Opts.StrassenInnerGroups,
+		LocalStrassen:       spec.Opts.LocalStrassen,
+		StrassenCutoff:      spec.Opts.StrassenCutoff,
+	}
+	if spec.Algorithm == engine.HSUMMA {
+		c.GroupShape = [2]int{spec.Opts.Groups.I, spec.Opts.Groups.J}
+		c.Groups = spec.Opts.Groups.Groups()
+	}
+	sc := newScorer(spec.Shape(), pf.Model, false)
+	return sc.predictPhases(c)
 }
 
 // minTileExtent returns the smallest per-rank tile extent of the three

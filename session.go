@@ -84,6 +84,8 @@ func (s *Session) Multiply(a, b *Matrix) (*Matrix, Stats, error) {
 		GemmSeconds:        st.GemmSeconds,
 		CommSecondsByPhase: st.CommSecondsByPhase,
 		BusyImbalance:      st.BusyImbalance,
+
+		PredictedSecondsByPhase: st.PredictedSecondsByPhase,
 	}, nil
 }
 

@@ -171,6 +171,87 @@ func TestSpanCountParityLiveVsVirtual(t *testing.T) {
 	}
 }
 
+// TestCriticalPathWallFidelity pins the critical-path report's core
+// invariant on both execution paths, for every algorithm: the report's
+// wall equals the run it analysed. On the virtual engines that equality
+// is exact — the simulated total *is* the latest span end. On the live
+// path the trace epoch opens after spec resolution, so the critical path
+// covers most, but never more, of Stats.WallSeconds.
+func TestCriticalPathWallFidelity(t *testing.T) {
+	n := 64
+	a := RandomMatrix(n, n, 41)
+	b := RandomMatrix(n, n, 42)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"summa", Config{Procs: 4, Algorithm: AlgSUMMA, BlockSize: 16}},
+		{"hsumma", Config{Procs: 4, Algorithm: AlgHSUMMA, BlockSize: 16, Groups: 2}},
+		{"multilevel", Config{Procs: 4, Algorithm: AlgMultilevel, BlockSize: 16,
+			Levels: []Level{{I: 2, J: 2, BlockSize: 16}}}},
+		{"cannon", Config{Procs: 4, Algorithm: AlgCannon}},
+		{"fox", Config{Procs: 4, Algorithm: AlgFox}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, st, rec, err := MultiplyTraced(a, b, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := CriticalPath(rec)
+			if rep == nil || rep.WallSeconds <= 0 {
+				t.Fatalf("live critical path = %+v, want positive wall", rep)
+			}
+			if rep.WallSeconds > st.WallSeconds*1.01 {
+				t.Fatalf("live critical-path wall %.6fs exceeds Stats.WallSeconds %.6fs",
+					rep.WallSeconds, st.WallSeconds)
+			}
+			if rep.WallSeconds < 0.25*st.WallSeconds {
+				t.Fatalf("live critical-path wall %.6fs covers under a quarter of Stats.WallSeconds %.6fs",
+					rep.WallSeconds, st.WallSeconds)
+			}
+
+			sim := SimConfig{
+				N: 256, Procs: 16, Algorithm: tc.cfg.Algorithm,
+				Groups: tc.cfg.Groups, BlockSize: 32,
+				Machine: PlatformGrid5000().Model, Trace: true,
+			}
+			if tc.cfg.Algorithm == AlgMultilevel {
+				sim.Levels = []Level{{I: 2, J: 2, BlockSize: 32}}
+			}
+			if tc.cfg.Algorithm == AlgCannon || tc.cfg.Algorithm == AlgFox {
+				sim.BlockSize = 0 // whole-tile algorithms
+			}
+			for _, eng := range []Engine{EngineGoroutine, EngineEvent} {
+				sim.Engine = eng
+				res, err := Simulate(sim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				srep := CriticalPath(res.Trace)
+				if srep == nil {
+					t.Fatalf("%v: no critical path over the simulated trace", eng)
+				}
+				if diff := math.Abs(srep.WallSeconds - res.Total); diff > 1e-9*res.Total {
+					t.Fatalf("%v: simulated critical-path wall %.12f != Result.Total %.12f (diff %g)",
+						eng, srep.WallSeconds, res.Total, diff)
+				}
+				// Busy + wait always reconstructs the wall, and the gating
+				// rank's dominant phase carries real time.
+				for _, ra := range srep.Ranks {
+					if math.Abs(ra.BusySeconds+ra.WaitSeconds-srep.WallSeconds) > 1e-9*srep.WallSeconds {
+						t.Fatalf("%v: rank %d busy %.9f + wait %.9f != wall %.9f",
+							eng, ra.Rank, ra.BusySeconds, ra.WaitSeconds, srep.WallSeconds)
+					}
+				}
+				if srep.GatingPhaseSeconds <= 0 {
+					t.Fatalf("%v: gating phase %q carries no time", eng, srep.GatingPhase)
+				}
+			}
+		})
+	}
+}
+
 // rankCounts projects a recorder's span counts onto rank-owned spans only
 // (the host timeline exists only on the live path by design).
 func rankCounts(rec *Trace) map[trace.CountKey]int {
